@@ -1,0 +1,132 @@
+//! E7 — active security (§4.3.3): cost of the denial → `accessDenied` →
+//! threshold-rule pipeline, and detection latency of a denial storm.
+//!
+//! Expected shape: per-denial overhead is a small constant (one extra event
+//! dispatch plus a sliding-window count); storm detection fires on exactly
+//! the threshold-th denial in both engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use owte_core::{DirectEngine, Engine};
+use policy::{PolicyGraph, SecurityAction, SecuritySpec};
+use rbac::{RoleId, SessionId, UserId};
+use snoop::{Dur, Ts};
+use std::hint::black_box;
+
+fn probe_policy(with_security: bool) -> PolicyGraph {
+    let mut g = PolicyGraph::new("probe");
+    g.user("mallory");
+    g.role("vault");
+    if with_security {
+        g.security.push(SecuritySpec {
+            name: "probe".into(),
+            threshold: 1_000_000, // never trips: measures pure overhead
+            window: Dur::from_secs(60),
+            actions: vec![SecurityAction::Alert],
+        });
+    }
+    g
+}
+
+fn owte_fixture(with_security: bool) -> (Engine, UserId, SessionId, RoleId) {
+    let g = probe_policy(with_security);
+    let mut e = Engine::from_policy(&g, Ts::ZERO).unwrap();
+    let u = e.user_id("mallory").unwrap();
+    let s = e.create_session(u, &[]).unwrap();
+    let r = e.role_id("vault").unwrap();
+    (e, u, s, r)
+}
+
+fn bench_denial_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("active_security/denial_overhead");
+    // OWTE without any security rule: denial still raises accessDenied.
+    let (mut e, u, s, r) = owte_fixture(false);
+    group.bench_function("owte_no_security_rule", |b| {
+        b.iter(|| black_box(e.add_active_role(u, s, r).is_err()))
+    });
+    // OWTE with an armed (never-tripping) threshold rule.
+    let (mut e, u, s, r) = owte_fixture(true);
+    group.bench_function("owte_with_threshold_rule", |b| {
+        b.iter(|| black_box(e.add_active_role(u, s, r).is_err()))
+    });
+    // Direct engine with the same policy.
+    let g = probe_policy(true);
+    let mut d = DirectEngine::from_policy(&g, Ts::ZERO).unwrap();
+    let u = d.user_id("mallory").unwrap();
+    let s = d.create_session(u, &[]).unwrap();
+    let r = d.role_id("vault").unwrap();
+    group.bench_function("direct_with_threshold", |b| {
+        b.iter(|| black_box(d.add_active_role(u, s, r).is_err()))
+    });
+    group.finish();
+}
+
+fn bench_storm_detection(c: &mut Criterion) {
+    // Time to process a 100-denial storm that trips at 50.
+    let mut g = probe_policy(false);
+    g.security.push(SecuritySpec {
+        name: "storm".into(),
+        threshold: 50,
+        window: Dur::from_secs(3600),
+        actions: vec![SecurityAction::Alert],
+    });
+    let mut group = c.benchmark_group("active_security/storm_100_denials");
+    group.sample_size(20);
+    group.bench_function("owte", |b| {
+        b.iter_batched(
+            || {
+                let mut e = Engine::from_policy(&g, Ts::ZERO).unwrap();
+                let u = e.user_id("mallory").unwrap();
+                let s = e.create_session(u, &[]).unwrap();
+                let r = e.role_id("vault").unwrap();
+                (e, u, s, r)
+            },
+            |(mut e, u, s, r)| {
+                for _ in 0..100 {
+                    let _ = e.add_active_role(u, s, r);
+                }
+                assert_eq!(e.alerts().len(), 1);
+                black_box(e.log().denial_count())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("direct", |b| {
+        b.iter_batched(
+            || {
+                let mut e = DirectEngine::from_policy(&g, Ts::ZERO).unwrap();
+                let u = e.user_id("mallory").unwrap();
+                let s = e.create_session(u, &[]).unwrap();
+                let r = e.role_id("vault").unwrap();
+                (e, u, s, r)
+            },
+            |(mut e, u, s, r)| {
+                for _ in 0..100 {
+                    let _ = e.add_active_role(u, s, r);
+                }
+                assert_eq!(e.alerts.len(), 1);
+                black_box(e.alerts.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_audit_log_report(c: &mut Criterion) {
+    // Administrator report generation over a busy log.
+    let (mut e, u, s, r) = owte_fixture(false);
+    for _ in 0..1_000 {
+        let _ = e.add_active_role(u, s, r);
+    }
+    c.bench_function("active_security/report_1000_entries", |b| {
+        b.iter(|| black_box(e.log().report().len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_denial_overhead,
+    bench_storm_detection,
+    bench_audit_log_report
+);
+criterion_main!(benches);

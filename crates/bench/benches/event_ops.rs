@@ -1,0 +1,148 @@
+//! E4 — composite-event detection throughput per operator and consumption
+//! context (§3's operator set).
+//!
+//! Expected shape: OR ≈ primitive cost; SEQ/AND add buffer management;
+//! windowed operators (NOT/APERIODIC) add per-window scanning; contexts
+//! that consume (Chronicle/Continuous) stay O(1)-ish per event while
+//! Unrestricted grows with retained occurrences until the buffer cap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snoop::{Context, Detector, Dur, EventExpr, Params, Ts};
+use std::hint::black_box;
+
+const EVENTS_PER_ITER: usize = 1_000;
+
+/// Drive `detector` with alternating a/b occurrences, advancing 1s between
+/// raises (SnoopIB sequencing is strict).
+fn drive(detector: &mut Detector, n: usize) -> usize {
+    let a = detector.lookup("a").expect("defined");
+    let b = detector.lookup("b").expect("defined");
+    let mut detections = 0;
+    for i in 0..n {
+        let ev = if i % 2 == 0 { a } else { b };
+        detections += detector.raise(ev, Params::new()).unwrap().len();
+        detector.advance(Dur::from_secs(1)).unwrap();
+    }
+    detections
+}
+
+fn setup(expr: &EventExpr) -> Detector {
+    let mut d = Detector::new(Ts::ZERO);
+    d.primitive("a");
+    d.primitive("b");
+    let root = d.define(expr).unwrap();
+    d.watch(root);
+    d
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let a = || EventExpr::named("a");
+    let b = || EventExpr::named("b");
+    let cases: Vec<(&str, EventExpr)> = vec![
+        ("primitive", a()),
+        ("or", EventExpr::or(a(), b())),
+        ("and", EventExpr::and(a(), b())),
+        ("seq", EventExpr::seq(a(), b())),
+        ("not", EventExpr::not(b(), a(), a())),
+        ("aperiodic", EventExpr::aperiodic(a(), b(), a())),
+        ("aperiodic_star", EventExpr::aperiodic_star(a(), b(), a())),
+        ("plus", EventExpr::plus(a(), Dur::from_secs(5))),
+    ];
+    let mut group = c.benchmark_group("event_ops/operator");
+    group.throughput(Throughput::Elements(EVENTS_PER_ITER as u64));
+    for (name, expr) in cases {
+        group.bench_function(name, |bch| {
+            bch.iter_batched(
+                || setup(&expr),
+                |mut d| black_box(drive(&mut d, EVENTS_PER_ITER)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_contexts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_ops/seq_context");
+    group.throughput(Throughput::Elements(EVENTS_PER_ITER as u64));
+    for ctx in Context::ALL {
+        let expr =
+            EventExpr::seq(EventExpr::named("a"), EventExpr::named("b")).context(ctx);
+        group.bench_with_input(BenchmarkId::from_parameter(ctx), &expr, |bch, expr| {
+            bch.iter_batched(
+                || setup(expr),
+                |mut d| black_box(drive(&mut d, EVENTS_PER_ITER)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    // One primitive feeding many composites (shared-event-graph shape of a
+    // large generated rule pool).
+    let mut group = c.benchmark_group("event_ops/fanout");
+    group.throughput(Throughput::Elements(EVENTS_PER_ITER as u64));
+    for &parents in &[1usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(parents),
+            &parents,
+            |bch, &parents| {
+                bch.iter_batched(
+                    || {
+                        let mut d = Detector::new(Ts::ZERO);
+                        d.primitive("a");
+                        d.primitive("b");
+                        for i in 0..parents {
+                            let root = d
+                                .define(&EventExpr::seq(
+                                    EventExpr::named("a"),
+                                    EventExpr::prim(format!("sink{i}")),
+                                ))
+                                .unwrap();
+                            d.watch(root);
+                        }
+                        d
+                    },
+                    |mut d| black_box(drive(&mut d, EVENTS_PER_ITER)),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_timer_throughput(c: &mut Criterion) {
+    // PLUS timers en masse: schedule 1000, advance past all of them.
+    c.bench_function("event_ops/plus_timer_flush_1000", |bch| {
+        bch.iter_batched(
+            || {
+                let mut d = Detector::new(Ts::ZERO);
+                d.primitive("a");
+                let root = d
+                    .define(&EventExpr::plus(EventExpr::named("a"), Dur::from_secs(10)))
+                    .unwrap();
+                d.watch(root);
+                let a = d.lookup("a").unwrap();
+                for _ in 0..1000 {
+                    d.raise(a, Params::new()).unwrap();
+                    d.advance(Dur::from_micros(1)).unwrap();
+                }
+                d
+            },
+            |mut d| black_box(d.advance(Dur::from_secs(60)).unwrap().len()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_operators,
+    bench_contexts,
+    bench_fanout,
+    bench_timer_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E3 — rule regeneration on policy change (§5's day-doctor shift change).
+//!
+//! Expected shape: incremental regeneration cost is proportional to the
+//! *change* (one role), full rebuild to the *policy* (all roles), so the
+//! gap widens linearly with enterprise size — that gap is the paper's
+//! "without burdening the administrator" claim in numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use policy::{instantiate, regenerate, DailyWindow};
+use snoop::Ts;
+use std::hint::black_box;
+use workload::{generate_enterprise, EnterpriseSpec};
+
+fn shift_change(g: &policy::PolicyGraph) -> policy::PolicyGraph {
+    let mut new = g.clone();
+    new.role("role0").enabling = Some(DailyWindow {
+        start_h: 9,
+        start_m: 0,
+        end_h: 17,
+        end_m: 0,
+    });
+    new
+}
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regeneration");
+    group.sample_size(10);
+    for &roles in &[50usize, 200, 500] {
+        let base = generate_enterprise(&EnterpriseSpec::sized(roles), 42);
+        let changed = shift_change(&base);
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental", roles),
+            &(&base, &changed),
+            |b, (base, changed)| {
+                b.iter_batched(
+                    || instantiate(base, Ts::ZERO).unwrap(),
+                    |mut inst| {
+                        let report = regenerate(&mut inst, changed).unwrap();
+                        assert!(!report.full_rebuild);
+                        black_box(report)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_rebuild", roles),
+            &changed,
+            |b, changed| b.iter(|| instantiate(black_box(changed), Ts::ZERO).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_noop_change_detection(c: &mut Criterion) {
+    // Applying an identical policy should be near-free (diff finds nothing).
+    let base = generate_enterprise(&EnterpriseSpec::sized(200), 42);
+    c.bench_function("regeneration/noop_diff_200_roles", |b| {
+        b.iter_batched(
+            || instantiate(&base, Ts::ZERO).unwrap(),
+            |mut inst| {
+                let report = regenerate(&mut inst, &base).unwrap();
+                assert_eq!(report.rules_rewritten, 0);
+                black_box(report)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_incremental_vs_full, bench_noop_change_detection);
+criterion_main!(benches);

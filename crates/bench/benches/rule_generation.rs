@@ -1,0 +1,82 @@
+//! E1/E2 — rule generation from high-level policy.
+//!
+//! E1 (Figure 1): generating the enterprise-XYZ policy.
+//! E2 (§1/§7 claim): "hundreds of roles … thousands of rules" — generation
+//! time and pool size as the enterprise grows from 10 to 1000 roles. The
+//! expected shape is linear in roles with a constant factor of several
+//! rules per role; the printed table is the series EXPERIMENTS.md records.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use policy::{instantiate, PolicyGraph};
+use snoop::Ts;
+use std::hint::black_box;
+use workload::{generate_enterprise, EnterpriseSpec};
+
+fn bench_xyz(c: &mut Criterion) {
+    let g = PolicyGraph::enterprise_xyz();
+    c.bench_function("generation/xyz_figure1", |b| {
+        b.iter(|| instantiate(black_box(&g), Ts::ZERO).unwrap())
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation/roles");
+    group.sample_size(10);
+    println!("\nE2 series: roles -> rules (constraint-bearing enterprise)");
+    println!("{:>8} {:>10} {:>12} {:>12}", "roles", "rules", "checks", "events");
+    for &roles in &[10usize, 50, 100, 200, 500, 1000] {
+        let g = generate_enterprise(&EnterpriseSpec::sized(roles), 42);
+        let inst = instantiate(&g, Ts::ZERO).unwrap();
+        let stats = inst.pool.stats();
+        println!(
+            "{roles:>8} {:>10} {:>12} {:>12}",
+            stats.total, stats.checks, inst.stats.event_nodes
+        );
+        group.throughput(Throughput::Elements(roles as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(roles), &g, |b, g| {
+            b.iter(|| instantiate(black_box(g), Ts::ZERO).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_flat_vs_constrained(c: &mut Criterion) {
+    // Ablation: how much of generation cost is the constraint surface?
+    let mut group = c.benchmark_group("generation/ablation_100_roles");
+    group.sample_size(10);
+    let flat = generate_enterprise(&EnterpriseSpec::flat(100), 42);
+    let full = generate_enterprise(&EnterpriseSpec::sized(100), 42);
+    group.bench_function("flat_core_rbac", |b| {
+        b.iter(|| instantiate(black_box(&flat), Ts::ZERO).unwrap())
+    });
+    group.bench_function("with_constraints", |b| {
+        b.iter(|| instantiate(black_box(&full), Ts::ZERO).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_dsl_parse(c: &mut Criterion) {
+    // Policy text → graph (the administrator-facing path).
+    let src = r#"
+        policy "XYZ" {
+          roles PM, PC, AM, AC, Clerk;
+          hierarchy PM -> PC -> Clerk;
+          hierarchy AM -> AC -> Clerk;
+          ssd "purchase-approval" { PC, AC } cardinality 2;
+          permission place_order = create on purchase_order;
+          grant place_order -> PC;
+        }
+    "#;
+    c.bench_function("generation/dsl_parse_xyz", |b| {
+        b.iter(|| policy::parse(black_box(src)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_xyz,
+    bench_scaling,
+    bench_flat_vs_constrained,
+    bench_dsl_parse
+);
+criterion_main!(benches);

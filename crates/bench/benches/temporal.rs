@@ -1,0 +1,152 @@
+//! E6 — temporal enforcement (§4.3.2): Δ-expiry churn (Rule 7), a full
+//! simulated day of shift boundaries, and the disabling-time SoD check
+//! (Rule 6), OWTE vs direct.
+//!
+//! Expected shape: both engines scale linearly in boundary count; the OWTE
+//! engine pays rule dispatch + audit logging per boundary (a constant
+//! factor of a few × over the direct engine's raw `enable_role` calls),
+//! buying the regenerable rule pool rather than raw speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owte_core::{DirectEngine, Engine};
+use policy::{DailyWindow, PolicyGraph};
+use snoop::{Civil, Dur, Ts};
+use std::hint::black_box;
+
+fn shift_policy(temporal_roles: usize) -> PolicyGraph {
+    let mut g = PolicyGraph::new("shifts");
+    g.user("u");
+    for i in 0..temporal_roles {
+        let name = format!("shift{i}");
+        g.role(&name).enabling = Some(DailyWindow {
+            start_h: (5 + (i % 8)) as u32,
+            start_m: 0,
+            end_h: (14 + (i % 6)) as u32,
+            end_m: 0,
+        });
+    }
+    g
+}
+
+fn bench_day_of_shifts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("temporal/simulated_day");
+    group.sample_size(10);
+    for &roles in &[10usize, 50, 200] {
+        let g = shift_policy(roles);
+        group.bench_with_input(BenchmarkId::new("owte", roles), &g, |b, g| {
+            b.iter_batched(
+                || Engine::from_policy(g, Ts::ZERO).unwrap(),
+                |mut e| {
+                    e.advance_to(Civil::new(2000, 1, 2, 0, 0, 0).to_ts()).unwrap();
+                    black_box(e.now())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("direct", roles), &g, |b, g| {
+            b.iter_batched(
+                || DirectEngine::from_policy(g, Ts::ZERO).unwrap(),
+                |mut e| {
+                    e.advance_to(Civil::new(2000, 1, 2, 0, 0, 0).to_ts()).unwrap();
+                    black_box(e.now())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_delta_churn(c: &mut Criterion) {
+    // N activations with Δ = 1h, then advance 2h: N expiries processed.
+    let mut g = PolicyGraph::new("delta");
+    g.role("r").max_activation = Some(Dur::from_hours(1));
+    for i in 0..64 {
+        let u = format!("u{i}");
+        g.user(&u);
+        g.assign(&u, "r");
+    }
+    let mut group = c.benchmark_group("temporal/delta_churn_64");
+    group.sample_size(10);
+    group.bench_function("owte", |b| {
+        b.iter_batched(
+            || {
+                let mut e = Engine::from_policy(&g, Ts::ZERO).unwrap();
+                let r = e.role_id("r").unwrap();
+                for i in 0..64 {
+                    let u = e.user_id(&format!("u{i}")).unwrap();
+                    e.create_session(u, &[r]).unwrap();
+                }
+                e
+            },
+            |mut e| {
+                e.advance(Dur::from_hours(2)).unwrap();
+                black_box(e.now())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("direct", |b| {
+        b.iter_batched(
+            || {
+                let mut e = DirectEngine::from_policy(&g, Ts::ZERO).unwrap();
+                let r = e.role_id("r").unwrap();
+                for i in 0..64 {
+                    let u = e.user_id(&format!("u{i}")).unwrap();
+                    e.create_session(u, &[r]).unwrap();
+                }
+                e
+            },
+            |mut e| {
+                e.advance(Dur::from_hours(2)).unwrap();
+                black_box(e.now())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_disabling_sod_check(c: &mut Criterion) {
+    // Rule 6 guard evaluation on the disable path.
+    let mut g = PolicyGraph::new("dsod");
+    g.role("Nurse");
+    g.role("Doctor");
+    g.disabling_sod.push(policy::DisablingSodSpec {
+        name: "avail".into(),
+        roles: ["Nurse".to_string(), "Doctor".to_string()].into(),
+        window: DailyWindow {
+            start_h: 0,
+            start_m: 0,
+            end_h: 23,
+            end_m: 59,
+        },
+    });
+    let noon = Civil::new(2000, 1, 5, 12, 0, 0).to_ts();
+    let mut owte = Engine::from_policy(&g, noon).unwrap();
+    let mut direct = DirectEngine::from_policy(&g, noon).unwrap();
+    let nurse_o = owte.role_id("Nurse").unwrap();
+    let nurse_d = direct.role_id("Nurse").unwrap();
+    let mut group = c.benchmark_group("temporal/disable_with_sod_guard");
+    group.bench_function("owte", |b| {
+        b.iter(|| {
+            owte.disable_role(nurse_o).unwrap();
+            owte.enable_role(nurse_o).unwrap();
+        })
+    });
+    group.bench_function("direct", |b| {
+        b.iter(|| {
+            direct.disable_role(nurse_d).unwrap();
+            direct.enable_role(nurse_d).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_day_of_shifts,
+    bench_delta_churn,
+    bench_disabling_sod_check
+);
+criterion_main!(benches);

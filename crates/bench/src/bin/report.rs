@@ -1,0 +1,84 @@
+//! Prints the evaluation tables recorded in EXPERIMENTS.md: rule-pool
+//! composition per enterprise size (E2), regeneration scope (E3), and the
+//! XYZ / Figure-1 pool breakdown (E1).
+//!
+//! Run with: `cargo run -p bench --bin report --release`
+
+use policy::{instantiate, regenerate, DailyWindow, PolicyGraph};
+use snoop::Ts;
+use std::time::Instant;
+use workload::{generate_enterprise, EnterpriseSpec};
+
+fn main() {
+    println!("== E1: enterprise XYZ (Figure 1) ==");
+    let xyz = PolicyGraph::enterprise_xyz();
+    let inst = instantiate(&xyz, Ts::ZERO).unwrap();
+    let s = inst.pool.stats();
+    println!("roles: {}   rules: {}   events: {}", xyz.roles.len(), s.total, inst.stats.event_nodes);
+    println!(
+        "classes: administrative={} activity-control={} active-security={}",
+        s.administrative, s.activity_control, s.active_security
+    );
+    println!(
+        "granularity: specialized={} localized={} globalized={}",
+        s.specialized, s.localized, s.globalized
+    );
+    println!("activation-rule variants per role flags:");
+    for role in ["PM", "PC", "AM", "AC", "Clerk"] {
+        let rule = (1..=4)
+            .find_map(|v| inst.pool.get_by_name(&format!("AAR{v}_{role}")))
+            .expect("one variant per role");
+        println!("  {role:<6} -> {}", rule.name.split('_').next().unwrap());
+    }
+
+    println!("\n== E2: roles -> rules (\"hundreds of roles, thousands of rules\") ==");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12} {:>14}",
+        "roles", "rules", "checks", "events", "gen time", "rules/role"
+    );
+    for &roles in &[10usize, 50, 100, 200, 500, 1000] {
+        let g = generate_enterprise(&EnterpriseSpec::sized(roles), 42);
+        let t0 = Instant::now();
+        let inst = instantiate(&g, Ts::ZERO).unwrap();
+        let dt = t0.elapsed();
+        let s = inst.pool.stats();
+        println!(
+            "{roles:>8} {:>10} {:>10} {:>10} {:>12?} {:>14.2}",
+            s.total,
+            s.checks,
+            inst.stats.event_nodes,
+            dt,
+            s.total as f64 / roles as f64
+        );
+    }
+
+    println!("\n== E3: regeneration scope on a shift change (one role) ==");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>14}",
+        "roles", "total rules", "rewritten", "incr time", "rebuild time"
+    );
+    for &roles in &[50usize, 200, 500, 1000] {
+        let base = generate_enterprise(&EnterpriseSpec::sized(roles), 42);
+        let mut changed = base.clone();
+        changed.role("role0").enabling = Some(DailyWindow {
+            start_h: 9,
+            start_m: 0,
+            end_h: 17,
+            end_m: 0,
+        });
+        let mut inst = instantiate(&base, Ts::ZERO).unwrap();
+        let t0 = Instant::now();
+        let report = regenerate(&mut inst, &changed).unwrap();
+        let incr = t0.elapsed();
+        let t0 = Instant::now();
+        let fresh = instantiate(&changed, Ts::ZERO).unwrap();
+        let full = t0.elapsed();
+        println!(
+            "{roles:>8} {:>12} {:>12} {:>14?} {:>14?}",
+            fresh.pool.len(),
+            report.rules_rewritten,
+            incr,
+            full
+        );
+    }
+}

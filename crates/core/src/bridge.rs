@@ -1,0 +1,364 @@
+//! The bridge: implements sentinel's [`AuthState`] over the `rbac` monitor
+//! plus the temporal, privacy and active-security state.
+//!
+//! Rule conditions written by the generator (`checkAssigned`,
+//! `checkDynamicSoDSet`, `Cardinality`, `disabling_sod_ok`, `may_enable`,
+//! `denials_at_least`, `purpose_ok`, …) resolve here. Ids cross the
+//! boundary as `i64`; anything out of range or stale evaluates to `false`
+//! so a malformed rule fails closed.
+
+use crate::context::ContextState;
+use crate::privacy::{PrivacyState, PurposeId};
+use gtrbac::{TemporalConstraints, TemporalPolicies};
+use rbac::{ObjId, OpId, RoleId, SessionId, System, UserId};
+use sentinel::{ActionOutcome, AuthState};
+use snoop::{Dur, Occurrence, Ts};
+use std::collections::VecDeque;
+
+fn role(id: i64) -> Option<RoleId> {
+    u32::try_from(id).ok().map(RoleId)
+}
+
+fn user(id: i64) -> Option<UserId> {
+    u32::try_from(id).ok().map(UserId)
+}
+
+fn session(id: i64) -> Option<SessionId> {
+    u32::try_from(id).ok().map(SessionId)
+}
+
+/// A per-dispatch view over the engine's disjointly-borrowed state.
+pub struct BridgeView<'a> {
+    /// The RBAC reference monitor.
+    pub sys: &'a mut System,
+    /// Temporal enabling/duration policies.
+    pub temporal: &'a TemporalPolicies,
+    /// Dependency/time-SoD constraints.
+    pub constraints: &'a TemporalConstraints,
+    /// Purposes and object policies.
+    pub privacy: &'a PrivacyState,
+    /// Environment state and context constraints.
+    pub context: &'a ContextState,
+    /// Timestamps of recent denials (active-security windows).
+    pub denials: &'a VecDeque<Ts>,
+}
+
+impl BridgeView<'_> {
+    /// Occurrence time = evaluation time for all temporal checks (the
+    /// detector delivers timer-fired occurrences at their logical instant).
+    fn occ_now(occ: &Occurrence) -> Ts {
+        occ.interval.end
+    }
+}
+
+impl AuthState for BridgeView<'_> {
+    fn user_exists(&self, u: i64) -> bool {
+        user(u).is_some_and(|u| self.sys.user_name(u).is_ok())
+    }
+
+    fn session_exists(&self, s: i64) -> bool {
+        session(s).is_some_and(|s| self.sys.session_user(s).is_ok())
+    }
+
+    fn session_owned_by(&self, s: i64, u: i64) -> bool {
+        match (session(s), user(u)) {
+            (Some(s), Some(u)) => self.sys.session_user(s) == Ok(u),
+            _ => false,
+        }
+    }
+
+    fn role_active(&self, s: i64, r: i64) -> bool {
+        match (session(s), role(r)) {
+            (Some(s), Some(r)) => self.sys.session_roles(s).is_ok_and(|rs| rs.contains(&r)),
+            _ => false,
+        }
+    }
+
+    fn assigned(&self, u: i64, r: i64) -> bool {
+        match (user(u), role(r)) {
+            (Some(u), Some(r)) => self.sys.assigned_roles(u).is_ok_and(|rs| rs.contains(&r)),
+            _ => false,
+        }
+    }
+
+    fn authorized(&self, u: i64, r: i64) -> bool {
+        match (user(u), role(r)) {
+            (Some(u), Some(r)) => self.sys.is_authorized(u, r).unwrap_or(false),
+            _ => false,
+        }
+    }
+
+    fn dsd_satisfied(&self, s: i64, r: i64) -> bool {
+        match (session(s), role(r)) {
+            (Some(s), Some(r)) => self.sys.check_dsd_activate(s, r).is_ok(),
+            _ => false,
+        }
+    }
+
+    fn role_enabled(&self, r: i64) -> bool {
+        role(r).is_some_and(|r| self.sys.is_enabled(r).unwrap_or(false))
+    }
+
+    fn role_active_anywhere(&self, r: i64) -> bool {
+        role(r).is_some_and(|r| {
+            self.sys
+                .all_sessions()
+                .any(|s| self.sys.session_roles(s).is_ok_and(|rs| rs.contains(&r)))
+        })
+    }
+
+    fn active_users_of_role(&self, r: i64) -> usize {
+        role(r)
+            .and_then(|r| self.sys.active_users_of_role(r).ok())
+            .unwrap_or(0)
+    }
+
+    fn user_active_in_role(&self, u: i64, r: i64) -> bool {
+        match (user(u), role(r)) {
+            (Some(u), Some(r)) => self
+                .sys
+                .active_roles_of_user(u)
+                .is_ok_and(|rs| rs.contains(&r)),
+            _ => false,
+        }
+    }
+
+    fn active_roles_of_user(&self, u: i64) -> usize {
+        user(u)
+            .and_then(|u| self.sys.active_roles_of_user(u).ok())
+            .map(|rs| rs.len())
+            .unwrap_or(0)
+    }
+
+    fn session_has_permission(&self, s: i64, op: i64, obj: i64) -> bool {
+        let (Some(s), Ok(op), Ok(obj)) = (
+            session(s),
+            u32::try_from(op).map(OpId),
+            u32::try_from(obj).map(ObjId),
+        ) else {
+            return false;
+        };
+        self.sys.check_access(s, op, obj).unwrap_or(false)
+    }
+
+    fn user_cap_ok(&self, u: i64, r: i64) -> bool {
+        let (Some(u), Some(r)) = (user(u), role(r)) else {
+            return false;
+        };
+        match self.sys.user_active_role_cap(u) {
+            Ok(Some(max)) => {
+                let active = self.sys.active_roles_of_user(u).unwrap_or_default();
+                active.contains(&r) || active.len() < max
+            }
+            Ok(None) => true,
+            Err(_) => false,
+        }
+    }
+
+    fn custom_check(&self, name: &str, args: &[i64], occ: &Occurrence) -> bool {
+        let now = Self::occ_now(occ);
+        match (name, args) {
+            ("disabling_sod_ok", [r]) => role(*r).is_some_and(|r| {
+                self.constraints.check_disable(self.sys, r, now).is_ok()
+            }),
+            ("context_ok", [r]) => role(*r).is_some_and(|r| self.context.check(r)),
+            ("enabling_sod_ok", [r]) => role(*r).is_some_and(|r| {
+                self.constraints.check_enable(self.sys, r, now).is_ok()
+            }),
+            ("may_enable", [r]) => {
+                role(*r).is_some_and(|r| self.temporal.should_be_enabled(r, now))
+            }
+            ("denials_at_least", [n, window_secs]) => {
+                let window = Dur::from_secs(u64::try_from(*window_secs).unwrap_or(0));
+                let since = now - window;
+                let hits = self.denials.iter().filter(|&&t| t >= since).count();
+                hits >= usize::try_from(*n).unwrap_or(usize::MAX)
+            }
+            ("purpose_ok", [s, op, obj, purpose]) => {
+                let (Some(s), Ok(op), Ok(obj)) = (
+                    session(*s),
+                    u32::try_from(*op).map(OpId),
+                    u32::try_from(*obj).map(ObjId),
+                ) else {
+                    return false;
+                };
+                let purpose = u32::try_from(*purpose).ok().map(PurposeId);
+                self.privacy.check(self.sys, s, op, obj, purpose)
+            }
+            _ => false,
+        }
+    }
+
+    fn add_session_role(&mut self, u: i64, s: i64, r: i64) -> ActionOutcome {
+        let (Some(u), Some(s), Some(r)) = (user(u), session(s), role(r)) else {
+            return ActionOutcome::Rejected("bad ids in add_session_role".into());
+        };
+        match self.sys.add_active_role(u, s, r) {
+            Ok(()) => ActionOutcome::Done,
+            Err(e) => ActionOutcome::Rejected(e.to_string()),
+        }
+    }
+
+    fn drop_session_role(&mut self, u: i64, s: i64, r: i64) -> ActionOutcome {
+        let (Some(u), Some(s), Some(r)) = (user(u), session(s), role(r)) else {
+            return ActionOutcome::Rejected("bad ids in drop_session_role".into());
+        };
+        match self.sys.drop_active_role(u, s, r) {
+            Ok(()) => ActionOutcome::Done,
+            Err(e) => ActionOutcome::Rejected(e.to_string()),
+        }
+    }
+
+    fn deactivate_role_everywhere(&mut self, r: i64) -> ActionOutcome {
+        let Some(r) = role(r) else {
+            return ActionOutcome::Rejected("bad role id".into());
+        };
+        // Forced deactivation = disable+deactivate, then restore enablement
+        // (the role stays enabled; only the activations are dropped).
+        let was_enabled = self.sys.is_enabled(r).unwrap_or(false);
+        match self.sys.disable_role(r, true) {
+            Ok(_) => {
+                if was_enabled {
+                    let _ = self.sys.enable_role(r);
+                }
+                ActionOutcome::Done
+            }
+            Err(e) => ActionOutcome::Rejected(e.to_string()),
+        }
+    }
+
+    fn enable_role(&mut self, r: i64) -> ActionOutcome {
+        let Some(r) = role(r) else {
+            return ActionOutcome::Rejected("bad role id".into());
+        };
+        match self.sys.enable_role(r) {
+            Ok(()) => ActionOutcome::Done,
+            Err(e) => ActionOutcome::Rejected(e.to_string()),
+        }
+    }
+
+    fn disable_role(&mut self, r: i64, deactivate: bool) -> ActionOutcome {
+        let Some(r) = role(r) else {
+            return ActionOutcome::Rejected("bad role id".into());
+        };
+        match self.sys.disable_role(r, deactivate) {
+            Ok(_) => ActionOutcome::Done,
+            Err(e) => ActionOutcome::Rejected(e.to_string()),
+        }
+    }
+
+    fn assign_user(&mut self, u: i64, r: i64) -> ActionOutcome {
+        let (Some(u), Some(r)) = (user(u), role(r)) else {
+            return ActionOutcome::Rejected("bad ids in assign_user".into());
+        };
+        match self.sys.assign_user(u, r) {
+            Ok(()) => ActionOutcome::Done,
+            Err(e) => ActionOutcome::Rejected(e.to_string()),
+        }
+    }
+
+    fn deassign_user(&mut self, u: i64, r: i64) -> ActionOutcome {
+        let (Some(u), Some(r)) = (user(u), role(r)) else {
+            return ActionOutcome::Rejected("bad ids in deassign_user".into());
+        };
+        match self.sys.deassign_user(u, r) {
+            Ok(()) => ActionOutcome::Done,
+            Err(e) => ActionOutcome::Rejected(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoop::{EventId, Params};
+
+    fn occ_at(t: Ts) -> Occurrence {
+        Occurrence::primitive(EventId(0), t, Params::new())
+    }
+
+    fn view(sys: &mut System) -> BridgeView<'_> {
+        // Test-only: leak tiny empty defaults for the read-only parts.
+        static EMPTY_DENIALS: VecDeque<Ts> = VecDeque::new();
+        BridgeView {
+            sys,
+            temporal: Box::leak(Box::default()),
+            constraints: Box::leak(Box::default()),
+            privacy: Box::leak(Box::default()),
+            context: Box::leak(Box::default()),
+            denials: &EMPTY_DENIALS,
+        }
+    }
+
+    #[test]
+    fn queries_map_to_monitor() {
+        let mut sys = System::new();
+        let u = sys.add_user("bob").unwrap();
+        let r = sys.add_role("clerk").unwrap();
+        sys.assign_user(u, r).unwrap();
+        let s = sys.create_session(u, &[r]).unwrap();
+        let v = view(&mut sys);
+        assert!(v.user_exists(i64::from(u.0)));
+        assert!(!v.user_exists(99));
+        assert!(!v.user_exists(-1), "negative ids fail closed");
+        assert!(v.session_owned_by(i64::from(s.0), i64::from(u.0)));
+        assert!(v.role_active(i64::from(s.0), i64::from(r.0)));
+        assert!(v.assigned(i64::from(u.0), i64::from(r.0)));
+        assert!(v.role_active_anywhere(i64::from(r.0)));
+        assert_eq!(v.active_users_of_role(i64::from(r.0)), 1);
+    }
+
+    #[test]
+    fn mutations_report_rejections() {
+        let mut sys = System::new();
+        let u = sys.add_user("bob").unwrap();
+        let r = sys.add_role("clerk").unwrap();
+        let s = sys.create_session(u, &[]).unwrap();
+        let mut v = view(&mut sys);
+        // Not assigned: the monitor rejects activation.
+        let out = v.add_session_role(i64::from(u.0), i64::from(s.0), i64::from(r.0));
+        assert!(matches!(out, ActionOutcome::Rejected(_)));
+        assert!(matches!(
+            v.add_session_role(-1, 0, 0),
+            ActionOutcome::Rejected(_)
+        ));
+        assert!(matches!(v.assign_user(i64::from(u.0), i64::from(r.0)), ActionOutcome::Done));
+    }
+
+    #[test]
+    fn denials_window_check() {
+        let mut sys = System::new();
+        let denials: VecDeque<Ts> =
+            [Ts::from_secs(10), Ts::from_secs(50), Ts::from_secs(55)].into();
+        let v = BridgeView {
+            sys: &mut sys,
+            temporal: Box::leak(Box::default()),
+            constraints: Box::leak(Box::default()),
+            privacy: Box::leak(Box::default()),
+            context: Box::leak(Box::default()),
+            denials: &denials,
+        };
+        // At t=60 with a 20s window: denials at 50 and 55 count.
+        let occ = occ_at(Ts::from_secs(60));
+        assert!(v.custom_check("denials_at_least", &[2, 20], &occ));
+        assert!(!v.custom_check("denials_at_least", &[3, 20], &occ));
+        assert!(v.custom_check("denials_at_least", &[3, 60], &occ));
+        assert!(!v.custom_check("no_such_check", &[], &occ));
+    }
+
+    #[test]
+    fn deactivate_everywhere_preserves_enablement() {
+        let mut sys = System::new();
+        let u = sys.add_user("bob").unwrap();
+        let r = sys.add_role("clerk").unwrap();
+        sys.assign_user(u, r).unwrap();
+        sys.create_session(u, &[r]).unwrap();
+        let mut v = view(&mut sys);
+        assert_eq!(
+            v.deactivate_role_everywhere(i64::from(r.0)),
+            ActionOutcome::Done
+        );
+        assert!(!v.role_active_anywhere(i64::from(r.0)));
+        assert!(v.role_enabled(i64::from(r.0)), "still enabled");
+    }
+}

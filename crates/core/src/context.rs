@@ -1,0 +1,155 @@
+//! Context-aware RBAC: environment state and per-role context constraints.
+//!
+//! §3 of the paper: "*external* events (i.e., based on the data from
+//! sensors)" are simple events, and "when a user moves from one location to
+//! another, external events can trigger some rules that
+//! activate/deactivate roles"; §3's condition example checks "whether the
+//! network is *secure* or *insecure*". This module is that substrate: a
+//! key → value environment (location, network, …) plus the constraints the
+//! policy places on roles. The generated `context_ok` check consults it at
+//! activation time; the generated `CTX_<role>` rule re-validates on every
+//! `contextChanged` event and force-deactivates violated roles.
+
+use policy::{Binding, PolicyGraph};
+use rbac::RoleId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Environment state and per-role requirements.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ContextState {
+    /// Current environment values (location = ward, network = secure, …).
+    values: HashMap<String, String>,
+    /// Per-role requirements: every (key, value) pair must hold.
+    constraints: HashMap<RoleId, Vec<(String, String)>>,
+}
+
+impl ContextState {
+    /// Empty environment, no constraints.
+    pub fn new() -> ContextState {
+        ContextState::default()
+    }
+
+    /// Build the constraint table from a policy.
+    pub fn from_policy(graph: &PolicyGraph, binding: &Binding) -> ContextState {
+        let mut c = ContextState::new();
+        for spec in &graph.context_constraints {
+            c.constraints
+                .entry(binding.role(&spec.role))
+                .or_default()
+                .push((spec.key.clone(), spec.value.clone()));
+        }
+        c
+    }
+
+    /// Carry runtime environment values over (policy changes must not
+    /// forget where the user is).
+    pub fn with_values(mut self, values: HashMap<String, String>) -> ContextState {
+        self.values = values;
+        self
+    }
+
+    /// Current environment values.
+    pub fn values(&self) -> &HashMap<String, String> {
+        &self.values
+    }
+
+    /// Set an environment value; returns the previous one.
+    pub fn set(&mut self, key: &str, value: &str) -> Option<String> {
+        self.values.insert(key.to_string(), value.to_string())
+    }
+
+    /// Current value of a context key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Add a constraint programmatically.
+    pub fn require(&mut self, role: RoleId, key: &str, value: &str) {
+        self.constraints
+            .entry(role)
+            .or_default()
+            .push((key.to_string(), value.to_string()));
+    }
+
+    /// Do all of `role`'s context constraints hold right now?
+    ///
+    /// Fails closed: an *unset* context key does not satisfy a constraint
+    /// (a role requiring `location = ward` cannot be activated before the
+    /// location sensor has reported anything).
+    pub fn check(&self, role: RoleId) -> bool {
+        match self.constraints.get(&role) {
+            None => true,
+            Some(reqs) => reqs
+                .iter()
+                .all(|(k, v)| self.values.get(k).is_some_and(|cur| cur == v)),
+        }
+    }
+
+    /// Roles with at least one constraint.
+    pub fn constrained_roles(&self) -> impl Iterator<Item = RoleId> + '_ {
+        self.constraints.keys().copied()
+    }
+
+    /// Is any role constrained?
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_roles_always_pass() {
+        let c = ContextState::new();
+        assert!(c.check(RoleId(0)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn constraints_fail_closed_until_set() {
+        let mut c = ContextState::new();
+        let nurse = RoleId(1);
+        c.require(nurse, "location", "ward");
+        assert!(!c.check(nurse), "unset key fails closed");
+        c.set("location", "cafeteria");
+        assert!(!c.check(nurse));
+        c.set("location", "ward");
+        assert!(c.check(nurse));
+        // Other roles untouched.
+        assert!(c.check(RoleId(2)));
+    }
+
+    #[test]
+    fn multiple_constraints_all_must_hold() {
+        let mut c = ContextState::new();
+        let r = RoleId(1);
+        c.require(r, "location", "ward");
+        c.require(r, "network", "secure");
+        c.set("location", "ward");
+        assert!(!c.check(r));
+        c.set("network", "secure");
+        assert!(c.check(r));
+        c.set("network", "insecure");
+        assert!(!c.check(r));
+    }
+
+    #[test]
+    fn values_survive_rebuild() {
+        let mut c = ContextState::new();
+        c.set("location", "ward");
+        let rebuilt = ContextState::new().with_values(c.values().clone());
+        assert_eq!(rebuilt.get("location"), Some("ward"));
+    }
+
+    #[test]
+    fn set_returns_previous() {
+        let mut c = ContextState::new();
+        assert_eq!(c.set("k", "a"), None);
+        assert_eq!(c.set("k", "b"), Some("a".to_string()));
+        assert_eq!(c.get("k"), Some("b"));
+        assert_eq!(c.get("missing"), None);
+    }
+}

@@ -1,0 +1,662 @@
+//! The OWTE access-control engine — the paper's contribution, assembled.
+//!
+//! [`Engine`] owns an instantiated policy (monitor, event graph, generated
+//! rule pool) and exposes the RBAC functional-specification surface. Every
+//! operation is raised as a primitive event and *enforced by the generated
+//! rules*: the engine itself contains no authorization logic beyond
+//! interpreting the executor's report. Denials feed the `accessDenied`
+//! event, driving the active-security rules.
+
+use crate::bridge::BridgeView;
+use crate::context::ContextState;
+use crate::privacy::PrivacyState;
+use policy::{events, Instantiated, InstantiateError, PolicyGraph, RegenReport};
+use rbac::{ObjId, OpId, RoleId, SessionId, UserId};
+use sentinel::{AuditLog, ExecReport, Executor, Runtime};
+use snoop::{DetectorError, Dur, Params, Ts};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Why an engine operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The rules denied the request (messages from `raise error` actions
+    /// and monitor rejections).
+    Denied(Vec<String>),
+    /// A name could not be resolved.
+    UnknownName(String),
+    /// The detector rejected the operation (unknown event, clock
+    /// regression).
+    Detector(DetectorError),
+    /// No rule handled the request, or a rule was malformed.
+    Unhandled(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Denied(msgs) => write!(f, "denied: {}", msgs.join("; ")),
+            EngineError::UnknownName(n) => write!(f, "unknown name {n:?}"),
+            EngineError::Detector(e) => write!(f, "detector: {e}"),
+            EngineError::Unhandled(m) => write!(f, "unhandled: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DetectorError> for EngineError {
+    fn from(e: DetectorError) -> Self {
+        EngineError::Detector(e)
+    }
+}
+
+/// The rule-driven access-control engine.
+pub struct Engine {
+    inst: Instantiated,
+    privacy: PrivacyState,
+    context: ContextState,
+    denials: VecDeque<Ts>,
+    log: AuditLog,
+    exec: Executor,
+    /// Re-entrancy guard for the denial → `accessDenied` cascade.
+    in_denial_cascade: bool,
+    /// Cap on remembered denial timestamps.
+    denial_history: usize,
+}
+
+impl Engine {
+    /// Instantiate a policy and build the engine over it, with the logical
+    /// clock starting at `start`.
+    pub fn from_policy(graph: &PolicyGraph, start: Ts) -> Result<Engine, InstantiateError> {
+        let inst = policy::instantiate(graph, start)?;
+        let privacy = PrivacyState::from_policy(graph, &inst.binding);
+        let context = ContextState::from_policy(graph, &inst.binding);
+        Ok(Engine {
+            inst,
+            privacy,
+            context,
+            denials: VecDeque::new(),
+            log: AuditLog::new(),
+            exec: Executor::new(),
+            in_denial_cascade: false,
+            denial_history: 65_536,
+        })
+    }
+
+    /// Parse a DSL policy text and build the engine.
+    pub fn from_source(src: &str, start: Ts) -> Result<Engine, Box<dyn std::error::Error>> {
+        let graph = policy::parse(src)?;
+        Ok(Engine::from_policy(&graph, start)?)
+    }
+
+    // ---- introspection ------------------------------------------------------
+
+    /// The underlying monitor (read-only).
+    pub fn system(&self) -> &rbac::System {
+        &self.inst.system
+    }
+
+    /// The generated rule pool (read-only).
+    pub fn pool(&self) -> &sentinel::RulePool {
+        &self.inst.pool
+    }
+
+    /// Name ↔ id bindings.
+    pub fn binding(&self) -> &policy::Binding {
+        &self.inst.binding
+    }
+
+    /// The high-level policy this engine was generated from.
+    pub fn policy(&self) -> &PolicyGraph {
+        &self.inst.graph
+    }
+
+    /// Generation statistics.
+    pub fn stats(&self) -> policy::GenStats {
+        self.inst.stats
+    }
+
+    /// The audit log.
+    pub fn log(&self) -> &AuditLog {
+        &self.log
+    }
+
+    /// Purposes and object policies.
+    pub fn privacy(&self) -> &PrivacyState {
+        &self.privacy
+    }
+
+    /// The environment context (read-only; mutate via
+    /// [`Engine::set_context`]).
+    pub fn context(&self) -> &ContextState {
+        &self.context
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> Ts {
+        self.inst.detector.now()
+    }
+
+    /// Alerts raised so far (active security).
+    pub fn alerts(&self) -> Vec<String> {
+        self.log
+            .of_kind(&sentinel::AuditKind::Alert)
+            .map(|e| e.message.clone())
+            .collect()
+    }
+
+    /// Resolve entity names.
+    pub fn user_id(&self, name: &str) -> Result<UserId, EngineError> {
+        self.inst
+            .binding
+            .users
+            .get(name)
+            .copied()
+            .ok_or_else(|| EngineError::UnknownName(name.to_string()))
+    }
+
+    /// Resolve a role name.
+    pub fn role_id(&self, name: &str) -> Result<RoleId, EngineError> {
+        self.inst
+            .binding
+            .roles
+            .get(name)
+            .copied()
+            .ok_or_else(|| EngineError::UnknownName(name.to_string()))
+    }
+
+    fn role_name(&self, role: RoleId) -> Result<String, EngineError> {
+        self.inst
+            .binding
+            .role_name(role)
+            .map(str::to_string)
+            .ok_or_else(|| EngineError::UnknownName(role.to_string()))
+    }
+
+    // ---- the event pump ------------------------------------------------------
+
+    /// Raise a primitive event through the rule system and post-process
+    /// denials (active-security feed).
+    pub fn dispatch(&mut self, event: &str, params: Params) -> Result<ExecReport, EngineError> {
+        let report = {
+            let mut view = BridgeView {
+                sys: &mut self.inst.system,
+                temporal: &self.inst.temporal,
+                constraints: &self.inst.constraints,
+                privacy: &self.privacy,
+                context: &self.context,
+                denials: &self.denials,
+            };
+            let mut rt = Runtime {
+                detector: &mut self.inst.detector,
+                pool: &mut self.inst.pool,
+                state: &mut view,
+                log: &mut self.log,
+            };
+            self.exec.dispatch_named(&mut rt, event, params)?
+        };
+        self.after_dispatch(&report)?;
+        Ok(report)
+    }
+
+    /// Advance the logical clock, firing temporal rules on the way.
+    pub fn advance_to(&mut self, ts: Ts) -> Result<ExecReport, EngineError> {
+        let report = {
+            let mut view = BridgeView {
+                sys: &mut self.inst.system,
+                temporal: &self.inst.temporal,
+                constraints: &self.inst.constraints,
+                privacy: &self.privacy,
+                context: &self.context,
+                denials: &self.denials,
+            };
+            let mut rt = Runtime {
+                detector: &mut self.inst.detector,
+                pool: &mut self.inst.pool,
+                state: &mut view,
+                log: &mut self.log,
+            };
+            self.exec.advance_to(&mut rt, ts)?
+        };
+        self.after_dispatch(&report)?;
+        Ok(report)
+    }
+
+    /// Advance the clock by a duration.
+    pub fn advance(&mut self, d: Dur) -> Result<ExecReport, EngineError> {
+        self.advance_to(self.now() + d)
+    }
+
+    /// Record denials and feed the `accessDenied` event (once per dispatch;
+    /// re-entrancy guarded so security rules cannot recurse).
+    fn after_dispatch(&mut self, report: &ExecReport) -> Result<(), EngineError> {
+        if report.denials.is_empty() || self.in_denial_cascade {
+            return Ok(());
+        }
+        let now = self.now();
+        for _ in &report.denials {
+            self.denials.push_back(now);
+        }
+        while self.denials.len() > self.denial_history {
+            self.denials.pop_front();
+        }
+        self.in_denial_cascade = true;
+        let result = self.dispatch(events::ACCESS_DENIED, Params::new().with("time", now));
+        self.in_denial_cascade = false;
+        result.map(|_| ())
+    }
+
+    fn expect_granted(report: ExecReport) -> Result<(), EngineError> {
+        if report.denied() {
+            return Err(EngineError::Denied(report.denials));
+        }
+        if !report.errors.is_empty() {
+            return Err(EngineError::Unhandled(report.errors.join("; ")));
+        }
+        if report.fired == 0 {
+            return Err(EngineError::Unhandled(
+                "no rule handled the request (activity rules disabled?)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    // ---- the RBAC functional surface, rule-enforced ---------------------------
+
+    /// `CreateSession`: opened directly on the monitor; the initial role
+    /// set is activated through the rules, and a rule denial rolls the
+    /// session back (matching `rbac::System::create_session`).
+    pub fn create_session(
+        &mut self,
+        user: UserId,
+        initial: &[RoleId],
+    ) -> Result<SessionId, EngineError> {
+        let session = self
+            .inst
+            .system
+            .create_session(user, &[])
+            .map_err(|e| EngineError::Denied(vec![e.to_string()]))?;
+        for &r in initial {
+            if let Err(e) = self.add_active_role(user, session, r) {
+                let _ = self.inst.system.delete_session(user, session);
+                return Err(e);
+            }
+        }
+        Ok(session)
+    }
+
+    /// `DeleteSession`.
+    pub fn delete_session(&mut self, user: UserId, session: SessionId) -> Result<(), EngineError> {
+        self.inst
+            .system
+            .delete_session(user, session)
+            .map_err(|e| EngineError::Denied(vec![e.to_string()]))
+    }
+
+    /// `AddActiveRole` — raises `addActiveRole_<role>`; the generated
+    /// AAR/CC rules decide.
+    pub fn add_active_role(
+        &mut self,
+        user: UserId,
+        session: SessionId,
+        role: RoleId,
+    ) -> Result<(), EngineError> {
+        let name = self.role_name(role)?;
+        let report = self.dispatch(
+            &events::add_active(&name),
+            Params::new()
+                .with("user", i64::from(user.0))
+                .with("session", i64::from(session.0))
+                .with("role", i64::from(role.0)),
+        )?;
+        Self::expect_granted(report)?;
+        debug_assert!(
+            self.inst
+                .system
+                .session_roles(session)
+                .is_ok_and(|rs| rs.contains(&role)),
+            "granted activation must be visible in the monitor"
+        );
+        Ok(())
+    }
+
+    /// `DropActiveRole` — raises `dropActiveRole_<role>`.
+    pub fn drop_active_role(
+        &mut self,
+        user: UserId,
+        session: SessionId,
+        role: RoleId,
+    ) -> Result<(), EngineError> {
+        let name = self.role_name(role)?;
+        let report = self.dispatch(
+            &events::drop_active(&name),
+            Params::new()
+                .with("user", i64::from(user.0))
+                .with("session", i64::from(session.0))
+                .with("role", i64::from(role.0)),
+        )?;
+        Self::expect_granted(report)
+    }
+
+    /// `CheckAccess` — raises `checkAccess`; the globalized CA rule
+    /// decides. A denial is an `Ok(false)` (and feeds active security).
+    pub fn check_access(
+        &mut self,
+        session: SessionId,
+        op: OpId,
+        obj: ObjId,
+    ) -> Result<bool, EngineError> {
+        self.check_access_inner(session, op, obj, -1)
+    }
+
+    /// Privacy-aware `CheckAccess` with an explicit access purpose.
+    pub fn check_access_for_purpose(
+        &mut self,
+        session: SessionId,
+        op: OpId,
+        obj: ObjId,
+        purpose: &str,
+    ) -> Result<bool, EngineError> {
+        let pid = self
+            .privacy
+            .purpose_by_name(purpose)
+            .ok_or_else(|| EngineError::UnknownName(purpose.to_string()))?;
+        self.check_access_inner(session, op, obj, i64::from(pid.0))
+    }
+
+    fn check_access_inner(
+        &mut self,
+        session: SessionId,
+        op: OpId,
+        obj: ObjId,
+        purpose: i64,
+    ) -> Result<bool, EngineError> {
+        let report = self.dispatch(
+            events::CHECK_ACCESS,
+            Params::new()
+                .with("session", i64::from(session.0))
+                .with("op", i64::from(op.0))
+                .with("obj", i64::from(obj.0))
+                .with("purpose", purpose),
+        )?;
+        if !report.errors.is_empty() {
+            return Err(EngineError::Unhandled(report.errors.join("; ")));
+        }
+        Ok(report.allows > 0 && !report.denied())
+    }
+
+    /// `AssignUser` via the administrative rule.
+    pub fn assign_user(&mut self, user: UserId, role: RoleId) -> Result<(), EngineError> {
+        let report = self.dispatch(
+            events::ASSIGN_USER,
+            Params::new()
+                .with("user", i64::from(user.0))
+                .with("role", i64::from(role.0)),
+        )?;
+        Self::expect_granted(report)
+    }
+
+    /// `DeassignUser` via the administrative rule.
+    pub fn deassign_user(&mut self, user: UserId, role: RoleId) -> Result<(), EngineError> {
+        let report = self.dispatch(
+            events::DEASSIGN_USER,
+            Params::new()
+                .with("user", i64::from(user.0))
+                .with("role", i64::from(role.0)),
+        )?;
+        Self::expect_granted(report)
+    }
+
+    /// Request enabling a role (post-condition CFDs cascade).
+    pub fn enable_role(&mut self, role: RoleId) -> Result<(), EngineError> {
+        let name = self.role_name(role)?;
+        let report = self.dispatch(
+            &events::enable_role(&name),
+            Params::new().with("role", i64::from(role.0)),
+        )?;
+        Self::expect_granted(report)
+    }
+
+    /// Request disabling a role (disabling-time SoD guarded).
+    pub fn disable_role(&mut self, role: RoleId) -> Result<(), EngineError> {
+        let name = self.role_name(role)?;
+        let report = self.dispatch(
+            &events::disable_role(&name),
+            Params::new().with("role", i64::from(role.0)),
+        )?;
+        Self::expect_granted(report)
+    }
+
+    /// An external sensor reports a context change (§3's external events).
+    /// Updates the environment and raises `contextChanged`; the generated
+    /// `CTX_<role>` rules force-deactivate roles whose constraints no
+    /// longer hold.
+    pub fn set_context(&mut self, key: &str, value: &str) -> Result<ExecReport, EngineError> {
+        self.context.set(key, value);
+        self.dispatch(events::CONTEXT_CHANGED, Params::new().with("key", key).with("value", value))
+    }
+
+    // ---- policy maintenance ----------------------------------------------------
+
+    /// Apply a changed policy: incremental rule regeneration when possible,
+    /// full rebuild otherwise (§5's shift-change scenario).
+    pub fn apply_policy(&mut self, new: &PolicyGraph) -> Result<RegenReport, InstantiateError> {
+        let report = policy::regenerate(&mut self.inst, new)?;
+        self.privacy = PrivacyState::from_policy(new, &self.inst.binding);
+        // Constraints follow the new policy; runtime environment values
+        // (where the user *is*) are preserved.
+        self.context = ContextState::from_policy(new, &self.inst.binding)
+            .with_values(self.context.values().clone());
+        Ok(report)
+    }
+
+    /// Dump the rule pool in OWTE syntax, events shown by name (sorted by
+    /// rule name; stable golden output).
+    pub fn dump_rules(&self) -> String {
+        let mut names: Vec<&str> = self
+            .inst
+            .pool
+            .iter()
+            .map(|(_, r)| r.name.as_str())
+            .collect();
+        names.sort_unstable();
+        let mut out = String::new();
+        for n in names {
+            out.push_str(&self.rule_text(n).expect("name came from the pool"));
+            out.push_str("\n\n");
+        }
+        out
+    }
+
+    /// Render the event graph in Graphviz DOT form.
+    pub fn event_graph_dot(&self) -> String {
+        self.inst.detector.to_dot()
+    }
+
+    /// One rule in OWTE syntax, with the triggering event shown by name
+    /// (or its operator label for unnamed composites).
+    pub fn rule_text(&self, name: &str) -> Option<String> {
+        let rule = self.inst.pool.get_by_name(name)?;
+        Some(rule.to_owte_string_named(|id| {
+            self.inst
+                .detector
+                .name_of(id)
+                .map(str::to_string)
+                .or_else(|| Some(self.inst.detector.label(id).to_string()))
+        }))
+    }
+
+    /// Re-enable all rules of a class (administrator recovery after an
+    /// active-security lockdown).
+    pub fn enable_rule_class(&mut self, class: sentinel::RuleClass) -> usize {
+        self.inst.pool.set_class_enabled(class, true)
+    }
+
+    /// Disable all rules of a class (manual lockdown; the active-security
+    /// rules do this automatically on threshold breaches).
+    pub fn disable_rule_class(&mut self, class: sentinel::RuleClass) -> usize {
+        self.inst.pool.set_class_enabled(class, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policy::PolicyGraph;
+
+    fn xyz_engine() -> Engine {
+        let mut g = PolicyGraph::enterprise_xyz();
+        g.user("alice");
+        g.user("bob");
+        g.assign("alice", "PM");
+        g.assign("bob", "AC");
+        Engine::from_policy(&g, Ts::ZERO).unwrap()
+    }
+
+    #[test]
+    fn activation_and_access_through_rules() {
+        let mut e = xyz_engine();
+        let alice = e.user_id("alice").unwrap();
+        let pm = e.role_id("PM").unwrap();
+        let pc = e.role_id("PC").unwrap();
+        let s = e.create_session(alice, &[pm]).unwrap();
+        // PM inherits PC's place_order permission.
+        let create = e.system().op_by_name("create").unwrap();
+        let po = e.system().obj_by_name("purchase_order").unwrap();
+        assert!(e.check_access(s, create, po).unwrap());
+        // Alice can also activate the junior role PC (AAR₂ authorization).
+        e.add_active_role(alice, s, pc).unwrap();
+        // But activating it twice is denied by the rules.
+        let err = e.add_active_role(alice, s, pc).unwrap_err();
+        assert!(matches!(err, EngineError::Denied(_)));
+    }
+
+    #[test]
+    fn denial_when_not_authorized() {
+        let mut e = xyz_engine();
+        let bob = e.user_id("bob").unwrap();
+        let pm = e.role_id("PM").unwrap();
+        let s = e.create_session(bob, &[]).unwrap();
+        let err = e.add_active_role(bob, s, pm).unwrap_err();
+        let EngineError::Denied(msgs) = err else {
+            panic!("expected denial");
+        };
+        assert!(msgs[0].contains("Access Denied Cannot Activate PM"));
+        assert_eq!(e.log().denial_count(), 1);
+    }
+
+    #[test]
+    fn check_access_denied_is_false_and_logged() {
+        let mut e = xyz_engine();
+        let bob = e.user_id("bob").unwrap();
+        let s = e.create_session(bob, &[]).unwrap();
+        let create = e.system().op_by_name("create").unwrap();
+        let po = e.system().obj_by_name("purchase_order").unwrap();
+        assert!(!e.check_access(s, create, po).unwrap());
+        assert_eq!(e.log().denial_count(), 1);
+    }
+
+    #[test]
+    fn assign_and_deassign_via_admin_rules() {
+        let mut e = xyz_engine();
+        let bob = e.user_id("bob").unwrap();
+        let clerk = e.role_id("Clerk").unwrap();
+        e.assign_user(bob, clerk).unwrap();
+        assert!(e.system().assigned_roles(bob).unwrap().contains(&clerk));
+        e.deassign_user(bob, clerk).unwrap();
+        assert!(!e.system().assigned_roles(bob).unwrap().contains(&clerk));
+        // SSD enforcement comes from the monitor via the rule action: bob
+        // has AC, so PC must be rejected.
+        let pc = e.role_id("PC").unwrap();
+        let err = e.assign_user(bob, pc).unwrap_err();
+        assert!(matches!(err, EngineError::Denied(_)));
+    }
+
+    #[test]
+    fn session_rollback_on_denied_initial_role() {
+        let mut e = xyz_engine();
+        let bob = e.user_id("bob").unwrap();
+        let pm = e.role_id("PM").unwrap();
+        let before = e.system().session_count();
+        assert!(e.create_session(bob, &[pm]).is_err());
+        assert_eq!(e.system().session_count(), before);
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let e = xyz_engine();
+        assert!(matches!(
+            e.user_id("nobody"),
+            Err(EngineError::UnknownName(_))
+        ));
+        assert!(matches!(e.role_id("Ghost"), Err(EngineError::UnknownName(_))));
+    }
+}
+
+#[cfg(test)]
+mod error_path_tests {
+    use super::*;
+    use policy::PolicyGraph;
+    use snoop::Ts;
+
+    fn tiny() -> Engine {
+        let mut g = PolicyGraph::new("tiny");
+        g.role("r");
+        g.user("u");
+        g.assign("u", "r");
+        Engine::from_policy(&g, Ts::ZERO).unwrap()
+    }
+
+    #[test]
+    fn clock_regression_surfaces_as_detector_error() {
+        let mut e = tiny();
+        e.advance(snoop::Dur::from_secs(100)).unwrap();
+        let err = e.advance_to(Ts::from_secs(10)).unwrap_err();
+        assert!(matches!(err, EngineError::Detector(_)));
+        assert_eq!(e.now(), Ts::from_secs(100), "clock unchanged");
+    }
+
+    #[test]
+    fn dispatch_of_unknown_event_errors() {
+        let mut e = tiny();
+        assert!(matches!(
+            e.dispatch("no_such_event", Params::new()),
+            Err(EngineError::Detector(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_forms() {
+        assert!(EngineError::Denied(vec!["a".into(), "b".into()])
+            .to_string()
+            .contains("a; b"));
+        assert!(EngineError::UnknownName("x".into()).to_string().contains("x"));
+        assert!(EngineError::Unhandled("m".into()).to_string().contains("m"));
+    }
+
+    #[test]
+    fn bad_purpose_and_bad_ids() {
+        let mut e = tiny();
+        let u = e.user_id("u").unwrap();
+        let r = e.role_id("r").unwrap();
+        let s = e.create_session(u, &[r]).unwrap();
+        // No purposes registered at all.
+        assert!(matches!(
+            e.check_access_for_purpose(s, rbac::OpId(0), rbac::ObjId(0), "ghost"),
+            Err(EngineError::UnknownName(_))
+        ));
+        // Foreign session id: rules deny, nothing panics.
+        let bogus = rbac::SessionId(999);
+        assert!(e.add_active_role(u, bogus, r).is_err());
+        assert!(!e.check_access(bogus, rbac::OpId(0), rbac::ObjId(0)).unwrap());
+    }
+
+    #[test]
+    fn set_context_works_without_constraints() {
+        let mut e = tiny();
+        let rep = e.set_context("weather", "sunny").unwrap();
+        assert!(!rep.denied());
+        assert_eq!(e.context().get("weather"), Some("sunny"));
+    }
+}

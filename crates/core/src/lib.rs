@@ -1,0 +1,54 @@
+//! # owte-core — the OWTE access-control engine
+//!
+//! The paper's contribution assembled over the substrates:
+//!
+//! * [`engine::Engine`] — the rule-driven engine: a high-level policy
+//!   ([`policy::PolicyGraph`]) is instantiated into the `rbac` monitor, an
+//!   event graph (`snoop`) and a generated OWTE rule pool (`sentinel`);
+//!   every RBAC operation is then raised as an event and enforced by the
+//!   rules, with denials feeding the active-security rules;
+//! * [`baseline::DirectEngine`] — the conventional hard-coded comparator
+//!   (same policy, same monitor, no rules), used as benchmark baseline and
+//!   as the semantic oracle in equivalence property tests;
+//! * [`bridge::BridgeView`] — the [`sentinel::AuthState`] implementation
+//!   resolving generated rule conditions against the monitor, temporal
+//!   policies, privacy state and denial history;
+//! * [`privacy::PrivacyState`] — privacy-aware RBAC (purposes, purpose
+//!   hierarchies, object policies).
+//!
+//! ```
+//! use owte_core::Engine;
+//! use policy::PolicyGraph;
+//! use snoop::Ts;
+//!
+//! let mut graph = PolicyGraph::enterprise_xyz();
+//! graph.user("alice");
+//! graph.assign("alice", "PM");
+//!
+//! let mut engine = Engine::from_policy(&graph, Ts::ZERO).unwrap();
+//! let alice = engine.user_id("alice").unwrap();
+//! let pm = engine.role_id("PM").unwrap();
+//! let session = engine.create_session(alice, &[pm]).unwrap();
+//!
+//! let create = engine.system().op_by_name("create").unwrap();
+//! let po = engine.system().obj_by_name("purchase_order").unwrap();
+//! assert!(engine.check_access(session, create, po).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod bridge;
+pub mod context;
+pub mod engine;
+pub mod journal;
+pub mod privacy;
+pub mod shared;
+
+pub use baseline::DirectEngine;
+pub use bridge::BridgeView;
+pub use engine::{Engine, EngineError};
+pub use context::ContextState;
+pub use journal::{replay, Journal, JournalOp, RecordingEngine};
+pub use privacy::{ObjectPolicy, PrivacyState, PurposeId};
+pub use shared::SharedEngine;

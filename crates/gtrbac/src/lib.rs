@@ -1,0 +1,35 @@
+//! # gtrbac — Generalized Temporal RBAC constraints
+//!
+//! The temporal extension layer the paper enforces in §4.3.2 (Joshi et
+//! al.'s GTRBAC and Bertino et al.'s TRBAC):
+//!
+//! * [`periodic`] — `(I, P)` periodic-time expressions built from the
+//!   paper's `hh:mm:ss/mm/dd/yyyy` calendar patterns, with window
+//!   containment and boundary iteration;
+//! * [`state`] — per-role temporal policies: periodic enabling windows
+//!   (shifts) and maximum activation durations Δ, per role and per
+//!   user-role (Rule 7);
+//! * [`constraints`] — disabling-time SoD (Rule 6), post-condition
+//!   control-flow dependencies (Rule 8), prerequisite activation (Rule 9);
+//! * [`triggers`] — classic TRBAC role triggers
+//!   (`event ∧ conditions → action after Δ`).
+//!
+//! Everything here is policy *data* plus pure check functions over the
+//! `rbac` monitor. The OWTE engine compiles these into composite events and
+//! rules; the baseline engine evaluates them inline — both enforce the same
+//! semantics, which the integration suite property-tests.
+
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod periodic;
+pub mod state;
+pub mod triggers;
+
+pub use constraints::{
+    DisablingTimeSod, EnablingTimeSod, PostConditionCfd, PrerequisiteActivation,
+    TemporalConstraints, TemporalViolation,
+};
+pub use periodic::{BoundedPeriodic, PeriodicWindow};
+pub use state::{RoleTemporalPolicy, TemporalPolicies};
+pub use triggers::{fire, RoleAction, RoleEvent, RoleTrigger, StatusPred};

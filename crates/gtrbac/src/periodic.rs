@@ -1,0 +1,192 @@
+//! GTRBAC periodic-time expressions: `(I, P)` pairs.
+//!
+//! The paper writes them as `⟨[begin, end], P⟩` where `P` is "a periodic
+//! expression denoting an infinite set of periodic time instants" and
+//! `[begin, end]` bounds them. We represent `P` as a *window* between two
+//! calendar patterns (e.g. daily 10:00 → 17:00 — exactly the events
+//! `[10:00:00/*/*/*]` / `[17:00:00/*/*/*]` in Rule 6) and `I` as optional
+//! absolute bounds.
+
+use serde::{Deserialize, Serialize};
+use snoop::{CalendarExpr, Ts};
+use std::fmt;
+
+/// A recurring window opened by `start` occurrences and closed by `end`
+/// occurrences (daily shifts, monthly periods, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodicWindow {
+    /// Pattern whose occurrences open the window.
+    pub start: CalendarExpr,
+    /// Pattern whose occurrences close it.
+    pub end: CalendarExpr,
+}
+
+impl PeriodicWindow {
+    /// A daily window `start_h:start_m — end_h:end_m` (the common shift
+    /// form: "day doctor works 9 a.m. to 5 p.m.").
+    pub fn daily(start_h: u32, start_m: u32, end_h: u32, end_m: u32) -> PeriodicWindow {
+        PeriodicWindow {
+            start: CalendarExpr::daily(start_h, start_m, 0),
+            end: CalendarExpr::daily(end_h, end_m, 0),
+        }
+    }
+
+    /// Is `t` inside the window? True when the most recent `start`
+    /// occurrence at-or-before `t` is more recent than the most recent
+    /// `end` occurrence (start instants count as inside, end instants as
+    /// outside).
+    pub fn contains(&self, t: Ts) -> bool {
+        let last_start = self.start.prev_at_or_before(t);
+        let last_end = self.end.prev_at_or_before(t);
+        match (last_start, last_end) {
+            (Some(s), Some(e)) => e < s,
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+
+    /// The next boundary (open or close) strictly after `t`, with the state
+    /// that begins there. Drives baseline enable/disable scheduling.
+    pub fn next_boundary(&self, t: Ts) -> Option<(Ts, bool)> {
+        let ns = self.start.next_after(t);
+        let ne = self.end.next_after(t);
+        match (ns, ne) {
+            (Some(s), Some(e)) if s <= e => Some((s, true)),
+            (Some(_) | None, Some(e)) => Some((e, false)),
+            (Some(s), None) => Some((s, true)),
+            (None, None) => None,
+        }
+    }
+}
+
+impl fmt::Display for PeriodicWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]..[{}]", self.start, self.end)
+    }
+}
+
+/// A GTRBAC `(I, P)` expression: optional absolute interval bounds plus an
+/// optional periodic window. With neither, it denotes *always*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BoundedPeriodic {
+    /// `begin` of I (inclusive).
+    pub begin: Option<Ts>,
+    /// `end` of I (inclusive).
+    pub end: Option<Ts>,
+    /// P, as a recurring window.
+    pub window: Option<PeriodicWindow>,
+}
+
+impl BoundedPeriodic {
+    /// The unbounded expression (always true).
+    pub fn always() -> BoundedPeriodic {
+        BoundedPeriodic::default()
+    }
+
+    /// Only a periodic window, unbounded interval.
+    pub fn window(w: PeriodicWindow) -> BoundedPeriodic {
+        BoundedPeriodic {
+            window: Some(w),
+            ..BoundedPeriodic::default()
+        }
+    }
+
+    /// Restrict to `[begin, end]`.
+    pub fn bounded(mut self, begin: Ts, end: Ts) -> BoundedPeriodic {
+        self.begin = Some(begin);
+        self.end = Some(end);
+        self
+    }
+
+    /// Is `t` inside both I and P?
+    pub fn contains(&self, t: Ts) -> bool {
+        if let Some(b) = self.begin {
+            if t < b {
+                return false;
+            }
+        }
+        if let Some(e) = self.end {
+            if t > e {
+                return false;
+            }
+        }
+        match &self.window {
+            Some(w) => w.contains(t),
+            None => true,
+        }
+    }
+}
+
+impl fmt::Display for BoundedPeriodic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        match (self.begin, self.end) {
+            (Some(b), Some(e)) => write!(f, "[{b}, {e}]")?,
+            (Some(b), None) => write!(f, "[{b}, ∞)")?,
+            (None, Some(e)) => write!(f, "(-∞, {e}]")?,
+            (None, None) => write!(f, "[*]")?,
+        }
+        if let Some(w) = &self.window {
+            write!(f, ", {w}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoop::Civil;
+
+    fn at(y: i32, mo: u32, d: u32, h: u32, mi: u32) -> Ts {
+        Civil::new(y, mo, d, h, mi, 0).to_ts()
+    }
+
+    #[test]
+    fn daily_window_contains() {
+        let w = PeriodicWindow::daily(10, 0, 17, 0);
+        assert!(!w.contains(at(2000, 1, 5, 9, 59)));
+        assert!(w.contains(at(2000, 1, 5, 10, 0)), "start inclusive");
+        assert!(w.contains(at(2000, 1, 5, 12, 0)));
+        assert!(!w.contains(at(2000, 1, 5, 17, 0)), "end exclusive");
+        assert!(!w.contains(at(2000, 1, 5, 20, 0)));
+        // Next morning, before opening.
+        assert!(!w.contains(at(2000, 1, 6, 8, 0)));
+    }
+
+    #[test]
+    fn overnight_window() {
+        // Night shift 22:00 → 06:00 wraps midnight naturally with the
+        // last-start-vs-last-end rule.
+        let w = PeriodicWindow::daily(22, 0, 6, 0);
+        assert!(w.contains(at(2000, 1, 5, 23, 0)));
+        assert!(w.contains(at(2000, 1, 6, 3, 0)));
+        assert!(!w.contains(at(2000, 1, 6, 7, 0)));
+        assert!(!w.contains(at(2000, 1, 5, 12, 0)));
+    }
+
+    #[test]
+    fn next_boundary_alternates() {
+        let w = PeriodicWindow::daily(10, 0, 17, 0);
+        let (t1, open1) = w.next_boundary(at(2000, 1, 5, 8, 0)).unwrap();
+        assert_eq!(t1, at(2000, 1, 5, 10, 0));
+        assert!(open1);
+        let (t2, open2) = w.next_boundary(t1).unwrap();
+        assert_eq!(t2, at(2000, 1, 5, 17, 0));
+        assert!(!open2);
+        let (t3, open3) = w.next_boundary(t2).unwrap();
+        assert_eq!(t3, at(2000, 1, 6, 10, 0));
+        assert!(open3);
+    }
+
+    #[test]
+    fn bounded_periodic() {
+        let p = BoundedPeriodic::window(PeriodicWindow::daily(10, 0, 17, 0))
+            .bounded(at(2000, 2, 1, 0, 0), at(2000, 3, 1, 0, 0));
+        assert!(!p.contains(at(2000, 1, 15, 12, 0)), "before I");
+        assert!(p.contains(at(2000, 2, 15, 12, 0)));
+        assert!(!p.contains(at(2000, 2, 15, 20, 0)), "outside P");
+        assert!(!p.contains(at(2000, 3, 15, 12, 0)), "after I");
+        assert!(BoundedPeriodic::always().contains(at(2000, 6, 1, 3, 0)));
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-role temporal policies: the GTRBAC constraint *data model*.
+//!
+//! GTRBAC distinguishes a role being **enabled** (activatable) from being
+//! **active** (in some session). Temporal policies say *when* a role is
+//! enabled and *how long* activations may last. Enforcement is done either
+//! by generated OWTE rules (calendar events + PLUS events) or directly by
+//! the baseline engine evaluating [`TemporalPolicies::should_be_enabled`].
+
+use crate::periodic::BoundedPeriodic;
+use rbac::{RoleId, UserId};
+use serde::{Deserialize, Serialize};
+use snoop::{Dur, Ts};
+use std::collections::HashMap;
+
+/// Temporal policy attached to one role.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoleTemporalPolicy {
+    /// When the role is enabled. `None` = always enabled.
+    pub enabling: Option<BoundedPeriodic>,
+    /// Max duration of one activation, for all users (paper Rule 7's Δ —
+    /// "limiting car parking to a fixed number of hours at one time").
+    pub max_activation: Option<Dur>,
+    /// Per-user overrides of `max_activation` (the rule in the paper is
+    /// per user-role: "role R3 is deactivated after Δ … by user Bob").
+    pub per_user_max_activation: HashMap<UserId, Dur>,
+}
+
+impl RoleTemporalPolicy {
+    /// The Δ applying to `user`, if any (per-user override wins).
+    pub fn activation_limit(&self, user: UserId) -> Option<Dur> {
+        self.per_user_max_activation
+            .get(&user)
+            .copied()
+            .or(self.max_activation)
+    }
+
+    /// Does this policy constrain anything?
+    pub fn is_trivial(&self) -> bool {
+        self.enabling.is_none()
+            && self.max_activation.is_none()
+            && self.per_user_max_activation.is_empty()
+    }
+}
+
+/// The temporal policies of all roles.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TemporalPolicies {
+    policies: HashMap<RoleId, RoleTemporalPolicy>,
+}
+
+impl TemporalPolicies {
+    /// No policies (all roles always enabled, unbounded activations).
+    pub fn new() -> TemporalPolicies {
+        TemporalPolicies::default()
+    }
+
+    /// Set (replacing) a role's policy.
+    pub fn set(&mut self, role: RoleId, policy: RoleTemporalPolicy) {
+        if policy.is_trivial() {
+            self.policies.remove(&role);
+        } else {
+            self.policies.insert(role, policy);
+        }
+    }
+
+    /// Set just the enabling expression.
+    pub fn set_enabling(&mut self, role: RoleId, when: BoundedPeriodic) {
+        self.policies.entry(role).or_default().enabling = Some(when);
+    }
+
+    /// Set the role-wide activation limit.
+    pub fn set_max_activation(&mut self, role: RoleId, delta: Dur) {
+        self.policies.entry(role).or_default().max_activation = Some(delta);
+    }
+
+    /// Set a per-user activation limit.
+    pub fn set_user_max_activation(&mut self, role: RoleId, user: UserId, delta: Dur) {
+        self.policies
+            .entry(role)
+            .or_default()
+            .per_user_max_activation
+            .insert(user, delta);
+    }
+
+    /// The policy for a role, if any.
+    pub fn get(&self, role: RoleId) -> Option<&RoleTemporalPolicy> {
+        self.policies.get(&role)
+    }
+
+    /// Remove a role's policy (role deleted / policy change).
+    pub fn remove(&mut self, role: RoleId) -> Option<RoleTemporalPolicy> {
+        self.policies.remove(&role)
+    }
+
+    /// Should the role be enabled at `t` according to its enabling
+    /// expression? Roles without one are always enabled.
+    pub fn should_be_enabled(&self, role: RoleId, t: Ts) -> bool {
+        match self.policies.get(&role).and_then(|p| p.enabling.as_ref()) {
+            Some(expr) => expr.contains(t),
+            None => true,
+        }
+    }
+
+    /// The Δ limit for (role, user) activations, if any.
+    pub fn activation_limit(&self, role: RoleId, user: UserId) -> Option<Dur> {
+        self.policies.get(&role)?.activation_limit(user)
+    }
+
+    /// Roles with a non-trivial policy.
+    pub fn constrained_roles(&self) -> impl Iterator<Item = RoleId> + '_ {
+        self.policies.keys().copied()
+    }
+
+    /// Number of constrained roles.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// No constrained roles?
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::periodic::PeriodicWindow;
+    use snoop::Civil;
+
+    fn at(h: u32) -> Ts {
+        Civil::new(2000, 1, 5, h, 0, 0).to_ts()
+    }
+
+    #[test]
+    fn unconstrained_roles_always_enabled() {
+        let p = TemporalPolicies::new();
+        assert!(p.should_be_enabled(RoleId(1), at(3)));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn shift_enabling() {
+        let mut p = TemporalPolicies::new();
+        let day_doctor = RoleId(1);
+        p.set_enabling(
+            day_doctor,
+            BoundedPeriodic::window(PeriodicWindow::daily(8, 0, 16, 0)),
+        );
+        assert!(!p.should_be_enabled(day_doctor, at(7)));
+        assert!(p.should_be_enabled(day_doctor, at(12)));
+        assert!(!p.should_be_enabled(day_doctor, at(18)));
+        // Other roles untouched.
+        assert!(p.should_be_enabled(RoleId(2), at(18)));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn activation_limits_per_user_override() {
+        let mut p = TemporalPolicies::new();
+        let r = RoleId(3);
+        let bob = UserId(1);
+        let jane = UserId(2);
+        p.set_max_activation(r, Dur::from_hours(4));
+        p.set_user_max_activation(r, bob, Dur::from_hours(2));
+        assert_eq!(p.activation_limit(r, bob), Some(Dur::from_hours(2)));
+        assert_eq!(p.activation_limit(r, jane), Some(Dur::from_hours(4)));
+        assert_eq!(p.activation_limit(RoleId(9), bob), None);
+    }
+
+    #[test]
+    fn trivial_policy_is_dropped() {
+        let mut p = TemporalPolicies::new();
+        p.set(RoleId(1), RoleTemporalPolicy::default());
+        assert!(p.is_empty());
+        p.set_max_activation(RoleId(1), Dur::from_secs(1));
+        assert_eq!(p.constrained_roles().count(), 1);
+        p.remove(RoleId(1));
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! TRBAC-style role triggers (Bertino et al., TISSEC '01): "periodic role
+//! enabling and disabling, and temporal dependencies among such actions",
+//! expressed as `event ∧ conditions → action after Δ`.
+//!
+//! The paper positions OWTE rules as a superset of role triggers; this
+//! module provides the classic trigger form so policies written against
+//! TRBAC can be carried over. The OWTE generator lowers each trigger to a
+//! (possibly PLUS-delayed) rule; the baseline engine interprets them
+//! directly through [`fire`].
+
+use rbac::{RoleId, System};
+use serde::{Deserialize, Serialize};
+use snoop::Dur;
+use std::fmt;
+
+/// The status events a trigger can react to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoleEvent {
+    /// `enableR` fired.
+    Enabled(RoleId),
+    /// `disableR` fired.
+    Disabled(RoleId),
+}
+
+impl fmt::Display for RoleEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoleEvent::Enabled(r) => write!(f, "enable({r})"),
+            RoleEvent::Disabled(r) => write!(f, "disable({r})"),
+        }
+    }
+}
+
+/// A status predicate over the current role states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatusPred {
+    /// The role is currently enabled.
+    IsEnabled(RoleId),
+    /// The role is currently disabled.
+    IsDisabled(RoleId),
+}
+
+impl StatusPred {
+    /// Evaluate against the monitor.
+    pub fn holds(&self, sys: &System) -> bool {
+        match self {
+            StatusPred::IsEnabled(r) => sys.is_enabled(*r).unwrap_or(false),
+            StatusPred::IsDisabled(r) => !sys.is_enabled(*r).unwrap_or(true),
+        }
+    }
+}
+
+/// The action side of a trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoleAction {
+    /// Enable the role.
+    Enable(RoleId),
+    /// Disable the role (deactivating it in sessions).
+    Disable(RoleId),
+}
+
+/// A role trigger: on `on`, if all `conditions` hold, perform `action`
+/// after `delay` (zero = immediately).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoleTrigger {
+    /// Trigger name.
+    pub name: String,
+    /// The status event that fires the trigger.
+    pub on: RoleEvent,
+    /// Status conditions checked at fire time.
+    pub conditions: Vec<StatusPred>,
+    /// The resulting status action.
+    pub action: RoleAction,
+    /// Delay before the action (`after Δ`).
+    pub delay: Dur,
+}
+
+/// Interpret `trigger` for an occurred `event`. Returns the action to
+/// perform (with its delay) if the trigger matches and its conditions hold.
+pub fn fire(trigger: &RoleTrigger, event: RoleEvent, sys: &System) -> Option<(RoleAction, Dur)> {
+    if trigger.on != event {
+        return None;
+    }
+    if trigger.conditions.iter().all(|c| c.holds(sys)) {
+        Some((trigger.action, trigger.delay))
+    } else {
+        None
+    }
+}
+
+/// Apply a role action to the monitor immediately.
+pub fn apply(action: RoleAction, sys: &mut System) -> rbac::Result<()> {
+    match action {
+        RoleAction::Enable(r) => sys.enable_role(r),
+        RoleAction::Disable(r) => sys.disable_role(r, true).map(|_| ()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_fires_on_matching_event_with_conditions() {
+        let mut sys = System::new();
+        let a = sys.add_role("a").unwrap();
+        let b = sys.add_role("b").unwrap();
+        let t = RoleTrigger {
+            name: "couple".into(),
+            on: RoleEvent::Enabled(a),
+            conditions: vec![StatusPred::IsEnabled(b)],
+            action: RoleAction::Enable(b),
+            delay: Dur::from_secs(60),
+        };
+        // Matching event, condition holds (b enabled by default).
+        assert_eq!(
+            fire(&t, RoleEvent::Enabled(a), &sys),
+            Some((RoleAction::Enable(b), Dur::from_secs(60)))
+        );
+        // Wrong event.
+        assert_eq!(fire(&t, RoleEvent::Disabled(a), &sys), None);
+        // Condition fails.
+        sys.disable_role(b, false).unwrap();
+        assert_eq!(fire(&t, RoleEvent::Enabled(a), &sys), None);
+    }
+
+    #[test]
+    fn apply_actions() {
+        let mut sys = System::new();
+        let r = sys.add_role("r").unwrap();
+        apply(RoleAction::Disable(r), &mut sys).unwrap();
+        assert!(!sys.is_enabled(r).unwrap());
+        apply(RoleAction::Enable(r), &mut sys).unwrap();
+        assert!(sys.is_enabled(r).unwrap());
+    }
+
+    #[test]
+    fn status_preds() {
+        let mut sys = System::new();
+        let r = sys.add_role("r").unwrap();
+        assert!(StatusPred::IsEnabled(r).holds(&sys));
+        assert!(!StatusPred::IsDisabled(r).holds(&sys));
+        sys.disable_role(r, false).unwrap();
+        assert!(StatusPred::IsDisabled(r).holds(&sys));
+        // Unknown role: conservative false for enabled.
+        assert!(!StatusPred::IsEnabled(RoleId(99)).holds(&sys));
+    }
+}

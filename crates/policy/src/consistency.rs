@@ -1,0 +1,667 @@
+//! Consistency checking of high-level policies.
+//!
+//! The paper assumes "the policies specified … do not have inconsistencies,
+//! but we are in the process of developing advanced consistency checking
+//! mechanisms" — this module is that mechanism. It validates a
+//! [`PolicyGraph`] *before* instantiation, reporting precise errors
+//! (policy cannot be instantiated) and warnings (suspicious but legal).
+
+use crate::graph::{PolicyGraph, SecurityAction};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The policy cannot be instantiated.
+    Error,
+    /// Legal but probably not what the author meant.
+    Warning,
+}
+
+/// One consistency finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Issue {
+    /// How bad.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{tag}: {}", self.message)
+    }
+}
+
+fn error(issues: &mut Vec<Issue>, msg: String) {
+    issues.push(Issue {
+        severity: Severity::Error,
+        message: msg,
+    });
+}
+
+fn warning(issues: &mut Vec<Issue>, msg: String) {
+    issues.push(Issue {
+        severity: Severity::Warning,
+        message: msg,
+    });
+}
+
+/// Run all checks. An empty error set means the policy can be instantiated.
+pub fn check(g: &PolicyGraph) -> Vec<Issue> {
+    let mut issues = Vec::new();
+    check_unique_names(g, &mut issues);
+    check_references(g, &mut issues);
+    let cyclic = check_hierarchy_cycles(g, &mut issues);
+    check_sod_sets(g, &mut issues);
+    if !cyclic {
+        check_ssd_vs_hierarchy(g, &mut issues);
+        check_assignments_vs_ssd(g, &mut issues);
+    }
+    check_temporal(g, &mut issues);
+    check_dependencies(g, &mut issues);
+    check_security(g, &mut issues);
+    check_triggers(g, &mut issues);
+    check_context(g, &mut issues);
+    check_privacy(g, &mut issues);
+    issues
+}
+
+/// Are there no errors (warnings allowed)?
+pub fn is_consistent(g: &PolicyGraph) -> bool {
+    check(g).iter().all(|i| i.severity != Severity::Error)
+}
+
+fn check_unique_names(g: &PolicyGraph, issues: &mut Vec<Issue>) {
+    for (kind, names) in [
+        ("role", g.roles.iter().map(|r| &r.name).collect::<Vec<_>>()),
+        ("user", g.users.iter().map(|u| &u.name).collect()),
+        ("permission", g.permissions.iter().map(|p| &p.name).collect()),
+        ("purpose", g.purposes.iter().map(|p| &p.name).collect()),
+    ] {
+        let mut seen = HashSet::new();
+        for n in names {
+            if !seen.insert(n) {
+                error(issues, format!("duplicate {kind} name `{n}`"));
+            }
+        }
+    }
+}
+
+fn check_references(g: &PolicyGraph, issues: &mut Vec<Issue>) {
+    let role_ok = |n: &str| g.role_node(n).is_some();
+    let user_ok = |n: &str| g.user_node(n).is_some();
+    let perm_ok = |n: &str| g.permissions.iter().any(|p| p.name == n);
+    for (s, j) in &g.hierarchy {
+        for r in [s, j] {
+            if !role_ok(r) {
+                error(issues, format!("hierarchy references unknown role `{r}`"));
+            }
+        }
+    }
+    for (u, r) in &g.assignments {
+        if !user_ok(u) {
+            error(issues, format!("assignment references unknown user `{u}`"));
+        }
+        if !role_ok(r) {
+            error(issues, format!("assignment references unknown role `{r}`"));
+        }
+    }
+    for (p, r) in &g.grants {
+        if !perm_ok(p) {
+            error(issues, format!("grant references unknown permission `{p}`"));
+        }
+        if !role_ok(r) {
+            error(issues, format!("grant references unknown role `{r}`"));
+        }
+    }
+    for set in g.ssd.iter().chain(&g.dsd) {
+        for r in &set.roles {
+            if !role_ok(r) {
+                error(
+                    issues,
+                    format!("SoD set `{}` references unknown role `{r}`", set.name),
+                );
+            }
+        }
+    }
+    for (kind, sets) in [("disabling", &g.disabling_sod), ("enabling", &g.enabling_sod)] {
+        for d in sets {
+            for r in &d.roles {
+                if !role_ok(r) {
+                    error(
+                        issues,
+                        format!("{kind} SoD `{}` references unknown role `{r}`", d.name),
+                    );
+                }
+            }
+        }
+    }
+    // Unused permissions are legal but suspicious.
+    for p in &g.permissions {
+        if !g.grants.iter().any(|(perm, _)| *perm == p.name) {
+            warning(issues, format!("permission `{}` is never granted", p.name));
+        }
+    }
+}
+
+/// Returns true if a cycle was found (downstream checks are skipped).
+fn check_hierarchy_cycles(g: &PolicyGraph, issues: &mut Vec<Issue>) -> bool {
+    // Kahn's algorithm over senior→junior edges.
+    let mut indegree: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut out: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for (s, j) in &g.hierarchy {
+        nodes.insert(s);
+        nodes.insert(j);
+        out.entry(s).or_default().push(j);
+        *indegree.entry(j).or_default() += 1;
+        indegree.entry(s).or_default();
+        if s == j {
+            error(issues, format!("role `{s}` inherits from itself"));
+            return true;
+        }
+    }
+    let mut queue: Vec<&str> = nodes
+        .iter()
+        .filter(|n| indegree.get(*n).copied().unwrap_or(0) == 0)
+        .copied()
+        .collect();
+    let mut visited = 0;
+    while let Some(n) = queue.pop() {
+        visited += 1;
+        for &m in out.get(n).map(Vec::as_slice).unwrap_or(&[]) {
+            let d = indegree.get_mut(m).expect("edge target counted");
+            *d -= 1;
+            if *d == 0 {
+                queue.push(m);
+            }
+        }
+    }
+    if visited != nodes.len() {
+        error(issues, "role hierarchy contains a cycle".to_string());
+        true
+    } else {
+        false
+    }
+}
+
+fn check_sod_sets(g: &PolicyGraph, issues: &mut Vec<Issue>) {
+    for (kind, sets) in [("SSD", &g.ssd), ("DSD", &g.dsd)] {
+        for set in sets {
+            if set.roles.len() < 2 {
+                error(
+                    issues,
+                    format!("{kind} set `{}` needs at least two roles", set.name),
+                );
+            }
+            if set.cardinality < 2 || set.cardinality > set.roles.len().max(2) {
+                error(
+                    issues,
+                    format!(
+                        "{kind} set `{}` cardinality {} invalid for {} roles",
+                        set.name,
+                        set.cardinality,
+                        set.roles.len()
+                    ),
+                );
+            }
+        }
+    }
+    // A DSD set whose roles are already fully SSD-conflicting is redundant:
+    // no user can even be assigned the conflicting combination.
+    for d in &g.dsd {
+        for s in &g.ssd {
+            if d.roles.is_subset(&s.roles) && s.cardinality <= d.cardinality {
+                warning(
+                    issues,
+                    format!(
+                        "DSD set `{}` is redundant: SSD set `{}` already forbids assignment",
+                        d.name, s.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Transitive juniors of each role, by name.
+fn juniors_closure(g: &PolicyGraph) -> HashMap<&str, HashSet<&str>> {
+    let mut children: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (s, j) in &g.hierarchy {
+        children.entry(s).or_default().push(j);
+    }
+    let mut out: HashMap<&str, HashSet<&str>> = HashMap::new();
+    for role in g.roles.iter().map(|r| r.name.as_str()) {
+        let mut seen = HashSet::new();
+        let mut stack = vec![role];
+        while let Some(cur) = stack.pop() {
+            for &c in children.get(cur).map(Vec::as_slice).unwrap_or(&[]) {
+                if seen.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        out.insert(role, seen);
+    }
+    out
+}
+
+fn check_ssd_vs_hierarchy(g: &PolicyGraph, issues: &mut Vec<Issue>) {
+    let juniors = juniors_closure(g);
+    for set in &g.ssd {
+        let roles: Vec<&str> = set.roles.iter().map(String::as_str).collect();
+        for (i, a) in roles.iter().enumerate() {
+            for b in &roles[i + 1..] {
+                let a_dom_b = juniors.get(a).is_some_and(|s| s.contains(b));
+                let b_dom_a = juniors.get(b).is_some_and(|s| s.contains(a));
+                if (a_dom_b || b_dom_a) && set.cardinality == 2 {
+                    error(
+                        issues,
+                        format!(
+                            "SSD set `{}` contains hierarchically related roles `{a}` and `{b}`: \
+                             any user of the senior is authorized for both",
+                            set.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_assignments_vs_ssd(g: &PolicyGraph, issues: &mut Vec<Issue>) {
+    let juniors = juniors_closure(g);
+    // authorized roles per user = assignments + juniors of assignments.
+    let mut authorized: HashMap<&str, HashSet<&str>> = HashMap::new();
+    for (u, r) in &g.assignments {
+        let entry = authorized.entry(u).or_default();
+        entry.insert(r);
+        if let Some(js) = juniors.get(r.as_str()) {
+            entry.extend(js.iter().copied());
+        }
+    }
+    for set in &g.ssd {
+        for (u, auth) in &authorized {
+            let hit = set.roles.iter().filter(|r| auth.contains(r.as_str())).count();
+            if hit >= set.cardinality {
+                error(
+                    issues,
+                    format!(
+                        "user `{u}` is authorized for {hit} roles of SSD set `{}` \
+                         (cardinality {})",
+                        set.name, set.cardinality
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_temporal(g: &PolicyGraph, issues: &mut Vec<Issue>) {
+    for r in &g.roles {
+        if let Some(w) = &r.enabling {
+            if (w.start_h, w.start_m) == (w.end_h, w.end_m) {
+                error(
+                    issues,
+                    format!("role `{}` enabling window {w} is empty", r.name),
+                );
+            }
+        }
+        if let Some(d) = r.max_activation {
+            if d.is_zero() {
+                error(
+                    issues,
+                    format!("role `{}` max_activation of zero forbids all activation", r.name),
+                );
+            }
+        }
+        if r.max_active_users == Some(0) {
+            warning(
+                issues,
+                format!("role `{}` has max_active_users 0: nobody can activate it", r.name),
+            );
+        }
+        for (u, d) in &r.per_user_activation {
+            if g.user_node(u).is_none() {
+                error(
+                    issues,
+                    format!("role `{}` has a Δ for unknown user `{u}`", r.name),
+                );
+            }
+            if d.is_zero() {
+                error(
+                    issues,
+                    format!("role `{}` per-user Δ of zero for `{u}`", r.name),
+                );
+            }
+        }
+    }
+    for (kind, sets) in [("disabling", &g.disabling_sod), ("enabling", &g.enabling_sod)] {
+        for d in sets {
+            if d.roles.len() < 2 {
+                error(
+                    issues,
+                    format!("{kind} SoD `{}` needs at least two roles", d.name),
+                );
+            }
+        }
+    }
+}
+
+fn check_dependencies(g: &PolicyGraph, issues: &mut Vec<Issue>) {
+    for pc in &g.post_conditions {
+        if pc.role == pc.requires {
+            error(
+                issues,
+                format!("post-condition `{}` requires itself", pc.role),
+            );
+        }
+        for r in [&pc.role, &pc.requires] {
+            if g.role_node(r).is_none() {
+                error(issues, format!("post-condition references unknown role `{r}`"));
+            }
+        }
+    }
+    for p in &g.prerequisites {
+        if p.role == p.requires_active {
+            error(
+                issues,
+                format!(
+                    "prerequisite `{}` requires itself active: it could never be activated",
+                    p.role
+                ),
+            );
+        }
+        for r in [&p.role, &p.requires_active] {
+            if g.role_node(r).is_none() {
+                error(issues, format!("prerequisite references unknown role `{r}`"));
+            }
+        }
+    }
+}
+
+fn check_security(g: &PolicyGraph, issues: &mut Vec<Issue>) {
+    let mut seen = HashSet::new();
+    for s in &g.security {
+        if !seen.insert(&s.name) {
+            error(issues, format!("duplicate security policy `{}`", s.name));
+        }
+        if s.threshold == 0 {
+            warning(
+                issues,
+                format!("security policy `{}` threshold 0 trips on every denial", s.name),
+            );
+        }
+        if s.window.is_zero() {
+            error(
+                issues,
+                format!("security policy `{}` has an empty window", s.name),
+            );
+        }
+        for a in &s.actions {
+            if let SecurityAction::DisableRole(r) = a {
+                if g.role_node(r).is_none() {
+                    error(
+                        issues,
+                        format!("security policy `{}` disables unknown role `{r}`", s.name),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_triggers(g: &PolicyGraph, issues: &mut Vec<Issue>) {
+    let mut names = HashSet::new();
+    for t in &g.triggers {
+        if !names.insert(&t.name) {
+            error(issues, format!("duplicate trigger name `{}`", t.name));
+        }
+        for r in std::iter::once(&t.on_role)
+            .chain(std::iter::once(&t.action_role))
+            .chain(t.when.iter().map(|(r, _)| r))
+        {
+            if g.role_node(r).is_none() {
+                error(
+                    issues,
+                    format!("trigger `{}` references unknown role `{r}`", t.name),
+                );
+            }
+        }
+        // An immediate self-feeding trigger (on enable A then enable A)
+        // would loop; the executor's depth guard would cut it, but reject
+        // it up front.
+        if t.on_role == t.action_role && t.on_kind == t.action_kind && t.after.is_zero() {
+            error(
+                issues,
+                format!("trigger `{}` immediately re-fires itself", t.name),
+            );
+        }
+    }
+}
+
+fn check_context(g: &PolicyGraph, issues: &mut Vec<Issue>) {
+    let mut seen = HashSet::new();
+    for c in &g.context_constraints {
+        if g.role_node(&c.role).is_none() {
+            error(
+                issues,
+                format!("context constraint references unknown role `{}`", c.role),
+            );
+        }
+        if !seen.insert((&c.role, &c.key)) {
+            error(
+                issues,
+                format!(
+                    "role `{}` has two context constraints on key `{}` \
+                     (only one value can hold at a time)",
+                    c.role, c.key
+                ),
+            );
+        }
+    }
+}
+
+fn check_privacy(g: &PolicyGraph, issues: &mut Vec<Issue>) {
+    let known: HashSet<&str> = g.purposes.iter().map(|p| p.name.as_str()).collect();
+    // Parent references + cycles along parent chains.
+    for p in &g.purposes {
+        if let Some(parent) = &p.parent {
+            if !known.contains(parent.as_str()) {
+                error(
+                    issues,
+                    format!("purpose `{}` has unknown parent `{parent}`", p.name),
+                );
+                continue;
+            }
+            // Walk up; the chain is short, bound by purpose count.
+            let mut cur = parent.as_str();
+            let mut steps = 0;
+            loop {
+                if cur == p.name {
+                    error(issues, format!("purpose `{}` is its own ancestor", p.name));
+                    break;
+                }
+                steps += 1;
+                if steps > g.purposes.len() {
+                    break;
+                }
+                match g
+                    .purposes
+                    .iter()
+                    .find(|x| x.name == cur)
+                    .and_then(|x| x.parent.as_deref())
+                {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            }
+        }
+    }
+    for op in &g.object_policies {
+        if !known.contains(op.purpose.as_str()) {
+            error(
+                issues,
+                format!("object policy references unknown purpose `{}`", op.purpose),
+            );
+        }
+        if g.role_node(&op.role).is_none() {
+            error(
+                issues,
+                format!("object policy references unknown role `{}`", op.role),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{PrerequisiteSpec, PurposeSpec, SecuritySpec};
+    use snoop::Dur;
+
+    fn errors(g: &PolicyGraph) -> Vec<String> {
+        check(g)
+            .into_iter()
+            .filter(|i| i.severity == Severity::Error)
+            .map(|i| i.message)
+            .collect()
+    }
+
+    #[test]
+    fn xyz_is_consistent() {
+        let g = PolicyGraph::enterprise_xyz();
+        assert!(is_consistent(&g), "{:?}", check(&g));
+    }
+
+    #[test]
+    fn hierarchy_cycle_detected() {
+        let mut g = PolicyGraph::new("t");
+        g.role("a");
+        g.role("b");
+        g.inherits("a", "b");
+        g.inherits("b", "a");
+        assert!(errors(&g).iter().any(|m| m.contains("cycle")));
+        // Self-loop.
+        let mut g2 = PolicyGraph::new("t");
+        g2.role("a");
+        g2.inherits("a", "a");
+        assert!(errors(&g2).iter().any(|m| m.contains("inherits from itself")));
+    }
+
+    #[test]
+    fn ssd_with_related_roles_rejected() {
+        let mut g = PolicyGraph::new("t");
+        g.role("senior");
+        g.role("junior");
+        g.inherits("senior", "junior");
+        g.ssd_set("bad", &["senior", "junior"], 2);
+        assert!(errors(&g)
+            .iter()
+            .any(|m| m.contains("hierarchically related")));
+    }
+
+    #[test]
+    fn assignment_violating_ssd_rejected() {
+        let mut g = PolicyGraph::enterprise_xyz();
+        g.user("eve");
+        g.assign("eve", "PM"); // PM brings PC via hierarchy
+        g.assign("eve", "AC");
+        assert!(errors(&g).iter().any(|m| m.contains("SSD set")));
+    }
+
+    #[test]
+    fn sod_cardinality_bounds() {
+        let mut g = PolicyGraph::new("t");
+        g.role("a");
+        g.role("b");
+        g.ssd_set("x", &["a", "b"], 1);
+        assert!(errors(&g).iter().any(|m| m.contains("cardinality 1 invalid")));
+        let mut g2 = PolicyGraph::new("t");
+        g2.role("a");
+        g2.ssd_set("x", &["a"], 2);
+        assert!(errors(&g2).iter().any(|m| m.contains("at least two roles")));
+    }
+
+    #[test]
+    fn redundant_dsd_warned() {
+        let mut g = PolicyGraph::new("t");
+        g.role("a");
+        g.role("b");
+        g.ssd_set("s", &["a", "b"], 2);
+        g.dsd_set("d", &["a", "b"], 2);
+        let warns: Vec<_> = check(&g)
+            .into_iter()
+            .filter(|i| i.severity == Severity::Warning)
+            .collect();
+        assert!(warns.iter().any(|w| w.message.contains("redundant")));
+        assert!(is_consistent(&g), "warning only");
+    }
+
+    #[test]
+    fn temporal_checks() {
+        let mut g = PolicyGraph::new("t");
+        g.role("r").enabling = Some(crate::graph::DailyWindow {
+            start_h: 8,
+            start_m: 0,
+            end_h: 8,
+            end_m: 0,
+        });
+        assert!(errors(&g).iter().any(|m| m.contains("window") && m.contains("empty")));
+        let mut g2 = PolicyGraph::new("t");
+        g2.role("r").max_activation = Some(Dur::ZERO);
+        assert!(errors(&g2).iter().any(|m| m.contains("max_activation")));
+    }
+
+    #[test]
+    fn dependency_self_reference() {
+        let mut g = PolicyGraph::new("t");
+        g.role("a");
+        g.prerequisites.push(PrerequisiteSpec {
+            role: "a".into(),
+            requires_active: "a".into(),
+        });
+        assert!(errors(&g).iter().any(|m| m.contains("requires itself active")));
+    }
+
+    #[test]
+    fn security_and_privacy_checks() {
+        let mut g = PolicyGraph::new("t");
+        g.security.push(SecuritySpec {
+            name: "s".into(),
+            threshold: 5,
+            window: Dur::ZERO,
+            actions: vec![],
+        });
+        assert!(errors(&g).iter().any(|m| m.contains("empty window")));
+
+        let mut g2 = PolicyGraph::new("t");
+        g2.purposes.push(PurposeSpec {
+            name: "a".into(),
+            parent: Some("b".into()),
+        });
+        g2.purposes.push(PurposeSpec {
+            name: "b".into(),
+            parent: Some("a".into()),
+        });
+        assert!(errors(&g2).iter().any(|m| m.contains("ancestor")));
+    }
+
+    #[test]
+    fn unknown_references() {
+        let mut g = PolicyGraph::new("t");
+        g.inherits("ghost", "phantom");
+        let errs = errors(&g);
+        assert_eq!(errs.len(), 2);
+        g.roles.clear();
+        g.hierarchy.clear();
+        g.assign("nobody", "nothing");
+        assert_eq!(errors(&g).len(), 2);
+    }
+}

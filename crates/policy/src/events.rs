@@ -1,0 +1,115 @@
+//! Naming conventions for the primitive/composite events the generator
+//! wires up and the engine raises.
+//!
+//! In the paper each role gets role-specific event generators
+//! (`addActiveRoleR1`, `removeSessionRoleR1`, …) raised by the reactive
+//! objects; here the engine raises them by name. Keeping the convention in
+//! one place means the generator, regenerator and engine can never drift.
+
+/// `U → AddActiveRole_R(sessionId)` — a user requests activation of `role`.
+pub fn add_active(role: &str) -> String {
+    format!("addActiveRole_{role}")
+}
+
+/// Staged activation (cap-guarded roles): the AAR rule raises this, the CC
+/// rule applies it — the paper's `addSessionRoleR1` → CC₁ cascade (Rule 4).
+pub fn session_role_add(role: &str) -> String {
+    format!("addSessionRole_{role}")
+}
+
+/// `role` was successfully added to a session (starts Δ timers, Rule 7).
+pub fn role_added(role: &str) -> String {
+    format!("sessionRoleAdded_{role}")
+}
+
+/// A user requests deactivation of `role`.
+pub fn drop_active(role: &str) -> String {
+    format!("dropActiveRole_{role}")
+}
+
+/// `role` was deactivated in a session (cancels Δ timers, cascades
+/// prerequisite deactivations — Rule 9's ET₁₇).
+pub fn role_dropped(role: &str) -> String {
+    format!("sessionRoleDropped_{role}")
+}
+
+/// Request to enable `role` (paper's `enableRoleSysAdmin`).
+pub fn enable_role(role: &str) -> String {
+    format!("enableRole_{role}")
+}
+
+/// Request to disable `role` (paper's `roleDisableNurse`).
+pub fn disable_role(role: &str) -> String {
+    format!("disableRole_{role}")
+}
+
+/// `role` was enabled (status notification; feeds TRBAC role triggers).
+pub fn role_enabled(role: &str) -> String {
+    format!("roleEnabled_{role}")
+}
+
+/// `role` was disabled (status notification; feeds TRBAC role triggers).
+pub fn role_disabled(role: &str) -> String {
+    format!("roleDisabled_{role}")
+}
+
+/// The PLUS node delaying trigger `name`'s action by Δ.
+pub fn trigger_delay(name: &str) -> String {
+    format!("trigger_{name}")
+}
+
+/// The primitive event started when trigger `name`'s conditions held.
+pub fn trigger_fire(name: &str) -> String {
+    format!("triggerFire_{name}")
+}
+
+/// The PLUS node enforcing the role-wide Δ of `role`.
+pub fn delta(role: &str) -> String {
+    format!("delta_{role}")
+}
+
+/// The filtered activation event for a per-user Δ (paper's
+/// `Bob → addActiveRoleR3`).
+pub fn user_activation(role: &str, user: &str) -> String {
+    format!("activated_{role}_by_{user}")
+}
+
+/// The PLUS node enforcing the per-user Δ of (`role`, `user`).
+pub fn delta_user(role: &str, user: &str) -> String {
+    format!("delta_{role}_{user}")
+}
+
+/// `user → checkAccess(sessionId, operation, object)` — Rule 5's E₆.
+pub const CHECK_ACCESS: &str = "checkAccess";
+
+/// Administrative: `assignUser(user, role)`.
+pub const ASSIGN_USER: &str = "assignUser";
+
+/// Administrative: `deassignUser(user, role)`.
+pub const DEASSIGN_USER: &str = "deassignUser";
+
+/// Raised by the engine after any denied request — the feed for
+/// active-security threshold rules.
+pub const ACCESS_DENIED: &str = "accessDenied";
+
+/// External event: an environment context (location, network, …) changed.
+/// Context-constrained roles re-validate and deactivate if violated — the
+/// paper's "when a user moves from one location to another, external
+/// events can trigger some rules that activate/deactivate roles" (§3).
+pub const CONTEXT_CHANGED: &str = "contextChanged";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_role_scoped_and_stable() {
+        assert_eq!(add_active("PC"), "addActiveRole_PC");
+        assert_eq!(session_role_add("PC"), "addSessionRole_PC");
+        assert_eq!(role_added("PC"), "sessionRoleAdded_PC");
+        assert_eq!(drop_active("PC"), "dropActiveRole_PC");
+        assert_eq!(role_dropped("PC"), "sessionRoleDropped_PC");
+        assert_eq!(delta_user("R3", "bob"), "delta_R3_bob");
+        assert_ne!(add_active("A"), add_active("B"));
+    }
+}

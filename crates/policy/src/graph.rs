@@ -1,0 +1,618 @@
+//! The high-level access-control-policy graph — the data structure behind
+//! Figure 1 of the paper.
+//!
+//! Role nodes carry relationship *flags* (hierarchy, static SoD, dynamic
+//! SoD, temporal, active security); hierarchy edges connect parent (senior)
+//! nodes to children; SoD relations are the "dashed lines". Each child node
+//! keeps a *subscriber list* of pointers to its parents, exactly as the
+//! paper describes — the pointers are derived by the system, not specified
+//! by users. The graph is what the RBAC-Manager GUI produced; here it is
+//! built programmatically or parsed from the DSL in [`crate::spec`].
+
+use serde::{Deserialize, Serialize};
+use snoop::Dur;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A daily time window `HH:MM – HH:MM` in a policy (shift times, SoD
+/// windows). Compiled to calendar events / [`gtrbac::PeriodicWindow`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DailyWindow {
+    /// Opening hour.
+    pub start_h: u32,
+    /// Opening minute.
+    pub start_m: u32,
+    /// Closing hour.
+    pub end_h: u32,
+    /// Closing minute.
+    pub end_m: u32,
+}
+
+impl fmt::Display for DailyWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02}:{:02}-{:02}:{:02}",
+            self.start_h, self.start_m, self.end_h, self.end_m
+        )
+    }
+}
+
+/// The relationship flags stored in a role node (Figure 1: "flags
+/// corresponding to relationships … are stored in the node").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RoleFlags {
+    /// Takes part in the role hierarchy.
+    pub hierarchy: bool,
+    /// Member of a static SoD relation.
+    pub static_sod: bool,
+    /// Member of a dynamic SoD relation.
+    pub dynamic_sod: bool,
+    /// Has temporal constraints (enabling window / activation duration).
+    pub temporal: bool,
+    /// Referenced by an active-security or dependency constraint.
+    pub active_security: bool,
+    /// Has context-aware activation constraints.
+    pub context: bool,
+}
+
+/// One role node of the policy graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoleNode {
+    /// Role name (unique).
+    pub name: String,
+    /// Max distinct users active at once (paper Rule 4), if bounded.
+    pub max_active_users: Option<usize>,
+    /// Daily enabling window (shift), if temporally constrained.
+    pub enabling: Option<DailyWindow>,
+    /// Max duration of one activation (role-wide Δ).
+    pub max_activation: Option<Dur>,
+    /// Per-user Δ overrides (user name → Δ).
+    pub per_user_activation: BTreeMap<String, Dur>,
+}
+
+impl RoleNode {
+    fn new(name: &str) -> RoleNode {
+        RoleNode {
+            name: name.to_string(),
+            max_active_users: None,
+            enabling: None,
+            max_activation: None,
+            per_user_activation: BTreeMap::new(),
+        }
+    }
+}
+
+/// One user node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserNode {
+    /// User name (unique).
+    pub name: String,
+    /// Max roles this user may have active at once (paper scenario 1).
+    pub max_active_roles: Option<usize>,
+}
+
+/// A named permission: an operation on an object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PermNode {
+    /// Permission name (unique).
+    pub name: String,
+    /// Operation name.
+    pub op: String,
+    /// Object name.
+    pub obj: String,
+}
+
+/// A static or dynamic SoD set in the policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SodSpec {
+    /// Constraint name (unique within its kind).
+    pub name: String,
+    /// Role names.
+    pub roles: BTreeSet<String>,
+    /// Cardinality `n`: at most `n - 1` of `roles` per user/session.
+    pub cardinality: usize,
+}
+
+/// A disabling-time SoD constraint (paper Rule 6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisablingSodSpec {
+    /// Constraint name.
+    pub name: String,
+    /// Role names that may not be disabled together.
+    pub roles: BTreeSet<String>,
+    /// The daily `(I, P)` window it applies in.
+    pub window: DailyWindow,
+}
+
+/// A post-condition control-flow dependency (paper Rule 8).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostConditionSpec {
+    /// The trigger role (SysAdmin).
+    pub role: String,
+    /// The role that must be enabled with it (SysAudit).
+    pub requires: String,
+}
+
+/// A prerequisite-activation dependency (paper Rule 9).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrerequisiteSpec {
+    /// The dependent role (JuniorEmp).
+    pub role: String,
+    /// The role that must be active somewhere first (Manager).
+    pub requires_active: String,
+}
+
+/// Reaction of an active-security policy when its threshold trips.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SecurityAction {
+    /// Alert the administrators (always sensible; reports included).
+    Alert,
+    /// Disable all activity-control rules (lockdown).
+    DisableActivityRules,
+    /// Disable one role (deactivating it everywhere).
+    DisableRole(String),
+}
+
+/// An active-security threshold policy: more than `threshold` denials
+/// within `window` triggers the actions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecuritySpec {
+    /// Policy name.
+    pub name: String,
+    /// Denial-count threshold.
+    pub threshold: usize,
+    /// Sliding window.
+    pub window: Dur,
+    /// What to do when tripped.
+    pub actions: Vec<SecurityAction>,
+}
+
+/// Which role-status event a TRBAC trigger reacts to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatusKind {
+    /// The role was enabled.
+    Enabled,
+    /// The role was disabled.
+    Disabled,
+}
+
+/// A TRBAC role trigger (Bertino et al., TISSEC '01): on a role-status
+/// event, if all status conditions hold, enable/disable another role,
+/// optionally after a delay Δ — "periodic role enabling and disabling, and
+/// temporal dependencies among such actions".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TriggerSpec {
+    /// Trigger name (unique).
+    pub name: String,
+    /// The role whose status event fires the trigger.
+    pub on_role: String,
+    /// Enable or disable event.
+    pub on_kind: StatusKind,
+    /// Status conditions checked at fire time: (role, must be enabled?).
+    pub when: Vec<(String, bool)>,
+    /// The role the action targets.
+    pub action_role: String,
+    /// Enable or disable it.
+    pub action_kind: StatusKind,
+    /// Delay before the action (zero = immediate).
+    pub after: Dur,
+}
+
+/// A context-aware constraint (context-aware RBAC, Moyer & Ahamad): the
+/// role may be active only while the environment context `key` equals
+/// `value` (e.g. `location = ward`, `network = secure`). Context changes
+/// arrive as external events and *deactivate* roles whose constraints no
+/// longer hold — the paper's "when a user moves from one location to
+/// another, external events can trigger some rules that
+/// activate/deactivate roles" (§3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContextConstraintSpec {
+    /// The constrained role.
+    pub role: String,
+    /// Context key (location, network, …).
+    pub key: String,
+    /// Required value.
+    pub value: String,
+}
+
+/// A privacy purpose (privacy-aware RBAC), optionally under a parent
+/// purpose (purpose hierarchies).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PurposeSpec {
+    /// Purpose name (unique).
+    pub name: String,
+    /// Parent purpose, if any.
+    pub parent: Option<String>,
+}
+
+/// A privacy object policy: (op, obj) by `role` requires an access purpose
+/// at or under `purpose`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectPolicySpec {
+    /// Operation name.
+    pub op: String,
+    /// Object name.
+    pub obj: String,
+    /// Role the policy binds.
+    pub role: String,
+    /// Required purpose.
+    pub purpose: String,
+}
+
+/// The complete high-level policy: everything the paper's RBAC Manager
+/// captured, plus the extensions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicyGraph {
+    /// Enterprise/policy name.
+    pub name: String,
+    /// Role nodes, in declaration order.
+    pub roles: Vec<RoleNode>,
+    /// User nodes.
+    pub users: Vec<UserNode>,
+    /// Named permissions.
+    pub permissions: Vec<PermNode>,
+    /// Hierarchy edges (senior name, junior name).
+    pub hierarchy: Vec<(String, String)>,
+    /// User-role assignments (user name, role name).
+    pub assignments: Vec<(String, String)>,
+    /// Permission grants (permission name, role name).
+    pub grants: Vec<(String, String)>,
+    /// Static SoD sets.
+    pub ssd: Vec<SodSpec>,
+    /// Dynamic SoD sets.
+    pub dsd: Vec<SodSpec>,
+    /// Disabling-time SoD constraints.
+    pub disabling_sod: Vec<DisablingSodSpec>,
+    /// Enabling-time SoD constraints (same shape: role set + daily window).
+    pub enabling_sod: Vec<DisablingSodSpec>,
+    /// Post-condition CFDs.
+    pub post_conditions: Vec<PostConditionSpec>,
+    /// Prerequisite activations.
+    pub prerequisites: Vec<PrerequisiteSpec>,
+    /// Active-security threshold policies.
+    pub security: Vec<SecuritySpec>,
+    /// Context-aware activation constraints.
+    pub context_constraints: Vec<ContextConstraintSpec>,
+    /// TRBAC role triggers.
+    pub triggers: Vec<TriggerSpec>,
+    /// Privacy purposes.
+    pub purposes: Vec<PurposeSpec>,
+    /// Privacy object policies.
+    pub object_policies: Vec<ObjectPolicySpec>,
+}
+
+impl PolicyGraph {
+    /// An empty policy.
+    pub fn new(name: &str) -> PolicyGraph {
+        PolicyGraph {
+            name: name.to_string(),
+            ..PolicyGraph::default()
+        }
+    }
+
+    // ---- builder API (what the GUI's drag-n-drop produced) -----------------
+
+    /// Add a role node (idempotent).
+    pub fn role(&mut self, name: &str) -> &mut RoleNode {
+        if let Some(i) = self.roles.iter().position(|r| r.name == name) {
+            return &mut self.roles[i];
+        }
+        self.roles.push(RoleNode::new(name));
+        self.roles.last_mut().expect("just pushed")
+    }
+
+    /// Add a user node (idempotent).
+    pub fn user(&mut self, name: &str) -> &mut UserNode {
+        if let Some(i) = self.users.iter().position(|u| u.name == name) {
+            return &mut self.users[i];
+        }
+        self.users.push(UserNode {
+            name: name.to_string(),
+            max_active_roles: None,
+        });
+        self.users.last_mut().expect("just pushed")
+    }
+
+    /// Declare a named permission.
+    pub fn permission(&mut self, name: &str, op: &str, obj: &str) {
+        if !self.permissions.iter().any(|p| p.name == name) {
+            self.permissions.push(PermNode {
+                name: name.to_string(),
+                op: op.to_string(),
+                obj: obj.to_string(),
+            });
+        }
+    }
+
+    /// Connect `senior` above `junior` (idempotent).
+    pub fn inherits(&mut self, senior: &str, junior: &str) {
+        let edge = (senior.to_string(), junior.to_string());
+        if !self.hierarchy.contains(&edge) {
+            self.hierarchy.push(edge);
+        }
+    }
+
+    /// Assign a user to a role (idempotent).
+    pub fn assign(&mut self, user: &str, role: &str) {
+        let pair = (user.to_string(), role.to_string());
+        if !self.assignments.contains(&pair) {
+            self.assignments.push(pair);
+        }
+    }
+
+    /// Grant a permission to a role (idempotent).
+    pub fn grant(&mut self, perm: &str, role: &str) {
+        let pair = (perm.to_string(), role.to_string());
+        if !self.grants.contains(&pair) {
+            self.grants.push(pair);
+        }
+    }
+
+    /// Add a static SoD set (the dashed line in Figure 1).
+    pub fn ssd_set(&mut self, name: &str, roles: &[&str], cardinality: usize) {
+        self.ssd.push(SodSpec {
+            name: name.to_string(),
+            roles: roles.iter().map(|s| s.to_string()).collect(),
+            cardinality,
+        });
+    }
+
+    /// Add a dynamic SoD set.
+    pub fn dsd_set(&mut self, name: &str, roles: &[&str], cardinality: usize) {
+        self.dsd.push(SodSpec {
+            name: name.to_string(),
+            roles: roles.iter().map(|s| s.to_string()).collect(),
+            cardinality,
+        });
+    }
+
+    // ---- derived structure (the system-generated pointers) -----------------
+
+    /// Look up a role node.
+    pub fn role_node(&self, name: &str) -> Option<&RoleNode> {
+        self.roles.iter().find(|r| r.name == name)
+    }
+
+    /// Look up a user node.
+    pub fn user_node(&self, name: &str) -> Option<&UserNode> {
+        self.users.iter().find(|u| u.name == name)
+    }
+
+    /// Immediate parents (seniors) of a role — the node's subscriber list
+    /// in Figure 1.
+    pub fn parents_of(&self, role: &str) -> Vec<&str> {
+        self.hierarchy
+            .iter()
+            .filter(|(_, j)| j == role)
+            .map(|(s, _)| s.as_str())
+            .collect()
+    }
+
+    /// Immediate children (juniors) of a role.
+    pub fn children_of(&self, role: &str) -> Vec<&str> {
+        self.hierarchy
+            .iter()
+            .filter(|(s, _)| s == role)
+            .map(|(_, j)| j.as_str())
+            .collect()
+    }
+
+    /// The derived flags of a role node — set from the relationships the
+    /// role takes part in, exactly as the GUI set them "when the policies
+    /// are specified".
+    pub fn role_flags(&self, role: &str) -> RoleFlags {
+        let in_hierarchy = self
+            .hierarchy
+            .iter()
+            .any(|(s, j)| s == role || j == role);
+        let in_ssd = self.ssd.iter().any(|s| s.roles.contains(role));
+        let in_dsd = self.dsd.iter().any(|s| s.roles.contains(role));
+        let node = self.role_node(role);
+        let temporal = node.is_some_and(|n| {
+            n.enabling.is_some() || n.max_activation.is_some() || !n.per_user_activation.is_empty()
+        });
+        let in_security = self
+            .disabling_sod
+            .iter()
+            .any(|d| d.roles.contains(role))
+            || self.enabling_sod.iter().any(|d| d.roles.contains(role))
+            || self
+                .triggers
+                .iter()
+                .any(|t| t.on_role == role || t.action_role == role)
+            || self
+                .post_conditions
+                .iter()
+                .any(|p| p.role == role || p.requires == role)
+            || self
+                .prerequisites
+                .iter()
+                .any(|p| p.role == role || p.requires_active == role)
+            || self
+                .security
+                .iter()
+                .any(|s| s.actions.iter().any(|a| matches!(a, SecurityAction::DisableRole(r) if r == role)));
+        let in_context = self
+            .context_constraints
+            .iter()
+            .any(|c| c.role == role);
+        RoleFlags {
+            hierarchy: in_hierarchy,
+            static_sod: in_ssd,
+            dynamic_sod: in_dsd,
+            temporal,
+            active_security: in_security,
+            context: in_context,
+        }
+    }
+
+    /// Render the policy graph in Graphviz DOT form — the Figure-1 picture:
+    /// role nodes (temporally constrained ones shaded), solid arrows for
+    /// hierarchy (senior → junior), dashed undirected edges for static SoD,
+    /// dotted for dynamic SoD.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("graph policy {\n");
+        let _ = writeln!(out, "  label=\"{}\";", self.name);
+        for r in &self.roles {
+            let flags = self.role_flags(&r.name);
+            let style = if flags.temporal {
+                ",style=filled,fillcolor=lightyellow"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  \"{}\" [shape=box{style}];", r.name);
+        }
+        for (s, j) in &self.hierarchy {
+            let _ = writeln!(out, "  \"{s}\" -- \"{j}\" [dir=forward];");
+        }
+        for set in &self.ssd {
+            let roles: Vec<&String> = set.roles.iter().collect();
+            for w in roles.windows(2) {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -- \"{}\" [style=dashed,label=\"SSD\"];",
+                    w[0], w[1]
+                );
+            }
+        }
+        for set in &self.dsd {
+            let roles: Vec<&String> = set.roles.iter().collect();
+            for w in roles.windows(2) {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -- \"{}\" [style=dotted,label=\"DSD\"];",
+                    w[0], w[1]
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The paper's enterprise XYZ (Figure 1): purchase and approval
+    /// branches over a shared Clerk, with a static SoD between PC and AC.
+    pub fn enterprise_xyz() -> PolicyGraph {
+        let mut g = PolicyGraph::new("XYZ");
+        for r in ["PM", "PC", "AM", "AC", "Clerk"] {
+            g.role(r);
+        }
+        g.inherits("PM", "PC");
+        g.inherits("PC", "Clerk");
+        g.inherits("AM", "AC");
+        g.inherits("AC", "Clerk");
+        g.ssd_set("purchase-approval", &["PC", "AC"], 2);
+        g.permission("place_order", "create", "purchase_order");
+        g.permission("approve_order", "approve", "purchase_order");
+        g.permission("read_order", "read", "purchase_order");
+        g.grant("place_order", "PC");
+        g.grant("approve_order", "AC");
+        g.grant("read_order", "Clerk");
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_is_idempotent() {
+        let mut g = PolicyGraph::new("t");
+        g.role("a");
+        g.role("a");
+        assert_eq!(g.roles.len(), 1);
+        g.inherits("a", "b"); // b not declared yet — consistency will flag it
+        g.inherits("a", "b");
+        assert_eq!(g.hierarchy.len(), 1);
+        g.user("u");
+        g.user("u");
+        assert_eq!(g.users.len(), 1);
+        g.assign("u", "a");
+        g.assign("u", "a");
+        assert_eq!(g.assignments.len(), 1);
+    }
+
+    #[test]
+    fn xyz_structure_matches_figure_1() {
+        let g = PolicyGraph::enterprise_xyz();
+        assert_eq!(g.roles.len(), 5);
+        // PC's parents (subscriber list) point to PM.
+        assert_eq!(g.parents_of("PC"), vec!["PM"]);
+        // Clerk has two parents: PC and AC.
+        let mut clerk_parents = g.parents_of("Clerk");
+        clerk_parents.sort();
+        assert_eq!(clerk_parents, vec!["AC", "PC"]);
+        // Flags: PC has hierarchy + static SoD (so rule AAR₂ applies).
+        let pc = g.role_flags("PC");
+        assert!(pc.hierarchy);
+        assert!(pc.static_sod);
+        assert!(!pc.dynamic_sod);
+        // PM is in the hierarchy but not (directly) in the SoD set — it
+        // inherits the constraint through PC at enforcement time.
+        let pm = g.role_flags("PM");
+        assert!(pm.hierarchy);
+        assert!(!pm.static_sod);
+    }
+
+    #[test]
+    fn flags_reflect_constraints() {
+        let mut g = PolicyGraph::new("t");
+        g.role("solo");
+        let f = g.role_flags("solo");
+        assert_eq!(f, RoleFlags::default());
+
+        g.role("shift").enabling = Some(DailyWindow {
+            start_h: 8,
+            start_m: 0,
+            end_h: 16,
+            end_m: 0,
+        });
+        assert!(g.role_flags("shift").temporal);
+
+        g.role("j");
+        g.role("m");
+        g.prerequisites.push(PrerequisiteSpec {
+            role: "j".into(),
+            requires_active: "m".into(),
+        });
+        assert!(g.role_flags("j").active_security);
+        assert!(g.role_flags("m").active_security);
+
+        g.role("d1");
+        g.role("d2");
+        g.dsd_set("x", &["d1", "d2"], 2);
+        assert!(g.role_flags("d1").dynamic_sod);
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_dot_rendering() {
+        let g = PolicyGraph::enterprise_xyz();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("graph policy {"));
+        assert!(dot.contains("\"PM\" -- \"PC\" [dir=forward];"));
+        assert!(dot.contains("\"AC\" -- \"PC\" [style=dashed,label=\"SSD\"];"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn temporal_roles_are_shaded() {
+        let mut g = PolicyGraph::new("t");
+        g.role("shift").enabling = Some(DailyWindow {
+            start_h: 8,
+            start_m: 0,
+            end_h: 16,
+            end_m: 0,
+        });
+        g.role("plain");
+        let dot = g.to_dot();
+        assert!(dot.contains("\"shift\" [shape=box,style=filled,fillcolor=lightyellow];"));
+        assert!(dot.contains("\"plain\" [shape=box];"));
+    }
+}

@@ -1,0 +1,383 @@
+//! Lexer for the policy-specification DSL.
+//!
+//! The DSL is this reproduction's stand-in for the paper's RBAC Manager GUI:
+//! the graphical tool produced the Figure-1 policy graph; the DSL produces
+//! the same [`crate::graph::PolicyGraph`] from text. Tokens carry line/column
+//! spans for error reporting.
+
+use snoop::Dur;
+use std::fmt;
+
+/// A token of the DSL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Quoted string.
+    Str(String),
+    /// Unsigned integer.
+    Num(u64),
+    /// A duration literal like `90s`, `30m`, `2h`, `1d`.
+    Duration(Dur),
+    /// A time-of-day literal `HH:MM` or `HH:MM:SS`.
+    Time(u32, u32, u32),
+    /// `->`
+    Arrow,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `-`
+    Dash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Duration(d) => write!(f, "{d}"),
+            Tok::Time(h, m, s) => write!(f, "{h:02}:{m:02}:{s:02}"),
+            Tok::Arrow => write!(f, "->"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::Eq => write!(f, "="),
+            Tok::Dash => write!(f, "-"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Source position of a token (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Line.
+    pub line: u32,
+    /// Column.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexing/parsing error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Where it happened.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy spec error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Tokenize a policy source text.
+pub fn lex(src: &str) -> Result<Vec<(Tok, Span)>, SpecError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! span {
+        () => {
+            Span { line, col }
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                out.push((Tok::LBrace, span!()));
+                i += 1;
+                col += 1;
+            }
+            '}' => {
+                out.push((Tok::RBrace, span!()));
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, span!()));
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                out.push((Tok::Semi, span!()));
+                i += 1;
+                col += 1;
+            }
+            '=' => {
+                out.push((Tok::Eq, span!()));
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push((Tok::Arrow, span!()));
+                    i += 2;
+                    col += 2;
+                } else {
+                    out.push((Tok::Dash, span!()));
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '"' => {
+                let start = span!();
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(j) {
+                        None | Some(b'\n') => {
+                            return Err(SpecError {
+                                span: start,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(b'"') => break,
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                col += (j + 1 - i) as u32;
+                i = j + 1;
+                out.push((Tok::Str(s), start));
+            }
+            '0'..='9' => {
+                let start = span!();
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let num: u64 = src[i..j].parse().map_err(|_| SpecError {
+                    span: start,
+                    message: "number too large".into(),
+                })?;
+                // Time literal HH:MM or HH:MM:SS?
+                if bytes.get(j) == Some(&b':') {
+                    let (time, consumed) = lex_time(src, i, start)?;
+                    out.push((time, start));
+                    col += consumed as u32;
+                    i += consumed;
+                    continue;
+                }
+                // Duration suffix?
+                let (dur, suffix_len) = match bytes.get(j).map(|&b| b as char) {
+                    Some('s') => (Some(Dur::from_secs(num)), 1),
+                    Some('m') => (Some(Dur::from_mins(num)), 1),
+                    Some('h') => (Some(Dur::from_hours(num)), 1),
+                    Some('d') => (Some(Dur::from_hours(num * 24)), 1),
+                    _ => (None, 0),
+                };
+                if let Some(d) = dur {
+                    // Suffix must not continue into an identifier (e.g. `2hx`).
+                    if bytes
+                        .get(j + 1)
+                        .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+                    {
+                        return Err(SpecError {
+                            span: start,
+                            message: format!("malformed duration literal {:?}", &src[i..j + 2]),
+                        });
+                    }
+                    out.push((Tok::Duration(d), start));
+                    col += (j + suffix_len - i) as u32;
+                    i = j + suffix_len;
+                } else {
+                    out.push((Tok::Num(num), start));
+                    col += (j - i) as u32;
+                    i = j;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = span!();
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push((Tok::Ident(src[i..j].to_string()), start));
+                col += (j - i) as u32;
+                i = j;
+            }
+            other => {
+                return Err(SpecError {
+                    span: span!(),
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    out.push((Tok::Eof, span!()));
+    Ok(out)
+}
+
+/// Lex `HH:MM` or `HH:MM:SS` starting at byte `i`. Returns the token and
+/// the number of bytes consumed.
+fn lex_time(src: &str, i: usize, span: Span) -> Result<(Tok, usize), SpecError> {
+    let rest = &src[i..];
+    let mut parts = Vec::new();
+    let mut consumed = 0;
+    for (k, chunk) in rest.splitn(3, ':').enumerate() {
+        let digits: String = chunk.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() || digits.len() > 2 {
+            return Err(SpecError {
+                span,
+                message: "malformed time literal".into(),
+            });
+        }
+        parts.push(digits.parse::<u32>().expect("digits only"));
+        consumed += digits.len();
+        if k < 2 && rest.as_bytes().get(consumed) == Some(&b':') {
+            consumed += 1;
+        } else {
+            break;
+        }
+    }
+    if parts.len() < 2 {
+        return Err(SpecError {
+            span,
+            message: "malformed time literal".into(),
+        });
+    }
+    let (h, m, s) = (parts[0], parts[1], parts.get(2).copied().unwrap_or(0));
+    if h > 23 || m > 59 || s > 59 {
+        return Err(SpecError {
+            span,
+            message: format!("time {h:02}:{m:02}:{s:02} out of range"),
+        });
+    }
+    Ok((Tok::Time(h, m, s), consumed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("roles PM, PC;"),
+            vec![
+                Tok::Ident("roles".into()),
+                Tok::Ident("PM".into()),
+                Tok::Comma,
+                Tok::Ident("PC".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows_and_braces() {
+        assert_eq!(
+            toks("hierarchy A -> B { }"),
+            vec![
+                Tok::Ident("hierarchy".into()),
+                Tok::Ident("A".into()),
+                Tok::Arrow,
+                Tok::Ident("B".into()),
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn durations_and_numbers() {
+        assert_eq!(
+            toks("2h 30m 10s 1d 42"),
+            vec![
+                Tok::Duration(Dur::from_hours(2)),
+                Tok::Duration(Dur::from_mins(30)),
+                Tok::Duration(Dur::from_secs(10)),
+                Tok::Duration(Dur::from_hours(24)),
+                Tok::Num(42),
+                Tok::Eof
+            ]
+        );
+        assert!(lex("2hx").is_err());
+    }
+
+    #[test]
+    fn times_and_ranges() {
+        assert_eq!(
+            toks("08:00-16:30"),
+            vec![Tok::Time(8, 0, 0), Tok::Dash, Tok::Time(16, 30, 0), Tok::Eof]
+        );
+        assert_eq!(toks("10:00:30"), vec![Tok::Time(10, 0, 30), Tok::Eof]);
+        assert!(lex("25:00").is_err());
+        assert!(lex("10:61").is_err());
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        assert_eq!(
+            toks("ssd \"purchase approval\" # trailing comment\n;"),
+            vec![
+                Tok::Ident("ssd".into()),
+                Tok::Str("purchase approval".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let lexed = lex("a\n  b").unwrap();
+        assert_eq!(lexed[0].1, Span { line: 1, col: 1 });
+        assert_eq!(lexed[1].1, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let e = lex("@").unwrap_err();
+        assert!(e.message.contains("unexpected"));
+        assert!(e.to_string().contains("1:1"));
+    }
+}

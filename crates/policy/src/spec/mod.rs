@@ -1,0 +1,9 @@
+//! The textual policy-specification language (the RBAC-Manager stand-in).
+
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use lexer::{Span, SpecError, Tok};
+pub use parser::parse;
+pub use printer::print;

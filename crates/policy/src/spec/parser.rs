@@ -1,0 +1,707 @@
+//! Recursive-descent parser for the policy DSL.
+//!
+//! Grammar (one statement per `;`, inside `policy "Name" { … }`):
+//!
+//! ```text
+//! policy "XYZ" {
+//!   roles PM, PC, AC, AM, Clerk;
+//!   users bob, alice;
+//!   hierarchy PM -> PC -> Clerk;
+//!   ssd "purchase-approval" { PC, AC } cardinality 2;
+//!   dsd "exec" { A, B, C } cardinality 2;
+//!   permission place_order = create on purchase_order;
+//!   grant place_order -> PC;
+//!   assign bob -> PM;
+//!   cardinality PC max_active_users 5;
+//!   cardinality bob max_active_roles 5;
+//!   enable DayDoctor daily 08:00-16:00;
+//!   max_activation R3 2h;
+//!   max_activation R3 for bob 2h;
+//!   disabling_sod "nurse-doctor" { Nurse, Doctor } daily 10:00-17:00;
+//!   post_condition SysAdmin requires SysAudit;
+//!   prerequisite JuniorEmp requires_active Manager;
+//!   active_security "storm" threshold 10 within 60s actions alert, disable_activity;
+//!   context Nurse requires location = ward;
+//!   trigger "couple" on enable SysAdmin when enabled SysAudit then disable Backup after 10m;
+//!   purpose marketing;
+//!   purpose email under marketing;
+//!   object_policy read on patient_record for Nurse requires treatment;
+//! }
+//! ```
+//!
+//! Referenced roles/users/permissions/purposes must be declared first —
+//! forward references are reported with their source position.
+
+use crate::graph::{
+    ContextConstraintSpec, DailyWindow, DisablingSodSpec, ObjectPolicySpec, PolicyGraph,
+    PostConditionSpec, PrerequisiteSpec, PurposeSpec, SecurityAction, SecuritySpec, SodSpec,
+    StatusKind, TriggerSpec,
+};
+use crate::spec::lexer::{lex, Span, SpecError, Tok};
+use snoop::Dur;
+
+/// Parse a policy source text into a [`PolicyGraph`].
+pub fn parse(src: &str) -> Result<PolicyGraph, SpecError> {
+    let toks = lex(src)?;
+    Parser {
+        toks,
+        pos: 0,
+        graph: PolicyGraph::default(),
+    }
+    .run()
+}
+
+struct Parser {
+    toks: Vec<(Tok, Span)>,
+    pos: usize,
+    graph: PolicyGraph,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, SpecError> {
+        Err(SpecError {
+            span: self.span(),
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), SpecError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{want}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SpecError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), SpecError> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{kw}`, found `{other}`")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SpecError> {
+        match self.peek().clone() {
+            Tok::Str(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected string, found `{other}`")),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, SpecError> {
+        match *self.peek() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(n)
+            }
+            ref other => self.err(format!("expected number, found `{other}`")),
+        }
+    }
+
+    fn duration(&mut self) -> Result<Dur, SpecError> {
+        match *self.peek() {
+            Tok::Duration(d) => {
+                self.bump();
+                Ok(d)
+            }
+            ref other => self.err(format!(
+                "expected duration (e.g. 2h, 30m, 60s), found `{other}`"
+            )),
+        }
+    }
+
+    fn time(&mut self) -> Result<(u32, u32), SpecError> {
+        match *self.peek() {
+            Tok::Time(h, m, _) => {
+                self.bump();
+                Ok((h, m))
+            }
+            ref other => self.err(format!("expected time (HH:MM), found `{other}`")),
+        }
+    }
+
+    /// `daily HH:MM - HH:MM`
+    fn daily_window(&mut self) -> Result<DailyWindow, SpecError> {
+        self.keyword("daily")?;
+        let (start_h, start_m) = self.time()?;
+        self.expect(&Tok::Dash)?;
+        let (end_h, end_m) = self.time()?;
+        Ok(DailyWindow {
+            start_h,
+            start_m,
+            end_h,
+            end_m,
+        })
+    }
+
+    /// Comma-separated identifiers, each validated by `check`.
+    fn ident_list(&mut self) -> Result<Vec<(String, Span)>, SpecError> {
+        let mut out = Vec::new();
+        loop {
+            let span = self.span();
+            out.push((self.ident()?, span));
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `enable` | `disable` (trigger event/action keyword).
+    fn status_kind(&mut self) -> Result<StatusKind, SpecError> {
+        let span = self.span();
+        match self.ident()?.as_str() {
+            "enable" => Ok(StatusKind::Enabled),
+            "disable" => Ok(StatusKind::Disabled),
+            other => Err(SpecError {
+                span,
+                message: format!("expected `enable` or `disable`, found `{other}`"),
+            }),
+        }
+    }
+
+    /// `enabled` | `disabled` (trigger condition keyword).
+    fn status_pred(&mut self) -> Result<bool, SpecError> {
+        let span = self.span();
+        match self.ident()?.as_str() {
+            "enabled" => Ok(true),
+            "disabled" => Ok(false),
+            other => Err(SpecError {
+                span,
+                message: format!("expected `enabled` or `disabled`, found `{other}`"),
+            }),
+        }
+    }
+
+    fn known_role(&self, name: &str, span: Span) -> Result<(), SpecError> {
+        if self.graph.role_node(name).is_some() {
+            Ok(())
+        } else {
+            Err(SpecError {
+                span,
+                message: format!("unknown role `{name}` (declare it with `roles {name};` first)"),
+            })
+        }
+    }
+
+    fn known_user(&self, name: &str, span: Span) -> Result<(), SpecError> {
+        if self.graph.user_node(name).is_some() {
+            Ok(())
+        } else {
+            Err(SpecError {
+                span,
+                message: format!("unknown user `{name}`"),
+            })
+        }
+    }
+
+    fn run(mut self) -> Result<PolicyGraph, SpecError> {
+        self.keyword("policy")?;
+        self.graph.name = self.string()?;
+        self.expect(&Tok::LBrace)?;
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return self.err("unexpected end of input: missing `}`");
+            }
+            self.statement()?;
+        }
+        self.expect(&Tok::RBrace)?;
+        if *self.peek() != Tok::Eof {
+            return self.err("trailing input after policy block");
+        }
+        Ok(self.graph)
+    }
+
+    fn statement(&mut self) -> Result<(), SpecError> {
+        let span = self.span();
+        let kw = self.ident()?;
+        match kw.as_str() {
+            "roles" | "role" => {
+                for (name, _) in self.ident_list()? {
+                    self.graph.role(&name);
+                }
+            }
+            "users" | "user" => {
+                for (name, _) in self.ident_list()? {
+                    self.graph.user(&name);
+                }
+            }
+            "hierarchy" => {
+                let chain = {
+                    let mut names = Vec::new();
+                    loop {
+                        let s = self.span();
+                        names.push((self.ident()?, s));
+                        if *self.peek() == Tok::Arrow {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    names
+                };
+                if chain.len() < 2 {
+                    return Err(SpecError {
+                        span,
+                        message: "hierarchy needs at least two roles (A -> B)".into(),
+                    });
+                }
+                for (name, s) in &chain {
+                    self.known_role(name, *s)?;
+                }
+                for pair in chain.windows(2) {
+                    self.graph.inherits(&pair[0].0, &pair[1].0);
+                }
+            }
+            "ssd" | "dsd" => {
+                let name = self.string()?;
+                self.expect(&Tok::LBrace)?;
+                let roles = self.ident_list()?;
+                self.expect(&Tok::RBrace)?;
+                for (r, s) in &roles {
+                    self.known_role(r, *s)?;
+                }
+                let cardinality = if matches!(self.peek(), Tok::Ident(s) if s == "cardinality") {
+                    self.bump();
+                    self.number()? as usize
+                } else {
+                    2
+                };
+                let set = SodSpec {
+                    name,
+                    roles: roles.into_iter().map(|(r, _)| r).collect(),
+                    cardinality,
+                };
+                if kw == "ssd" {
+                    self.graph.ssd.push(set);
+                } else {
+                    self.graph.dsd.push(set);
+                }
+            }
+            "permission" => {
+                let name = self.ident()?;
+                self.expect(&Tok::Eq)?;
+                let op = self.ident()?;
+                self.keyword("on")?;
+                let obj = self.ident()?;
+                self.graph.permission(&name, &op, &obj);
+            }
+            "grant" => {
+                let pspan = self.span();
+                let perm = self.ident()?;
+                if !self.graph.permissions.iter().any(|p| p.name == perm) {
+                    return Err(SpecError {
+                        span: pspan,
+                        message: format!("unknown permission `{perm}`"),
+                    });
+                }
+                self.expect(&Tok::Arrow)?;
+                for (role, s) in self.ident_list()? {
+                    self.known_role(&role, s)?;
+                    self.graph.grant(&perm, &role);
+                }
+            }
+            "assign" => {
+                let uspan = self.span();
+                let user = self.ident()?;
+                self.known_user(&user, uspan)?;
+                self.expect(&Tok::Arrow)?;
+                for (role, s) in self.ident_list()? {
+                    self.known_role(&role, s)?;
+                    self.graph.assign(&user, &role);
+                }
+            }
+            "cardinality" => {
+                let nspan = self.span();
+                let entity = self.ident()?;
+                let kind = self.ident()?;
+                let n = self.number()? as usize;
+                match kind.as_str() {
+                    "max_active_users" => {
+                        self.known_role(&entity, nspan)?;
+                        self.graph.role(&entity).max_active_users = Some(n);
+                    }
+                    "max_active_roles" => {
+                        self.known_user(&entity, nspan)?;
+                        self.graph.user(&entity).max_active_roles = Some(n);
+                    }
+                    other => {
+                        return Err(SpecError {
+                            span: nspan,
+                            message: format!(
+                                "expected `max_active_users` or `max_active_roles`, found `{other}`"
+                            ),
+                        })
+                    }
+                }
+            }
+            "enable" => {
+                let rspan = self.span();
+                let role = self.ident()?;
+                self.known_role(&role, rspan)?;
+                let w = self.daily_window()?;
+                self.graph.role(&role).enabling = Some(w);
+            }
+            "max_activation" => {
+                let rspan = self.span();
+                let role = self.ident()?;
+                self.known_role(&role, rspan)?;
+                if matches!(self.peek(), Tok::Ident(s) if s == "for") {
+                    self.bump();
+                    let uspan = self.span();
+                    let user = self.ident()?;
+                    self.known_user(&user, uspan)?;
+                    let d = self.duration()?;
+                    self.graph.role(&role).per_user_activation.insert(user, d);
+                } else {
+                    let d = self.duration()?;
+                    self.graph.role(&role).max_activation = Some(d);
+                }
+            }
+            "disabling_sod" | "enabling_sod" => {
+                let name = self.string()?;
+                self.expect(&Tok::LBrace)?;
+                let roles = self.ident_list()?;
+                self.expect(&Tok::RBrace)?;
+                for (r, s) in &roles {
+                    self.known_role(r, *s)?;
+                }
+                let window = self.daily_window()?;
+                let spec = DisablingSodSpec {
+                    name,
+                    roles: roles.into_iter().map(|(r, _)| r).collect(),
+                    window,
+                };
+                if kw == "disabling_sod" {
+                    self.graph.disabling_sod.push(spec);
+                } else {
+                    self.graph.enabling_sod.push(spec);
+                }
+            }
+            "post_condition" => {
+                let s1 = self.span();
+                let role = self.ident()?;
+                self.known_role(&role, s1)?;
+                self.keyword("requires")?;
+                let s2 = self.span();
+                let requires = self.ident()?;
+                self.known_role(&requires, s2)?;
+                self.graph
+                    .post_conditions
+                    .push(PostConditionSpec { role, requires });
+            }
+            "prerequisite" => {
+                let s1 = self.span();
+                let role = self.ident()?;
+                self.known_role(&role, s1)?;
+                self.keyword("requires_active")?;
+                let s2 = self.span();
+                let requires_active = self.ident()?;
+                self.known_role(&requires_active, s2)?;
+                self.graph.prerequisites.push(PrerequisiteSpec {
+                    role,
+                    requires_active,
+                });
+            }
+            "active_security" => {
+                let name = self.string()?;
+                self.keyword("threshold")?;
+                let threshold = self.number()? as usize;
+                self.keyword("within")?;
+                let window = self.duration()?;
+                let mut actions = vec![SecurityAction::Alert];
+                if matches!(self.peek(), Tok::Ident(s) if s == "actions") {
+                    self.bump();
+                    actions.clear();
+                    loop {
+                        let aspan = self.span();
+                        let a = self.ident()?;
+                        match a.as_str() {
+                            "alert" => actions.push(SecurityAction::Alert),
+                            "disable_activity" => {
+                                actions.push(SecurityAction::DisableActivityRules)
+                            }
+                            "disable_role" => {
+                                let rspan = self.span();
+                                let r = self.ident()?;
+                                self.known_role(&r, rspan)?;
+                                actions.push(SecurityAction::DisableRole(r));
+                            }
+                            other => {
+                                return Err(SpecError {
+                                    span: aspan,
+                                    message: format!("unknown security action `{other}`"),
+                                })
+                            }
+                        }
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.graph.security.push(SecuritySpec {
+                    name,
+                    threshold,
+                    window,
+                    actions,
+                });
+            }
+            "trigger" => {
+                let name = self.string()?;
+                self.keyword("on")?;
+                let on_kind = self.status_kind()?;
+                let rspan = self.span();
+                let on_role = self.ident()?;
+                self.known_role(&on_role, rspan)?;
+                let mut when = Vec::new();
+                if matches!(self.peek(), Tok::Ident(s) if s == "when") {
+                    self.bump();
+                    loop {
+                        let k = self.status_pred()?;
+                        let cspan = self.span();
+                        let r = self.ident()?;
+                        self.known_role(&r, cspan)?;
+                        when.push((r, k));
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.keyword("then")?;
+                let action_kind = self.status_kind()?;
+                let aspan = self.span();
+                let action_role = self.ident()?;
+                self.known_role(&action_role, aspan)?;
+                let after = if matches!(self.peek(), Tok::Ident(s) if s == "after") {
+                    self.bump();
+                    self.duration()?
+                } else {
+                    snoop::Dur::ZERO
+                };
+                self.graph.triggers.push(TriggerSpec {
+                    name,
+                    on_role,
+                    on_kind,
+                    when,
+                    action_role,
+                    action_kind,
+                    after,
+                });
+            }
+            "context" => {
+                let rspan = self.span();
+                let role = self.ident()?;
+                self.known_role(&role, rspan)?;
+                self.keyword("requires")?;
+                let key = self.ident()?;
+                self.expect(&Tok::Eq)?;
+                let value = self.ident()?;
+                self.graph
+                    .context_constraints
+                    .push(ContextConstraintSpec { role, key, value });
+            }
+            "purpose" => {
+                let name = self.ident()?;
+                let parent = if matches!(self.peek(), Tok::Ident(s) if s == "under") {
+                    self.bump();
+                    let pspan = self.span();
+                    let p = self.ident()?;
+                    if !self.graph.purposes.iter().any(|x| x.name == p) {
+                        return Err(SpecError {
+                            span: pspan,
+                            message: format!("unknown parent purpose `{p}`"),
+                        });
+                    }
+                    Some(p)
+                } else {
+                    None
+                };
+                self.graph.purposes.push(PurposeSpec { name, parent });
+            }
+            "object_policy" => {
+                let op = self.ident()?;
+                self.keyword("on")?;
+                let obj = self.ident()?;
+                self.keyword("for")?;
+                let rspan = self.span();
+                let role = self.ident()?;
+                self.known_role(&role, rspan)?;
+                self.keyword("requires")?;
+                let pspan = self.span();
+                let purpose = self.ident()?;
+                if !self.graph.purposes.iter().any(|x| x.name == purpose) {
+                    return Err(SpecError {
+                        span: pspan,
+                        message: format!("unknown purpose `{purpose}`"),
+                    });
+                }
+                self.graph.object_policies.push(ObjectPolicySpec {
+                    op,
+                    obj,
+                    role,
+                    purpose,
+                });
+            }
+            other => {
+                return Err(SpecError {
+                    span,
+                    message: format!("unknown statement `{other}`"),
+                })
+            }
+        }
+        self.expect(&Tok::Semi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure-1 policy as DSL text.
+    pub(crate) const XYZ: &str = r#"
+        policy "XYZ" {
+          roles PM, PC, AM, AC, Clerk;
+          hierarchy PM -> PC -> Clerk;
+          hierarchy AM -> AC -> Clerk;
+          ssd "purchase-approval" { PC, AC } cardinality 2;
+          permission place_order = create on purchase_order;
+          permission approve_order = approve on purchase_order;
+          permission read_order = read on purchase_order;
+          grant place_order -> PC;
+          grant approve_order -> AC;
+          grant read_order -> Clerk;
+        }
+    "#;
+
+    #[test]
+    fn parses_enterprise_xyz_equal_to_builder() {
+        let parsed = parse(XYZ).unwrap();
+        let built = PolicyGraph::enterprise_xyz();
+        assert_eq!(parsed, built);
+    }
+
+    #[test]
+    fn full_feature_policy() {
+        let src = r#"
+            policy "hospital" {
+              roles Doctor, Nurse, DayDoctor, SysAdmin, SysAudit, Manager, JuniorEmp;
+              users bob, jane;
+              assign bob -> Doctor, Nurse;
+              cardinality Nurse max_active_users 5;
+              cardinality jane max_active_roles 3;
+              enable DayDoctor daily 08:00-16:00;
+              max_activation Doctor 12h;
+              max_activation Nurse for bob 2h;
+              dsd "conflict" { Doctor, Nurse } cardinality 2;
+              disabling_sod "availability" { Doctor, Nurse } daily 10:00-17:00;
+              post_condition SysAdmin requires SysAudit;
+              prerequisite JuniorEmp requires_active Manager;
+              active_security "storm" threshold 10 within 60s actions alert, disable_activity;
+              purpose treatment;
+              purpose billing under treatment;
+              permission read_rec = read on patient_record;
+              grant read_rec -> Doctor;
+              object_policy read on patient_record for Doctor requires treatment;
+            }
+        "#;
+        let g = parse(src).unwrap();
+        assert_eq!(g.name, "hospital");
+        assert_eq!(g.roles.len(), 7);
+        assert_eq!(g.role_node("Nurse").unwrap().max_active_users, Some(5));
+        assert_eq!(g.user_node("jane").unwrap().max_active_roles, Some(3));
+        assert_eq!(
+            g.role_node("DayDoctor").unwrap().enabling.unwrap().to_string(),
+            "08:00-16:00"
+        );
+        assert_eq!(
+            g.role_node("Nurse").unwrap().per_user_activation["bob"],
+            Dur::from_hours(2)
+        );
+        assert_eq!(g.dsd.len(), 1);
+        assert_eq!(g.disabling_sod[0].window.to_string(), "10:00-17:00");
+        assert_eq!(g.post_conditions[0].requires, "SysAudit");
+        assert_eq!(g.prerequisites[0].requires_active, "Manager");
+        assert_eq!(g.security[0].threshold, 10);
+        assert_eq!(
+            g.security[0].actions,
+            vec![SecurityAction::Alert, SecurityAction::DisableActivityRules]
+        );
+        assert_eq!(g.purposes.len(), 2);
+        assert_eq!(g.object_policies.len(), 1);
+    }
+
+    #[test]
+    fn forward_references_rejected() {
+        let e = parse("policy \"p\" { hierarchy A -> B; }").unwrap_err();
+        assert!(e.message.contains("unknown role `A`"), "{e}");
+        let e = parse("policy \"p\" { roles A; assign bob -> A; }").unwrap_err();
+        assert!(e.message.contains("unknown user `bob`"));
+        let e = parse("policy \"p\" { roles A; users u; grant g -> A; }").unwrap_err();
+        assert!(e.message.contains("unknown permission `g`"));
+        let e = parse("policy \"p\" { purpose a under b; }").unwrap_err();
+        assert!(e.message.contains("unknown parent purpose"));
+    }
+
+    #[test]
+    fn syntax_errors_have_positions() {
+        let e = parse("policy \"p\" { roles A\n  users B; }").unwrap_err();
+        assert_eq!(e.span.line, 2, "error on the line of the unexpected token");
+        let e = parse("policy \"p\" { bogus X; }").unwrap_err();
+        assert!(e.message.contains("unknown statement"));
+        let e = parse("policy \"p\" { roles A; ").unwrap_err();
+        assert!(e.message.contains("missing `}`"));
+    }
+
+    #[test]
+    fn default_ssd_cardinality_is_two() {
+        let g = parse("policy \"p\" { roles A, B; ssd \"x\" { A, B }; }").unwrap();
+        assert_eq!(g.ssd[0].cardinality, 2);
+    }
+
+    #[test]
+    fn hierarchy_chain_expands_to_edges() {
+        let g = parse("policy \"p\" { roles A, B, C; hierarchy A -> B -> C; }").unwrap();
+        assert_eq!(
+            g.hierarchy,
+            vec![("A".into(), "B".into()), ("B".into(), "C".into())]
+        );
+    }
+}

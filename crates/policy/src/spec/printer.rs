@@ -1,0 +1,263 @@
+//! Pretty-printer: render a [`PolicyGraph`] back into DSL text.
+//!
+//! The inverse of [`crate::spec::parse`]: `parse(print(g)) == g` for every
+//! well-formed graph (property-tested). Lets administrators round-trip
+//! between the programmatic builder, files on disk, and the textual form —
+//! the "high level specification" stays the single source of truth.
+
+use crate::graph::{PolicyGraph, SecurityAction, StatusKind};
+use snoop::Dur;
+use std::fmt::Write;
+
+fn fmt_dur(d: Dur) -> String {
+    let secs = d.as_secs();
+    if secs.is_multiple_of(3600) && secs > 0 {
+        format!("{}h", secs / 3600)
+    } else if secs.is_multiple_of(60) && secs > 0 {
+        format!("{}m", secs / 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+/// Render the policy as DSL source text.
+pub fn print(g: &PolicyGraph) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "policy \"{}\" {{", g.name).expect("string write");
+
+    if !g.roles.is_empty() {
+        let names: Vec<&str> = g.roles.iter().map(|r| r.name.as_str()).collect();
+        writeln!(w, "  roles {};", names.join(", ")).expect("string write");
+    }
+    if !g.users.is_empty() {
+        let names: Vec<&str> = g.users.iter().map(|u| u.name.as_str()).collect();
+        writeln!(w, "  users {};", names.join(", ")).expect("string write");
+    }
+    for (s, j) in &g.hierarchy {
+        writeln!(w, "  hierarchy {s} -> {j};").expect("string write");
+    }
+    for set in &g.ssd {
+        let roles: Vec<&str> = set.roles.iter().map(String::as_str).collect();
+        writeln!(
+            w,
+            "  ssd \"{}\" {{ {} }} cardinality {};",
+            set.name,
+            roles.join(", "),
+            set.cardinality
+        )
+        .expect("string write");
+    }
+    for set in &g.dsd {
+        let roles: Vec<&str> = set.roles.iter().map(String::as_str).collect();
+        writeln!(
+            w,
+            "  dsd \"{}\" {{ {} }} cardinality {};",
+            set.name,
+            roles.join(", "),
+            set.cardinality
+        )
+        .expect("string write");
+    }
+    for p in &g.permissions {
+        writeln!(w, "  permission {} = {} on {};", p.name, p.op, p.obj).expect("string write");
+    }
+    for (perm, role) in &g.grants {
+        writeln!(w, "  grant {perm} -> {role};").expect("string write");
+    }
+    for (user, role) in &g.assignments {
+        writeln!(w, "  assign {user} -> {role};").expect("string write");
+    }
+    for r in &g.roles {
+        if let Some(n) = r.max_active_users {
+            writeln!(w, "  cardinality {} max_active_users {n};", r.name).expect("string write");
+        }
+    }
+    for u in &g.users {
+        if let Some(n) = u.max_active_roles {
+            writeln!(w, "  cardinality {} max_active_roles {n};", u.name).expect("string write");
+        }
+    }
+    for r in &g.roles {
+        if let Some(win) = &r.enabling {
+            writeln!(
+                w,
+                "  enable {} daily {:02}:{:02}-{:02}:{:02};",
+                r.name, win.start_h, win.start_m, win.end_h, win.end_m
+            )
+            .expect("string write");
+        }
+        if let Some(d) = r.max_activation {
+            writeln!(w, "  max_activation {} {};", r.name, fmt_dur(d)).expect("string write");
+        }
+        for (user, d) in &r.per_user_activation {
+            writeln!(w, "  max_activation {} for {user} {};", r.name, fmt_dur(*d))
+                .expect("string write");
+        }
+    }
+    for d in &g.disabling_sod {
+        let roles: Vec<&str> = d.roles.iter().map(String::as_str).collect();
+        writeln!(
+            w,
+            "  disabling_sod \"{}\" {{ {} }} daily {:02}:{:02}-{:02}:{:02};",
+            d.name,
+            roles.join(", "),
+            d.window.start_h,
+            d.window.start_m,
+            d.window.end_h,
+            d.window.end_m
+        )
+        .expect("string write");
+    }
+    for d in &g.enabling_sod {
+        let roles: Vec<&str> = d.roles.iter().map(String::as_str).collect();
+        writeln!(
+            w,
+            "  enabling_sod \"{}\" {{ {} }} daily {:02}:{:02}-{:02}:{:02};",
+            d.name,
+            roles.join(", "),
+            d.window.start_h,
+            d.window.start_m,
+            d.window.end_h,
+            d.window.end_m
+        )
+        .expect("string write");
+    }
+    for pc in &g.post_conditions {
+        writeln!(w, "  post_condition {} requires {};", pc.role, pc.requires)
+            .expect("string write");
+    }
+    for p in &g.prerequisites {
+        writeln!(
+            w,
+            "  prerequisite {} requires_active {};",
+            p.role, p.requires_active
+        )
+        .expect("string write");
+    }
+    for s in &g.security {
+        let actions: Vec<String> = s
+            .actions
+            .iter()
+            .map(|a| match a {
+                SecurityAction::Alert => "alert".to_string(),
+                SecurityAction::DisableActivityRules => "disable_activity".to_string(),
+                SecurityAction::DisableRole(r) => format!("disable_role {r}"),
+            })
+            .collect();
+        writeln!(
+            w,
+            "  active_security \"{}\" threshold {} within {} actions {};",
+            s.name,
+            s.threshold,
+            fmt_dur(s.window),
+            actions.join(", ")
+        )
+        .expect("string write");
+    }
+    for t in &g.triggers {
+        let kind = |k: StatusKind| match k {
+            StatusKind::Enabled => "enable",
+            StatusKind::Disabled => "disable",
+        };
+        let mut line = format!(
+            "  trigger \"{}\" on {} {}",
+            t.name,
+            kind(t.on_kind),
+            t.on_role
+        );
+        if !t.when.is_empty() {
+            let conds: Vec<String> = t
+                .when
+                .iter()
+                .map(|(r, e)| format!("{} {r}", if *e { "enabled" } else { "disabled" }))
+                .collect();
+            line.push_str(&format!(" when {}", conds.join(", ")));
+        }
+        line.push_str(&format!(" then {} {}", kind(t.action_kind), t.action_role));
+        if !t.after.is_zero() {
+            line.push_str(&format!(" after {}", fmt_dur(t.after)));
+        }
+        line.push(';');
+        writeln!(w, "{line}").expect("string write");
+    }
+    for c in &g.context_constraints {
+        writeln!(w, "  context {} requires {} = {};", c.role, c.key, c.value)
+            .expect("string write");
+    }
+    for p in &g.purposes {
+        match &p.parent {
+            Some(parent) => writeln!(w, "  purpose {} under {parent};", p.name),
+            None => writeln!(w, "  purpose {};", p.name),
+        }
+        .expect("string write");
+    }
+    for op in &g.object_policies {
+        writeln!(
+            w,
+            "  object_policy {} on {} for {} requires {};",
+            op.op, op.obj, op.role, op.purpose
+        )
+        .expect("string write");
+    }
+    writeln!(w, "}}").expect("string write");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse;
+
+    #[test]
+    fn xyz_round_trips() {
+        let g = PolicyGraph::enterprise_xyz();
+        let text = print(&g);
+        let back = parse(&text).unwrap();
+        assert_eq!(g, back, "printed:\n{text}");
+    }
+
+    #[test]
+    fn full_feature_round_trip() {
+        let src = r#"
+            policy "hospital" {
+              roles Doctor, Nurse, DayDoctor, SysAdmin, SysAudit, Manager, JuniorEmp;
+              users bob, jane;
+              assign bob -> Doctor;
+              cardinality Nurse max_active_users 5;
+              cardinality jane max_active_roles 3;
+              enable DayDoctor daily 08:00-16:00;
+              max_activation Doctor 12h;
+              max_activation Nurse for bob 2h;
+              dsd "conflict" { Doctor, Nurse } cardinality 2;
+              disabling_sod "availability" { Doctor, Nurse } daily 10:00-17:00;
+              post_condition SysAdmin requires SysAudit;
+              prerequisite JuniorEmp requires_active Manager;
+              active_security "storm" threshold 10 within 60s actions alert, disable_activity;
+              purpose treatment;
+              purpose billing under treatment;
+              permission read_rec = read on patient_record;
+              grant read_rec -> Doctor;
+              object_policy read on patient_record for Doctor requires treatment;
+            }
+        "#;
+        let g = parse(src).unwrap();
+        let text = print(&g);
+        let back = parse(&text).unwrap();
+        assert_eq!(g, back, "printed:\n{text}");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Dur::from_hours(2)), "2h");
+        assert_eq!(fmt_dur(Dur::from_mins(90)), "90m");
+        assert_eq!(fmt_dur(Dur::from_secs(45)), "45s");
+        assert_eq!(fmt_dur(Dur::ZERO), "0s");
+    }
+
+    #[test]
+    fn printing_is_deterministic() {
+        let g = PolicyGraph::enterprise_xyz();
+        assert_eq!(print(&g), print(&g));
+    }
+}

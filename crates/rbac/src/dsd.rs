@@ -1,0 +1,252 @@
+//! Dynamic Separation of Duty (ANSI 359-2004 §6.4).
+//!
+//! A DSD constraint (role set RS, cardinality n) lets a user be *assigned*
+//! to many conflicting roles but never *active* in n or more of them within
+//! one session — the paper's "a user can be assigned to M mutually exclusive
+//! roles, but cannot be active in N or more … at the same time".
+
+use crate::error::{RbacError, Result};
+use crate::ids::{DsdId, RoleId, SessionId};
+use crate::system::{SodSet, System};
+use std::collections::BTreeSet;
+
+impl System {
+    /// `CreateDsdSet`: create a named DSD constraint over `roles` with
+    /// cardinality `n` (at most `n - 1` of them active per session).
+    pub fn create_dsd_set(&mut self, name: &str, roles: &[RoleId], n: usize) -> Result<DsdId> {
+        if self.dsd_names.contains_key(name) {
+            return Err(RbacError::DuplicateName(name.to_string()));
+        }
+        let roles: BTreeSet<RoleId> = roles.iter().copied().collect();
+        for &r in &roles {
+            self.role(r)?;
+        }
+        if n < 2 || n > roles.len() {
+            return Err(RbacError::BadCardinality {
+                n,
+                set_size: roles.len(),
+            });
+        }
+        let id = DsdId(u32::try_from(self.dsd.len()).expect("dsd count fits u32"));
+        self.dsd.push(Some(SodSet {
+            name: name.to_string(),
+            roles,
+            n,
+        }));
+        self.dsd_names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// `DeleteDsdSet`.
+    pub fn delete_dsd_set(&mut self, id: DsdId) -> Result<()> {
+        let set = self
+            .dsd
+            .get_mut(id.index())
+            .and_then(Option::take)
+            .ok_or(RbacError::NoSuchDsdSet(id))?;
+        self.dsd_names.remove(&set.name);
+        Ok(())
+    }
+
+    /// `AddDsdRoleMember`.
+    pub fn add_dsd_role_member(&mut self, id: DsdId, r: RoleId) -> Result<()> {
+        self.role(r)?;
+        self.dsd_mut(id)?.roles.insert(r);
+        Ok(())
+    }
+
+    /// `DeleteDsdRoleMember` (must keep ≥ cardinality roles).
+    pub fn delete_dsd_role_member(&mut self, id: DsdId, r: RoleId) -> Result<()> {
+        let set = self.dsd_set(id)?;
+        if !set.roles.contains(&r) {
+            return Err(RbacError::NoSuchRole(r));
+        }
+        if set.roles.len() - 1 < set.n {
+            return Err(RbacError::BadCardinality {
+                n: set.n,
+                set_size: set.roles.len() - 1,
+            });
+        }
+        self.dsd_mut(id)?.roles.remove(&r);
+        Ok(())
+    }
+
+    /// `SetDsdSetCardinality`.
+    pub fn set_dsd_cardinality(&mut self, id: DsdId, n: usize) -> Result<()> {
+        let set = self.dsd_set(id)?;
+        if n < 2 || n > set.roles.len() {
+            return Err(RbacError::BadCardinality {
+                n,
+                set_size: set.roles.len(),
+            });
+        }
+        self.dsd_mut(id)?.n = n;
+        Ok(())
+    }
+
+    /// `DsdRoleSets` review: name, roles and cardinality.
+    pub fn dsd_set_info(&self, id: DsdId) -> Result<(String, BTreeSet<RoleId>, usize)> {
+        let s = self.dsd_set(id)?;
+        Ok((s.name.clone(), s.roles.clone(), s.n))
+    }
+
+    /// Resolve a DSD set by name.
+    pub fn dsd_by_name(&self, name: &str) -> Result<DsdId> {
+        self.dsd_names
+            .get(name)
+            .copied()
+            .ok_or_else(|| RbacError::UnknownName(name.to_string()))
+    }
+
+    /// Would activating `r` in session `s` violate a DSD set? (The paper's
+    /// `checkDynamicSoDSet(user, R1)` condition.)
+    pub fn check_dsd_activate(&self, s: SessionId, r: RoleId) -> Result<()> {
+        let sess = self.session(s)?;
+        for id in self.all_dsd_sets() {
+            let set = self.dsd_set(id)?;
+            if !set.roles.contains(&r) {
+                continue;
+            }
+            let active_in_set = sess.active.intersection(&set.roles).count();
+            if active_in_set + 1 >= set.n {
+                return Err(RbacError::DsdViolation {
+                    set: id,
+                    session: s,
+                    role: r,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Does the role participate in any DSD set? (Rule-variant selection:
+    /// AAR₃/AAR₄ vs AAR₁/AAR₂.)
+    pub fn in_dsd(&self, r: RoleId) -> Result<bool> {
+        self.role(r)?;
+        Ok(self.dsd.iter().flatten().any(|s| s.roles.contains(&r)))
+    }
+
+    pub(crate) fn dsd_set(&self, id: DsdId) -> Result<&SodSet> {
+        self.dsd
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(RbacError::NoSuchDsdSet(id))
+    }
+
+    fn dsd_mut(&mut self, id: DsdId) -> Result<&mut SodSet> {
+        self.dsd
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .ok_or(RbacError::NoSuchDsdSet(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+
+    fn base() -> (System, UserId, RoleId, RoleId, RoleId) {
+        let mut s = System::new();
+        let u = s.add_user("u").unwrap();
+        let a = s.add_role("a").unwrap();
+        let b = s.add_role("b").unwrap();
+        let c = s.add_role("c").unwrap();
+        for r in [a, b, c] {
+            s.assign_user(u, r).unwrap();
+        }
+        (s, u, a, b, c)
+    }
+
+    #[test]
+    fn assigned_to_all_active_in_fewer() {
+        let (mut s, u, a, b, c) = base();
+        // N = 2 of M = 3: only one may be active at a time.
+        s.create_dsd_set("x", &[a, b, c], 2).unwrap();
+        let sess = s.create_session(u, &[a]).unwrap();
+        assert!(matches!(
+            s.add_active_role(u, sess, b),
+            Err(RbacError::DsdViolation { .. })
+        ));
+        // Dropping `a` frees the slot.
+        s.drop_active_role(u, sess, a).unwrap();
+        s.add_active_role(u, sess, b).unwrap();
+        assert!(s.add_active_role(u, sess, c).is_err());
+    }
+
+    #[test]
+    fn n_of_m_boundary() {
+        let (mut s, u, a, b, c) = base();
+        // N = 3: any two of three may be co-active, not all three.
+        s.create_dsd_set("x", &[a, b, c], 3).unwrap();
+        let sess = s.create_session(u, &[a, b]).unwrap();
+        assert!(matches!(
+            s.add_active_role(u, sess, c),
+            Err(RbacError::DsdViolation { .. })
+        ));
+        assert_eq!(s.session_roles(sess).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dsd_is_per_session() {
+        let (mut s, u, a, b, _) = base();
+        s.create_dsd_set("x", &[a, b], 2).unwrap();
+        let s1 = s.create_session(u, &[a]).unwrap();
+        // A *different* session may activate the conflicting role.
+        let s2 = s.create_session(u, &[b]).unwrap();
+        assert!(s.session_roles(s1).unwrap().contains(&a));
+        assert!(s.session_roles(s2).unwrap().contains(&b));
+    }
+
+    #[test]
+    fn roles_outside_set_unaffected() {
+        let (mut s, u, a, b, c) = base();
+        s.create_dsd_set("x", &[a, b], 2).unwrap();
+        let sess = s.create_session(u, &[a]).unwrap();
+        s.add_active_role(u, sess, c).unwrap();
+    }
+
+    #[test]
+    fn create_session_initial_set_checked() {
+        let (mut s, u, a, b, _) = base();
+        s.create_dsd_set("x", &[a, b], 2).unwrap();
+        assert!(s.create_session(u, &[a, b]).is_err());
+    }
+
+    #[test]
+    fn membership_and_cardinality_changes() {
+        let (mut s, u, a, b, c) = base();
+        let id = s.create_dsd_set("x", &[a, b], 2).unwrap();
+        s.add_dsd_role_member(id, c).unwrap();
+        let sess = s.create_session(u, &[a]).unwrap();
+        assert!(s.add_active_role(u, sess, c).is_err());
+        s.set_dsd_cardinality(id, 3).unwrap();
+        s.add_active_role(u, sess, c).unwrap();
+        assert!(matches!(
+            s.delete_dsd_role_member(id, c),
+            Err(RbacError::BadCardinality { .. })
+        ));
+        assert!(matches!(
+            s.set_dsd_cardinality(id, 4),
+            Err(RbacError::BadCardinality { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_set_lifts_constraint() {
+        let (mut s, u, a, b, _) = base();
+        let id = s.create_dsd_set("x", &[a, b], 2).unwrap();
+        let sess = s.create_session(u, &[a]).unwrap();
+        assert!(s.add_active_role(u, sess, b).is_err());
+        s.delete_dsd_set(id).unwrap();
+        s.add_active_role(u, sess, b).unwrap();
+    }
+
+    #[test]
+    fn in_dsd_flag() {
+        let (mut s, _, a, b, c) = base();
+        s.create_dsd_set("x", &[a, b], 2).unwrap();
+        assert!(s.in_dsd(a).unwrap());
+        assert!(!s.in_dsd(c).unwrap());
+    }
+}

@@ -1,0 +1,172 @@
+//! Error type covering every failure mode of the RBAC functional
+//! specification.
+
+use crate::ids::{DsdId, ObjId, OpId, RoleId, SessionId, SsdId, UserId};
+use std::fmt;
+
+/// Result alias for RBAC operations.
+pub type Result<T> = std::result::Result<T, RbacError>;
+
+/// Why an administrative command, system function or review function was
+/// rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RbacError {
+    /// A name was registered twice (users, roles, operations, objects and
+    /// constraint-set names are unique).
+    DuplicateName(String),
+    /// Unknown user id.
+    NoSuchUser(UserId),
+    /// Unknown role id.
+    NoSuchRole(RoleId),
+    /// Unknown session id.
+    NoSuchSession(SessionId),
+    /// Unknown operation id.
+    NoSuchOp(OpId),
+    /// Unknown object id.
+    NoSuchObject(ObjId),
+    /// Unknown SSD set.
+    NoSuchSsdSet(SsdId),
+    /// Unknown DSD set.
+    NoSuchDsdSet(DsdId),
+    /// Unknown name in a lookup.
+    UnknownName(String),
+    /// AssignUser on an existing assignment.
+    AlreadyAssigned(UserId, RoleId),
+    /// DeassignUser without an assignment.
+    NotAssigned(UserId, RoleId),
+    /// GrantPermission duplicate.
+    AlreadyGranted(RoleId),
+    /// RevokePermission without a grant.
+    NotGranted(RoleId),
+    /// Session operations by a user who does not own the session.
+    NotSessionOwner(SessionId, UserId),
+    /// AddActiveRole on an already-active role.
+    RoleAlreadyActive(SessionId, RoleId),
+    /// DropActiveRole on an inactive role.
+    RoleNotActive(SessionId, RoleId),
+    /// AddActiveRole by a user not authorized for the role.
+    NotAuthorized(UserId, RoleId),
+    /// Activation of a role that is currently disabled (temporal RBAC).
+    RoleDisabled(RoleId),
+    /// Assignment would violate a static separation-of-duty constraint.
+    SsdViolation {
+        /// The violated set.
+        set: SsdId,
+        /// The user being assigned.
+        user: UserId,
+        /// The role whose assignment failed.
+        role: RoleId,
+    },
+    /// Activation would violate a dynamic separation-of-duty constraint.
+    DsdViolation {
+        /// The violated set.
+        set: DsdId,
+        /// The session in which activation failed.
+        session: SessionId,
+        /// The role whose activation failed.
+        role: RoleId,
+    },
+    /// AddInheritance would create a cycle in the role hierarchy.
+    HierarchyCycle(RoleId, RoleId),
+    /// The edge already exists.
+    InheritanceExists(RoleId, RoleId),
+    /// DeleteInheritance on a missing edge.
+    NoSuchInheritance(RoleId, RoleId),
+    /// In a limited hierarchy a role may have at most one immediate senior.
+    LimitedHierarchy(RoleId),
+    /// AddInheritance would make some user's authorized roles violate SSD.
+    SsdInheritanceConflict {
+        /// The violated set.
+        set: SsdId,
+        /// A user whose authorized roles would violate it.
+        user: UserId,
+    },
+    /// An SSD/DSD set needs 2 ≤ cardinality ≤ |roles|.
+    BadCardinality {
+        /// Requested cardinality.
+        n: usize,
+        /// Size of the role set.
+        set_size: usize,
+    },
+    /// Creating an SSD set (or shrinking its cardinality) that existing
+    /// assignments already violate.
+    SsdUnsatisfied {
+        /// The set being created/changed.
+        set: SsdId,
+        /// A violating user.
+        user: UserId,
+    },
+    /// CheckAccess denial (not an error of the machinery — the reference
+    /// monitor's "no" answer, reported by enforcement layers).
+    AccessDenied {
+        /// The requesting session.
+        session: SessionId,
+        /// The requested operation.
+        op: OpId,
+        /// The requested object.
+        obj: ObjId,
+    },
+    /// Role activation cardinality exceeded (paper's Rule 4).
+    CardinalityExceeded {
+        /// The saturated role.
+        role: RoleId,
+        /// The configured bound.
+        max: usize,
+    },
+}
+
+impl fmt::Display for RbacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use RbacError::*;
+        match self {
+            DuplicateName(n) => write!(f, "name {n:?} already in use"),
+            NoSuchUser(u) => write!(f, "no such user {u}"),
+            NoSuchRole(r) => write!(f, "no such role {r}"),
+            NoSuchSession(s) => write!(f, "no such session {s}"),
+            NoSuchOp(o) => write!(f, "no such operation {o}"),
+            NoSuchObject(o) => write!(f, "no such object {o}"),
+            NoSuchSsdSet(s) => write!(f, "no such SSD set {s}"),
+            NoSuchDsdSet(s) => write!(f, "no such DSD set {s}"),
+            UnknownName(n) => write!(f, "unknown name {n:?}"),
+            AlreadyAssigned(u, r) => write!(f, "user {u} already assigned to role {r}"),
+            NotAssigned(u, r) => write!(f, "user {u} is not assigned to role {r}"),
+            AlreadyGranted(r) => write!(f, "permission already granted to role {r}"),
+            NotGranted(r) => write!(f, "permission not granted to role {r}"),
+            NotSessionOwner(s, u) => write!(f, "session {s} is not owned by user {u}"),
+            RoleAlreadyActive(s, r) => write!(f, "role {r} already active in session {s}"),
+            RoleNotActive(s, r) => write!(f, "role {r} not active in session {s}"),
+            NotAuthorized(u, r) => write!(f, "user {u} is not authorized for role {r}"),
+            RoleDisabled(r) => write!(f, "role {r} is disabled"),
+            SsdViolation { set, user, role } => {
+                write!(f, "assigning {user} to {role} violates SSD set {set}")
+            }
+            DsdViolation { set, session, role } => {
+                write!(f, "activating {role} in {session} violates DSD set {set}")
+            }
+            HierarchyCycle(a, b) => write!(f, "inheritance {a} ⪰ {b} would create a cycle"),
+            InheritanceExists(a, b) => write!(f, "inheritance {a} ⪰ {b} already exists"),
+            NoSuchInheritance(a, b) => write!(f, "no inheritance {a} ⪰ {b}"),
+            LimitedHierarchy(r) => {
+                write!(f, "role {r} already has an immediate senior (limited hierarchy)")
+            }
+            SsdInheritanceConflict { set, user } => write!(
+                f,
+                "inheritance would violate SSD set {set} for user {user}"
+            ),
+            BadCardinality { n, set_size } => {
+                write!(f, "cardinality {n} invalid for a role set of size {set_size}")
+            }
+            SsdUnsatisfied { set, user } => {
+                write!(f, "existing assignments of user {user} violate SSD set {set}")
+            }
+            AccessDenied { session, op, obj } => {
+                write!(f, "session {session} denied {op} on {obj}")
+            }
+            CardinalityExceeded { role, max } => {
+                write!(f, "role {role} activation cardinality {max} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RbacError {}

@@ -1,0 +1,94 @@
+//! Typed identifiers for RBAC entities.
+//!
+//! Every entity set in the standard (USERS, ROLES, OPS, OBS, SESSIONS and
+//! the derived PRMS) gets its own newtype id, so the compiler rejects e.g.
+//! passing a user where a role is expected. Ids are dense indexes assigned
+//! by [`crate::system::System`]; names are interned alongside.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A member of USERS — a human or user agent.
+    UserId,
+    "u"
+);
+id_type!(
+    /// A member of ROLES — a job function.
+    RoleId,
+    "r"
+);
+id_type!(
+    /// A member of SESSIONS — a mapping from a user to activated roles.
+    SessionId,
+    "s"
+);
+id_type!(
+    /// A member of OPS — an operation (read, write, approve, …).
+    OpId,
+    "op"
+);
+id_type!(
+    /// A member of OBS — a protected object.
+    ObjId,
+    "ob"
+);
+id_type!(
+    /// A member of PRMS — an (operation, object) permission.
+    PermId,
+    "p"
+);
+id_type!(
+    /// A named SSD constraint set.
+    SsdId,
+    "ssd"
+);
+id_type!(
+    /// A named DSD constraint set.
+    DsdId,
+    "dsd"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(UserId(3).to_string(), "u3");
+        assert_eq!(RoleId(0).to_string(), "r0");
+        assert_eq!(SessionId(7).index(), 7);
+        assert_eq!(PermId(2).to_string(), "p2");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(RoleId(1) < RoleId(2));
+        let mut v = vec![UserId(2), UserId(0), UserId(1)];
+        v.sort();
+        assert_eq!(v, vec![UserId(0), UserId(1), UserId(2)]);
+    }
+}

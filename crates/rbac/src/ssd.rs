@@ -1,0 +1,319 @@
+//! Static Separation of Duty (ANSI 359-2004 §6.3).
+//!
+//! An SSD constraint is a pair (role set RS, cardinality n): no user may be
+//! *authorized* for n or more roles from RS. With role hierarchies the
+//! authorized set (assignments plus inherited memberships) is constrained,
+//! so a user assigned to PM inherits PC's conflicts — exactly the paper's
+//! enterprise-XYZ scenario.
+
+use crate::error::{RbacError, Result};
+use crate::ids::{RoleId, SsdId, UserId};
+use crate::system::{SodSet, System};
+use std::collections::BTreeSet;
+
+impl System {
+    /// `CreateSsdSet`: create a named SSD constraint over `roles` with
+    /// cardinality `n` (a user may hold at most `n - 1` of them).
+    ///
+    /// Rejected when existing assignments already violate it.
+    pub fn create_ssd_set(&mut self, name: &str, roles: &[RoleId], n: usize) -> Result<SsdId> {
+        if self.ssd_names.contains_key(name) {
+            return Err(RbacError::DuplicateName(name.to_string()));
+        }
+        let roles: BTreeSet<RoleId> = roles.iter().copied().collect();
+        for &r in &roles {
+            self.role(r)?;
+        }
+        if n < 2 || n > roles.len() {
+            return Err(RbacError::BadCardinality {
+                n,
+                set_size: roles.len(),
+            });
+        }
+        let id = SsdId(u32::try_from(self.ssd.len()).expect("ssd count fits u32"));
+        // Pre-check existing users.
+        for u in self.all_users().collect::<Vec<_>>() {
+            let authorized = self.authorized_roles(u)?;
+            if authorized.intersection(&roles).count() >= n {
+                return Err(RbacError::SsdUnsatisfied { set: id, user: u });
+            }
+        }
+        self.ssd.push(Some(SodSet {
+            name: name.to_string(),
+            roles,
+            n,
+        }));
+        self.ssd_names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// `DeleteSsdSet`.
+    pub fn delete_ssd_set(&mut self, id: SsdId) -> Result<()> {
+        let set = self
+            .ssd
+            .get_mut(id.index())
+            .and_then(Option::take)
+            .ok_or(RbacError::NoSuchSsdSet(id))?;
+        self.ssd_names.remove(&set.name);
+        Ok(())
+    }
+
+    /// `AddSsdRoleMember`: grow the role set of an SSD constraint.
+    pub fn add_ssd_role_member(&mut self, id: SsdId, r: RoleId) -> Result<()> {
+        self.role(r)?;
+        let set = self.ssd_set(id)?.clone();
+        let mut roles = set.roles.clone();
+        roles.insert(r);
+        // Re-validate with the grown set.
+        for u in self.all_users().collect::<Vec<_>>() {
+            let authorized = self.authorized_roles(u)?;
+            if authorized.intersection(&roles).count() >= set.n {
+                return Err(RbacError::SsdUnsatisfied { set: id, user: u });
+            }
+        }
+        self.ssd_mut(id)?.roles = roles;
+        Ok(())
+    }
+
+    /// `DeleteSsdRoleMember`: shrink the role set (must stay ≥ cardinality).
+    pub fn delete_ssd_role_member(&mut self, id: SsdId, r: RoleId) -> Result<()> {
+        let set = self.ssd_set(id)?;
+        if !set.roles.contains(&r) {
+            return Err(RbacError::NoSuchRole(r));
+        }
+        if set.roles.len() - 1 < set.n {
+            return Err(RbacError::BadCardinality {
+                n: set.n,
+                set_size: set.roles.len() - 1,
+            });
+        }
+        self.ssd_mut(id)?.roles.remove(&r);
+        Ok(())
+    }
+
+    /// `SetSsdSetCardinality`.
+    pub fn set_ssd_cardinality(&mut self, id: SsdId, n: usize) -> Result<()> {
+        let set = self.ssd_set(id)?.clone();
+        if n < 2 || n > set.roles.len() {
+            return Err(RbacError::BadCardinality {
+                n,
+                set_size: set.roles.len(),
+            });
+        }
+        for u in self.all_users().collect::<Vec<_>>() {
+            let authorized = self.authorized_roles(u)?;
+            if authorized.intersection(&set.roles).count() >= n {
+                return Err(RbacError::SsdUnsatisfied { set: id, user: u });
+            }
+        }
+        self.ssd_mut(id)?.n = n;
+        Ok(())
+    }
+
+    /// `SsdRoleSets` review: name, roles and cardinality of a set.
+    pub fn ssd_set_info(&self, id: SsdId) -> Result<(String, BTreeSet<RoleId>, usize)> {
+        let s = self.ssd_set(id)?;
+        Ok((s.name.clone(), s.roles.clone(), s.n))
+    }
+
+    /// Resolve an SSD set by name.
+    pub fn ssd_by_name(&self, name: &str) -> Result<SsdId> {
+        self.ssd_names
+            .get(name)
+            .copied()
+            .ok_or_else(|| RbacError::UnknownName(name.to_string()))
+    }
+
+    /// Would assigning `u` to `r` violate any SSD set? (Takes hierarchies
+    /// into account: the user also gains `r`'s juniors.)
+    pub fn check_ssd_assign(&self, u: UserId, r: RoleId) -> Result<()> {
+        let mut prospective = self.authorized_roles(u)?;
+        prospective.insert(r);
+        prospective.extend(self.juniors_closure(r)?);
+        for id in self.all_ssd_sets() {
+            let set = self.ssd_set(id)?;
+            if prospective.intersection(&set.roles).count() >= set.n {
+                return Err(RbacError::SsdViolation { set: id, user: u, role: r });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify every user satisfies every SSD set (used when hierarchy edges
+    /// change). Returns the first violation.
+    pub(crate) fn check_all_users_ssd(&self) -> Result<()> {
+        for u in self.all_users() {
+            let authorized = self.authorized_roles(u)?;
+            for id in self.all_ssd_sets() {
+                let set = self.ssd_set(id)?;
+                if authorized.intersection(&set.roles).count() >= set.n {
+                    return Err(RbacError::SsdInheritanceConflict { set: id, user: u });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Does the role participate in any SSD set? (Rule-variant selection.)
+    pub fn in_ssd(&self, r: RoleId) -> Result<bool> {
+        self.role(r)?;
+        Ok(self
+            .ssd
+            .iter()
+            .flatten()
+            .any(|s| s.roles.contains(&r)))
+    }
+
+    pub(crate) fn ssd_set(&self, id: SsdId) -> Result<&SodSet> {
+        self.ssd
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(RbacError::NoSuchSsdSet(id))
+    }
+
+    fn ssd_mut(&mut self, id: SsdId) -> Result<&mut SodSet> {
+        self.ssd
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .ok_or(RbacError::NoSuchSsdSet(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> (System, UserId, RoleId, RoleId) {
+        let mut s = System::new();
+        let u = s.add_user("u").unwrap();
+        let pc = s.add_role("PC").unwrap();
+        let ac = s.add_role("AC").unwrap();
+        s.create_ssd_set("purchase-approve", &[pc, ac], 2).unwrap();
+        (s, u, pc, ac)
+    }
+
+    #[test]
+    fn ssd_blocks_conflicting_assignment() {
+        let (mut s, u, pc, ac) = base();
+        s.assign_user(u, pc).unwrap();
+        assert!(matches!(
+            s.assign_user(u, ac),
+            Err(RbacError::SsdViolation { .. })
+        ));
+        // Deassign lifts the conflict.
+        s.deassign_user(u, pc).unwrap();
+        s.assign_user(u, ac).unwrap();
+    }
+
+    #[test]
+    fn ssd_with_hierarchy_inherits_conflicts() {
+        let (mut s, u, pc, ac) = base();
+        // PM ⪰ PC: a user assigned to PM is authorized for PC, so PM also
+        // conflicts with AC (the paper's XYZ scenario).
+        let pm = s.add_ascendant("PM", pc).unwrap();
+        s.assign_user(u, pm).unwrap();
+        assert!(matches!(
+            s.assign_user(u, ac),
+            Err(RbacError::SsdViolation { .. })
+        ));
+        // And the reverse order: assigned AC first, then PM (which brings PC).
+        let v = s.add_user("v").unwrap();
+        s.assign_user(v, ac).unwrap();
+        assert!(matches!(
+            s.assign_user(v, pm),
+            Err(RbacError::SsdViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn inheritance_that_breaks_ssd_rejected() {
+        let (mut s, u, pc, ac) = base();
+        let pm = s.add_role("PM").unwrap();
+        s.assign_user(u, pm).unwrap();
+        s.assign_user(u, ac).unwrap();
+        // PM ⪰ PC would authorize u for both PC and AC.
+        assert!(matches!(
+            s.add_inheritance(pm, pc),
+            Err(RbacError::SsdInheritanceConflict { .. })
+        ));
+        // The failed attempt must not leave the edge behind.
+        assert!(!s.dominates(pm, pc).unwrap());
+    }
+
+    #[test]
+    fn create_rejects_existing_violation() {
+        let mut s = System::new();
+        let u = s.add_user("u").unwrap();
+        let a = s.add_role("a").unwrap();
+        let b = s.add_role("b").unwrap();
+        s.assign_user(u, a).unwrap();
+        s.assign_user(u, b).unwrap();
+        assert!(matches!(
+            s.create_ssd_set("ab", &[a, b], 2),
+            Err(RbacError::SsdUnsatisfied { .. })
+        ));
+    }
+
+    #[test]
+    fn cardinality_bounds() {
+        let mut s = System::new();
+        let a = s.add_role("a").unwrap();
+        let b = s.add_role("b").unwrap();
+        let c = s.add_role("c").unwrap();
+        assert!(matches!(
+            s.create_ssd_set("x", &[a, b], 1),
+            Err(RbacError::BadCardinality { .. })
+        ));
+        assert!(matches!(
+            s.create_ssd_set("x", &[a, b], 3),
+            Err(RbacError::BadCardinality { .. })
+        ));
+        // n = 2 of 3: any two conflict.
+        let id = s.create_ssd_set("x", &[a, b, c], 2).unwrap();
+        let u = s.add_user("u").unwrap();
+        s.assign_user(u, a).unwrap();
+        assert!(s.assign_user(u, b).is_err());
+        assert!(s.assign_user(u, c).is_err());
+        // Raising cardinality to 3 allows two-of-three.
+        s.set_ssd_cardinality(id, 3).unwrap();
+        s.assign_user(u, b).unwrap();
+        assert!(s.assign_user(u, c).is_err());
+    }
+
+    #[test]
+    fn membership_changes() {
+        let (mut s, u, pc, ac) = base();
+        let id = s.ssd_by_name("purchase-approve").unwrap();
+        let extra = s.add_role("extra").unwrap();
+        s.add_ssd_role_member(id, extra).unwrap();
+        s.assign_user(u, pc).unwrap();
+        assert!(s.assign_user(u, extra).is_err());
+        // Removing would leave 2 roles with n=2: allowed (2 ≥ n).
+        s.delete_ssd_role_member(id, extra).unwrap();
+        // Removing another would leave 1 < n: rejected.
+        assert!(matches!(
+            s.delete_ssd_role_member(id, ac),
+            Err(RbacError::BadCardinality { .. })
+        ));
+        s.assign_user(u, extra).unwrap();
+    }
+
+    #[test]
+    fn delete_set_lifts_constraint() {
+        let (mut s, u, pc, ac) = base();
+        let id = s.ssd_by_name("purchase-approve").unwrap();
+        s.assign_user(u, pc).unwrap();
+        s.delete_ssd_set(id).unwrap();
+        s.assign_user(u, ac).unwrap();
+        assert!(s.ssd_by_name("purchase-approve").is_err());
+    }
+
+    #[test]
+    fn in_ssd_flag() {
+        let (s, _, pc, _) = base();
+        assert!(s.in_ssd(pc).unwrap());
+        let mut s2 = System::new();
+        let lone = s2.add_role("lone").unwrap();
+        assert!(!s2.in_ssd(lone).unwrap());
+    }
+}

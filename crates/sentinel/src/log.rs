@@ -1,0 +1,210 @@
+//! The audit log: every rule firing, denial, alert and action failure.
+//!
+//! Active security needs history ("access requests … more than a certain
+//! number of times within a duration"), administrators need reports, and the
+//! tests need an observable record of what the rule system did.
+
+use serde::{Deserialize, Serialize};
+use snoop::{EventId, Ts};
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditKind {
+    /// A rule's conditions held and its Then actions ran.
+    Fired,
+    /// A rule's conditions failed and its Else actions ran.
+    ElseTaken,
+    /// A `raise error` action: the request was denied.
+    Denied,
+    /// An explicit `<allow>` action.
+    Allowed,
+    /// An active-security alert for the administrators.
+    Alert,
+    /// A state action was rejected by the monitor.
+    ActionRejected,
+    /// Rule machinery problem (missing parameter, unknown event, …).
+    EngineError,
+    /// Rules were enabled/disabled in bulk.
+    RuleToggle,
+}
+
+impl fmt::Display for AuditKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AuditKind::Fired => "fired",
+            AuditKind::ElseTaken => "else",
+            AuditKind::Denied => "denied",
+            AuditKind::Allowed => "allowed",
+            AuditKind::Alert => "ALERT",
+            AuditKind::ActionRejected => "action-rejected",
+            AuditKind::EngineError => "engine-error",
+            AuditKind::RuleToggle => "rule-toggle",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One audit record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// Detector time of the triggering occurrence.
+    pub time: Ts,
+    /// Kind of record.
+    pub kind: AuditKind,
+    /// Rule that produced it, if any.
+    pub rule: Option<String>,
+    /// Triggering event.
+    pub event: Option<EventId>,
+    /// Free-form message (error text, alert text, …).
+    pub message: String,
+}
+
+impl fmt::Display for AuditEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.time, self.kind)?;
+        if let Some(r) = &self.rule {
+            write!(f, " rule={r}")?;
+        }
+        if let Some(e) = &self.event {
+            write!(f, " on={e}")?;
+        }
+        if !self.message.is_empty() {
+            write!(f, ": {}", self.message)?;
+        }
+        Ok(())
+    }
+}
+
+/// Append-only audit log with simple query helpers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> AuditLog {
+        AuditLog::default()
+    }
+
+    /// Append an entry.
+    pub fn push(&mut self, entry: AuditEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries of one kind.
+    pub fn of_kind(&self, kind: &AuditKind) -> impl Iterator<Item = &AuditEntry> {
+        let kind = kind.clone();
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Total denials recorded.
+    pub fn denial_count(&self) -> usize {
+        self.of_kind(&AuditKind::Denied).count()
+    }
+
+    /// Total alerts recorded.
+    pub fn alert_count(&self) -> usize {
+        self.of_kind(&AuditKind::Alert).count()
+    }
+
+    /// Denials with `time > since` (active-security sliding windows).
+    pub fn denials_since(&self, since: Ts) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == AuditKind::Denied && e.time > since)
+            .count()
+    }
+
+    /// Drop everything (test hygiene between scenario phases).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Render the whole log (administrator "report generation").
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        for e in &self.entries {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(kind: AuditKind, t: u64) -> AuditEntry {
+        AuditEntry {
+            time: Ts::from_secs(t),
+            kind,
+            rule: Some("r".into()),
+            event: Some(EventId(1)),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn counts_and_windows() {
+        let mut log = AuditLog::new();
+        log.push(entry(AuditKind::Denied, 1));
+        log.push(entry(AuditKind::Denied, 5));
+        log.push(entry(AuditKind::Alert, 6));
+        log.push(entry(AuditKind::Fired, 7));
+        assert_eq!(log.denial_count(), 2);
+        assert_eq!(log.alert_count(), 1);
+        assert_eq!(log.denials_since(Ts::from_secs(1)), 1);
+        assert_eq!(log.denials_since(Ts::ZERO), 2);
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn report_formats_entries() {
+        let mut log = AuditLog::new();
+        log.push(entry(AuditKind::Alert, 3));
+        let r = log.report();
+        assert!(r.contains("ALERT"));
+        assert!(r.contains("rule=r"));
+        assert!(r.contains("on=E1"));
+        log.clear();
+        assert!(log.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn audit_log_serializes_round_trip() {
+        let mut log = AuditLog::new();
+        log.push(AuditEntry {
+            time: Ts::from_secs(1),
+            kind: AuditKind::Denied,
+            rule: Some("AAR2_PC".into()),
+            event: Some(EventId(7)),
+            message: "Access Denied".into(),
+        });
+        let json = serde_json::to_string(&log).unwrap();
+        let back: AuditLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries(), log.entries());
+    }
+}

@@ -1,0 +1,237 @@
+//! Event expression AST and a fluent builder for composing events.
+//!
+//! `EventExpr` is the specification form; [`crate::detector::Detector::define`]
+//! compiles it into shared graph nodes. Expressions mirror the paper's
+//! operator set (§3): AND, OR, SEQUENCE, NOT, PLUS, APERIODIC (and A*),
+//! PERIODIC (and P*), plus calendar (absolute/periodic temporal) events.
+
+use crate::calendar::CalendarExpr;
+use crate::context::Context;
+use crate::time::Dur;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Specification of an event (primitive or composite).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventExpr {
+    /// Reference to an already-defined event by name (error if missing).
+    Named(String),
+    /// A primitive event, defined on first use.
+    Primitive(String),
+    /// Conjunction: both occur, in any order.
+    And(Box<EventExpr>, Box<EventExpr>),
+    /// Disjunction: either occurs.
+    Or(Box<EventExpr>, Box<EventExpr>),
+    /// `SEQ(E1, E2)`: E1 completes strictly before E2 starts.
+    Seq(Box<EventExpr>, Box<EventExpr>),
+    /// `NOT(middle)[start, end]`: start..end with no middle in between.
+    Not {
+        /// Window opener (E₁).
+        start: Box<EventExpr>,
+        /// The event that must NOT occur (E₂).
+        middle: Box<EventExpr>,
+        /// Window terminator (E₃).
+        end: Box<EventExpr>,
+    },
+    /// `PLUS(E1, Δ)`: fires Δ after each E1.
+    Plus(Box<EventExpr>, Dur),
+    /// `A(start, middle, end)`; `cumulative` selects A*.
+    Aperiodic {
+        /// Window opener (E₁).
+        start: Box<EventExpr>,
+        /// The event detected inside the window (E₂).
+        middle: Box<EventExpr>,
+        /// Window terminator (E₃).
+        end: Box<EventExpr>,
+        /// A* accumulates E₂s and detects once at E₃.
+        cumulative: bool,
+    },
+    /// `P(start, τ, end)`; `cumulative` selects P*.
+    Periodic {
+        /// Window opener (E₁).
+        start: Box<EventExpr>,
+        /// Tick interval τ.
+        period: Dur,
+        /// Window terminator (E₃).
+        end: Box<EventExpr>,
+        /// P* accumulates ticks and detects once at E₃.
+        cumulative: bool,
+    },
+    /// Absolute/periodic temporal event from a calendar pattern.
+    Calendar(CalendarExpr),
+    /// Evaluate the inner expression in a specific consumption context.
+    WithContext(Box<EventExpr>, Context),
+}
+
+impl EventExpr {
+    /// A primitive event (defined on first use).
+    pub fn prim(name: impl Into<String>) -> EventExpr {
+        EventExpr::Primitive(name.into())
+    }
+
+    /// A reference to an already-defined event.
+    pub fn named(name: impl Into<String>) -> EventExpr {
+        EventExpr::Named(name.into())
+    }
+
+    /// `AND(a, b)`: both occur, any order.
+    pub fn and(a: EventExpr, b: EventExpr) -> EventExpr {
+        EventExpr::And(Box::new(a), Box::new(b))
+    }
+
+    /// `OR(a, b)`: either occurs.
+    pub fn or(a: EventExpr, b: EventExpr) -> EventExpr {
+        EventExpr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Fold a list of alternatives into a balanced OR tree.
+    pub fn any(mut exprs: Vec<EventExpr>) -> Option<EventExpr> {
+        match exprs.len() {
+            0 => None,
+            1 => exprs.pop(),
+            _ => {
+                let rest = exprs.split_off(exprs.len() / 2);
+                Some(EventExpr::or(
+                    EventExpr::any(exprs).expect("nonempty"),
+                    EventExpr::any(rest).expect("nonempty"),
+                ))
+            }
+        }
+    }
+
+    /// `SEQ(a, b)`: a completes strictly before b starts.
+    pub fn seq(a: EventExpr, b: EventExpr) -> EventExpr {
+        EventExpr::Seq(Box::new(a), Box::new(b))
+    }
+
+    /// `NOT(middle)[start, end]`: start..end with no middle between.
+    pub fn not(middle: EventExpr, start: EventExpr, end: EventExpr) -> EventExpr {
+        EventExpr::Not {
+            start: Box::new(start),
+            middle: Box::new(middle),
+            end: Box::new(end),
+        }
+    }
+
+    /// `PLUS(base, Δ)`: fires Δ after each base occurrence.
+    pub fn plus(base: EventExpr, delta: Dur) -> EventExpr {
+        EventExpr::Plus(Box::new(base), delta)
+    }
+
+    /// `A(start, middle, end)`: each middle inside the window detects.
+    pub fn aperiodic(start: EventExpr, middle: EventExpr, end: EventExpr) -> EventExpr {
+        EventExpr::Aperiodic {
+            start: Box::new(start),
+            middle: Box::new(middle),
+            end: Box::new(end),
+            cumulative: false,
+        }
+    }
+
+    /// `A*(start, middle, end)`: middles accumulate; detected at end.
+    pub fn aperiodic_star(start: EventExpr, middle: EventExpr, end: EventExpr) -> EventExpr {
+        EventExpr::Aperiodic {
+            start: Box::new(start),
+            middle: Box::new(middle),
+            end: Box::new(end),
+            cumulative: true,
+        }
+    }
+
+    /// `P(start, τ, end)`: fires every τ inside the window.
+    pub fn periodic(start: EventExpr, period: Dur, end: EventExpr) -> EventExpr {
+        EventExpr::Periodic {
+            start: Box::new(start),
+            period,
+            end: Box::new(end),
+            cumulative: false,
+        }
+    }
+
+    /// `P*(start, τ, end)`: ticks accumulate; detected at end.
+    pub fn periodic_star(start: EventExpr, period: Dur, end: EventExpr) -> EventExpr {
+        EventExpr::Periodic {
+            start: Box::new(start),
+            period,
+            end: Box::new(end),
+            cumulative: true,
+        }
+    }
+
+    /// A recurring temporal event from a calendar pattern.
+    pub fn calendar(expr: CalendarExpr) -> EventExpr {
+        EventExpr::Calendar(expr)
+    }
+
+    /// Attach a consumption context to this (sub)expression.
+    pub fn context(self, ctx: Context) -> EventExpr {
+        EventExpr::WithContext(Box::new(self), ctx)
+    }
+}
+
+impl fmt::Display for EventExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventExpr::Named(n) | EventExpr::Primitive(n) => write!(f, "{n}"),
+            EventExpr::And(a, b) => write!(f, "AND({a}, {b})"),
+            EventExpr::Or(a, b) => write!(f, "OR({a}, {b})"),
+            EventExpr::Seq(a, b) => write!(f, "SEQ({a}, {b})"),
+            EventExpr::Not { start, middle, end } => write!(f, "NOT({middle})[{start}, {end}]"),
+            EventExpr::Plus(b, d) => write!(f, "PLUS({b}, {d})"),
+            EventExpr::Aperiodic {
+                start,
+                middle,
+                end,
+                cumulative,
+            } => write!(
+                f,
+                "A{}({start}, {middle}, {end})",
+                if *cumulative { "*" } else { "" }
+            ),
+            EventExpr::Periodic {
+                start,
+                period,
+                end,
+                cumulative,
+            } => write!(
+                f,
+                "P{}({start}, {period}, {end})",
+                if *cumulative { "*" } else { "" }
+            ),
+            EventExpr::Calendar(c) => write!(f, "[{c}]"),
+            EventExpr::WithContext(e, c) => write!(f, "{e} in {c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let e = EventExpr::aperiodic(
+            EventExpr::calendar(CalendarExpr::daily(10, 0, 0)),
+            EventExpr::or(EventExpr::prim("ET1"), EventExpr::prim("ET2")),
+            EventExpr::calendar(CalendarExpr::daily(17, 0, 0)),
+        );
+        assert_eq!(
+            e.to_string(),
+            "A([10:0:0/*/*/*], OR(ET1, ET2), [17:0:0/*/*/*])"
+        );
+        let p = EventExpr::plus(EventExpr::prim("E1"), Dur::from_hours(2));
+        assert_eq!(p.to_string(), "PLUS(E1, 7200s)");
+    }
+
+    #[test]
+    fn any_builds_balanced_or() {
+        assert_eq!(EventExpr::any(vec![]), None);
+        let one = EventExpr::any(vec![EventExpr::prim("a")]).unwrap();
+        assert_eq!(one.to_string(), "a");
+        let four = EventExpr::any(
+            ["a", "b", "c", "d"].iter().map(|n| EventExpr::prim(*n)).collect(),
+        )
+        .unwrap();
+        assert_eq!(four.to_string(), "OR(OR(a, b), OR(c, d))");
+    }
+}

@@ -1,0 +1,625 @@
+//! Calendar (periodic) time expressions.
+//!
+//! The paper writes absolute/periodic temporal events in the form
+//! `"24h:mi:ss/mm/dd/yyyy"` with `*` wildcards — e.g. `[10:00:00/*/*/*]` is
+//! "10:00:00 every day". This module parses that notation and computes, for a
+//! given logical timestamp, the next instant matching the pattern.
+//!
+//! The logical timeline origin ([`Ts::ZERO`]) is defined to be
+//! **2000-01-01 00:00:00** (a Saturday), which keeps civil-time conversion
+//! self-contained (no OS time dependency, fully deterministic).
+
+use crate::time::{Dur, Ts, MICROS_PER_SEC};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Civil date-time on the logical timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Civil {
+    /// Calendar year (e.g. 2005).
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u32,
+    /// Day of month 1–31.
+    pub day: u32,
+    /// Hour 0–23.
+    pub hour: u32,
+    /// Minute 0–59.
+    pub min: u32,
+    /// Second 0–59.
+    pub sec: u32,
+}
+
+/// Gregorian leap-year test.
+pub fn is_leap(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Days in a month of a given year.
+pub fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month out of range"),
+    }
+}
+
+/// Days from 2000-01-01 to y-m-d (Howard Hinnant's days-from-civil, shifted).
+fn days_from_origin(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    // 730_425 = days from the civil algorithm epoch to 2000-01-01 (719468 + 10957).
+    era * 146_097 + doe - 730_425
+}
+
+fn civil_from_days(mut z: i64) -> (i32, u32, u32) {
+    z += 730_425;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+impl Civil {
+    /// A civil date-time from components (not range-checked).
+    pub fn new(year: i32, month: u32, day: u32, hour: u32, min: u32, sec: u32) -> Civil {
+        Civil {
+            year,
+            month,
+            day,
+            hour,
+            min,
+            sec,
+        }
+    }
+
+    /// Convert to a logical timestamp. Dates before the origin saturate to
+    /// `Ts::ZERO`.
+    pub fn to_ts(self) -> Ts {
+        let days = days_from_origin(self.year, self.month, self.day);
+        if days < 0 {
+            return Ts::ZERO;
+        }
+        let secs = days as u64 * 86_400
+            + u64::from(self.hour) * 3600
+            + u64::from(self.min) * 60
+            + u64::from(self.sec);
+        Ts(secs * MICROS_PER_SEC)
+    }
+
+    /// Decompose a logical timestamp into civil time.
+    pub fn from_ts(t: Ts) -> Civil {
+        let total_secs = t.as_secs();
+        let days = (total_secs / 86_400) as i64;
+        let rem = total_secs % 86_400;
+        let (year, month, day) = civil_from_days(days);
+        Civil {
+            year,
+            month,
+            day,
+            hour: (rem / 3600) as u32,
+            min: (rem % 3600 / 60) as u32,
+            sec: (rem % 60) as u32,
+        }
+    }
+
+    /// Day of week, 0 = Sunday. 2000-01-01 was a Saturday (6).
+    pub fn weekday(self) -> u32 {
+        let d = days_from_origin(self.year, self.month, self.day);
+        ((d % 7 + 7 + 6) % 7) as u32
+    }
+}
+
+impl fmt::Display for Civil {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+            self.year, self.month, self.day, self.hour, self.min, self.sec
+        )
+    }
+}
+
+/// A field of a calendar pattern: either a wildcard or a fixed value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Field {
+    /// Wildcard (`*`): matches every value.
+    Any,
+    /// Matches exactly this value.
+    Is(u32),
+}
+
+impl Field {
+    fn matches(self, v: u32) -> bool {
+        match self {
+            Field::Any => true,
+            Field::Is(x) => x == v,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Field::Any => write!(f, "*"),
+            Field::Is(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Error parsing or evaluating a calendar expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalendarError {
+    /// The text did not match `hh:mm:ss/mm/dd/yyyy`.
+    Syntax(String),
+    /// A field value was out of range (e.g. month 13).
+    Range(&'static str, u32),
+}
+
+impl fmt::Display for CalendarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalendarError::Syntax(s) => write!(f, "malformed calendar expression {s:?}"),
+            CalendarError::Range(field, v) => write!(f, "calendar field {field} out of range: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CalendarError {}
+
+/// A periodic calendar expression in the paper's `hh:mm:ss/mm/dd/yyyy` form.
+///
+/// Every instant whose civil decomposition matches all six fields is an
+/// occurrence of the expression. `CalendarExpr::parse("10:00:00/*/*/*")` is
+/// 10 a.m. every day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CalendarExpr {
+    /// Hour-of-day pattern.
+    pub hour: Field,
+    /// Minute pattern.
+    pub min: Field,
+    /// Second pattern.
+    pub sec: Field,
+    /// Month pattern.
+    pub month: Field,
+    /// Day-of-month pattern.
+    pub day: Field,
+    /// Year pattern.
+    pub year: Field,
+}
+
+impl CalendarExpr {
+    /// A fully wildcarded expression with only the time-of-day set: `hh:mm:ss/*/*/*`.
+    pub fn daily(hour: u32, min: u32, sec: u32) -> CalendarExpr {
+        CalendarExpr {
+            hour: Field::Is(hour),
+            min: Field::Is(min),
+            sec: Field::Is(sec),
+            month: Field::Any,
+            day: Field::Any,
+            year: Field::Any,
+        }
+    }
+
+    /// A single absolute instant.
+    pub fn absolute(c: Civil) -> CalendarExpr {
+        CalendarExpr {
+            hour: Field::Is(c.hour),
+            min: Field::Is(c.min),
+            sec: Field::Is(c.sec),
+            month: Field::Is(c.month),
+            day: Field::Is(c.day),
+            year: Field::Is(c.year as u32),
+        }
+    }
+
+    /// Parse `hh:mm:ss/mm/dd/yyyy`. A trailing `/mm/dd/yyyy` may be partially
+    /// or fully omitted (missing fields default to `*`), so `"10:00:00"` is
+    /// accepted as 10 a.m. daily.
+    pub fn parse(s: &str) -> Result<CalendarExpr, CalendarError> {
+        let s = s.trim();
+        let mut slash = s.splitn(4, '/');
+        let time = slash
+            .next()
+            .ok_or_else(|| CalendarError::Syntax(s.to_string()))?;
+        let mut tparts = time.split(':');
+        let hour = parse_field(tparts.next(), s)?;
+        let min = parse_field(tparts.next(), s)?;
+        let sec = parse_field(tparts.next(), s)?;
+        if tparts.next().is_some() {
+            return Err(CalendarError::Syntax(s.to_string()));
+        }
+        let month = match slash.next() {
+            Some(p) => parse_field(Some(p), s)?,
+            None => Field::Any,
+        };
+        let day = match slash.next() {
+            Some(p) => parse_field(Some(p), s)?,
+            None => Field::Any,
+        };
+        let year = match slash.next() {
+            Some(p) => parse_field(Some(p), s)?,
+            None => Field::Any,
+        };
+        let e = CalendarExpr {
+            hour,
+            min,
+            sec,
+            month,
+            day,
+            year,
+        };
+        e.validate()?;
+        Ok(e)
+    }
+
+    fn validate(&self) -> Result<(), CalendarError> {
+        if let Field::Is(h) = self.hour {
+            if h > 23 {
+                return Err(CalendarError::Range("hour", h));
+            }
+        }
+        if let Field::Is(m) = self.min {
+            if m > 59 {
+                return Err(CalendarError::Range("minute", m));
+            }
+        }
+        if let Field::Is(s) = self.sec {
+            if s > 59 {
+                return Err(CalendarError::Range("second", s));
+            }
+        }
+        if let Field::Is(m) = self.month {
+            if !(1..=12).contains(&m) {
+                return Err(CalendarError::Range("month", m));
+            }
+        }
+        if let Field::Is(d) = self.day {
+            if !(1..=31).contains(&d) {
+                return Err(CalendarError::Range("day", d));
+            }
+        }
+        Ok(())
+    }
+
+    /// Does the civil time match this pattern?
+    pub fn matches(&self, c: Civil) -> bool {
+        self.hour.matches(c.hour)
+            && self.min.matches(c.min)
+            && self.sec.matches(c.sec)
+            && self.month.matches(c.month)
+            && self.day.matches(c.day)
+            && self.year.matches(c.year as u32)
+    }
+
+    /// The next instant strictly after `t` matching the pattern, or `None`
+    /// if there is none within the search horizon (~8 years — only possible
+    /// for fixed-year patterns in the past).
+    pub fn next_after(&self, t: Ts) -> Option<Ts> {
+        let start = Civil::from_ts(t + Dur::from_secs(1));
+        // Walk days from `start`'s day; within a matching day find the first
+        // matching time-of-day.
+        let mut days = days_from_origin(start.year, start.month, start.day);
+        let horizon = days + 366 * 8;
+        let mut first_day = true;
+        while days <= horizon {
+            let (y, m, d) = civil_from_days(days);
+            let day_ok =
+                self.year.matches(y as u32) && self.month.matches(m) && self.day.matches(d);
+            if day_ok {
+                let floor = if first_day {
+                    Some((start.hour, start.min, start.sec))
+                } else {
+                    None
+                };
+                if let Some(tod) = self.first_time_of_day_at_or_after(floor) {
+                    let civil = Civil::new(y, m, d, tod.0, tod.1, tod.2);
+                    return Some(civil.to_ts());
+                }
+            }
+            days += 1;
+            first_day = false;
+        }
+        None
+    }
+
+    /// The latest instant at or before `t` matching the pattern, or `None`
+    /// if there is none within the search horizon (~8 years back, clamped at
+    /// the timeline origin).
+    pub fn prev_at_or_before(&self, t: Ts) -> Option<Ts> {
+        let start = Civil::from_ts(t);
+        let mut days = days_from_origin(start.year, start.month, start.day);
+        let horizon = (days - 366 * 8).max(0);
+        let mut first_day = true;
+        while days >= horizon {
+            let (y, m, d) = civil_from_days(days);
+            let day_ok =
+                self.year.matches(y as u32) && self.month.matches(m) && self.day.matches(d);
+            if day_ok {
+                let ceil = if first_day {
+                    Some((start.hour, start.min, start.sec))
+                } else {
+                    None
+                };
+                if let Some(tod) = self.last_time_of_day_at_or_before(ceil) {
+                    let civil = Civil::new(y, m, d, tod.0, tod.1, tod.2);
+                    return Some(civil.to_ts());
+                }
+            }
+            if days == 0 {
+                break;
+            }
+            days -= 1;
+            first_day = false;
+        }
+        None
+    }
+
+    /// Last (h, m, s) matching the time fields that is <= `ceil`
+    /// (or the largest matching time when `ceil` is None).
+    fn last_time_of_day_at_or_before(&self, ceil: Option<(u32, u32, u32)>) -> Option<(u32, u32, u32)> {
+        let (ch, cm, cs) = ceil.unwrap_or((23, 59, 59));
+        let hours: Vec<u32> = match self.hour {
+            Field::Is(h) => vec![h],
+            Field::Any => (0..24).rev().collect(),
+        };
+        for h in hours {
+            if h > ch {
+                continue;
+            }
+            let (min_ceil, carry_min) = if h == ch { (cm, true) } else { (59, false) };
+            let mins: Vec<u32> = match self.min {
+                Field::Is(m) => vec![m],
+                Field::Any => (0..60).rev().collect(),
+            };
+            for m in mins {
+                if carry_min && m > min_ceil {
+                    continue;
+                }
+                let sec_ceil = if carry_min && m == min_ceil { cs } else { 59 };
+                match self.sec {
+                    Field::Is(s) => {
+                        if s <= sec_ceil {
+                            return Some((h, m, s));
+                        }
+                    }
+                    Field::Any => {
+                        return Some((h, m, sec_ceil));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// First (h, m, s) matching the time fields that is >= `floor`
+    /// (or the smallest matching time when `floor` is None).
+    fn first_time_of_day_at_or_after(&self, floor: Option<(u32, u32, u32)>) -> Option<(u32, u32, u32)> {
+        let (fh, fm, fs) = floor.unwrap_or((0, 0, 0));
+        let hours: Vec<u32> = match self.hour {
+            Field::Is(h) => vec![h],
+            Field::Any => (0..24).collect(),
+        };
+        for h in hours {
+            if h < fh {
+                continue;
+            }
+            let (min_floor, carry_min) = if h == fh { (fm, true) } else { (0, false) };
+            let mins: Vec<u32> = match self.min {
+                Field::Is(m) => vec![m],
+                Field::Any => (0..60).collect(),
+            };
+            for m in mins {
+                if carry_min && m < min_floor {
+                    continue;
+                }
+                let sec_floor = if carry_min && m == min_floor { fs } else { 0 };
+                match self.sec {
+                    Field::Is(s) => {
+                        if s >= sec_floor {
+                            return Some((h, m, s));
+                        }
+                    }
+                    Field::Any => {
+                        if sec_floor <= 59 {
+                            return Some((h, m, sec_floor));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+fn parse_field(p: Option<&str>, whole: &str) -> Result<Field, CalendarError> {
+    let p = p
+        .ok_or_else(|| CalendarError::Syntax(whole.to_string()))?
+        .trim();
+    if p == "*" {
+        Ok(Field::Any)
+    } else {
+        p.parse::<u32>()
+            .map(Field::Is)
+            .map_err(|_| CalendarError::Syntax(whole.to_string()))
+    }
+}
+
+impl FromStr for CalendarExpr {
+    type Err = CalendarError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CalendarExpr::parse(s)
+    }
+}
+
+impl fmt::Display for CalendarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}/{}/{}/{}",
+            self.hour, self.min, self.sec, self.month, self.day, self.year
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_round_trip_origin() {
+        let c = Civil::new(2000, 1, 1, 0, 0, 0);
+        assert_eq!(c.to_ts(), Ts::ZERO);
+        assert_eq!(Civil::from_ts(Ts::ZERO), c);
+    }
+
+    #[test]
+    fn civil_round_trip_various() {
+        for (y, m, d, h, mi, s) in [
+            (2000, 2, 29, 12, 0, 0), // leap day
+            (2001, 3, 1, 23, 59, 59),
+            (2004, 12, 31, 0, 0, 1),
+            (2010, 7, 15, 6, 30, 0),
+            (2099, 1, 1, 1, 1, 1),
+        ] {
+            let c = Civil::new(y, m, d, h, mi, s);
+            assert_eq!(Civil::from_ts(c.to_ts()), c, "{c}");
+        }
+    }
+
+    #[test]
+    fn weekday_of_known_dates() {
+        // 2000-01-01 was a Saturday.
+        assert_eq!(Civil::new(2000, 1, 1, 0, 0, 0).weekday(), 6);
+        // 2000-01-02 Sunday.
+        assert_eq!(Civil::new(2000, 1, 2, 0, 0, 0).weekday(), 0);
+        // 2005-04-05 (ICDE 2005 week) was a Tuesday.
+        assert_eq!(Civil::new(2005, 4, 5, 0, 0, 0).weekday(), 2);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2004));
+        assert!(!is_leap(2001));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(2001, 2), 28);
+    }
+
+    #[test]
+    fn parse_paper_notation() {
+        let e = CalendarExpr::parse("10:00:00/*/*/*").unwrap();
+        assert_eq!(e.hour, Field::Is(10));
+        assert_eq!(e.month, Field::Any);
+        assert_eq!(e.to_string(), "10:0:0/*/*/*");
+        assert!(CalendarExpr::parse("25:00:00/*/*/*").is_err());
+        assert!(CalendarExpr::parse("10:61:00").is_err());
+        assert!(CalendarExpr::parse("nonsense").is_err());
+        // Omitted date fields default to wildcard.
+        let d = CalendarExpr::parse("17:00:00").unwrap();
+        assert_eq!(d.day, Field::Any);
+    }
+
+    #[test]
+    fn next_after_daily() {
+        let e = CalendarExpr::daily(10, 0, 0);
+        // From origin (midnight), next 10:00 is same day.
+        let t = e.next_after(Ts::ZERO).unwrap();
+        assert_eq!(Civil::from_ts(t), Civil::new(2000, 1, 1, 10, 0, 0));
+        // From 10:00 exactly, next is tomorrow (strictly after).
+        let t2 = e.next_after(t).unwrap();
+        assert_eq!(Civil::from_ts(t2), Civil::new(2000, 1, 2, 10, 0, 0));
+    }
+
+    #[test]
+    fn next_after_monthly_and_absolute() {
+        // First of every month at midnight.
+        let e = CalendarExpr::parse("00:00:00/*/1/*").unwrap();
+        let t = e.next_after(Civil::new(2000, 1, 15, 0, 0, 0).to_ts()).unwrap();
+        assert_eq!(Civil::from_ts(t), Civil::new(2000, 2, 1, 0, 0, 0));
+
+        // Absolute instant fires once, then never again.
+        let a = CalendarExpr::absolute(Civil::new(2000, 6, 1, 12, 0, 0));
+        let t1 = a.next_after(Ts::ZERO).unwrap();
+        assert_eq!(Civil::from_ts(t1), Civil::new(2000, 6, 1, 12, 0, 0));
+        assert_eq!(a.next_after(t1), None);
+    }
+
+    #[test]
+    fn next_after_every_second_within_hour() {
+        // Every minute at second 30 (wildcard hour/min).
+        let e = CalendarExpr::parse("*:*:30/*/*/*").unwrap();
+        let t0 = Civil::new(2000, 1, 1, 5, 10, 31).to_ts();
+        let t = e.next_after(t0).unwrap();
+        assert_eq!(Civil::from_ts(t), Civil::new(2000, 1, 1, 5, 11, 30));
+    }
+
+    #[test]
+    fn matches_pattern() {
+        let e = CalendarExpr::parse("10:00:00/*/*/*").unwrap();
+        assert!(e.matches(Civil::new(2003, 5, 6, 10, 0, 0)));
+        assert!(!e.matches(Civil::new(2003, 5, 6, 11, 0, 0)));
+    }
+}
+
+#[cfg(test)]
+mod prev_tests {
+    use super::*;
+
+    #[test]
+    fn prev_daily() {
+        let e = CalendarExpr::daily(10, 0, 0);
+        // At 12:00: the 10:00 of the same day.
+        let t = Civil::new(2000, 1, 5, 12, 0, 0).to_ts();
+        assert_eq!(
+            Civil::from_ts(e.prev_at_or_before(t).unwrap()),
+            Civil::new(2000, 1, 5, 10, 0, 0)
+        );
+        // At 09:00: yesterday's 10:00.
+        let t = Civil::new(2000, 1, 5, 9, 0, 0).to_ts();
+        assert_eq!(
+            Civil::from_ts(e.prev_at_or_before(t).unwrap()),
+            Civil::new(2000, 1, 4, 10, 0, 0)
+        );
+        // Exactly at 10:00: inclusive.
+        let t = Civil::new(2000, 1, 5, 10, 0, 0).to_ts();
+        assert_eq!(e.prev_at_or_before(t), Some(t));
+    }
+
+    #[test]
+    fn prev_before_any_occurrence_is_none() {
+        let e = CalendarExpr::daily(10, 0, 0);
+        // 2000-01-01 05:00 — no 10:00 has happened yet on the timeline.
+        let t = Civil::new(2000, 1, 1, 5, 0, 0).to_ts();
+        assert_eq!(e.prev_at_or_before(t), None);
+    }
+
+    #[test]
+    fn prev_next_round_trip() {
+        let e = CalendarExpr::parse("*:30:00/*/*/*").unwrap();
+        let t = Civil::new(2001, 6, 15, 14, 45, 10).to_ts();
+        let p = e.prev_at_or_before(t).unwrap();
+        assert_eq!(Civil::from_ts(p), Civil::new(2001, 6, 15, 14, 30, 0));
+        let n = e.next_after(p).unwrap();
+        assert_eq!(Civil::from_ts(n), Civil::new(2001, 6, 15, 15, 30, 0));
+    }
+}

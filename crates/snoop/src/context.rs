@@ -1,0 +1,77 @@
+//! Event consumption (parameter) contexts.
+//!
+//! Snoop defines four contexts that decide *which* constituent occurrences
+//! pair up when a composite event can be detected in several ways, and which
+//! are consumed afterwards. They exist because applications differ: a
+//! monitoring rule may want the most recent sensor reading (Recent) while an
+//! audit rule must account for every initiator exactly once (Chronicle).
+//!
+//! | Context      | Pairing on terminator            | Consumption             |
+//! |--------------|----------------------------------|-------------------------|
+//! | Unrestricted | every eligible initiator         | none (buffer capped)    |
+//! | Recent       | the most recent initiator only   | initiator survives until a newer one arrives |
+//! | Chronicle    | the oldest eligible initiator    | that initiator consumed |
+//! | Continuous   | every eligible initiator         | all of them consumed    |
+//! | Cumulative   | all eligible initiators merged into a single detection | all consumed |
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which initiator occurrences a composite operator pairs and consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Context {
+    /// All combinations, nothing consumed (buffers are capped).
+    Unrestricted,
+    /// Most recent initiator wins; it is reused until replaced.
+    #[default]
+    Recent,
+    /// Oldest initiator pairs first and is consumed (FIFO, one-to-one).
+    Chronicle,
+    /// Terminator pairs with *all* current initiators and consumes them.
+    Continuous,
+    /// All current initiators merge into one detection and are consumed.
+    Cumulative,
+}
+
+impl Context {
+    /// Every context, for sweeps and tests.
+    pub const ALL: [Context; 5] = [
+        Context::Unrestricted,
+        Context::Recent,
+        Context::Chronicle,
+        Context::Continuous,
+        Context::Cumulative,
+    ];
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Context::Unrestricted => "unrestricted",
+            Context::Recent => "recent",
+            Context::Chronicle => "chronicle",
+            Context::Continuous => "continuous",
+            Context::Cumulative => "cumulative",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_recent() {
+        assert_eq!(Context::default(), Context::Recent);
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = Context::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(
+            names,
+            ["unrestricted", "recent", "chronicle", "continuous", "cumulative"]
+        );
+    }
+}

@@ -1,0 +1,954 @@
+//! The event detector: owns the event graph, the virtual clock and the timer
+//! queue, and propagates occurrences bottom-up.
+//!
+//! This plays the role of Sentinel's *event detector* ("responsible for
+//! processing all the notifications from different objects and eventually
+//! signaling to the rules that some event has occurred"). Rules are outside
+//! this crate: callers mark the events they care about with [`Detector::watch`]
+//! and receive [`Detection`]s back from [`Detector::raise`] / [`Detector::advance_to`].
+
+use crate::builder::EventExpr;
+use crate::calendar::CalendarExpr;
+use crate::context::Context;
+use crate::event::{Detection, EventId, Occurrence, Params};
+use crate::node::{NodeOutput, NodeState, Slot, TimerReq, BinState, WindowedState};
+use crate::time::{Dur, Ts};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+/// Errors from detector operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectorError {
+    /// Raising or referencing an event name that was never defined.
+    UnknownEvent(String),
+    /// Raising a non-primitive event directly.
+    NotPrimitive(EventId),
+    /// Attempted to move the clock backwards.
+    ClockRegression {
+        /// The clock's current position.
+        now: Ts,
+        /// The earlier time requested.
+        requested: Ts,
+    },
+    /// A name was defined twice with different meanings.
+    DuplicateName(String),
+}
+
+impl fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectorError::UnknownEvent(n) => write!(f, "unknown event {n:?}"),
+            DetectorError::NotPrimitive(id) => {
+                write!(f, "event {id} is composite and cannot be raised directly")
+            }
+            DetectorError::ClockRegression { now, requested } => {
+                write!(f, "clock regression: now={now}, requested={requested}")
+            }
+            DetectorError::DuplicateName(n) => write!(f, "event name {n:?} already defined"),
+        }
+    }
+}
+
+impl std::error::Error for DetectorError {}
+
+struct Node {
+    state: NodeState,
+    context: Context,
+    /// Parent nodes subscribed to this node's occurrences, with the slot
+    /// each subscription feeds.
+    parents: Vec<(EventId, Slot)>,
+    /// Deliver detections of this node to the caller.
+    watched: bool,
+    /// Human-readable label (primitive name or operator description).
+    label: String,
+}
+
+#[derive(Debug)]
+struct Timer {
+    node: EventId,
+    req: TimerReq,
+    cancelled: bool,
+}
+
+/// Structural key for hash-consing composite nodes (common subexpression
+/// sharing across generated rules — large rule pools share event graphs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum NodeKey {
+    And(EventId, EventId, Context),
+    Or(EventId, EventId, Context),
+    Seq(EventId, EventId, Context),
+    Not(EventId, EventId, EventId, Context),
+    Aperiodic(EventId, EventId, EventId, Context, bool),
+    Periodic(EventId, u64, EventId, Context, bool),
+    Plus(EventId, u64, Context),
+    Calendar(String),
+}
+
+/// The composite event detector.
+pub struct Detector {
+    nodes: Vec<Node>,
+    by_name: HashMap<String, EventId>,
+    interned: HashMap<NodeKey, EventId>,
+    timers: Vec<Timer>,
+    timer_queue: BinaryHeap<Reverse<(Ts, u64)>>,
+    now: Ts,
+    /// Per-node occurrence buffer cap.
+    buffer_cap: usize,
+    /// Counts of raised primitives / detected composites (for stats).
+    raised: u64,
+    detected: u64,
+}
+
+impl Detector {
+    /// A detector whose clock starts at `start`.
+    pub fn new(start: Ts) -> Detector {
+        Detector {
+            nodes: Vec::new(),
+            by_name: HashMap::new(),
+            interned: HashMap::new(),
+            timers: Vec::new(),
+            timer_queue: BinaryHeap::new(),
+            now: start,
+            buffer_cap: 4096,
+            raised: 0,
+            detected: 0,
+        }
+    }
+
+    /// Change the per-node buffer cap (Unrestricted contexts are unbounded
+    /// in theory; the cap keeps memory bounded, evicting oldest).
+    pub fn set_buffer_cap(&mut self, cap: usize) {
+        self.buffer_cap = cap.max(1);
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> Ts {
+        self.now
+    }
+
+    /// Number of event-graph nodes (primitive + composite).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Primitive occurrences raised so far.
+    pub fn raised_count(&self) -> u64 {
+        self.raised
+    }
+
+    /// Watched detections delivered so far.
+    pub fn detected_count(&self) -> u64 {
+        self.detected
+    }
+
+    /// Define (or look up) a named primitive event.
+    pub fn primitive(&mut self, name: &str) -> EventId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.push(Node {
+            state: NodeState::Primitive {
+                name: name.to_string(),
+            },
+            context: Context::Recent,
+            parents: Vec::new(),
+            watched: false,
+            label: name.to_string(),
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up an event by name.
+    pub fn lookup(&self, name: &str) -> Option<EventId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The label of an event (primitive name or operator sketch).
+    pub fn label(&self, id: EventId) -> &str {
+        &self.nodes[id.0 as usize].label
+    }
+
+    /// The registered name of an event, if it has one (primitives always
+    /// do; composites only when [`Detector::name`]d). Unlike labels, names
+    /// are stable across detectors built from the same policy, so they make
+    /// good fingerprints.
+    pub fn name_of(&self, id: EventId) -> Option<&str> {
+        if let NodeState::Primitive { name } = &self.nodes.get(id.0 as usize)?.state {
+            return Some(name);
+        }
+        self.by_name
+            .iter()
+            .find(|(_, &v)| v == id)
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// Give a composite event a name (so rules can refer to it).
+    pub fn name(&mut self, id: EventId, name: &str) -> Result<(), DetectorError> {
+        match self.by_name.get(name) {
+            Some(&existing) if existing != id => {
+                Err(DetectorError::DuplicateName(name.to_string()))
+            }
+            _ => {
+                self.by_name.insert(name.to_string(), id);
+                Ok(())
+            }
+        }
+    }
+
+    /// Build the node graph for `expr`, sharing structurally identical
+    /// subgraphs, and return the root id.
+    pub fn define(&mut self, expr: &EventExpr) -> Result<EventId, DetectorError> {
+        let ctx = Context::default();
+        self.define_in(expr, ctx)
+    }
+
+    fn define_in(&mut self, expr: &EventExpr, ctx: Context) -> Result<EventId, DetectorError> {
+        match expr {
+            EventExpr::Named(name) => self
+                .by_name
+                .get(name.as_str())
+                .copied()
+                .ok_or_else(|| DetectorError::UnknownEvent(name.clone())),
+            EventExpr::Primitive(name) => Ok(self.primitive(name)),
+            EventExpr::WithContext(inner, c) => self.define_in(inner, *c),
+            EventExpr::And(a, b) => {
+                let (a, b) = (self.define_in(a, ctx)?, self.define_in(b, ctx)?);
+                Ok(self.intern(
+                    NodeKey::And(a, b, ctx),
+                    ctx,
+                    format!("AND({a}, {b})"),
+                    NodeState::And(BinState::default()),
+                    &[(a, Slot::Left), (b, Slot::Right)],
+                ))
+            }
+            EventExpr::Or(a, b) => {
+                let (a, b) = (self.define_in(a, ctx)?, self.define_in(b, ctx)?);
+                Ok(self.intern(
+                    NodeKey::Or(a, b, ctx),
+                    ctx,
+                    format!("OR({a}, {b})"),
+                    NodeState::Or,
+                    &[(a, Slot::Left), (b, Slot::Right)],
+                ))
+            }
+            EventExpr::Seq(a, b) => {
+                let (a, b) = (self.define_in(a, ctx)?, self.define_in(b, ctx)?);
+                Ok(self.intern(
+                    NodeKey::Seq(a, b, ctx),
+                    ctx,
+                    format!("SEQ({a}, {b})"),
+                    NodeState::Seq(BinState::default()),
+                    &[(a, Slot::Left), (b, Slot::Right)],
+                ))
+            }
+            EventExpr::Not { start, middle, end } => {
+                let s = self.define_in(start, ctx)?;
+                let m = self.define_in(middle, ctx)?;
+                let e = self.define_in(end, ctx)?;
+                Ok(self.intern(
+                    NodeKey::Not(s, m, e, ctx),
+                    ctx,
+                    format!("NOT({m})[{s}, {e}]"),
+                    NodeState::Not(WindowedState::default()),
+                    &[(s, Slot::Left), (m, Slot::Middle), (e, Slot::End)],
+                ))
+            }
+            EventExpr::Aperiodic {
+                start,
+                middle,
+                end,
+                cumulative,
+            } => {
+                let s = self.define_in(start, ctx)?;
+                let m = self.define_in(middle, ctx)?;
+                let e = self.define_in(end, ctx)?;
+                let star = if *cumulative { "*" } else { "" };
+                Ok(self.intern(
+                    NodeKey::Aperiodic(s, m, e, ctx, *cumulative),
+                    ctx,
+                    format!("A{star}({s}, {m}, {e})"),
+                    NodeState::Aperiodic {
+                        st: WindowedState::default(),
+                        cumulative: *cumulative,
+                    },
+                    &[(s, Slot::Left), (m, Slot::Middle), (e, Slot::End)],
+                ))
+            }
+            EventExpr::Periodic {
+                start,
+                period,
+                end,
+                cumulative,
+            } => {
+                let s = self.define_in(start, ctx)?;
+                let e = self.define_in(end, ctx)?;
+                let star = if *cumulative { "*" } else { "" };
+                Ok(self.intern(
+                    NodeKey::Periodic(s, period.as_micros(), e, ctx, *cumulative),
+                    ctx,
+                    format!("P{star}({s}, {period}, {e})"),
+                    NodeState::Periodic {
+                        st: WindowedState::default(),
+                        period: *period,
+                        cumulative: *cumulative,
+                    },
+                    &[(s, Slot::Left), (e, Slot::End)],
+                ))
+            }
+            EventExpr::Plus(base, delta) => {
+                let b = self.define_in(base, ctx)?;
+                Ok(self.intern(
+                    NodeKey::Plus(b, delta.as_micros(), ctx),
+                    ctx,
+                    format!("PLUS({b}, {delta})"),
+                    NodeState::Plus { delta: *delta },
+                    &[(b, Slot::Left)],
+                ))
+            }
+            EventExpr::Calendar(expr) => Ok(self.calendar(*expr)),
+        }
+    }
+
+    /// Define a recurring calendar (temporal) event; its first firing is
+    /// scheduled immediately.
+    pub fn calendar(&mut self, expr: CalendarExpr) -> EventId {
+        let key = NodeKey::Calendar(expr.to_string());
+        if let Some(&id) = self.interned.get(&key) {
+            return id;
+        }
+        let id = self.push(Node {
+            state: NodeState::Calendar {
+                expr,
+                scheduled: false,
+            },
+            context: Context::Recent,
+            parents: Vec::new(),
+            watched: false,
+            label: format!("[{}]", key_label(&key)),
+        });
+        self.interned.insert(key, id);
+        self.schedule_calendar(id);
+        id
+    }
+
+    fn schedule_calendar(&mut self, id: EventId) {
+        let NodeState::Calendar { expr, scheduled } = &mut self.nodes[id.0 as usize].state else {
+            return;
+        };
+        if *scheduled {
+            return;
+        }
+        if let Some(at) = expr.next_after(self.now) {
+            *scheduled = true;
+            self.push_timer(id, TimerReq::Calendar { at });
+        }
+    }
+
+    fn intern(
+        &mut self,
+        key: NodeKey,
+        ctx: Context,
+        label: String,
+        state: NodeState,
+        children: &[(EventId, Slot)],
+    ) -> EventId {
+        if let Some(&id) = self.interned.get(&key) {
+            return id;
+        }
+        let id = self.push(Node {
+            state,
+            context: ctx,
+            parents: Vec::new(),
+            watched: false,
+            label,
+        });
+        for &(child, slot) in children {
+            self.nodes[child.0 as usize].parents.push((id, slot));
+        }
+        self.interned.insert(key, id);
+        id
+    }
+
+    fn push(&mut self, node: Node) -> EventId {
+        let id = EventId(u32::try_from(self.nodes.len()).expect("node count fits u32"));
+        self.nodes.push(node);
+        id
+    }
+
+    /// Deliver this node's occurrences to the caller as [`Detection`]s.
+    pub fn watch(&mut self, id: EventId) {
+        self.nodes[id.0 as usize].watched = true;
+    }
+
+    /// Stop delivering this node's occurrences.
+    pub fn unwatch(&mut self, id: EventId) {
+        self.nodes[id.0 as usize].watched = false;
+    }
+
+    /// Raise a primitive event at the current time.
+    pub fn raise(&mut self, id: EventId, params: Params) -> Result<Vec<Detection>, DetectorError> {
+        let node = self
+            .nodes
+            .get(id.0 as usize)
+            .ok_or(DetectorError::UnknownEvent(id.to_string()))?;
+        if !matches!(node.state, NodeState::Primitive { .. }) {
+            return Err(DetectorError::NotPrimitive(id));
+        }
+        self.raised += 1;
+        let occ = Occurrence::primitive(id, self.now, params);
+        Ok(self.propagate(occ))
+    }
+
+    /// Raise a primitive event by name.
+    pub fn raise_named(
+        &mut self,
+        name: &str,
+        params: Params,
+    ) -> Result<Vec<Detection>, DetectorError> {
+        let id = self
+            .lookup(name)
+            .ok_or_else(|| DetectorError::UnknownEvent(name.to_string()))?;
+        self.raise(id, params)
+    }
+
+    /// Advance the clock to `ts`, firing all timers due on the way (in
+    /// timestamp order). Returns the detections those firings produced.
+    pub fn advance_to(&mut self, ts: Ts) -> Result<Vec<Detection>, DetectorError> {
+        if ts < self.now {
+            return Err(DetectorError::ClockRegression {
+                now: self.now,
+                requested: ts,
+            });
+        }
+        let mut detections = Vec::new();
+        while let Some(&Reverse((at, idx))) = self.timer_queue.peek() {
+            if at > ts {
+                break;
+            }
+            self.timer_queue.pop();
+            let timer = &self.timers[idx as usize];
+            if timer.cancelled {
+                continue;
+            }
+            self.now = at;
+            let node_id = timer.node;
+            let req = timer.req.clone();
+            // Calendar nodes may reschedule; clear their flag first.
+            if let NodeState::Calendar { scheduled, .. } =
+                &mut self.nodes[node_id.0 as usize].state
+            {
+                *scheduled = false;
+            }
+            let mut out = NodeOutput::default();
+            self.nodes[node_id.0 as usize]
+                .state
+                .on_timer(node_id, at, &req, &mut out);
+            if let NodeState::Calendar { scheduled, .. } =
+                &mut self.nodes[node_id.0 as usize].state
+            {
+                if out.timers.iter().any(|t| matches!(t, TimerReq::Calendar { .. })) {
+                    *scheduled = true;
+                }
+            }
+            for t in out.timers.drain(..) {
+                self.push_timer(node_id, t);
+            }
+            for occ in out.occurrences.drain(..) {
+                detections.extend(self.propagate(occ));
+            }
+        }
+        self.now = ts;
+        Ok(detections)
+    }
+
+    /// Advance the clock by `d`.
+    pub fn advance(&mut self, d: Dur) -> Result<Vec<Detection>, DetectorError> {
+        self.advance_to(self.now + d)
+    }
+
+    /// When the earliest pending timer fires, if any. Lets callers advance
+    /// in steps and run rules *at* each firing instant rather than after a
+    /// long advance.
+    pub fn next_timer_at(&self) -> Option<Ts> {
+        self.timer_queue
+            .iter()
+            .filter(|Reverse((_, idx))| !self.timers[*idx as usize].cancelled)
+            .map(|Reverse((at, _))| *at)
+            .min()
+    }
+
+    /// Cancel every pending timer belonging to `node` for which `pred`
+    /// returns true on the timer's stored base occurrence (PLUS timers carry
+    /// their base; other timer kinds match on `None`).
+    ///
+    /// Used to retract scheduled relative-temporal events, e.g. cancelling a
+    /// Δ-deactivation when the role was already dropped.
+    pub fn cancel_timers_where(
+        &mut self,
+        node: EventId,
+        mut pred: impl FnMut(Option<&Occurrence>) -> bool,
+    ) -> usize {
+        let mut n = 0;
+        for t in &mut self.timers {
+            if t.cancelled || t.node != node {
+                continue;
+            }
+            let base = match &t.req {
+                TimerReq::Plus { base, .. } => Some(base),
+                _ => None,
+            };
+            if pred(base) {
+                t.cancelled = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Cancel all pending timers of `node`.
+    pub fn cancel_timers(&mut self, node: EventId) -> usize {
+        self.cancel_timers_where(node, |_| true)
+    }
+
+    /// Number of timers scheduled and not yet fired or cancelled.
+    pub fn pending_timers(&self) -> usize {
+        self.timer_queue
+            .iter()
+            .filter(|Reverse((_, idx))| !self.timers[*idx as usize].cancelled)
+            .count()
+    }
+
+    fn push_timer(&mut self, node: EventId, req: TimerReq) {
+        let at = match &req {
+            TimerReq::Plus { at, .. } => *at,
+            TimerReq::PeriodicTick { at, .. } => *at,
+            TimerReq::Calendar { at } => *at,
+        };
+        let idx = self.timers.len() as u64;
+        self.timers.push(Timer {
+            node,
+            req,
+            cancelled: false,
+        });
+        self.timer_queue.push(Reverse((at, idx)));
+    }
+
+    /// Breadth-first propagation of an occurrence up the event graph.
+    fn propagate(&mut self, root: Occurrence) -> Vec<Detection> {
+        let mut detections = Vec::new();
+        let mut queue: VecDeque<Occurrence> = VecDeque::new();
+        queue.push_back(root);
+        while let Some(occ) = queue.pop_front() {
+            let node = &self.nodes[occ.event.0 as usize];
+            if node.watched {
+                self.detected += 1;
+                detections.push(Detection {
+                    occurrence: occ.clone(),
+                });
+            }
+            let parents = node.parents.clone();
+            for (parent, slot) in parents {
+                let mut out = NodeOutput::default();
+                let pnode = &mut self.nodes[parent.0 as usize];
+                let ctx = pnode.context;
+                let is_periodic_end =
+                    matches!(pnode.state, NodeState::Periodic { .. }) && slot == Slot::End;
+                if is_periodic_end {
+                    pnode.state.on_periodic_end(parent, &occ, &mut out);
+                } else {
+                    pnode
+                        .state
+                        .on_child(parent, ctx, self.buffer_cap, slot, &occ, &mut out);
+                }
+                for t in out.timers.drain(..) {
+                    self.push_timer(parent, t);
+                }
+                for o in out.occurrences.drain(..) {
+                    queue.push_back(o);
+                }
+            }
+        }
+        detections
+    }
+}
+
+impl Detector {
+    /// Render the event graph in Graphviz DOT form: one box per node
+    /// (primitives as ellipses, composites as boxes, watched nodes bold),
+    /// edges from constituents to the operators they feed, labelled with
+    /// the input slot.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph events {\n  rankdir=BT;\n");
+        for (i, node) in self.nodes.iter().enumerate() {
+            let shape = if matches!(node.state, NodeState::Primitive { .. }) {
+                "ellipse"
+            } else {
+                "box"
+            };
+            let style = if node.watched { ",penwidth=2" } else { "" };
+            writeln!(
+                out,
+                "  n{i} [label=\"{}\",shape={shape}{style}];",
+                node.label.replace('\"', "'")
+            )
+            .expect("string write");
+            for (parent, slot) in &node.parents {
+                writeln!(out, "  n{i} -> n{} [label=\"{slot:?}\"];", parent.0)
+                    .expect("string write");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn key_label(key: &NodeKey) -> String {
+    match key {
+        NodeKey::Calendar(s) => s.clone(),
+        _ => String::new(),
+    }
+}
+
+impl fmt::Debug for Detector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Detector")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.now)
+            .field("pending_timers", &self.pending_timers())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EventExpr as E;
+    use crate::calendar::Civil;
+
+    fn det() -> Detector {
+        Detector::new(Ts::ZERO)
+    }
+
+    #[test]
+    fn primitive_raise_and_watch() {
+        let mut d = det();
+        let e = d.primitive("open_file");
+        // Unwatched: no detections returned.
+        assert!(d.raise(e, Params::new()).unwrap().is_empty());
+        d.watch(e);
+        let dets = d.raise(e, Params::new().with("user", "bob")).unwrap();
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].occurrence.params.get_str("user"), Some("bob"));
+    }
+
+    #[test]
+    fn raise_composite_rejected() {
+        let mut d = det();
+        let a = E::prim("a");
+        let b = E::prim("b");
+        let seq = d.define(&E::seq(a, b)).unwrap();
+        assert!(matches!(
+            d.raise(seq, Params::new()),
+            Err(DetectorError::NotPrimitive(_))
+        ));
+    }
+
+    #[test]
+    fn seq_detection_through_graph() {
+        let mut d = det();
+        let root = d.define(&E::seq(E::prim("a"), E::prim("b"))).unwrap();
+        d.watch(root);
+        let a = d.lookup("a").unwrap();
+        let b = d.lookup("b").unwrap();
+        d.raise(a, Params::new()).unwrap();
+        d.advance(Dur::from_secs(1)).unwrap();
+        let dets = d.raise(b, Params::new()).unwrap();
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].event(), root);
+    }
+
+    #[test]
+    fn sharing_identical_subexpressions() {
+        let mut d = det();
+        let r1 = d.define(&E::seq(E::prim("a"), E::prim("b"))).unwrap();
+        let r2 = d.define(&E::seq(E::prim("a"), E::prim("b"))).unwrap();
+        assert_eq!(r1, r2, "structurally identical events share a node");
+        let r3 = d
+            .define(&E::seq(E::prim("a"), E::prim("b")).context(Context::Chronicle))
+            .unwrap();
+        assert_ne!(r1, r3, "different context, different node");
+    }
+
+    #[test]
+    fn plus_fires_via_clock() {
+        let mut d = det();
+        let root = d
+            .define(&E::plus(E::prim("open"), Dur::from_hours(2)))
+            .unwrap();
+        d.watch(root);
+        let open = d.lookup("open").unwrap();
+        d.raise(open, Params::new().with("file", "patient.dat"))
+            .unwrap();
+        // Nothing before the deadline.
+        assert!(d.advance(Dur::from_hours(1)).unwrap().is_empty());
+        let dets = d.advance(Dur::from_hours(1)).unwrap();
+        assert_eq!(dets.len(), 1);
+        assert_eq!(
+            dets[0].occurrence.params.get_str("file"),
+            Some("patient.dat")
+        );
+        assert_eq!(dets[0].occurrence.interval.end, Ts::from_secs(2 * 3600));
+    }
+
+    #[test]
+    fn plus_cancellation() {
+        let mut d = det();
+        let root = d
+            .define(&E::plus(E::prim("open"), Dur::from_secs(100)))
+            .unwrap();
+        d.watch(root);
+        let open = d.lookup("open").unwrap();
+        d.raise(open, Params::new().with("session", 1i64)).unwrap();
+        d.raise(open, Params::new().with("session", 2i64)).unwrap();
+        let n = d.cancel_timers_where(root, |base| {
+            base.is_some_and(|b| b.params.get_int("session") == Some(1))
+        });
+        assert_eq!(n, 1);
+        let dets = d.advance(Dur::from_secs(200)).unwrap();
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].occurrence.params.get_int("session"), Some(2));
+    }
+
+    #[test]
+    fn periodic_between_events() {
+        let mut d = det();
+        let root = d
+            .define(&E::periodic(
+                E::prim("start"),
+                Dur::from_secs(10),
+                E::prim("stop"),
+            ))
+            .unwrap();
+        d.watch(root);
+        d.raise_named("start", Params::new()).unwrap();
+        let dets = d.advance(Dur::from_secs(35)).unwrap();
+        assert_eq!(dets.len(), 3, "ticks at 10, 20, 30");
+        d.raise_named("stop", Params::new()).unwrap();
+        let dets = d.advance(Dur::from_secs(100)).unwrap();
+        assert!(dets.is_empty(), "terminated by stop");
+    }
+
+    #[test]
+    fn aperiodic_between_events() {
+        let mut d = det();
+        let root = d
+            .define(&E::aperiodic(
+                E::prim("txn_begin"),
+                E::prim("enable_role"),
+                E::prim("txn_end"),
+            ))
+            .unwrap();
+        d.watch(root);
+        // Before the window: no detection.
+        d.raise_named("enable_role", Params::new()).unwrap();
+        d.advance(Dur::from_secs(1)).unwrap();
+        d.raise_named("txn_begin", Params::new()).unwrap();
+        d.advance(Dur::from_secs(1)).unwrap();
+        let dets = d.raise_named("enable_role", Params::new()).unwrap();
+        assert_eq!(dets.len(), 1);
+        d.advance(Dur::from_secs(1)).unwrap();
+        d.raise_named("txn_end", Params::new()).unwrap();
+        d.advance(Dur::from_secs(1)).unwrap();
+        let dets = d.raise_named("enable_role", Params::new()).unwrap();
+        assert!(dets.is_empty());
+    }
+
+    #[test]
+    fn calendar_event_fires_daily() {
+        let mut d = det();
+        let id = d.calendar(CalendarExpr::daily(10, 0, 0));
+        d.watch(id);
+        let two_days = Civil::new(2000, 1, 3, 0, 0, 0).to_ts();
+        let dets = d.advance_to(two_days).unwrap();
+        assert_eq!(dets.len(), 2, "Jan 1 10:00 and Jan 2 10:00");
+        assert_eq!(
+            Civil::from_ts(dets[0].occurrence.interval.start),
+            Civil::new(2000, 1, 1, 10, 0, 0)
+        );
+    }
+
+    #[test]
+    fn clock_regression_rejected() {
+        let mut d = det();
+        d.advance(Dur::from_secs(10)).unwrap();
+        assert!(matches!(
+            d.advance_to(Ts::from_secs(5)),
+            Err(DetectorError::ClockRegression { .. })
+        ));
+    }
+
+    #[test]
+    fn or_propagates_sources() {
+        let mut d = det();
+        let root = d.define(&E::or(E::prim("nurse_off"), E::prim("doctor_off"))).unwrap();
+        d.watch(root);
+        let nurse = d.lookup("nurse_off").unwrap();
+        let dets = d.raise(nurse, Params::new()).unwrap();
+        assert_eq!(dets.len(), 1);
+        assert!(dets[0].occurrence.has_source(nurse));
+        assert!(!dets[0].occurrence.has_source(d.lookup("doctor_off").unwrap()));
+    }
+
+    #[test]
+    fn named_composite() {
+        let mut d = det();
+        let root = d.define(&E::seq(E::prim("a"), E::prim("b"))).unwrap();
+        d.name(root, "ab").unwrap();
+        assert_eq!(d.lookup("ab"), Some(root));
+        // Redefining the same name for the same node is fine.
+        d.name(root, "ab").unwrap();
+        // A different node may not steal the name.
+        let other = d.define(&E::or(E::prim("a"), E::prim("b"))).unwrap();
+        assert!(d.name(other, "ab").is_err());
+    }
+
+    #[test]
+    fn nested_composition_rule6_shape() {
+        // The TSOD₁ event tree from the paper:
+        //   ET3 = OR(nurse_disable, doctor_disable)
+        //   ET5 = A([10:00 daily], ET3, [17:00 daily])
+        let mut d = det();
+        let expr = E::aperiodic(
+            E::calendar(CalendarExpr::daily(10, 0, 0)),
+            E::or(E::prim("nurse_disable"), E::prim("doctor_disable")),
+            E::calendar(CalendarExpr::daily(17, 0, 0)),
+        );
+        let root = d.define(&expr).unwrap();
+        d.watch(root);
+        // 09:00 on Jan 1: outside window — no detection.
+        d.advance_to(Civil::new(2000, 1, 1, 9, 0, 0).to_ts()).unwrap();
+        assert!(d.raise_named("nurse_disable", Params::new()).unwrap().is_empty());
+        // 11:00: inside window — detection.
+        d.advance_to(Civil::new(2000, 1, 1, 11, 0, 0).to_ts()).unwrap();
+        let dets = d.raise_named("nurse_disable", Params::new()).unwrap();
+        assert_eq!(dets.len(), 1);
+        // 18:00: after close — no detection.
+        d.advance_to(Civil::new(2000, 1, 1, 18, 0, 0).to_ts()).unwrap();
+        assert!(d.raise_named("doctor_disable", Params::new()).unwrap().is_empty());
+        // Next day 12:00: window reopened — detection again.
+        d.advance_to(Civil::new(2000, 1, 2, 12, 0, 0).to_ts()).unwrap();
+        let dets = d.raise_named("doctor_disable", Params::new()).unwrap();
+        assert_eq!(dets.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use crate::builder::EventExpr as E;
+
+    #[test]
+    fn event_graph_dot_rendering() {
+        let mut d = Detector::new(Ts::ZERO);
+        let root = d.define(&E::seq(E::prim("a"), E::prim("b"))).unwrap();
+        d.watch(root);
+        let dot = d.to_dot();
+        assert!(dot.starts_with("digraph events {"));
+        assert!(dot.contains("shape=ellipse"), "primitives are ellipses");
+        assert!(dot.contains("SEQ(E0, E1)"));
+        assert!(dot.contains("penwidth=2"), "watched node is bold");
+        assert!(dot.contains("n0 -> n2 [label=\"Left\"];"));
+        assert!(dot.ends_with("}\n"));
+    }
+}
+
+#[cfg(test)]
+mod star_tests {
+    use super::*;
+    use crate::builder::EventExpr as E;
+
+    #[test]
+    fn periodic_star_accumulates_ticks_until_end() {
+        let mut d = Detector::new(Ts::ZERO);
+        let root = d
+            .define(&E::periodic_star(
+                E::prim("start"),
+                Dur::from_secs(10),
+                E::prim("stop"),
+            ))
+            .unwrap();
+        d.watch(root);
+        d.raise_named("start", Params::new().with("who", "p*")).unwrap();
+        // Ticks at 10, 20, 30 accumulate silently.
+        assert!(d.advance(Dur::from_secs(35)).unwrap().is_empty());
+        let dets = d.raise_named("stop", Params::new()).unwrap();
+        assert_eq!(dets.len(), 1, "P* emits once, at the terminator");
+        let occ = &dets[0].occurrence;
+        assert_eq!(occ.params.get_int("ticks"), Some(3));
+        assert_eq!(occ.params.get_str("who"), Some("p*"));
+        // After termination: no more ticks, no more detections.
+        assert!(d.advance(Dur::from_secs(100)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn periodic_star_without_ticks_detects_nothing() {
+        let mut d = Detector::new(Ts::ZERO);
+        let root = d
+            .define(&E::periodic_star(
+                E::prim("start"),
+                Dur::from_secs(100),
+                E::prim("stop"),
+            ))
+            .unwrap();
+        d.watch(root);
+        d.raise_named("start", Params::new()).unwrap();
+        d.advance(Dur::from_secs(5)).unwrap();
+        let dets = d.raise_named("stop", Params::new()).unwrap();
+        assert!(dets.is_empty(), "no ticks happened inside the window");
+    }
+
+    #[test]
+    fn aperiodic_multiple_windows_chronicle_vs_continuous() {
+        // Two overlapping windows; Chronicle pairs the middle with the
+        // oldest window only, Continuous with all of them.
+        for (ctx, expected) in [(Context::Chronicle, 1usize), (Context::Continuous, 2)] {
+            let mut d = Detector::new(Ts::ZERO);
+            let root = d
+                .define(
+                    &E::aperiodic(E::prim("s"), E::prim("m"), E::prim("e")).context(ctx),
+                )
+                .unwrap();
+            d.watch(root);
+            d.raise_named("s", Params::new()).unwrap();
+            d.advance(Dur::from_secs(1)).unwrap();
+            d.raise_named("s", Params::new()).unwrap();
+            d.advance(Dur::from_secs(1)).unwrap();
+            let dets = d.raise_named("m", Params::new()).unwrap();
+            assert_eq!(dets.len(), expected, "context {ctx}");
+        }
+    }
+
+    #[test]
+    fn not_operator_recent_window_replacement() {
+        // Under Recent, a second opener replaces the first, so a middle
+        // that killed the old window does not affect the new one.
+        let mut d = Detector::new(Ts::ZERO);
+        let root = d
+            .define(
+                &E::not(E::prim("m"), E::prim("s"), E::prim("e")).context(Context::Recent),
+            )
+            .unwrap();
+        d.watch(root);
+        d.raise_named("s", Params::new()).unwrap();
+        d.advance(Dur::from_secs(1)).unwrap();
+        d.raise_named("m", Params::new()).unwrap(); // kills window 1
+        d.advance(Dur::from_secs(1)).unwrap();
+        d.raise_named("s", Params::new()).unwrap(); // fresh window 2
+        d.advance(Dur::from_secs(1)).unwrap();
+        let dets = d.raise_named("e", Params::new()).unwrap();
+        assert_eq!(dets.len(), 1, "the fresh window is clean");
+    }
+}

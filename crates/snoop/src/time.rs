@@ -1,0 +1,248 @@
+//! Logical time for the event detector.
+//!
+//! All detector time is a [`Ts`] — microseconds on a logical timeline driven
+//! by a virtual clock, so temporal operators (PLUS, PERIODIC, calendar
+//! events) are deterministic under test. A `Ts` of zero is the timeline
+//! origin; the calendar module maps `Ts` to civil time by treating the origin
+//! as 2000-01-01 00:00:00.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Microseconds per second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// A point on the logical timeline (microseconds since origin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Ts(pub u64);
+
+impl Ts {
+    /// The timeline origin.
+    pub const ZERO: Ts = Ts(0);
+
+    /// A timestamp from microseconds since origin.
+    pub const fn from_micros(us: u64) -> Ts {
+        Ts(us)
+    }
+
+    /// A timestamp from seconds since origin.
+    pub const fn from_secs(s: u64) -> Ts {
+        Ts(s * MICROS_PER_SEC)
+    }
+
+    /// Microseconds since origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since origin.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / MICROS_PER_SEC
+    }
+
+    /// Saturating subtraction, returning a duration.
+    pub fn since(self, earlier: Ts) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Dur> for Ts {
+    type Output = Ts;
+    fn add(self, d: Dur) -> Ts {
+        Ts(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<Dur> for Ts {
+    fn add_assign(&mut self, d: Dur) {
+        self.0 = self.0.saturating_add(d.0);
+    }
+}
+
+impl Sub<Dur> for Ts {
+    type Output = Ts;
+    fn sub(self, d: Dur) -> Ts {
+        Ts(self.0.saturating_sub(d.0))
+    }
+}
+
+impl fmt::Display for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0 / MICROS_PER_SEC;
+        let us = self.0 % MICROS_PER_SEC;
+        if us == 0 {
+            write!(f, "{s}s")
+        } else {
+            write!(f, "{s}.{us:06}s")
+        }
+    }
+}
+
+/// A span of logical time (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Dur(pub u64);
+
+impl Dur {
+    /// The empty duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// A duration in microseconds.
+    pub const fn from_micros(us: u64) -> Dur {
+        Dur(us)
+    }
+
+    /// A duration in seconds.
+    pub const fn from_secs(s: u64) -> Dur {
+        Dur(s * MICROS_PER_SEC)
+    }
+
+    /// A duration in minutes.
+    pub const fn from_mins(m: u64) -> Dur {
+        Dur(m * 60 * MICROS_PER_SEC)
+    }
+
+    /// A duration in hours.
+    pub const fn from_hours(h: u64) -> Dur {
+        Dur(h * 3600 * MICROS_PER_SEC)
+    }
+
+    /// Length in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Length in whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / MICROS_PER_SEC
+    }
+
+    /// Is this the empty duration?
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, o: Dur) -> Dur {
+        Dur(self.0.saturating_add(o.0))
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0 / MICROS_PER_SEC;
+        let us = self.0 % MICROS_PER_SEC;
+        if us == 0 {
+            write!(f, "{s}s")
+        } else {
+            write!(f, "{s}.{us:06}s")
+        }
+    }
+}
+
+/// A closed occurrence interval `[start, end]` in interval-based (SnoopIB)
+/// semantics: a composite event's interval runs from its initiator's start to
+/// its terminator's end. Primitive occurrences are instantaneous
+/// (`start == end`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Start of the occurrence.
+    pub start: Ts,
+    /// End of the occurrence (inclusive).
+    pub end: Ts,
+}
+
+impl Interval {
+    /// An instantaneous interval at `t`.
+    pub fn at(t: Ts) -> Interval {
+        Interval { start: t, end: t }
+    }
+
+    /// An interval from `start` to `end` (must not be reversed).
+    pub fn new(start: Ts, end: Ts) -> Interval {
+        debug_assert!(start <= end, "interval start must not exceed end");
+        Interval { start, end }
+    }
+
+    /// SnoopIB sequencing: `self` occurs strictly before `other` when
+    /// `self.end < other.start`.
+    pub fn before(&self, other: &Interval) -> bool {
+        self.end < other.start
+    }
+
+    /// Smallest interval containing both.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Does the closed interval contain `t`?
+    pub fn contains(&self, t: Ts) -> bool {
+        self.start <= t && t <= self.end
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ts_arithmetic() {
+        let t = Ts::from_secs(10);
+        assert_eq!(t + Dur::from_secs(5), Ts::from_secs(15));
+        assert_eq!(t - Dur::from_secs(3), Ts::from_secs(7));
+        // Saturating below zero.
+        assert_eq!(Ts::from_secs(1) - Dur::from_secs(10), Ts::ZERO);
+        assert_eq!(Ts::from_secs(15).since(t), Dur::from_secs(5));
+        assert_eq!(t.since(Ts::from_secs(15)), Dur::ZERO);
+    }
+
+    #[test]
+    fn dur_constructors() {
+        assert_eq!(Dur::from_hours(2), Dur::from_mins(120));
+        assert_eq!(Dur::from_mins(1), Dur::from_secs(60));
+        assert_eq!(Dur::from_secs(1).as_micros(), MICROS_PER_SEC);
+        assert!(Dur::ZERO.is_zero());
+    }
+
+    #[test]
+    fn interval_before_is_strict() {
+        let a = Interval::at(Ts::from_secs(1));
+        let b = Interval::at(Ts::from_secs(1));
+        let c = Interval::at(Ts::from_secs(2));
+        assert!(!a.before(&b), "equal timestamps do not sequence");
+        assert!(a.before(&c));
+        assert!(!c.before(&a));
+    }
+
+    #[test]
+    fn interval_hull_and_contains() {
+        let a = Interval::new(Ts::from_secs(1), Ts::from_secs(3));
+        let b = Interval::new(Ts::from_secs(2), Ts::from_secs(5));
+        let h = a.hull(&b);
+        assert_eq!(h, Interval::new(Ts::from_secs(1), Ts::from_secs(5)));
+        assert!(h.contains(Ts::from_secs(4)));
+        assert!(!h.contains(Ts::from_secs(6)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Ts::from_secs(3).to_string(), "3s");
+        assert_eq!(Ts(1_500_000).to_string(), "1.500000s");
+        assert_eq!(Dur::from_hours(1).to_string(), "3600s");
+        assert_eq!(
+            Interval::new(Ts::from_secs(1), Ts::from_secs(2)).to_string(),
+            "[1s, 2s]"
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Seeded random enterprise generators.
+//!
+//! The evaluation needs enterprises of parametric size ("large enterprises
+//! have hundreds of roles, which requires thousands of rules"). The
+//! generator builds policy graphs with configurable role counts, hierarchy
+//! shape, users, permissions and constraint densities — deterministically
+//! from a seed, so benches and property tests are reproducible.
+
+use policy::{DailyWindow, PolicyGraph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use snoop::Dur;
+
+/// Shape parameters for a generated enterprise.
+#[derive(Debug, Clone)]
+pub struct EnterpriseSpec {
+    /// Number of roles.
+    pub roles: usize,
+    /// Number of users.
+    pub users: usize,
+    /// Number of distinct (op, obj) permissions.
+    pub permissions: usize,
+    /// Fraction of roles that get a hierarchy parent (0..=1). The hierarchy
+    /// is a forest: each selected role attaches under an earlier role.
+    pub hierarchy_density: f64,
+    /// Number of SSD pairs (disjoint role pairs).
+    pub ssd_pairs: usize,
+    /// Number of DSD pairs (disjoint role pairs, distinct from SSD pairs).
+    pub dsd_pairs: usize,
+    /// Fraction of roles with an activation-cardinality cap.
+    pub capped_fraction: f64,
+    /// Fraction of roles with a daily enabling window.
+    pub temporal_fraction: f64,
+    /// Fraction of roles with a role-wide max-activation Δ.
+    pub duration_fraction: f64,
+    /// Fraction of roles with a context constraint (key `zone`).
+    pub context_fraction: f64,
+    /// Assignments per user (each to a distinct role).
+    pub assignments_per_user: usize,
+    /// Grants per role.
+    pub grants_per_role: usize,
+}
+
+impl Default for EnterpriseSpec {
+    fn default() -> EnterpriseSpec {
+        EnterpriseSpec {
+            roles: 50,
+            users: 100,
+            permissions: 100,
+            hierarchy_density: 0.5,
+            ssd_pairs: 5,
+            dsd_pairs: 5,
+            capped_fraction: 0.2,
+            temporal_fraction: 0.2,
+            duration_fraction: 0.1,
+            context_fraction: 0.0,
+            assignments_per_user: 3,
+            grants_per_role: 4,
+        }
+    }
+}
+
+impl EnterpriseSpec {
+    /// A spec sized by role count with everything else proportional —
+    /// the E2 sweep's independent variable.
+    pub fn sized(roles: usize) -> EnterpriseSpec {
+        EnterpriseSpec {
+            roles,
+            users: roles * 2,
+            permissions: roles * 2,
+            ssd_pairs: roles / 10,
+            dsd_pairs: roles / 10,
+            ..EnterpriseSpec::default()
+        }
+    }
+
+    /// A flat spec: core RBAC only (no hierarchy or constraints) — isolates
+    /// AAR₁ behaviour.
+    pub fn flat(roles: usize) -> EnterpriseSpec {
+        EnterpriseSpec {
+            roles,
+            users: roles * 2,
+            permissions: roles,
+            hierarchy_density: 0.0,
+            ssd_pairs: 0,
+            dsd_pairs: 0,
+            capped_fraction: 0.0,
+            temporal_fraction: 0.0,
+            duration_fraction: 0.0,
+            context_fraction: 0.0,
+            ..EnterpriseSpec::default()
+        }
+    }
+}
+
+/// Context values used by [`generate`]'s `zone` constraints; traces set the
+/// `zone` key to one of these.
+pub const ZONES: [&str; 4] = ["z0", "z1", "z2", "z3"];
+
+/// Role name for index `i`.
+pub fn role_name(i: usize) -> String {
+    format!("role{i}")
+}
+
+/// User name for index `i`.
+pub fn user_name(i: usize) -> String {
+    format!("user{i}")
+}
+
+/// Generate a consistent policy graph from the spec and seed.
+pub fn generate(spec: &EnterpriseSpec, seed: u64) -> PolicyGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = PolicyGraph::new("generated");
+
+    for i in 0..spec.roles {
+        g.role(&role_name(i));
+    }
+    // Forest hierarchy: role i may attach under a random earlier role.
+    // Constraint-bearing roles are attached carefully below, so hierarchy
+    // never makes an SSD pair related.
+    let mut parent_of: Vec<Option<usize>> = vec![None; spec.roles];
+    #[allow(clippy::needless_range_loop)] // writes parent_of[i] and reads 0..i
+    for i in 1..spec.roles {
+        if rng.gen_bool(spec.hierarchy_density.clamp(0.0, 1.0)) {
+            let p = rng.gen_range(0..i);
+            parent_of[i] = Some(p);
+            g.inherits(&role_name(p), &role_name(i));
+        }
+    }
+    // Transitive ancestors, to keep SoD pairs unrelated.
+    let ancestors = |mut i: usize, parent_of: &[Option<usize>]| {
+        let mut out = Vec::new();
+        while let Some(p) = parent_of[i] {
+            out.push(p);
+            i = p;
+        }
+        out
+    };
+
+    // Disjoint role pairs for SSD and DSD, skipping related pairs.
+    let mut pool: Vec<usize> = (0..spec.roles).collect();
+    pool.shuffle(&mut rng);
+    let take_pair = |pool: &mut Vec<usize>| -> Option<(usize, usize)> {
+        while pool.len() >= 2 {
+            let a = pool.pop().expect("len checked");
+            // Find a partner unrelated to `a`.
+            if let Some(pos) = pool.iter().position(|&b| {
+                !ancestors(a, &parent_of).contains(&b) && !ancestors(b, &parent_of).contains(&a)
+            }) {
+                let b = pool.remove(pos);
+                return Some((a, b));
+            }
+        }
+        None
+    };
+    for k in 0..spec.ssd_pairs {
+        if let Some((a, b)) = take_pair(&mut pool) {
+            g.ssd_set(&format!("ssd{k}"), &[&role_name(a), &role_name(b)], 2);
+        }
+    }
+    for k in 0..spec.dsd_pairs {
+        if let Some((a, b)) = take_pair(&mut pool) {
+            g.dsd_set(&format!("dsd{k}"), &[&role_name(a), &role_name(b)], 2);
+        }
+    }
+
+    // Permissions and grants.
+    for p in 0..spec.permissions {
+        g.permission(&format!("perm{p}"), &format!("op{}", p % 8), &format!("obj{p}"));
+    }
+    for i in 0..spec.roles {
+        for _ in 0..spec.grants_per_role {
+            if spec.permissions > 0 {
+                let p = rng.gen_range(0..spec.permissions);
+                g.grant(&format!("perm{p}"), &role_name(i));
+            }
+        }
+    }
+
+    // Constraints on roles.
+    for i in 0..spec.roles {
+        if rng.gen_bool(spec.capped_fraction.clamp(0.0, 1.0)) {
+            g.role(&role_name(i)).max_active_users = Some(rng.gen_range(1..=8));
+        }
+        if rng.gen_bool(spec.temporal_fraction.clamp(0.0, 1.0)) {
+            let start_h = rng.gen_range(0..12);
+            let len = rng.gen_range(4..12);
+            g.role(&role_name(i)).enabling = Some(DailyWindow {
+                start_h,
+                start_m: 0,
+                end_h: start_h + len,
+                end_m: 0,
+            });
+        }
+        if rng.gen_bool(spec.duration_fraction.clamp(0.0, 1.0)) {
+            g.role(&role_name(i)).max_activation =
+                Some(Dur::from_mins(rng.gen_range(30..240)));
+        }
+        if rng.gen_bool(spec.context_fraction.clamp(0.0, 1.0)) {
+            let zone = ZONES[rng.gen_range(0..ZONES.len())];
+            g.context_constraints.push(policy::ContextConstraintSpec {
+                role: role_name(i),
+                key: "zone".into(),
+                value: zone.into(),
+            });
+        }
+    }
+
+    // Users and SSD-safe assignments.
+    for u in 0..spec.users {
+        g.user(&user_name(u));
+    }
+    let conflicts: Vec<(std::collections::BTreeSet<String>, usize)> = g
+        .ssd
+        .iter()
+        .map(|s| (s.roles.clone(), s.cardinality))
+        .collect();
+    for u in 0..spec.users {
+        let mut authorized: std::collections::BTreeSet<String> = Default::default();
+        let mut tries = 0;
+        let mut picked = 0;
+        while picked < spec.assignments_per_user && tries < spec.assignments_per_user * 10 {
+            tries += 1;
+            let r = rng.gen_range(0..spec.roles);
+            let mut prospective = authorized.clone();
+            prospective.insert(role_name(r));
+            // Assignment to r authorizes r and every descendant of r.
+            let mut stack = vec![r];
+            while let Some(cur) = stack.pop() {
+                prospective.insert(role_name(cur));
+                for (j, p) in parent_of.iter().enumerate() {
+                    if *p == Some(cur) {
+                        stack.push(j);
+                    }
+                }
+            }
+            let violates = conflicts
+                .iter()
+                .any(|(roles, n)| prospective.intersection(roles).count() >= *n);
+            if violates || authorized.contains(&role_name(r)) {
+                continue;
+            }
+            g.assign(&user_name(u), &role_name(r));
+            authorized = prospective;
+            picked += 1;
+        }
+    }
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_policies_are_consistent() {
+        for seed in 0..10 {
+            let g = generate(&EnterpriseSpec::default(), seed);
+            let errors: Vec<_> = policy::check(&g)
+                .into_iter()
+                .filter(|i| i.severity == policy::Severity::Error)
+                .collect();
+            assert!(errors.is_empty(), "seed {seed}: {errors:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(&EnterpriseSpec::default(), 42);
+        let b = generate(&EnterpriseSpec::default(), 42);
+        assert_eq!(a, b);
+        let c = generate(&EnterpriseSpec::default(), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sized_specs_scale() {
+        let g = generate(&EnterpriseSpec::sized(100), 1);
+        assert_eq!(g.roles.len(), 100);
+        assert_eq!(g.users.len(), 200);
+        assert!(!g.ssd.is_empty());
+    }
+
+    #[test]
+    fn flat_spec_has_no_constraints() {
+        let g = generate(&EnterpriseSpec::flat(20), 1);
+        assert!(g.hierarchy.is_empty());
+        assert!(g.ssd.is_empty());
+        assert!(g.dsd.is_empty());
+        assert!(g.roles.iter().all(|r| r.enabling.is_none()));
+    }
+
+    #[test]
+    fn generated_policies_instantiate() {
+        let g = generate(&EnterpriseSpec::sized(30), 7);
+        let inst = policy::instantiate(&g, snoop::Ts::ZERO).unwrap();
+        assert!(inst.pool.len() >= 30 * 4);
+    }
+}

@@ -1,0 +1,77 @@
+//! Active security (§4.3.3): the system detects malicious activity and
+//! reacts "without human intervention".
+//!
+//! Mallory probes the vault role; after 5 denials in a minute an internal
+//! security alert fires, and after 12 the activity-control rules are
+//! disabled entirely (lockdown) until an administrator re-enables them —
+//! the paper's "some critical authorization rules are disabled and the
+//! administrators are alerted".
+//!
+//! Run with: `cargo run --example active_security`
+
+use active_authz::{Engine, Ts};
+use sentinel::RuleClass;
+
+const BANK: &str = r#"
+    policy "bank" {
+      roles Teller, Vault;
+      users alice, mallory;
+      assign alice -> Teller;
+      permission open_vault = open on vault_door;
+      permission serve = serve on counter;
+      grant open_vault -> Vault;
+      grant serve -> Teller;
+      active_security "probe"  threshold 5  within 60s actions alert;
+      active_security "storm"  threshold 12 within 60s actions alert, disable_activity;
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut e = Engine::from_source(BANK, Ts::ZERO)?;
+    let alice = e.user_id("alice")?;
+    let mallory = e.user_id("mallory")?;
+    let teller = e.role_id("Teller")?;
+    let vault = e.role_id("Vault")?;
+    let serve = e.system().op_by_name("serve")?;
+    let counter = e.system().obj_by_name("counter")?;
+
+    let sa = e.create_session(alice, &[teller])?;
+    let sm = e.create_session(mallory, &[])?;
+
+    println!("normal operation: alice serves a customer: allowed = {}\n",
+        e.check_access(sa, serve, counter)?);
+
+    println!("mallory starts probing the Vault role…");
+    for attempt in 1..=14 {
+        let result = e.add_active_role(mallory, sm, vault);
+        let alerts = e.alerts().len();
+        println!(
+            "  attempt {attempt:2}: {} (alerts so far: {alerts})",
+            if result.is_err() { "denied" } else { "granted!?" }
+        );
+    }
+
+    println!("\nalerts raised:");
+    for a in e.alerts() {
+        println!("  ⚠ {a}");
+    }
+
+    println!("\nlockdown in force — even alice is refused now:");
+    match e.check_access(sa, serve, counter) {
+        Ok(false) => println!("  alice serves a customer: allowed = false"),
+        other => println!("  unexpected: {other:?}"),
+    }
+
+    println!("\nadministrator reviews the report and re-enables the rules:");
+    let n = e.enable_rule_class(RuleClass::ActivityControl);
+    println!("  {n} activity-control rules re-enabled");
+    println!("  alice serves a customer: allowed = {}",
+        e.check_access(sa, serve, counter)?);
+
+    println!("\nadministrator report (last entries):");
+    let report = e.log().report();
+    for line in report.lines().rev().take(8).collect::<Vec<_>>().iter().rev() {
+        println!("  {line}");
+    }
+    Ok(())
+}

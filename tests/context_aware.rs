@@ -1,0 +1,154 @@
+//! Context-aware RBAC through both engines (§3's external events: "when a
+//! user moves from one location to another, external events can trigger
+//! some rules that activate/deactivate roles"; conditions can check
+//! "whether the network is secure or insecure").
+
+use active_authz::{DirectEngine, Engine, EngineError, Ts};
+
+const PERVASIVE: &str = r#"
+    policy "pervasive" {
+      roles WardNurse, RemoteAnalyst;
+      users nina, ralph;
+      assign nina -> WardNurse;
+      assign ralph -> RemoteAnalyst;
+      permission read_chart = read on patient_chart;
+      grant read_chart -> WardNurse;
+      context WardNurse requires location = ward;
+      context RemoteAnalyst requires network = secure;
+    }
+"#;
+
+fn engine() -> Engine {
+    Engine::from_source(PERVASIVE, Ts::ZERO).unwrap()
+}
+
+#[test]
+fn activation_requires_context() {
+    let mut e = engine();
+    let nina = e.user_id("nina").unwrap();
+    let nurse = e.role_id("WardNurse").unwrap();
+    let s = e.create_session(nina, &[]).unwrap();
+
+    // No location reported yet: fails closed.
+    assert!(matches!(
+        e.add_active_role(nina, s, nurse),
+        Err(EngineError::Denied(_))
+    ));
+    // In the cafeteria: still denied.
+    e.set_context("location", "cafeteria").unwrap();
+    assert!(e.add_active_role(nina, s, nurse).is_err());
+    // On the ward: allowed.
+    e.set_context("location", "ward").unwrap();
+    e.add_active_role(nina, s, nurse).unwrap();
+}
+
+#[test]
+fn context_change_deactivates_via_ctx_rule() {
+    let mut e = engine();
+    let nina = e.user_id("nina").unwrap();
+    let nurse = e.role_id("WardNurse").unwrap();
+    e.set_context("location", "ward").unwrap();
+    let s = e.create_session(nina, &[nurse]).unwrap();
+    let read = e.system().op_by_name("read").unwrap();
+    let chart = e.system().obj_by_name("patient_chart").unwrap();
+    assert!(e.check_access(s, read, chart).unwrap());
+
+    // She walks out: the CTX rule's *alternative action* force-deactivates.
+    e.set_context("location", "hallway").unwrap();
+    assert!(!e.system().session_roles(s).unwrap().contains(&nurse));
+    assert!(!e.check_access(s, read, chart).unwrap());
+    // Back on the ward: the role is activatable again (not auto-restored).
+    e.set_context("location", "ward").unwrap();
+    e.add_active_role(nina, s, nurse).unwrap();
+}
+
+#[test]
+fn independent_context_keys() {
+    let mut e = engine();
+    let ralph = e.user_id("ralph").unwrap();
+    let analyst = e.role_id("RemoteAnalyst").unwrap();
+    let nina = e.user_id("nina").unwrap();
+    let nurse = e.role_id("WardNurse").unwrap();
+    e.set_context("location", "ward").unwrap();
+    e.set_context("network", "secure").unwrap();
+    let sr = e.create_session(ralph, &[analyst]).unwrap();
+    let sn = e.create_session(nina, &[nurse]).unwrap();
+
+    // The network degrades: only the analyst is kicked out.
+    e.set_context("network", "insecure").unwrap();
+    assert!(!e.system().session_roles(sr).unwrap().contains(&analyst));
+    assert!(e.system().session_roles(sn).unwrap().contains(&nurse));
+}
+
+#[test]
+fn generated_pool_contains_ctx_rules() {
+    let e = engine();
+    assert!(e.pool().get_by_name("CTX_WardNurse").is_some());
+    assert!(e.pool().get_by_name("CTX_RemoteAnalyst").is_some());
+    // Unconstrained policies have none.
+    let plain = Engine::from_policy(&policy::PolicyGraph::enterprise_xyz(), Ts::ZERO).unwrap();
+    assert!(!plain.pool().iter().any(|(_, r)| r.name.starts_with("CTX_")));
+    // And the AAR rule carries the context_ok condition.
+    let aar = e.pool().get_by_name("AAR1_WardNurse").unwrap();
+    assert!(aar.when.to_string().contains("context_ok"));
+}
+
+#[test]
+fn direct_baseline_agrees_on_context() {
+    let graph = policy::parse(PERVASIVE).unwrap();
+    let mut owte = Engine::from_policy(&graph, Ts::ZERO).unwrap();
+    let mut direct = DirectEngine::from_policy(&graph, Ts::ZERO).unwrap();
+    let nina_o = owte.user_id("nina").unwrap();
+    let nina_d = direct.user_id("nina").unwrap();
+    let nurse_o = owte.role_id("WardNurse").unwrap();
+    let nurse_d = direct.role_id("WardNurse").unwrap();
+    let so = owte.create_session(nina_o, &[]).unwrap();
+    let sd = direct.create_session(nina_d, &[]).unwrap();
+
+    for (key, value, expect_active_after) in [
+        ("location", "cafeteria", false),
+        ("location", "ward", true),
+        ("location", "hallway", false),
+    ] {
+        owte.set_context(key, value).unwrap();
+        direct.set_context(key, value);
+        let a = owte.add_active_role(nina_o, so, nurse_o).is_ok();
+        let b = direct.add_active_role(nina_d, sd, nurse_d).is_ok();
+        assert_eq!(a, b, "activation decision at {key}={value}");
+        assert_eq!(
+            owte.system().session_roles(so).unwrap(),
+            direct.sys.session_roles(sd).unwrap(),
+            "state after {key}={value}"
+        );
+        let _ = expect_active_after;
+    }
+}
+
+#[test]
+fn context_round_trips_through_dsl() {
+    let g = policy::parse(PERVASIVE).unwrap();
+    assert_eq!(g.context_constraints.len(), 2);
+    let printed = policy::print(&g);
+    assert!(printed.contains("context WardNurse requires location = ward;"));
+    assert_eq!(policy::parse(&printed).unwrap(), g);
+    // Flags reflect the constraint.
+    assert!(g.role_flags("WardNurse").context);
+    assert!(!g.role_flags("WardNurse").temporal);
+}
+
+#[test]
+fn policy_change_preserves_environment() {
+    let mut e = engine();
+    e.set_context("location", "ward").unwrap();
+    // A structural change (new role) forces a rebuild…
+    let mut g = policy::parse(PERVASIVE).unwrap();
+    g.role("Visitor");
+    let report = e.apply_policy(&g).unwrap();
+    assert!(report.full_rebuild);
+    // …but nina is still on the ward.
+    assert_eq!(e.context().get("location"), Some("ward"));
+    let nina = e.user_id("nina").unwrap();
+    let nurse = e.role_id("WardNurse").unwrap();
+    let s = e.create_session(nina, &[]).unwrap();
+    e.add_active_role(nina, s, nurse).unwrap();
+}

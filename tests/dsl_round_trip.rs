@@ -1,0 +1,77 @@
+//! Property tests for the policy DSL: `parse(print(g)) == g` over random
+//! generated enterprises, and parser robustness (no panics on arbitrary
+//! input).
+
+use proptest::prelude::*;
+use workload::{generate_enterprise, EnterpriseSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Printer/parser round trip over the whole generator surface.
+    #[test]
+    fn print_parse_round_trip(
+        seed in 0u64..10_000,
+        roles in 2usize..40,
+        hierarchy in 0.0f64..1.0,
+        capped in 0.0f64..0.6,
+        temporal in 0.0f64..0.6,
+        duration in 0.0f64..0.6,
+    ) {
+        let spec = EnterpriseSpec {
+            roles,
+            users: roles,
+            permissions: roles,
+            hierarchy_density: hierarchy,
+            ssd_pairs: roles / 5,
+            dsd_pairs: roles / 5,
+            capped_fraction: capped,
+            temporal_fraction: temporal,
+            duration_fraction: duration,
+            ..EnterpriseSpec::default()
+        };
+        let g = generate_enterprise(&spec, seed);
+        let text = policy::print(&g);
+        let back = policy::parse(&text)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        prop_assert_eq!(g, back);
+    }
+
+    /// The parser never panics: it returns Ok or a positioned error for
+    /// arbitrary printable input.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = policy::parse(&s);
+    }
+
+    /// ... including near-miss inputs built from DSL vocabulary.
+    #[test]
+    fn parser_total_on_dsl_like_input(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("policy"), Just("roles"), Just("users"), Just("hierarchy"),
+                Just("ssd"), Just("dsd"), Just("grant"), Just("assign"),
+                Just("->"), Just("{"), Just("}"), Just(";"), Just(","),
+                Just("\"x\""), Just("a"), Just("b"), Just("2"), Just("2h"),
+                Just("08:00"), Just("-"), Just("="), Just("cardinality"),
+            ],
+            0..40,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = policy::parse(&src);
+    }
+}
+
+#[test]
+fn consistency_of_round_tripped_policies_is_stable() {
+    // Consistency findings must be identical before and after a round trip
+    // (the printer must not lose constraint information).
+    for seed in 0..20 {
+        let g = generate_enterprise(&EnterpriseSpec::sized(25), seed);
+        let back = policy::parse(&policy::print(&g)).unwrap();
+        let a: Vec<String> = policy::check(&g).into_iter().map(|i| i.message).collect();
+        let b: Vec<String> = policy::check(&back).into_iter().map(|i| i.message).collect();
+        assert_eq!(a, b, "seed {seed}");
+    }
+}

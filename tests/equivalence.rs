@@ -1,0 +1,271 @@
+//! Property test: the rule-driven OWTE engine and the hard-coded direct
+//! baseline make **identical decisions** on random enterprises and random
+//! workload traces — the paper's flexibility does not change semantics.
+//!
+//! Both engines are driven step by step; after every step the decision
+//! (allow/deny) must match, and after the whole trace the observable state
+//! (per-session active role sets, per-role enabled flags) must be equal.
+
+use owte_core::{DirectEngine, Engine, EngineError};
+use proptest::prelude::*;
+use rbac::{RoleId, SessionId, UserId};
+use snoop::{Dur, Ts};
+use workload::{generate_enterprise, generate_trace, EnterpriseSpec, Step, TraceSpec};
+
+/// Decision outcome, comparable across engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    Granted,
+    Denied,
+    NoSession,
+    Access(bool),
+}
+
+fn owte_outcome(r: Result<(), EngineError>) -> Outcome {
+    match r {
+        Ok(()) => Outcome::Granted,
+        Err(_) => Outcome::Denied,
+    }
+}
+
+struct Harness {
+    owte: Engine,
+    direct: DirectEngine,
+    /// Most recent open session per user (same in both engines, checked).
+    sessions: Vec<Option<SessionId>>,
+}
+
+impl Harness {
+    fn new(spec: &EnterpriseSpec, seed: u64) -> Harness {
+        let graph = generate_enterprise(spec, seed);
+        let owte = Engine::from_policy(&graph, Ts::ZERO).unwrap();
+        let direct = DirectEngine::from_policy(&graph, Ts::ZERO).unwrap();
+        Harness {
+            owte,
+            direct,
+            sessions: vec![None; spec.users],
+        }
+    }
+
+    fn user(&self, idx: usize) -> UserId {
+        self.owte
+            .user_id(&workload::enterprise::user_name(idx))
+            .unwrap()
+    }
+
+    fn role(&self, idx: usize) -> RoleId {
+        self.owte
+            .role_id(&workload::enterprise::role_name(idx))
+            .unwrap()
+    }
+
+    /// Run one step on both engines; return both outcomes.
+    fn step(&mut self, step: &Step) -> (Outcome, Outcome) {
+        match step {
+            Step::CreateSession { user } => {
+                let u = self.user(*user);
+                let a = self.owte.create_session(u, &[]);
+                let b = self.direct.create_session(u, &[]);
+                match (&a, &b) {
+                    (Ok(sa), Ok(sb)) => {
+                        assert_eq!(sa, sb, "session id allocation must match");
+                        self.sessions[*user] = Some(*sa);
+                    }
+                    (Err(_), Err(_)) => {}
+                    _ => {}
+                }
+                (
+                    Outcome::Access(a.is_ok()),
+                    Outcome::Access(b.is_ok()),
+                )
+            }
+            Step::DeleteSession { user } => {
+                let u = self.user(*user);
+                match self.sessions[*user].take() {
+                    Some(s) => (
+                        owte_outcome(self.owte.delete_session(u, s)),
+                        owte_outcome(self.direct.delete_session(u, s).map(|_| ())),
+                    ),
+                    None => (Outcome::NoSession, Outcome::NoSession),
+                }
+            }
+            Step::AddActiveRole { user, role } => {
+                let (u, r) = (self.user(*user), self.role(*role));
+                match self.sessions[*user] {
+                    Some(s) => (
+                        owte_outcome(self.owte.add_active_role(u, s, r)),
+                        owte_outcome(self.direct.add_active_role(u, s, r)),
+                    ),
+                    None => (Outcome::NoSession, Outcome::NoSession),
+                }
+            }
+            Step::DropActiveRole { user, role } => {
+                let (u, r) = (self.user(*user), self.role(*role));
+                match self.sessions[*user] {
+                    Some(s) => (
+                        owte_outcome(self.owte.drop_active_role(u, s, r)),
+                        owte_outcome(self.direct.drop_active_role(u, s, r)),
+                    ),
+                    None => (Outcome::NoSession, Outcome::NoSession),
+                }
+            }
+            Step::CheckAccess { user, op, obj } => {
+                let (Ok(op), Ok(obj)) = (
+                    self.owte.system().op_by_name(&format!("op{op}")),
+                    self.owte.system().obj_by_name(&format!("obj{obj}")),
+                ) else {
+                    return (Outcome::NoSession, Outcome::NoSession);
+                };
+                match self.sessions[*user] {
+                    Some(s) => (
+                        Outcome::Access(self.owte.check_access(s, op, obj).unwrap()),
+                        Outcome::Access(self.direct.check_access(s, op, obj).unwrap()),
+                    ),
+                    None => (Outcome::NoSession, Outcome::NoSession),
+                }
+            }
+            Step::Advance { secs } => {
+                self.owte.advance(Dur::from_secs(*secs)).unwrap();
+                self.direct.advance(Dur::from_secs(*secs)).unwrap();
+                (Outcome::Granted, Outcome::Granted)
+            }
+            Step::SetContext { zone } => {
+                let value = workload::enterprise::ZONES[*zone];
+                self.owte.set_context("zone", value).unwrap();
+                self.direct.set_context("zone", value);
+                (Outcome::Granted, Outcome::Granted)
+            }
+        }
+    }
+
+    /// Compare final observable state.
+    fn assert_states_equal(&self) {
+        let a = self.owte.system();
+        let b = &self.direct.sys;
+        let sa: Vec<_> = a.all_sessions().collect();
+        let sb: Vec<_> = b.all_sessions().collect();
+        assert_eq!(sa, sb, "live session sets differ");
+        for s in sa {
+            assert_eq!(
+                a.session_roles(s).unwrap(),
+                b.session_roles(s).unwrap(),
+                "active role sets differ in session {s}"
+            );
+        }
+        for r in a.all_roles() {
+            assert_eq!(
+                a.is_enabled(r).unwrap(),
+                b.is_enabled(r).unwrap(),
+                "enabled flag differs for role {r}"
+            );
+        }
+    }
+}
+
+fn run_equivalence(spec: EnterpriseSpec, ent_seed: u64, trace_seed: u64, steps: usize) {
+    let trace_spec = TraceSpec {
+        steps,
+        users: spec.users,
+        roles: spec.roles,
+        objects: spec.permissions,
+        w_context: if spec.context_fraction > 0.0 { 5 } else { 0 },
+        ..TraceSpec::default()
+    };
+    let trace = generate_trace(&trace_spec, trace_seed);
+    let mut h = Harness::new(&spec, ent_seed);
+    for (i, step) in trace.iter().enumerate() {
+        let (a, b) = h.step(step);
+        assert_eq!(
+            a,
+            b,
+            "step {i} ({}) diverged: OWTE {a:?} vs direct {b:?} \
+             [enterprise seed {ent_seed}, trace seed {trace_seed}]",
+            step.describe()
+        );
+    }
+    h.assert_states_equal();
+}
+
+#[test]
+fn equivalence_on_flat_core_rbac() {
+    run_equivalence(EnterpriseSpec::flat(10), 1, 1, 400);
+}
+
+#[test]
+fn equivalence_with_hierarchy_and_sod() {
+    let spec = EnterpriseSpec {
+        roles: 15,
+        users: 20,
+        permissions: 20,
+        hierarchy_density: 0.7,
+        ssd_pairs: 2,
+        dsd_pairs: 2,
+        capped_fraction: 0.0,
+        temporal_fraction: 0.0,
+        duration_fraction: 0.0,
+        ..EnterpriseSpec::default()
+    };
+    run_equivalence(spec, 2, 2, 400);
+}
+
+#[test]
+fn equivalence_with_caps_and_temporal() {
+    let spec = EnterpriseSpec {
+        roles: 12,
+        users: 15,
+        permissions: 15,
+        capped_fraction: 0.4,
+        temporal_fraction: 0.4,
+        duration_fraction: 0.4,
+        ..EnterpriseSpec::default()
+    };
+    run_equivalence(spec, 3, 3, 400);
+}
+
+#[test]
+fn equivalence_with_context_constraints() {
+    let spec = EnterpriseSpec {
+        roles: 12,
+        users: 15,
+        permissions: 15,
+        context_fraction: 0.5,
+        ..EnterpriseSpec::default()
+    };
+    run_equivalence(spec, 4, 4, 400);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// The headline property: arbitrary enterprise shape, arbitrary trace —
+    /// identical decisions and identical final state.
+    #[test]
+    fn owte_equals_direct(
+        ent_seed in 0u64..1000,
+        trace_seed in 0u64..1000,
+        roles in 4usize..20,
+        hierarchy in 0.0f64..1.0,
+        capped in 0.0f64..0.5,
+        temporal in 0.0f64..0.5,
+        duration in 0.0f64..0.5,
+        context in 0.0f64..0.5,
+    ) {
+        let spec = EnterpriseSpec {
+            roles,
+            users: roles + 5,
+            permissions: roles + 5,
+            hierarchy_density: hierarchy,
+            ssd_pairs: roles / 6,
+            dsd_pairs: roles / 6,
+            capped_fraction: capped,
+            temporal_fraction: temporal,
+            duration_fraction: duration,
+            context_fraction: context,
+            ..EnterpriseSpec::default()
+        };
+        run_equivalence(spec, ent_seed, trace_seed, 200);
+    }
+}

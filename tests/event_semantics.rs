@@ -1,0 +1,156 @@
+//! Model-based property tests for Snoop consumption-context semantics:
+//! the detector's SEQ pairing must match a tiny reference model for every
+//! random interleaving of initiators and terminators.
+
+use proptest::prelude::*;
+use snoop::{Context, Detector, Dur, EventExpr, Params, Ts};
+
+/// One trace step: raise the initiator, raise the terminator. The detector
+/// clock advances 1s after every raise so all occurrences sequence strictly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    A,
+    B,
+}
+
+fn trace_strategy() -> impl Strategy<Value = Vec<Ev>> {
+    proptest::collection::vec(prop_oneof![Just(Ev::A), Just(Ev::B)], 0..64)
+}
+
+/// Reference model: detections produced per B event under each context.
+fn model(trace: &[Ev], ctx: Context) -> usize {
+    let mut buffered: usize = 0; // retained initiators
+    let mut detections = 0;
+    for ev in trace {
+        match ev {
+            Ev::A => match ctx {
+                // Recent keeps only the newest initiator.
+                Context::Recent => buffered = 1,
+                _ => buffered += 1,
+            },
+            Ev::B => match ctx {
+                Context::Unrestricted => detections += buffered, // nothing consumed
+                Context::Recent => detections += usize::from(buffered > 0), // survives
+                Context::Chronicle => {
+                    if buffered > 0 {
+                        detections += 1;
+                        buffered -= 1;
+                    }
+                }
+                Context::Continuous => {
+                    detections += buffered;
+                    buffered = 0;
+                }
+                Context::Cumulative => {
+                    detections += usize::from(buffered > 0);
+                    buffered = 0;
+                }
+            },
+        }
+    }
+    detections
+}
+
+fn run_detector(trace: &[Ev], ctx: Context) -> usize {
+    let mut d = Detector::new(Ts::ZERO);
+    d.primitive("a");
+    d.primitive("b");
+    let root = d
+        .define(&EventExpr::seq(EventExpr::named("a"), EventExpr::named("b")).context(ctx))
+        .unwrap();
+    d.watch(root);
+    let mut detections = 0;
+    for ev in trace {
+        let name = match ev {
+            Ev::A => "a",
+            Ev::B => "b",
+        };
+        detections += d.raise_named(name, Params::new()).unwrap().len();
+        d.advance(Dur::from_secs(1)).unwrap();
+    }
+    detections
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn seq_matches_reference_model(trace in trace_strategy()) {
+        for ctx in Context::ALL {
+            let expected = model(&trace, ctx);
+            let got = run_detector(&trace, ctx);
+            prop_assert_eq!(
+                got, expected,
+                "context {} on trace {:?}", ctx, trace
+            );
+        }
+    }
+
+    /// Detection *ordering* sanity for Chronicle: intervals of successive
+    /// detections have non-decreasing starts (FIFO pairing).
+    #[test]
+    fn chronicle_pairs_fifo(trace in trace_strategy()) {
+        let mut d = Detector::new(Ts::ZERO);
+        d.primitive("a");
+        d.primitive("b");
+        let root = d
+            .define(
+                &EventExpr::seq(EventExpr::named("a"), EventExpr::named("b"))
+                    .context(Context::Chronicle),
+            )
+            .unwrap();
+        d.watch(root);
+        let mut starts = Vec::new();
+        for ev in &trace {
+            let name = match ev { Ev::A => "a", Ev::B => "b" };
+            for det in d.raise_named(name, Params::new()).unwrap() {
+                starts.push(det.occurrence.interval.start);
+            }
+            d.advance(Dur::from_secs(1)).unwrap();
+        }
+        let mut sorted = starts.clone();
+        sorted.sort();
+        prop_assert_eq!(starts, sorted);
+    }
+
+    /// The detector never produces more AND detections than the count of
+    /// the rarer constituent under one-to-one (Chronicle) pairing.
+    #[test]
+    fn and_chronicle_bounded_by_rarer_side(trace in trace_strategy()) {
+        let mut d = Detector::new(Ts::ZERO);
+        d.primitive("a");
+        d.primitive("b");
+        let root = d
+            .define(
+                &EventExpr::and(EventExpr::named("a"), EventExpr::named("b"))
+                    .context(Context::Chronicle),
+            )
+            .unwrap();
+        d.watch(root);
+        let mut detections = 0;
+        for ev in &trace {
+            let name = match ev { Ev::A => "a", Ev::B => "b" };
+            detections += d.raise_named(name, Params::new()).unwrap().len();
+            d.advance(Dur::from_secs(1)).unwrap();
+        }
+        let a = trace.iter().filter(|e| **e == Ev::A).count();
+        let b = trace.iter().filter(|e| **e == Ev::B).count();
+        prop_assert_eq!(detections, a.min(b), "AND/Chronicle pairs one-to-one");
+    }
+
+    /// Calendar next/prev are inverses on the instants they emit.
+    #[test]
+    fn calendar_next_prev_inverse(h in 0u32..24, m in 0u32..60, start_secs in 0u64..(86_400 * 400)) {
+        let e = snoop::CalendarExpr::daily(h, m, 0);
+        let t = Ts::from_secs(start_secs);
+        if let Some(next) = e.next_after(t) {
+            prop_assert!(next > t);
+            prop_assert_eq!(e.prev_at_or_before(next), Some(next));
+            // No instant of the pattern lies strictly between t and next.
+            if let Some(prev) = e.prev_at_or_before(t) {
+                prop_assert!(prev <= t);
+                prop_assert_eq!(e.next_after(prev), Some(next));
+            }
+        }
+    }
+}

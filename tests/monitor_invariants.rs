@@ -1,0 +1,257 @@
+//! Property tests on the RBAC reference monitor's safety invariants: no
+//! sequence of operations may ever produce a state that violates SSD, DSD,
+//! hierarchy acyclicity, or session/authorization consistency.
+
+use proptest::prelude::*;
+use rbac::{RoleId, SessionId, System, UserId};
+
+/// A random operation against the monitor.
+#[derive(Debug, Clone)]
+enum Op {
+    AddUser(u8),
+    AddRole(u8),
+    Assign(u8, u8),
+    Deassign(u8, u8),
+    AddInheritance(u8, u8),
+    DeleteInheritance(u8, u8),
+    CreateSsd(u8, u8),
+    CreateDsd(u8, u8),
+    CreateSession(u8),
+    AddActive(u8, u8, u8),
+    DropActive(u8, u8, u8),
+    DeleteUser(u8),
+    DeleteRole(u8),
+    DisableRole(u8),
+    EnableRole(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::AddUser),
+        any::<u8>().prop_map(Op::AddRole),
+        (any::<u8>(), any::<u8>()).prop_map(|(u, r)| Op::Assign(u, r)),
+        (any::<u8>(), any::<u8>()).prop_map(|(u, r)| Op::Deassign(u, r)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::AddInheritance(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::DeleteInheritance(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::CreateSsd(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::CreateDsd(a, b)),
+        any::<u8>().prop_map(Op::CreateSession),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(u, s, r)| Op::AddActive(u, s, r)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(u, s, r)| Op::DropActive(u, s, r)),
+        any::<u8>().prop_map(Op::DeleteUser),
+        any::<u8>().prop_map(Op::DeleteRole),
+        any::<u8>().prop_map(Op::DisableRole),
+        any::<u8>().prop_map(Op::EnableRole),
+    ]
+}
+
+/// Interpret ids modulo small pools so operations frequently collide on the
+/// same entities (that's where bugs live).
+struct Driver {
+    sys: System,
+    users: Vec<UserId>,
+    roles: Vec<RoleId>,
+    sessions: Vec<SessionId>,
+    ssd_count: usize,
+    dsd_count: usize,
+}
+
+impl Driver {
+    fn new() -> Driver {
+        Driver {
+            sys: System::new(),
+            users: Vec::new(),
+            roles: Vec::new(),
+            sessions: Vec::new(),
+            ssd_count: 0,
+            dsd_count: 0,
+        }
+    }
+
+    fn user(&self, i: u8) -> Option<UserId> {
+        if self.users.is_empty() {
+            None
+        } else {
+            Some(self.users[i as usize % self.users.len()])
+        }
+    }
+
+    fn role(&self, i: u8) -> Option<RoleId> {
+        if self.roles.is_empty() {
+            None
+        } else {
+            Some(self.roles[i as usize % self.roles.len()])
+        }
+    }
+
+    fn session(&self, i: u8) -> Option<SessionId> {
+        if self.sessions.is_empty() {
+            None
+        } else {
+            Some(self.sessions[i as usize % self.sessions.len()])
+        }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::AddUser(i) => {
+                if let Ok(u) = self.sys.add_user(&format!("u{i}_{}", self.users.len())) {
+                    self.users.push(u);
+                }
+            }
+            Op::AddRole(i) => {
+                if let Ok(r) = self.sys.add_role(&format!("r{i}_{}", self.roles.len())) {
+                    self.roles.push(r);
+                }
+            }
+            Op::Assign(u, r) => {
+                if let (Some(u), Some(r)) = (self.user(u), self.role(r)) {
+                    let _ = self.sys.assign_user(u, r);
+                }
+            }
+            Op::Deassign(u, r) => {
+                if let (Some(u), Some(r)) = (self.user(u), self.role(r)) {
+                    let _ = self.sys.deassign_user(u, r);
+                }
+            }
+            Op::AddInheritance(a, b) => {
+                if let (Some(a), Some(b)) = (self.role(a), self.role(b)) {
+                    let _ = self.sys.add_inheritance(a, b);
+                }
+            }
+            Op::DeleteInheritance(a, b) => {
+                if let (Some(a), Some(b)) = (self.role(a), self.role(b)) {
+                    let _ = self.sys.delete_inheritance(a, b);
+                }
+            }
+            Op::CreateSsd(a, b) => {
+                if let (Some(a), Some(b)) = (self.role(a), self.role(b)) {
+                    if a != b {
+                        let name = format!("ssd{}", self.ssd_count);
+                        if self.sys.create_ssd_set(&name, &[a, b], 2).is_ok() {
+                            self.ssd_count += 1;
+                        }
+                    }
+                }
+            }
+            Op::CreateDsd(a, b) => {
+                if let (Some(a), Some(b)) = (self.role(a), self.role(b)) {
+                    if a != b {
+                        let name = format!("dsd{}", self.dsd_count);
+                        if self.sys.create_dsd_set(&name, &[a, b], 2).is_ok() {
+                            self.dsd_count += 1;
+                        }
+                    }
+                }
+            }
+            Op::CreateSession(u) => {
+                if let Some(u) = self.user(u) {
+                    if let Ok(s) = self.sys.create_session(u, &[]) {
+                        self.sessions.push(s);
+                    }
+                }
+            }
+            Op::AddActive(u, s, r) => {
+                if let (Some(u), Some(s), Some(r)) = (self.user(u), self.session(s), self.role(r))
+                {
+                    let _ = self.sys.add_active_role(u, s, r);
+                }
+            }
+            Op::DropActive(u, s, r) => {
+                if let (Some(u), Some(s), Some(r)) = (self.user(u), self.session(s), self.role(r))
+                {
+                    let _ = self.sys.drop_active_role(u, s, r);
+                }
+            }
+            Op::DeleteUser(u) => {
+                if let Some(u) = self.user(u) {
+                    let _ = self.sys.delete_user(u);
+                    self.users.retain(|&x| x != u);
+                }
+            }
+            Op::DeleteRole(r) => {
+                if let Some(r) = self.role(r) {
+                    let _ = self.sys.delete_role(r);
+                    self.roles.retain(|&x| x != r);
+                }
+            }
+            Op::DisableRole(r) => {
+                if let Some(r) = self.role(r) {
+                    let _ = self.sys.disable_role(r, true);
+                }
+            }
+            Op::EnableRole(r) => {
+                if let Some(r) = self.role(r) {
+                    let _ = self.sys.enable_role(r);
+                }
+            }
+        }
+    }
+
+    /// The safety invariants that must hold after every operation.
+    fn check_invariants(&self) {
+        let sys = &self.sys;
+        // 1. SSD: no user is authorized for ≥ n roles of any SSD set.
+        for id in sys.all_ssd_sets() {
+            let (name, roles, n) = sys.ssd_set_info(id).unwrap();
+            for u in sys.all_users() {
+                let auth = sys.authorized_roles(u).unwrap();
+                let hit = auth.intersection(&roles).count();
+                assert!(hit < n, "SSD `{name}` violated: user {u} holds {hit} of {roles:?}");
+            }
+        }
+        // 2. DSD: no session has ≥ n roles of any DSD set active.
+        for id in sys.all_dsd_sets() {
+            let (name, roles, n) = sys.dsd_set_info(id).unwrap();
+            for s in sys.all_sessions() {
+                let active = sys.session_roles(s).unwrap();
+                let hit = active.intersection(&roles).count();
+                assert!(hit < n, "DSD `{name}` violated in session {s}");
+            }
+        }
+        // 3. Hierarchy is acyclic: no role dominates itself via others.
+        for r in sys.all_roles() {
+            assert!(
+                !sys.juniors_closure(r).unwrap().contains(&r),
+                "cycle through {r}"
+            );
+        }
+        // 4. Session consistency: every active role is authorized for the
+        //    session's owner, and owner bookkeeping is symmetric.
+        for s in sys.all_sessions() {
+            let owner = sys.session_user(s).unwrap();
+            assert!(sys.user_sessions(owner).unwrap().contains(&s));
+            for &r in &sys.session_roles(s).unwrap() {
+                assert!(
+                    sys.is_authorized(owner, r).unwrap(),
+                    "session {s} has unauthorized active role {r}"
+                );
+            }
+        }
+        // 5. UA symmetry: assigned_users ↔ assigned_roles agree.
+        for u in sys.all_users() {
+            for &r in &sys.assigned_roles(u).unwrap() {
+                assert!(sys.assigned_users(r).unwrap().contains(&u));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn monitor_invariants_hold_under_any_op_sequence(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        let mut d = Driver::new();
+        // Seed a few entities so early ops have targets.
+        d.apply(&Op::AddUser(0));
+        d.apply(&Op::AddRole(0));
+        d.apply(&Op::AddRole(1));
+        for op in &ops {
+            d.apply(op);
+            d.check_invariants();
+        }
+    }
+}

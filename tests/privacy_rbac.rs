@@ -1,0 +1,129 @@
+//! Privacy-aware RBAC through the full engine (§4.4): purposes, purpose
+//! hierarchies and object policies enforced by the generated `purpose_ok`
+//! condition in the check-access rule.
+
+use active_authz::{DirectEngine, Engine, Ts};
+
+const CLINIC: &str = r#"
+    policy "clinic" {
+      roles Nurse, Doctor, Billing;
+      users nina, dave, beth;
+      assign nina -> Nurse;
+      assign dave -> Doctor;
+      assign beth -> Billing;
+      permission read_record = read on patient_record;
+      permission read_invoice = read on invoice;
+      grant read_record -> Nurse, Doctor;
+      grant read_invoice -> Billing;
+      purpose care;
+      purpose treatment under care;
+      purpose billing;
+      object_policy read on patient_record for Nurse requires treatment;
+      object_policy read on patient_record for Doctor requires care;
+    }
+"#;
+
+fn engine() -> Engine {
+    Engine::from_source(CLINIC, Ts::ZERO).unwrap()
+}
+
+#[test]
+fn purpose_required_when_policy_applies() {
+    let mut e = engine();
+    let nina = e.user_id("nina").unwrap();
+    let nurse = e.role_id("Nurse").unwrap();
+    let s = e.create_session(nina, &[nurse]).unwrap();
+    let read = e.system().op_by_name("read").unwrap();
+    let rec = e.system().obj_by_name("patient_record").unwrap();
+
+    // Plain check (no purpose): denied, because an object policy applies.
+    assert!(!e.check_access(s, read, rec).unwrap());
+    // With the required purpose: allowed.
+    assert!(e.check_access_for_purpose(s, read, rec, "treatment").unwrap());
+    // With an unrelated purpose: denied.
+    assert!(!e.check_access_for_purpose(s, read, rec, "billing").unwrap());
+}
+
+#[test]
+fn purpose_hierarchy_descendants_satisfy() {
+    let mut e = engine();
+    let dave = e.user_id("dave").unwrap();
+    let doctor = e.role_id("Doctor").unwrap();
+    let s = e.create_session(dave, &[doctor]).unwrap();
+    let read = e.system().op_by_name("read").unwrap();
+    let rec = e.system().obj_by_name("patient_record").unwrap();
+
+    // Doctor's policy requires `care`; `treatment` is under `care`.
+    assert!(e.check_access_for_purpose(s, read, rec, "care").unwrap());
+    assert!(e.check_access_for_purpose(s, read, rec, "treatment").unwrap());
+    assert!(!e.check_access_for_purpose(s, read, rec, "billing").unwrap());
+}
+
+#[test]
+fn unconstrained_objects_ignore_purpose() {
+    let mut e = engine();
+    let beth = e.user_id("beth").unwrap();
+    let billing_role = e.role_id("Billing").unwrap();
+    let s = e.create_session(beth, &[billing_role]).unwrap();
+    let read = e.system().op_by_name("read").unwrap();
+    let invoice = e.system().obj_by_name("invoice").unwrap();
+
+    // No object policy on invoices: plain check passes on RBAC grounds.
+    assert!(e.check_access(s, read, invoice).unwrap());
+    // A stated purpose is harmless.
+    assert!(e.check_access_for_purpose(s, read, invoice, "billing").unwrap());
+}
+
+#[test]
+fn rbac_denial_still_wins_over_purpose() {
+    let mut e = engine();
+    let beth = e.user_id("beth").unwrap();
+    let billing_role = e.role_id("Billing").unwrap();
+    let s = e.create_session(beth, &[billing_role]).unwrap();
+    let read = e.system().op_by_name("read").unwrap();
+    let rec = e.system().obj_by_name("patient_record").unwrap();
+    // Billing has no permission on patient records at all.
+    assert!(!e.check_access_for_purpose(s, read, rec, "treatment").unwrap());
+}
+
+#[test]
+fn unknown_purpose_rejected() {
+    let mut e = engine();
+    let nina = e.user_id("nina").unwrap();
+    let nurse = e.role_id("Nurse").unwrap();
+    let s = e.create_session(nina, &[nurse]).unwrap();
+    let read = e.system().op_by_name("read").unwrap();
+    let rec = e.system().obj_by_name("patient_record").unwrap();
+    assert!(e
+        .check_access_for_purpose(s, read, rec, "world_domination")
+        .is_err());
+}
+
+#[test]
+fn direct_baseline_agrees_on_privacy() {
+    let graph = policy::parse(CLINIC).unwrap();
+    let mut owte = Engine::from_policy(&graph, Ts::ZERO).unwrap();
+    let mut direct = DirectEngine::from_policy(&graph, Ts::ZERO).unwrap();
+
+    let nina = owte.user_id("nina").unwrap();
+    let nurse = owte.role_id("Nurse").unwrap();
+    let so = owte.create_session(nina, &[nurse]).unwrap();
+    let sd = direct.create_session(nina, &[nurse]).unwrap();
+    assert_eq!(so, sd);
+    let read = owte.system().op_by_name("read").unwrap();
+    let rec = owte.system().obj_by_name("patient_record").unwrap();
+
+    for purpose in ["treatment", "care", "billing"] {
+        assert_eq!(
+            owte.check_access_for_purpose(so, read, rec, purpose).unwrap(),
+            direct
+                .check_access_for_purpose(sd, read, rec, purpose)
+                .unwrap(),
+            "purpose {purpose}"
+        );
+    }
+    assert_eq!(
+        owte.check_access(so, read, rec).unwrap(),
+        direct.check_access(sd, read, rec).unwrap()
+    );
+}

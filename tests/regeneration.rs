@@ -1,0 +1,121 @@
+//! Regeneration invariants (§5): an incrementally regenerated rule pool
+//! must be semantically identical to a freshly generated one, for any
+//! sequence of role-property changes.
+
+use policy::{instantiate, regenerate, DailyWindow, PolicyGraph};
+use snoop::{Dur, Ts};
+use workload::{generate_enterprise, EnterpriseSpec};
+
+/// Rule-pool fingerprint covering name, triggering event (by stable name
+/// or label — raw event ids differ between incrementally-evolved and fresh
+/// detectors), conditions and both action lists.
+fn fingerprint(inst: &policy::Instantiated) -> Vec<String> {
+    let mut v: Vec<String> = inst
+        .pool
+        .iter()
+        .map(|(_, r)| {
+            let ev = inst
+                .detector
+                .name_of(r.event)
+                .map(str::to_string)
+                .unwrap_or_else(|| inst.detector.label(r.event).to_string());
+            format!("{}|{}|{}|{:?}|{:?}", r.name, ev, r.when, r.then, r.otherwise)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn incremental_regeneration_equals_fresh_generation() {
+    let base = generate_enterprise(&EnterpriseSpec::sized(40), 11);
+    let mut inst = instantiate(&base, Ts::ZERO).unwrap();
+
+    // A sequence of role-property edits.
+    let mut g = base.clone();
+    g.role("role3").max_active_users = Some(4);
+    g.role("role7").enabling = Some(DailyWindow {
+        start_h: 9,
+        start_m: 0,
+        end_h: 17,
+        end_m: 0,
+    });
+    g.role("role9").max_activation = Some(Dur::from_hours(1));
+    let report = regenerate(&mut inst, &g).unwrap();
+    assert!(!report.full_rebuild);
+    assert_eq!(report.regenerated_roles.len(), 3);
+
+    let fresh = instantiate(&g, Ts::ZERO).unwrap();
+    assert_eq!(
+        fingerprint(&inst),
+        fingerprint(&fresh),
+        "incremental pool must match fresh pool"
+    );
+    assert_eq!(inst.pool.len(), fresh.pool.len());
+}
+
+#[test]
+fn repeated_changes_converge() {
+    let base = generate_enterprise(&EnterpriseSpec::sized(20), 3);
+    let mut inst = instantiate(&base, Ts::ZERO).unwrap();
+    let mut g = base.clone();
+    // Flip a cap on and off repeatedly; pool must end equal to the base.
+    for round in 0..3 {
+        g.role("role1").max_active_users = Some(2 + round);
+        regenerate(&mut inst, &g).unwrap();
+        g.role("role1").max_active_users = None;
+        regenerate(&mut inst, &g).unwrap();
+    }
+    let fresh = instantiate(&base, Ts::ZERO).unwrap();
+    assert_eq!(fingerprint(&inst), fingerprint(&fresh));
+}
+
+#[test]
+fn regeneration_cost_scales_with_change_not_policy() {
+    // The paper's administrative-burden claim, as a structural property:
+    // one changed role out of 200 rewrites only that role's rules.
+    let base = generate_enterprise(&EnterpriseSpec::sized(200), 5);
+    let mut inst = instantiate(&base, Ts::ZERO).unwrap();
+    let total = inst.pool.len();
+    let mut g = base.clone();
+    g.role("role42").enabling = Some(DailyWindow {
+        start_h: 9,
+        start_m: 0,
+        end_h: 17,
+        end_m: 0,
+    });
+    let report = regenerate(&mut inst, &g).unwrap();
+    assert_eq!(report.regenerated_roles, vec!["role42".to_string()]);
+    assert!(
+        report.rules_rewritten * 10 < total,
+        "rewrote {} of {total} rules",
+        report.rules_rewritten
+    );
+}
+
+#[test]
+fn full_rebuild_on_structural_change_is_equivalent() {
+    let base = generate_enterprise(&EnterpriseSpec::sized(30), 9);
+    let mut inst = instantiate(&base, Ts::ZERO).unwrap();
+    let mut g = base.clone();
+    g.role("brand_new_role");
+    g.user("brand_new_user");
+    g.assign("brand_new_user", "brand_new_role");
+    let report = regenerate(&mut inst, &g).unwrap();
+    assert!(report.full_rebuild);
+    let fresh = instantiate(&g, Ts::ZERO).unwrap();
+    assert_eq!(fingerprint(&inst), fingerprint(&fresh));
+}
+
+#[test]
+fn inconsistent_change_rejected_without_damage() {
+    let base = PolicyGraph::enterprise_xyz();
+    let mut inst = instantiate(&base, Ts::ZERO).unwrap();
+    let before = fingerprint(&inst);
+    // An SSD set over hierarchically related roles is inconsistent.
+    let mut bad = base.clone();
+    bad.ssd_set("bad", &["PM", "PC"], 2);
+    assert!(regenerate(&mut inst, &bad).is_err());
+    assert_eq!(fingerprint(&inst), before, "failed change left no residue");
+    assert_eq!(inst.graph, base);
+}

@@ -1,0 +1,150 @@
+//! Replication property: for any random enterprise and trace, a replica
+//! rebuilt from the primary's journal is state-identical — the determinism
+//! that makes the paper's "distributed access control" future work
+//! implementable as state-machine replication.
+
+use owte_core::{replay, Engine, RecordingEngine};
+use proptest::prelude::*;
+use rbac::SessionId;
+use snoop::Ts;
+use workload::{generate_enterprise, generate_trace, EnterpriseSpec, Step, TraceSpec};
+
+fn drive(primary: &mut RecordingEngine, trace: &[Step], users: usize) {
+    let mut sessions: Vec<Option<SessionId>> = vec![None; users];
+    for step in trace {
+        match step {
+            Step::CreateSession { user } => {
+                let u = primary
+                    .user_id(&workload::enterprise::user_name(*user))
+                    .unwrap();
+                if let Ok(s) = primary.create_session(u, &[]) {
+                    sessions[*user] = Some(s);
+                }
+            }
+            Step::DeleteSession { user } => {
+                if let Some(s) = sessions[*user].take() {
+                    let u = primary
+                        .user_id(&workload::enterprise::user_name(*user))
+                        .unwrap();
+                    let _ = primary.delete_session(u, s);
+                }
+            }
+            Step::AddActiveRole { user, role } => {
+                if let Some(s) = sessions[*user] {
+                    let u = primary
+                        .user_id(&workload::enterprise::user_name(*user))
+                        .unwrap();
+                    let r = primary
+                        .role_id(&workload::enterprise::role_name(*role))
+                        .unwrap();
+                    let _ = primary.add_active_role(u, s, r);
+                }
+            }
+            Step::DropActiveRole { user, role } => {
+                if let Some(s) = sessions[*user] {
+                    let u = primary
+                        .user_id(&workload::enterprise::user_name(*user))
+                        .unwrap();
+                    let r = primary
+                        .role_id(&workload::enterprise::role_name(*role))
+                        .unwrap();
+                    let _ = primary.drop_active_role(u, s, r);
+                }
+            }
+            Step::CheckAccess { user, op, obj } => {
+                if let Some(s) = sessions[*user] {
+                    let (Ok(op), Ok(obj)) = (
+                        primary.engine().system().op_by_name(&format!("op{op}")),
+                        primary.engine().system().obj_by_name(&format!("obj{obj}")),
+                    ) else {
+                        continue;
+                    };
+                    let _ = primary.check_access(s, op, obj);
+                }
+            }
+            Step::Advance { secs } => {
+                let to = primary.engine().now() + snoop::Dur::from_secs(*secs);
+                primary.advance_to(to).unwrap();
+            }
+            Step::SetContext { zone } => {
+                primary
+                    .set_context("zone", workload::enterprise::ZONES[*zone])
+                    .unwrap();
+            }
+        }
+    }
+}
+
+fn assert_state_equal(a: &Engine, b: &Engine) {
+    let (sa, sb) = (a.system(), b.system());
+    assert_eq!(
+        sa.all_sessions().collect::<Vec<_>>(),
+        sb.all_sessions().collect::<Vec<_>>()
+    );
+    for s in sa.all_sessions() {
+        assert_eq!(sa.session_roles(s).unwrap(), sb.session_roles(s).unwrap());
+    }
+    for r in sa.all_roles() {
+        assert_eq!(sa.is_enabled(r).unwrap(), sb.is_enabled(r).unwrap());
+    }
+    assert_eq!(a.log().entries(), b.log().entries());
+    assert_eq!(a.now(), b.now());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn replica_equals_primary(ent_seed in 0u64..500, trace_seed in 0u64..500) {
+        let spec = EnterpriseSpec {
+            roles: 10,
+            users: 12,
+            permissions: 12,
+            temporal_fraction: 0.3,
+            duration_fraction: 0.3,
+            context_fraction: 0.3,
+            capped_fraction: 0.3,
+            ..EnterpriseSpec::default()
+        };
+        let graph = generate_enterprise(&spec, ent_seed);
+        let trace = generate_trace(
+            &TraceSpec {
+                steps: 150,
+                users: spec.users,
+                roles: spec.roles,
+                objects: spec.permissions,
+                w_context: 5,
+                ..TraceSpec::default()
+            },
+            trace_seed,
+        );
+        let mut primary = RecordingEngine::from_policy(&graph, Ts::ZERO).unwrap();
+        drive(&mut primary, &trace, spec.users);
+        let replica = replay(primary.journal()).unwrap();
+        assert_state_equal(primary.engine(), &replica);
+    }
+
+    /// The journal survives serialization (a real replica receives it over
+    /// the wire).
+    #[test]
+    fn replica_from_serialized_journal(seed in 0u64..200) {
+        let spec = EnterpriseSpec::sized(8);
+        let graph = generate_enterprise(&spec, seed);
+        let trace = generate_trace(
+            &TraceSpec {
+                steps: 80,
+                users: spec.users,
+                roles: spec.roles,
+                objects: spec.permissions,
+                ..TraceSpec::default()
+            },
+            seed,
+        );
+        let mut primary = RecordingEngine::from_policy(&graph, Ts::ZERO).unwrap();
+        drive(&mut primary, &trace, spec.users);
+        let wire = serde_json::to_vec(primary.journal()).unwrap();
+        let journal: owte_core::Journal = serde_json::from_slice(&wire).unwrap();
+        let replica = replay(&journal).unwrap();
+        assert_state_equal(primary.engine(), &replica);
+    }
+}

@@ -1,0 +1,153 @@
+//! TRBAC role triggers through the full stack (Bertino et al.; the paper's
+//! §6 positions OWTE rules as subsuming them): DSL → generated TRIG rules
+//! on status events → guarded enable/disable requests, immediate and
+//! delayed — with the direct baseline agreeing.
+
+use active_authz::{DirectEngine, Dur, Engine, Ts};
+
+const POLICY: &str = r#"
+    policy "triggers" {
+      roles Primary, Standby, Audit, Archive;
+      # When Primary goes down, bring Standby up (immediate).
+      trigger "failover" on disable Primary then enable Standby;
+      # When Primary comes back while Standby is up, retire Standby 10m later.
+      trigger "failback" on enable Primary when enabled Standby
+          then disable Standby after 10m;
+      # Enabling Audit requires archiving to start too.
+      trigger "couple" on enable Audit then enable Archive;
+    }
+"#;
+
+fn owte() -> Engine {
+    let mut e = Engine::from_source(POLICY, Ts::ZERO).unwrap();
+    // Baseline state for the scenarios: standby + audit + archive down.
+    for r in ["Standby", "Audit", "Archive"] {
+        let id = e.role_id(r).unwrap();
+        e.disable_role(id).unwrap();
+    }
+    e
+}
+
+fn direct() -> DirectEngine {
+    let g = policy::parse(POLICY).unwrap();
+    let mut e = DirectEngine::from_policy(&g, Ts::ZERO).unwrap();
+    for r in ["Standby", "Audit", "Archive"] {
+        let id = e.role_id(r).unwrap();
+        e.disable_role(id).unwrap();
+    }
+    e
+}
+
+#[test]
+fn immediate_trigger_fires_on_status_event() {
+    let mut e = owte();
+    let primary = e.role_id("Primary").unwrap();
+    let standby = e.role_id("Standby").unwrap();
+    assert!(!e.system().is_enabled(standby).unwrap());
+    // Disable Primary → the failover trigger enables Standby.
+    e.disable_role(primary).unwrap();
+    assert!(e.system().is_enabled(standby).unwrap());
+}
+
+#[test]
+fn conditional_delayed_trigger() {
+    let mut e = owte();
+    let primary = e.role_id("Primary").unwrap();
+    let standby = e.role_id("Standby").unwrap();
+    e.disable_role(primary).unwrap(); // failover: standby up
+    // Primary returns: failback arms (condition "Standby enabled" holds),
+    // action fires 10 minutes later.
+    e.enable_role(primary).unwrap();
+    assert!(e.system().is_enabled(standby).unwrap(), "not yet");
+    e.advance(Dur::from_mins(9)).unwrap();
+    assert!(e.system().is_enabled(standby).unwrap(), "still armed");
+    e.advance(Dur::from_mins(2)).unwrap();
+    assert!(!e.system().is_enabled(standby).unwrap(), "retired after Δ");
+}
+
+#[test]
+fn condition_blocks_trigger() {
+    let mut e = owte();
+    let primary = e.role_id("Primary").unwrap();
+    let standby = e.role_id("Standby").unwrap();
+    // Re-enabling Primary while Standby is DOWN: failback's condition
+    // fails, nothing is scheduled.
+    e.disable_role(standby).err(); // already disabled; ignore
+    e.disable_role(primary).unwrap(); // brings standby up (failover!)
+    e.disable_role(standby).unwrap(); // force it down again
+    e.enable_role(primary).unwrap();
+    e.advance(Dur::from_mins(20)).unwrap();
+    assert!(!e.system().is_enabled(standby).unwrap());
+}
+
+#[test]
+fn trigger_cascades_are_bounded_and_guarded() {
+    let mut e = owte();
+    let audit = e.role_id("Audit").unwrap();
+    let archive = e.role_id("Archive").unwrap();
+    e.enable_role(audit).unwrap();
+    assert!(e.system().is_enabled(archive).unwrap(), "couple trigger");
+}
+
+#[test]
+fn direct_baseline_agrees() {
+    let mut a = owte();
+    let mut b = direct();
+    let steps: Vec<(&str, bool)> = vec![
+        ("Primary", false), // disable → failover
+        ("Primary", true),  // enable → failback arms
+        ("Audit", true),    // couple
+    ];
+    for (role, enable) in steps {
+        let ra = a.role_id(role).unwrap();
+        let rb = b.role_id(role).unwrap();
+        if enable {
+            let _ = a.enable_role(ra);
+            let _ = b.enable_role(rb);
+        } else {
+            let _ = a.disable_role(ra);
+            let _ = b.disable_role(rb);
+        }
+    }
+    a.advance(Dur::from_mins(15)).unwrap();
+    b.advance(Dur::from_mins(15)).unwrap();
+    for role in ["Primary", "Standby", "Audit", "Archive"] {
+        let ra = a.role_id(role).unwrap();
+        let rb = b.role_id(role).unwrap();
+        assert_eq!(
+            a.system().is_enabled(ra).unwrap(),
+            b.sys.is_enabled(rb).unwrap(),
+            "role {role}"
+        );
+    }
+}
+
+#[test]
+fn trigger_dsl_round_trips_and_checks() {
+    let g = policy::parse(POLICY).unwrap();
+    assert_eq!(g.triggers.len(), 3);
+    let printed = policy::print(&g);
+    assert!(printed.contains("trigger \"failover\" on disable Primary then enable Standby;"));
+    assert!(printed
+        .contains("trigger \"failback\" on enable Primary when enabled Standby then disable Standby after 10m;"));
+    assert_eq!(policy::parse(&printed).unwrap(), g);
+    // Self-feeding immediate trigger is rejected.
+    let bad = r#"policy "p" { roles A; trigger "loop" on enable A then enable A; }"#;
+    let g = policy::parse(bad).unwrap();
+    assert!(!policy::is_consistent(&g));
+    // Flags mark trigger participants as active-security roles.
+    let g = policy::parse(POLICY).unwrap();
+    assert!(g.role_flags("Primary").active_security);
+    assert!(g.role_flags("Standby").active_security);
+}
+
+#[test]
+fn generated_trigger_rules_visible_in_pool() {
+    let e = owte();
+    assert!(e.pool().get_by_name("TRIG_failover").is_some());
+    assert!(e.pool().get_by_name("TRIG_failback").is_some());
+    assert!(e.pool().get_by_name("TRIGD_failback").is_some(), "delayed half");
+    let text = e.rule_text("TRIG_failover").unwrap();
+    assert!(text.contains("ON    roleDisabled_Primary"), "{text}");
+    assert!(text.contains("raiseEvent(enableRole_Standby)"));
+}

@@ -1,0 +1,92 @@
+//! Cross-crate rule-pool properties: serialization round-trips (rules are
+//! data, the paper's regeneration story depends on it), pool statistics,
+//! and structural invariants of generated pools.
+
+use policy::{instantiate, PolicyGraph};
+use proptest::prelude::*;
+use sentinel::{Granularity, Rule, RuleClass};
+use snoop::Ts;
+use workload::{generate_enterprise, EnterpriseSpec};
+
+#[test]
+fn rules_serialize_round_trip() {
+    let inst = instantiate(&PolicyGraph::enterprise_xyz(), Ts::ZERO).unwrap();
+    for (_, rule) in inst.pool.iter() {
+        let json = serde_json::to_string(rule).unwrap();
+        let back: Rule = serde_json::from_str(&json).unwrap();
+        assert_eq!(*rule, back, "rule {} does not round-trip", rule.name);
+    }
+}
+
+#[test]
+fn whole_pool_serializes() {
+    let g = generate_enterprise(&EnterpriseSpec::sized(30), 2);
+    let inst = instantiate(&g, Ts::ZERO).unwrap();
+    let json = serde_json::to_string(&inst.pool).unwrap();
+    let back: sentinel::RulePool = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), inst.pool.len());
+    assert_eq!(back.dump(), inst.pool.dump());
+}
+
+#[test]
+fn generated_pools_have_expected_shape() {
+    let g = generate_enterprise(&EnterpriseSpec::sized(50), 4);
+    let inst = instantiate(&g, Ts::ZERO).unwrap();
+    let stats = inst.pool.stats();
+    // Every role contributes at least AAR + DAR + DISR + ENR.
+    assert!(stats.total >= 50 * 4);
+    assert_eq!(stats.total, stats.enabled, "all rules start enabled");
+    assert_eq!(stats.administrative, 2);
+    assert_eq!(stats.globalized, 3);
+    assert!(stats.localized > 0);
+    // Structural: every rule's event is a live detector node.
+    for (_, r) in inst.pool.iter() {
+        assert!((r.event.0 as usize) < inst.detector.node_count());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Rule-count formula: for any generated enterprise the pool size is
+    /// exactly the sum the generator's stats report, and scales with the
+    /// constraint surface.
+    #[test]
+    fn pool_size_matches_stats(seed in 0u64..500, roles in 3usize..40) {
+        let g = generate_enterprise(&EnterpriseSpec::sized(roles), seed);
+        let inst = instantiate(&g, Ts::ZERO).unwrap();
+        prop_assert_eq!(inst.stats.total_rules(), inst.pool.len());
+        // Lower bound: 4 rules per role + CA + 2 admin.
+        prop_assert!(inst.pool.len() >= roles * 4 + 3);
+    }
+
+    /// Classification partition: every rule is in exactly one class and one
+    /// granularity, and the class counts partition the pool.
+    #[test]
+    fn classes_partition_pool(seed in 0u64..500) {
+        let g = generate_enterprise(&EnterpriseSpec::default(), seed);
+        let inst = instantiate(&g, Ts::ZERO).unwrap();
+        let s = inst.pool.stats();
+        prop_assert_eq!(
+            s.administrative + s.activity_control + s.active_security,
+            s.total
+        );
+        prop_assert_eq!(s.specialized + s.localized + s.globalized, s.total);
+        // Administrative rules are globalized in this generator.
+        for (_, r) in inst.pool.iter() {
+            if r.class == RuleClass::Administrative {
+                prop_assert_eq!(r.granularity, Granularity::Globalized);
+            }
+        }
+    }
+
+    /// The dump (OWTE text form) is injective enough: pools from different
+    /// seeds differ, pools from the same seed match.
+    #[test]
+    fn dump_is_deterministic(seed in 0u64..500) {
+        let g = generate_enterprise(&EnterpriseSpec::default(), seed);
+        let a = instantiate(&g, Ts::ZERO).unwrap();
+        let b = instantiate(&g, Ts::ZERO).unwrap();
+        prop_assert_eq!(a.pool.dump(), b.pool.dump());
+    }
+}

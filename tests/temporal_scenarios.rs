@@ -1,0 +1,280 @@
+//! GTRBAC scenarios through the full OWTE engine (§4.3.2): shift windows,
+//! Δ-bounded activations (Rule 7), disabling-time SoD (Rule 6),
+//! post-condition CFDs (Rule 8) and prerequisite activation (Rule 9).
+
+use active_authz::{Civil, Dur, Engine, EngineError, Ts};
+
+const HOSPITAL: &str = r#"
+    policy "hospital" {
+      roles Doctor, Nurse, DayDoctor, SysAdmin, SysAudit, Manager, JuniorEmp;
+      users bob, jane, dana;
+      assign bob -> Doctor, Nurse, DayDoctor;
+      assign jane -> Manager;
+      assign dana -> JuniorEmp;
+      enable DayDoctor daily 08:00-16:00;
+      max_activation Nurse 2h;
+      max_activation Doctor for bob 4h;
+      disabling_sod "availability" { Doctor, Nurse } daily 10:00-17:00;
+      post_condition SysAdmin requires SysAudit;
+      prerequisite JuniorEmp requires_active Manager;
+    }
+"#;
+
+fn engine_at(h: u32, m: u32) -> Engine {
+    Engine::from_source(HOSPITAL, Civil::new(2000, 1, 5, h, m, 0).to_ts()).unwrap()
+}
+
+fn at(h: u32, m: u32) -> Ts {
+    Civil::new(2000, 1, 5, h, m, 0).to_ts()
+}
+
+#[test]
+fn shift_window_enables_and_disables_via_calendar_rules() {
+    let mut e = engine_at(6, 0);
+    let bob = e.user_id("bob").unwrap();
+    let day = e.role_id("DayDoctor").unwrap();
+    let s = e.create_session(bob, &[]).unwrap();
+
+    // 6 a.m.: outside the 8–16 shift → the AAR rule's enabled-check denies.
+    assert!(matches!(
+        e.add_active_role(bob, s, day),
+        Err(EngineError::Denied(_))
+    ));
+    // Advance to 9 a.m.: the calendar ENA rule fired at 8:00.
+    e.advance_to(at(9, 0)).unwrap();
+    assert!(e.system().is_enabled(day).unwrap());
+    e.add_active_role(bob, s, day).unwrap();
+    // Advance past 16:00: the DIS rule disables and force-deactivates.
+    e.advance_to(at(17, 0)).unwrap();
+    assert!(!e.system().is_enabled(day).unwrap());
+    assert!(!e.system().session_roles(s).unwrap().contains(&day));
+    // Next morning it re-enables.
+    e.advance_to(Civil::new(2000, 1, 6, 9, 0, 0).to_ts()).unwrap();
+    assert!(e.system().is_enabled(day).unwrap());
+}
+
+#[test]
+fn rule7_delta_deactivates_after_duration() {
+    let mut e = engine_at(6, 0);
+    let bob = e.user_id("bob").unwrap();
+    let nurse = e.role_id("Nurse").unwrap();
+    let s = e.create_session(bob, &[nurse]).unwrap();
+
+    e.advance(Dur::from_mins(90)).unwrap();
+    assert!(e.system().session_roles(s).unwrap().contains(&nurse));
+    e.advance(Dur::from_mins(40)).unwrap();
+    assert!(
+        !e.system().session_roles(s).unwrap().contains(&nurse),
+        "the PLUS(sessionRoleAdded, 2h) rule deactivated the role"
+    );
+}
+
+#[test]
+fn rule7_manual_drop_cancels_delta_timer() {
+    let mut e = engine_at(6, 0);
+    let bob = e.user_id("bob").unwrap();
+    let nurse = e.role_id("Nurse").unwrap();
+    let s = e.create_session(bob, &[nurse]).unwrap();
+    e.advance(Dur::from_hours(1)).unwrap();
+    // Manual drop raises sessionRoleDropped → the CANCEL rule retracts the
+    // pending PLUS timer.
+    e.drop_active_role(bob, s, nurse).unwrap();
+    e.add_active_role(bob, s, nurse).unwrap();
+    // At the 2h mark of the FIRST activation, nothing may happen.
+    e.advance(Dur::from_hours(1)).unwrap();
+    assert!(e.system().session_roles(s).unwrap().contains(&nurse));
+    // The second activation expires on its own schedule.
+    e.advance(Dur::from_hours(1)).unwrap();
+    assert!(!e.system().session_roles(s).unwrap().contains(&nurse));
+}
+
+#[test]
+fn rule7_per_user_delta() {
+    // Bob's Doctor activations are bounded at 4h (specialized rule);
+    // other users' are unbounded.
+    let mut e = engine_at(6, 0);
+    let bob = e.user_id("bob").unwrap();
+    let doctor = e.role_id("Doctor").unwrap();
+    let jane = e.user_id("jane").unwrap();
+    e.assign_user(jane, doctor).unwrap();
+
+    let sb = e.create_session(bob, &[doctor]).unwrap();
+    let sj = e.create_session(jane, &[doctor]).unwrap();
+    e.advance(Dur::from_hours(5)).unwrap();
+    assert!(
+        !e.system().session_roles(sb).unwrap().contains(&doctor),
+        "bob's specialized Δ rule fired"
+    );
+    assert!(
+        e.system().session_roles(sj).unwrap().contains(&doctor),
+        "jane is not constrained"
+    );
+}
+
+#[test]
+fn rule6_disabling_time_sod() {
+    let mut e = engine_at(12, 0); // inside the 10–17 SoD window
+    let doctor = e.role_id("Doctor").unwrap();
+    let nurse = e.role_id("Nurse").unwrap();
+
+    // Disabling Doctor first is fine (Nurse still enabled).
+    e.disable_role(doctor).unwrap();
+    // Now Nurse cannot be disabled inside the window.
+    let err = e.disable_role(nurse).unwrap_err();
+    assert!(matches!(err, EngineError::Denied(_)));
+    assert!(e.system().is_enabled(nurse).unwrap());
+    // Outside the window (18:00) the constraint does not apply.
+    e.advance_to(at(18, 0)).unwrap();
+    e.disable_role(nurse).unwrap();
+    assert!(!e.system().is_enabled(nurse).unwrap());
+}
+
+#[test]
+fn rule8_post_condition_cfd() {
+    let mut e = engine_at(12, 0);
+    let sysadmin = e.role_id("SysAdmin").unwrap();
+    let sysaudit = e.role_id("SysAudit").unwrap();
+    // Start with both disabled (outside any window; disable via requests).
+    e.disable_role(sysaudit).unwrap();
+    e.disable_role(sysadmin).unwrap();
+
+    // Enabling SysAdmin cascades to SysAudit (CFD₁ raises its event).
+    e.enable_role(sysadmin).unwrap();
+    assert!(e.system().is_enabled(sysadmin).unwrap());
+    assert!(
+        e.system().is_enabled(sysaudit).unwrap(),
+        "post-condition: SysAudit enabled with SysAdmin"
+    );
+}
+
+#[test]
+fn rule9_prerequisite_activation_and_cascade() {
+    let mut e = engine_at(12, 0);
+    let jane = e.user_id("jane").unwrap();
+    let dana = e.user_id("dana").unwrap();
+    let manager = e.role_id("Manager").unwrap();
+    let junior = e.role_id("JuniorEmp").unwrap();
+
+    let sd = e.create_session(dana, &[]).unwrap();
+    // No manager active anywhere: JuniorEmp activation denied.
+    assert!(matches!(
+        e.add_active_role(dana, sd, junior),
+        Err(EngineError::Denied(_))
+    ));
+    // Manager activates; now JuniorEmp may.
+    let sj = e.create_session(jane, &[manager]).unwrap();
+    e.add_active_role(dana, sd, junior).unwrap();
+    // Manager deactivates → the PREDROP rule deactivates JuniorEmp
+    // everywhere ("if the role Manager is deactivated, then role JuniorEmp
+    // should also be deactivated").
+    e.drop_active_role(jane, sj, manager).unwrap();
+    assert!(!e.system().session_roles(sd).unwrap().contains(&junior));
+    // And future activation is blocked again.
+    assert!(e.add_active_role(dana, sd, junior).is_err());
+}
+
+#[test]
+fn rule9_cascade_only_when_no_manager_left() {
+    let mut e = engine_at(12, 0);
+    let jane = e.user_id("jane").unwrap();
+    let dana = e.user_id("dana").unwrap();
+    let manager = e.role_id("Manager").unwrap();
+    let junior = e.role_id("JuniorEmp").unwrap();
+
+    let s1 = e.create_session(jane, &[manager]).unwrap();
+    let s2 = e.create_session(jane, &[manager]).unwrap();
+    let sd = e.create_session(dana, &[junior]).unwrap();
+    // Dropping one of two manager sessions must NOT cascade.
+    e.drop_active_role(jane, s1, manager).unwrap();
+    assert!(e.system().session_roles(sd).unwrap().contains(&junior));
+    e.drop_active_role(jane, s2, manager).unwrap();
+    assert!(!e.system().session_roles(sd).unwrap().contains(&junior));
+}
+
+#[test]
+fn shift_change_regeneration_under_load() {
+    // §5's policy-change scenario with live sessions: 8–16 becomes 9–17.
+    let mut e = engine_at(8, 30);
+    let bob = e.user_id("bob").unwrap();
+    let day = e.role_id("DayDoctor").unwrap();
+    let s = e.create_session(bob, &[day]).unwrap();
+    assert!(e.system().session_roles(s).unwrap().contains(&day));
+
+    let mut new = policy::parse(HOSPITAL).unwrap();
+    new.role("DayDoctor").enabling = Some(policy::DailyWindow {
+        start_h: 9,
+        start_m: 0,
+        end_h: 17,
+        end_m: 0,
+    });
+    let report = e.apply_policy(&new).unwrap();
+    assert!(!report.full_rebuild, "shift change is incremental");
+    assert_eq!(report.regenerated_roles, vec!["DayDoctor".to_string()]);
+    // 8:30 is outside the new window: the role was disabled and dropped.
+    assert!(!e.system().is_enabled(day).unwrap());
+    assert!(!e.system().session_roles(s).unwrap().contains(&day));
+    // At 9:30 the new window applies.
+    e.advance_to(at(9, 30)).unwrap();
+    assert!(e.system().is_enabled(day).unwrap());
+    e.add_active_role(bob, s, day).unwrap();
+    // And 16:30 — outside the old window's end — is now inside.
+    e.advance_to(at(16, 30)).unwrap();
+    assert!(e.system().is_enabled(day).unwrap());
+    assert!(e.system().session_roles(s).unwrap().contains(&day));
+    e.advance_to(at(17, 30)).unwrap();
+    assert!(!e.system().is_enabled(day).unwrap());
+}
+
+#[test]
+fn enabling_time_sod_dual_of_rule6() {
+    // GTRBAC's enabling-time SoD: two mutually suspicious auditor roles
+    // must never be usable at the same time inside the window.
+    let src = r#"
+        policy "audit" {
+          roles InternalAuditor, ExternalAuditor;
+          enabling_sod "auditors" { InternalAuditor, ExternalAuditor } daily 09:00-18:00;
+        }
+    "#;
+    let mut e = Engine::from_source(src, at(12, 0)).unwrap();
+    let internal = e.role_id("InternalAuditor").unwrap();
+    let external = e.role_id("ExternalAuditor").unwrap();
+    // Both start enabled (the constraint guards *requests*); bring one down.
+    e.disable_role(external).unwrap();
+    // Re-enabling it while the other is up, inside the window: refused.
+    let err = e.enable_role(external).unwrap_err();
+    assert!(matches!(err, EngineError::Denied(_)), "{err}");
+    // Disable the internal auditor; now the external one may come up.
+    e.disable_role(internal).unwrap();
+    e.enable_role(external).unwrap();
+    // Outside the window both may be enabled.
+    e.advance_to(at(20, 0)).unwrap();
+    e.enable_role(internal).unwrap();
+    assert!(e.system().is_enabled(internal).unwrap());
+    assert!(e.system().is_enabled(external).unwrap());
+
+    // The direct baseline agrees.
+    let g = policy::parse(src).unwrap();
+    let mut d = owte_core::DirectEngine::from_policy(&g, at(12, 0)).unwrap();
+    let internal = d.role_id("InternalAuditor").unwrap();
+    let external = d.role_id("ExternalAuditor").unwrap();
+    d.disable_role(external).unwrap();
+    assert!(d.enable_role(external).is_err());
+    d.disable_role(internal).unwrap();
+    d.enable_role(external).unwrap();
+}
+
+#[test]
+fn enabling_sod_round_trips_through_dsl() {
+    let src = r#"
+        policy "audit" {
+          roles A, B;
+          enabling_sod "x" { A, B } daily 09:00-18:00;
+        }
+    "#;
+    let g = policy::parse(src).unwrap();
+    assert_eq!(g.enabling_sod.len(), 1);
+    let printed = policy::print(&g);
+    assert!(printed.contains("enabling_sod \"x\" { A, B } daily 09:00-18:00;"));
+    assert_eq!(policy::parse(&printed).unwrap(), g);
+    assert!(g.role_flags("A").active_security);
+}

@@ -1,0 +1,162 @@
+//! End-to-end reproduction of §5's enterprise XYZ (Figure 1): high-level
+//! specification → consistency → rule generation → rule-enforced workflows.
+
+use active_authz::{Engine, EngineError, PolicyGraph, Ts};
+
+const XYZ_DSL: &str = r#"
+    policy "XYZ" {
+      roles PM, PC, AM, AC, Clerk;
+      users alice, bob, carol;
+      hierarchy PM -> PC -> Clerk;
+      hierarchy AM -> AC -> Clerk;
+      ssd "purchase-approval" { PC, AC } cardinality 2;
+      permission place_order = create on purchase_order;
+      permission approve_order = approve on purchase_order;
+      permission read_order = read on purchase_order;
+      grant place_order -> PC;
+      grant approve_order -> AC;
+      grant read_order -> Clerk;
+      assign alice -> PM;
+      assign bob -> AC;
+      assign carol -> Clerk;
+    }
+"#;
+
+fn engine() -> Engine {
+    Engine::from_source(XYZ_DSL, Ts::ZERO).unwrap()
+}
+
+#[test]
+fn dsl_matches_builder_graph() {
+    let parsed = policy::parse(XYZ_DSL).unwrap();
+    let mut built = PolicyGraph::enterprise_xyz();
+    for u in ["alice", "bob", "carol"] {
+        built.user(u);
+    }
+    built.assign("alice", "PM");
+    built.assign("bob", "AC");
+    built.assign("carol", "Clerk");
+    assert_eq!(parsed, built);
+    assert!(policy::is_consistent(&parsed));
+}
+
+#[test]
+fn generated_rules_follow_role_properties() {
+    let e = engine();
+    // §5: "rule corresponding to activating role PC … is similar to rule
+    // AAR₂ … as role PC has static SoD and role hierarchies".
+    let pool = e.pool();
+    assert!(pool.get_by_name("AAR2_PC").is_some());
+    assert!(pool.get_by_name("AAR2_AC").is_some());
+    assert!(pool.get_by_name("AAR2_PM").is_some());
+    assert!(pool.get_by_name("AAR2_Clerk").is_some());
+    // Globalized check-access rule exists once.
+    assert!(pool.get_by_name("CA").is_some());
+    let stats = pool.stats();
+    assert_eq!(stats.globalized, 3, "CA + ASSIGN + DEASSIGN");
+    assert_eq!(stats.total, pool.len());
+}
+
+#[test]
+fn purchase_workflow() {
+    let mut e = engine();
+    let alice = e.user_id("alice").unwrap();
+    let pm = e.role_id("PM").unwrap();
+    let create = e.system().op_by_name("create").unwrap();
+    let approve = e.system().op_by_name("approve").unwrap();
+    let read = e.system().op_by_name("read").unwrap();
+    let po = e.system().obj_by_name("purchase_order").unwrap();
+
+    let s = e.create_session(alice, &[pm]).unwrap();
+    // PM inherits PC's create and Clerk's read, but not AC's approve.
+    assert!(e.check_access(s, create, po).unwrap());
+    assert!(e.check_access(s, read, po).unwrap());
+    assert!(!e.check_access(s, approve, po).unwrap());
+}
+
+#[test]
+fn static_sod_propagates_through_hierarchy() {
+    let mut e = engine();
+    let alice = e.user_id("alice").unwrap(); // assigned PM ⪰ PC
+    let bob = e.user_id("bob").unwrap(); // assigned AC
+    let ac = e.role_id("AC").unwrap();
+    let am = e.role_id("AM").unwrap();
+    let pm = e.role_id("PM").unwrap();
+    let pc = e.role_id("PC").unwrap();
+
+    // "a user assigned to the role PM cannot be assigned to the role AC":
+    assert!(matches!(
+        e.assign_user(alice, ac),
+        Err(EngineError::Denied(_))
+    ));
+    // "and a user assigned to the role AM cannot be assigned to PM or PC":
+    // bob holds AC (junior of AM); both PM and PC must be refused.
+    assert!(e.assign_user(bob, pm).is_err());
+    assert!(e.assign_user(bob, pc).is_err());
+    // Conflict-free assignment still works.
+    let carol = e.user_id("carol").unwrap();
+    e.assign_user(carol, am).unwrap();
+}
+
+#[test]
+fn activation_through_hierarchy_and_denials() {
+    let mut e = engine();
+    let alice = e.user_id("alice").unwrap();
+    let bob = e.user_id("bob").unwrap();
+    let pc = e.role_id("PC").unwrap();
+    let clerk = e.role_id("Clerk").unwrap();
+
+    // Alice (PM) may activate the junior roles PC and Clerk.
+    let s = e.create_session(alice, &[]).unwrap();
+    e.add_active_role(alice, s, pc).unwrap();
+    e.add_active_role(alice, s, clerk).unwrap();
+    // Bob (AC) may activate Clerk but not PC.
+    let t = e.create_session(bob, &[]).unwrap();
+    e.add_active_role(bob, t, clerk).unwrap();
+    assert!(matches!(
+        e.add_active_role(bob, t, pc),
+        Err(EngineError::Denied(_))
+    ));
+    // Every denial lands in the audit log.
+    assert_eq!(e.log().denial_count(), 1);
+}
+
+#[test]
+fn session_isolation_and_ownership() {
+    let mut e = engine();
+    let alice = e.user_id("alice").unwrap();
+    let bob = e.user_id("bob").unwrap();
+    let clerk = e.role_id("Clerk").unwrap();
+    let s_alice = e.create_session(alice, &[]).unwrap();
+    // Bob cannot activate roles in Alice's session.
+    assert!(matches!(
+        e.add_active_role(bob, s_alice, clerk),
+        Err(EngineError::Denied(_))
+    ));
+}
+
+#[test]
+fn rule_dump_shows_paper_syntax() {
+    let e = engine();
+    let dump = e.dump_rules();
+    assert!(dump.contains("RULE [ AAR2_PC"));
+    assert!(dump.contains("WHEN"));
+    assert!(dump.contains("(checkAuthorization(user,"));
+    assert!(dump.contains("ELSE  raise error"));
+    // The dump round-trips as stable golden output.
+    assert_eq!(dump, e.dump_rules());
+}
+
+#[test]
+fn deactivation_and_reactivation() {
+    let mut e = engine();
+    let alice = e.user_id("alice").unwrap();
+    let pm = e.role_id("PM").unwrap();
+    let s = e.create_session(alice, &[pm]).unwrap();
+    e.drop_active_role(alice, s, pm).unwrap();
+    assert!(e.system().session_roles(s).unwrap().is_empty());
+    // Dropping again is denied by the DAR rule's conditions.
+    assert!(e.drop_active_role(alice, s, pm).is_err());
+    e.add_active_role(alice, s, pm).unwrap();
+    assert!(e.system().session_roles(s).unwrap().contains(&pm));
+}
