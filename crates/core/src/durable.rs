@@ -1,0 +1,509 @@
+//! Crash-tolerant engine: write-ahead journaling over a [`Storage`]
+//! backend, with snapshot recovery.
+//!
+//! [`DurableEngine`] is the durable counterpart of
+//! [`crate::journal::RecordingEngine`]: every public operation is encoded
+//! as a [`JournalOp`] and appended to the WAL *before* it touches the
+//! in-memory engine, so the persisted history is always at least as long
+//! as the applied one. An operation whose append fails is rejected without
+//! being applied — the caller's acknowledgement and the log never
+//! disagree, which is the invariant the crash-consistency property tests
+//! pin down:
+//!
+//! > reopening after a crash at any point yields exactly the state of
+//! > replaying the acknowledged prefix.
+//!
+//! Recovery ([`DurableEngine::open`]) loads the newest intact snapshot —
+//! a full serialized [`Engine`], so restoring is `O(tail)`, not
+//! `O(history)` — replays the tail records, and fails closed on anything
+//! a crash cannot explain (checksum mismatches, index gaps, snapshots
+//! from a future format version, a journal whose clock runs backwards).
+
+use crate::engine::{Engine, EngineError};
+use crate::journal::{apply_op, JournalOp};
+use crate::storage::Storage;
+use crate::wal::{Recovered, Wal, WalConfig, WalError};
+use policy::PolicyGraph;
+use rbac::{ObjId, OpId, RoleId, SessionId, UserId};
+use snoop::{Params, Ts};
+use std::fmt;
+
+/// An error from the durable layer.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The WAL could not record or recover.
+    Wal(WalError),
+    /// The engine rejected the operation (after it was journaled — the
+    /// rejection is part of history, exactly as with `RecordingEngine`).
+    Engine(EngineError),
+    /// The policy could not be instantiated on `create`.
+    Instantiate(policy::InstantiateError),
+    /// A snapshot or record failed to encode/decode.
+    Codec(String),
+    /// Recovery found no usable snapshot to restore from.
+    NoSnapshot,
+    /// The journal's virtual clock runs backwards; nothing was applied.
+    ClockRegression {
+        /// Index of the offending record within the recovered tail.
+        record: usize,
+        /// Clock value before the record.
+        from: Ts,
+        /// The (earlier) instant the record tries to advance to.
+        to: Ts,
+    },
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Wal(e) => write!(f, "durable: {e}"),
+            DurableError::Engine(e) => write!(f, "durable: engine: {e}"),
+            DurableError::Instantiate(e) => write!(f, "durable: instantiate: {e}"),
+            DurableError::Codec(m) => write!(f, "durable: codec: {m}"),
+            DurableError::NoSnapshot => {
+                write!(f, "durable: recovery found no usable snapshot")
+            }
+            DurableError::ClockRegression { record, from, to } => write!(
+                f,
+                "durable: journal clock regresses at tail record {record}: \
+                 {from} -> {to}; refusing to replay"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<WalError> for DurableError {
+    fn from(e: WalError) -> Self {
+        DurableError::Wal(e)
+    }
+}
+
+impl From<EngineError> for DurableError {
+    fn from(e: EngineError) -> Self {
+        DurableError::Engine(e)
+    }
+}
+
+/// Result alias for durable operations.
+pub type Result<T> = std::result::Result<T, DurableError>;
+
+/// Tunables for [`DurableEngine`].
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Segment rotation threshold (bytes).
+    pub segment_max_bytes: usize,
+    /// Sync the log on every append (durable acknowledgements).
+    pub sync_on_append: bool,
+    /// Write a snapshot (and compact the log) every this many operations.
+    /// `None` disables automatic snapshots.
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for DurableConfig {
+    fn default() -> DurableConfig {
+        DurableConfig {
+            segment_max_bytes: 256 * 1024,
+            sync_on_append: true,
+            snapshot_every: Some(4096),
+        }
+    }
+}
+
+impl DurableConfig {
+    fn wal(&self) -> WalConfig {
+        WalConfig {
+            segment_max_bytes: self.segment_max_bytes,
+            sync_on_append: self.sync_on_append,
+        }
+    }
+}
+
+/// A crash-tolerant, journaled engine over a storage backend.
+pub struct DurableEngine<S: Storage> {
+    engine: Engine,
+    wal: Wal<S>,
+    config: DurableConfig,
+    /// Operation count covered by the last successful snapshot.
+    snapshot_ops: u64,
+    /// Automatic snapshots that failed (storage trouble); the operation
+    /// itself stays acknowledged and the snapshot is retried later.
+    snapshot_failures: u64,
+}
+
+impl<S: Storage> DurableEngine<S> {
+    /// Instantiate `graph` and initialize a fresh durable log on
+    /// `storage`, writing the genesis snapshot so recovery always has a
+    /// restore point.
+    pub fn create(
+        storage: S,
+        graph: &PolicyGraph,
+        start: Ts,
+        config: DurableConfig,
+    ) -> Result<DurableEngine<S>> {
+        let engine = Engine::from_policy(graph, start).map_err(DurableError::Instantiate)?;
+        let mut wal = Wal::create(storage, config.wal())?;
+        let blob = serde_json::to_vec(&engine).map_err(|e| DurableError::Codec(e.to_string()))?;
+        wal.snapshot(&blob)?;
+        Ok(DurableEngine {
+            engine,
+            wal,
+            config,
+            snapshot_ops: 0,
+            snapshot_failures: 0,
+        })
+    }
+
+    /// Recover from `storage`: load the newest intact snapshot, validate
+    /// the tail (fail closed on clock regression *before* applying
+    /// anything), then replay it.
+    pub fn open(storage: S, config: DurableConfig) -> Result<DurableEngine<S>> {
+        let (wal, recovered) = Wal::open(storage, config.wal())?;
+        let Recovered {
+            snapshot,
+            snapshot_ops,
+            tail,
+            ..
+        } = recovered;
+        let blob = snapshot.ok_or(DurableError::NoSnapshot)?;
+        let mut engine: Engine =
+            serde_json::from_slice(&blob).map_err(|e| DurableError::Codec(e.to_string()))?;
+
+        // Decode the whole tail up front …
+        let ops: Vec<JournalOp> = tail
+            .iter()
+            .map(|bytes| {
+                serde_json::from_slice(bytes)
+                    .map_err(|e| DurableError::Codec(format!("tail record: {e}")))
+            })
+            .collect::<Result<_>>()?;
+
+        // … and validate its clock before applying a single record: a
+        // regressing journal must reject recovery with the engine
+        // untouched, not half-applied.
+        let mut clock = engine.now();
+        for (record, op) in ops.iter().enumerate() {
+            if let JournalOp::AdvanceTo { to } = op {
+                if *to < clock {
+                    return Err(DurableError::ClockRegression {
+                        record,
+                        from: clock,
+                        to: *to,
+                    });
+                }
+                clock = *to;
+            }
+        }
+
+        for op in &ops {
+            // Only `AdvanceTo` can error out of `apply_op`, and the
+            // pre-scan above proved it cannot here.
+            apply_op(&mut engine, op).map_err(DurableError::Engine)?;
+        }
+
+        Ok(DurableEngine {
+            engine,
+            wal,
+            config,
+            snapshot_ops,
+            snapshot_failures: 0,
+        })
+    }
+
+    /// Journal `op` durably; only then may it be applied.
+    fn record(&mut self, op: &JournalOp) -> Result<()> {
+        let bytes = serde_json::to_vec(op).map_err(|e| DurableError::Codec(e.to_string()))?;
+        self.wal.append(&bytes)?;
+        Ok(())
+    }
+
+    /// After an acknowledged operation: snapshot if the configured
+    /// interval has passed. Snapshot failures never un-acknowledge the
+    /// operation — the log still holds it — so they are counted and
+    /// retried on the next operation instead of being propagated.
+    fn maybe_snapshot(&mut self) {
+        let Some(every) = self.config.snapshot_every else {
+            return;
+        };
+        if self.wal.next_op() - self.snapshot_ops < every {
+            return;
+        }
+        if self.snapshot_now().is_err() {
+            self.snapshot_failures += 1;
+        }
+    }
+
+    /// Write a snapshot of the current state and compact the log.
+    pub fn snapshot_now(&mut self) -> Result<()> {
+        let blob =
+            serde_json::to_vec(&self.engine).map_err(|e| DurableError::Codec(e.to_string()))?;
+        self.wal.snapshot(&blob)?;
+        self.snapshot_ops = self.wal.next_op();
+        Ok(())
+    }
+
+    /// See [`Engine::create_session`]. Failed operations are journaled
+    /// too: denials change state (audit log, security windows).
+    pub fn create_session(
+        &mut self,
+        user: UserId,
+        initial: &[RoleId],
+    ) -> Result<SessionId> {
+        self.record(&JournalOp::CreateSession {
+            user,
+            initial: initial.to_vec(),
+        })?;
+        let r = self.engine.create_session(user, initial);
+        self.maybe_snapshot();
+        r.map_err(DurableError::Engine)
+    }
+
+    /// See [`Engine::delete_session`].
+    pub fn delete_session(&mut self, user: UserId, session: SessionId) -> Result<()> {
+        self.record(&JournalOp::DeleteSession { user, session })?;
+        let r = self.engine.delete_session(user, session);
+        self.maybe_snapshot();
+        r.map_err(DurableError::Engine)
+    }
+
+    /// See [`Engine::add_active_role`].
+    pub fn add_active_role(
+        &mut self,
+        user: UserId,
+        session: SessionId,
+        role: RoleId,
+    ) -> Result<()> {
+        self.record(&JournalOp::AddActiveRole {
+            user,
+            session,
+            role,
+        })?;
+        let r = self.engine.add_active_role(user, session, role);
+        self.maybe_snapshot();
+        r.map_err(DurableError::Engine)
+    }
+
+    /// See [`Engine::drop_active_role`].
+    pub fn drop_active_role(
+        &mut self,
+        user: UserId,
+        session: SessionId,
+        role: RoleId,
+    ) -> Result<()> {
+        self.record(&JournalOp::DropActiveRole {
+            user,
+            session,
+            role,
+        })?;
+        let r = self.engine.drop_active_role(user, session, role);
+        self.maybe_snapshot();
+        r.map_err(DurableError::Engine)
+    }
+
+    /// See [`Engine::check_access`] — recorded because denials feed the
+    /// active-security rules, so checks are state-changing.
+    pub fn check_access(&mut self, session: SessionId, op: OpId, obj: ObjId) -> Result<bool> {
+        self.record(&JournalOp::CheckAccess {
+            session,
+            op,
+            obj,
+            purpose: -1,
+        })?;
+        let r = self.engine.check_access(session, op, obj);
+        self.maybe_snapshot();
+        r.map_err(DurableError::Engine)
+    }
+
+    /// See [`Engine::assign_user`].
+    pub fn assign_user(&mut self, user: UserId, role: RoleId) -> Result<()> {
+        self.record(&JournalOp::AssignUser { user, role })?;
+        let r = self.engine.assign_user(user, role);
+        self.maybe_snapshot();
+        r.map_err(DurableError::Engine)
+    }
+
+    /// See [`Engine::deassign_user`].
+    pub fn deassign_user(&mut self, user: UserId, role: RoleId) -> Result<()> {
+        self.record(&JournalOp::DeassignUser { user, role })?;
+        let r = self.engine.deassign_user(user, role);
+        self.maybe_snapshot();
+        r.map_err(DurableError::Engine)
+    }
+
+    /// See [`Engine::enable_role`].
+    pub fn enable_role(&mut self, role: RoleId) -> Result<()> {
+        self.record(&JournalOp::EnableRole { role })?;
+        let r = self.engine.enable_role(role);
+        self.maybe_snapshot();
+        r.map_err(DurableError::Engine)
+    }
+
+    /// See [`Engine::disable_role`].
+    pub fn disable_role(&mut self, role: RoleId) -> Result<()> {
+        self.record(&JournalOp::DisableRole { role })?;
+        let r = self.engine.disable_role(role);
+        self.maybe_snapshot();
+        r.map_err(DurableError::Engine)
+    }
+
+    /// See [`Engine::set_context`].
+    pub fn set_context(&mut self, key: &str, value: &str) -> Result<()> {
+        self.record(&JournalOp::SetContext {
+            key: key.to_string(),
+            value: value.to_string(),
+        })?;
+        let r = self.engine.set_context(key, value);
+        self.maybe_snapshot();
+        r.map(|_| ()).map_err(DurableError::Engine)
+    }
+
+    /// See [`Engine::advance_to`].
+    ///
+    /// A regressing target is rejected *before* it is journaled: a
+    /// recorded clock regression would poison the log (replay refuses
+    /// it), so it must never reach storage.
+    pub fn advance_to(&mut self, to: Ts) -> Result<()> {
+        if to < self.engine.now() {
+            return Err(DurableError::Engine(EngineError::Unhandled(format!(
+                "clock regression: now {} -> {}",
+                self.engine.now(),
+                to
+            ))));
+        }
+        self.record(&JournalOp::AdvanceTo { to })?;
+        let r = self.engine.advance_to(to);
+        self.maybe_snapshot();
+        r.map(|_| ()).map_err(DurableError::Engine)
+    }
+
+    /// See [`Engine::dispatch`] (escape hatch for custom events).
+    pub fn dispatch(&mut self, event: &str, params: Params) -> Result<()> {
+        self.record(&JournalOp::RawEvent {
+            event: event.to_string(),
+            params: params.clone(),
+        })?;
+        let r = self.engine.dispatch(event, params);
+        self.maybe_snapshot();
+        r.map(|_| ()).map_err(DurableError::Engine)
+    }
+
+    /// The wrapped engine (read-only; mutations must go through the
+    /// journaling methods or the log would be incomplete).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Resolve a user name through the engine.
+    pub fn user_id(&self, name: &str) -> Result<UserId> {
+        self.engine.user_id(name).map_err(DurableError::Engine)
+    }
+
+    /// Resolve a role name through the engine.
+    pub fn role_id(&self, name: &str) -> Result<RoleId> {
+        self.engine.role_id(name).map_err(DurableError::Engine)
+    }
+
+    /// Total operations ever journaled (the global record index).
+    pub fn op_count(&self) -> u64 {
+        self.wal.next_op()
+    }
+
+    /// Operations covered by the newest snapshot.
+    pub fn snapshot_ops(&self) -> u64 {
+        self.snapshot_ops
+    }
+
+    /// Automatic snapshots that failed and will be retried.
+    pub fn snapshot_failures(&self) -> u64 {
+        self.snapshot_failures
+    }
+
+    /// Borrow the storage backend.
+    pub fn storage(&self) -> &S {
+        self.wal.storage()
+    }
+
+    /// Take the storage backend back (e.g. to crash and reopen it).
+    pub fn into_storage(self) -> S {
+        self.wal.into_storage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn policy() -> PolicyGraph {
+        let mut g = PolicyGraph::new("durable-test");
+        g.role("clerk");
+        g.user("ann");
+        g.assign("ann", "clerk");
+        g.permission("p", "read", "ledger");
+        g.grant("p", "clerk");
+        g
+    }
+
+    fn state_json(e: &Engine) -> serde_json::Value {
+        serde_json::to_value(e).expect("engine serializes")
+    }
+
+    #[test]
+    fn reopen_restores_identical_state() {
+        let g = policy();
+        let mut d =
+            DurableEngine::create(MemStorage::new(), &g, Ts::ZERO, DurableConfig::default())
+                .unwrap();
+        let ann = d.user_id("ann").unwrap();
+        let clerk = d.role_id("clerk").unwrap();
+        let s = d.create_session(ann, &[clerk]).unwrap();
+        let read = d.engine().system().op_by_name("read").unwrap();
+        let ledger = d.engine().system().obj_by_name("ledger").unwrap();
+        assert!(d.check_access(s, read, ledger).unwrap());
+        d.advance_to(Ts::from_secs(60)).unwrap();
+        let live = state_json(d.engine());
+
+        let reopened =
+            DurableEngine::open(d.into_storage(), DurableConfig::default()).unwrap();
+        assert_eq!(state_json(reopened.engine()), live);
+        assert_eq!(reopened.op_count(), 3);
+    }
+
+    #[test]
+    fn snapshots_compact_and_preserve_state() {
+        let g = policy();
+        let config = DurableConfig {
+            snapshot_every: Some(4),
+            ..DurableConfig::default()
+        };
+        let mut d = DurableEngine::create(MemStorage::new(), &g, Ts::ZERO, config.clone()).unwrap();
+        let ann = d.user_id("ann").unwrap();
+        let clerk = d.role_id("clerk").unwrap();
+        let s = d.create_session(ann, &[clerk]).unwrap();
+        let read = d.engine().system().op_by_name("read").unwrap();
+        let ledger = d.engine().system().obj_by_name("ledger").unwrap();
+        for _ in 0..10 {
+            d.check_access(s, read, ledger).unwrap();
+        }
+        assert!(d.snapshot_ops() >= 4, "automatic snapshot should have run");
+        assert_eq!(d.snapshot_failures(), 0);
+        let live = state_json(d.engine());
+        let reopened = DurableEngine::open(d.into_storage(), config).unwrap();
+        assert_eq!(state_json(reopened.engine()), live);
+    }
+
+    #[test]
+    fn regressing_advance_is_rejected_without_journaling() {
+        let g = policy();
+        let mut d =
+            DurableEngine::create(MemStorage::new(), &g, Ts::ZERO, DurableConfig::default())
+                .unwrap();
+        d.advance_to(Ts::from_secs(100)).unwrap();
+        let before = d.op_count();
+        assert!(d.advance_to(Ts::from_secs(50)).is_err());
+        assert_eq!(d.op_count(), before, "rejected op must not be journaled");
+        // And the log still replays cleanly.
+        DurableEngine::open(d.into_storage(), DurableConfig::default()).unwrap();
+    }
+}

@@ -13,6 +13,7 @@ use crate::privacy::PrivacyState;
 use policy::{events, Instantiated, InstantiateError, PolicyGraph, RegenReport};
 use rbac::{ObjId, OpId, RoleId, SessionId, UserId};
 use sentinel::{AuditLog, ExecReport, Executor, Runtime};
+use serde::{Deserialize, Serialize};
 use snoop::{DetectorError, Dur, Params, Ts};
 use std::collections::VecDeque;
 use std::fmt;
@@ -52,6 +53,11 @@ impl From<DetectorError> for EngineError {
 }
 
 /// The rule-driven access-control engine.
+///
+/// Serializable so the durable layer can snapshot the complete running
+/// state (detector graph, timers, monitor, audit log) and restore it
+/// without replaying history.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Engine {
     inst: Instantiated,
     privacy: PrivacyState,
@@ -453,20 +459,27 @@ impl Engine {
 
     /// Dump the rule pool in OWTE syntax, events shown by name (sorted by
     /// rule name; stable golden output).
-    pub fn dump_rules(&self) -> String {
-        let mut names: Vec<&str> = self
+    ///
+    /// Errors (instead of panicking) if a listed rule cannot be resolved
+    /// by name — which means the pool was mutated between listing and
+    /// lookup, e.g. by a concurrent policy regeneration.
+    pub fn dump_rules(&self) -> Result<String, EngineError> {
+        let mut names: Vec<String> = self
             .inst
             .pool
             .iter()
-            .map(|(_, r)| r.name.as_str())
+            .map(|(_, r)| r.name.clone())
             .collect();
         names.sort_unstable();
         let mut out = String::new();
         for n in names {
-            out.push_str(&self.rule_text(n).expect("name came from the pool"));
+            let text = self
+                .rule_text(&n)
+                .ok_or_else(|| EngineError::UnknownName(format!("rule {n}")))?;
+            out.push_str(&text);
             out.push_str("\n\n");
         }
-        out
+        Ok(out)
     }
 
     /// Render the event graph in Graphviz DOT form.

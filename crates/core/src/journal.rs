@@ -288,6 +288,65 @@ impl RecordingEngine {
     }
 }
 
+/// Apply one journaled operation to an engine.
+///
+/// Errors are part of the recorded history (a denied request still counted
+/// toward security windows), so most are expected and swallowed exactly as
+/// the original caller observed them. The exception is `AdvanceTo`: the
+/// virtual clock going backwards means the journal itself is malformed, so
+/// that error propagates.
+pub fn apply_op(e: &mut Engine, op: &JournalOp) -> Result<(), EngineError> {
+    match op {
+        JournalOp::CreateSession { user, initial } => {
+            let _ = e.create_session(*user, initial);
+        }
+        JournalOp::DeleteSession { user, session } => {
+            let _ = e.delete_session(*user, *session);
+        }
+        JournalOp::AddActiveRole {
+            user,
+            session,
+            role,
+        } => {
+            let _ = e.add_active_role(*user, *session, *role);
+        }
+        JournalOp::DropActiveRole {
+            user,
+            session,
+            role,
+        } => {
+            let _ = e.drop_active_role(*user, *session, *role);
+        }
+        JournalOp::CheckAccess {
+            session, op, obj, ..
+        } => {
+            let _ = e.check_access(*session, *op, *obj);
+        }
+        JournalOp::AssignUser { user, role } => {
+            let _ = e.assign_user(*user, *role);
+        }
+        JournalOp::DeassignUser { user, role } => {
+            let _ = e.deassign_user(*user, *role);
+        }
+        JournalOp::EnableRole { role } => {
+            let _ = e.enable_role(*role);
+        }
+        JournalOp::DisableRole { role } => {
+            let _ = e.disable_role(*role);
+        }
+        JournalOp::SetContext { key, value } => {
+            let _ = e.set_context(key, value);
+        }
+        JournalOp::AdvanceTo { to } => {
+            e.advance_to(*to)?;
+        }
+        JournalOp::RawEvent { event, params } => {
+            let _ = e.dispatch(event, params.clone());
+        }
+    }
+    Ok(())
+}
+
 /// Rebuild an engine by replaying a journal. Deterministic: the result is
 /// state-equal to the engine the journal was recorded from (the replication
 /// property tests assert this).
@@ -295,59 +354,71 @@ pub fn replay(journal: &Journal) -> Result<Engine, EngineError> {
     let mut e = Engine::from_policy(&journal.policy, journal.start)
         .map_err(|err| EngineError::Unhandled(err.to_string()))?;
     for op in &journal.ops {
-        // Errors are part of the recorded history (a denied request still
-        // counted toward security windows), so they are expected and
-        // swallowed exactly as the original caller observed them.
-        match op {
-            JournalOp::CreateSession { user, initial } => {
-                let _ = e.create_session(*user, initial);
-            }
-            JournalOp::DeleteSession { user, session } => {
-                let _ = e.delete_session(*user, *session);
-            }
-            JournalOp::AddActiveRole {
-                user,
-                session,
-                role,
-            } => {
-                let _ = e.add_active_role(*user, *session, *role);
-            }
-            JournalOp::DropActiveRole {
-                user,
-                session,
-                role,
-            } => {
-                let _ = e.drop_active_role(*user, *session, *role);
-            }
-            JournalOp::CheckAccess {
-                session, op, obj, ..
-            } => {
-                let _ = e.check_access(*session, *op, *obj);
-            }
-            JournalOp::AssignUser { user, role } => {
-                let _ = e.assign_user(*user, *role);
-            }
-            JournalOp::DeassignUser { user, role } => {
-                let _ = e.deassign_user(*user, *role);
-            }
-            JournalOp::EnableRole { role } => {
-                let _ = e.enable_role(*role);
-            }
-            JournalOp::DisableRole { role } => {
-                let _ = e.disable_role(*role);
-            }
-            JournalOp::SetContext { key, value } => {
-                let _ = e.set_context(key, value);
-            }
-            JournalOp::AdvanceTo { to } => {
-                e.advance_to(*to)?;
-            }
-            JournalOp::RawEvent { event, params } => {
-                let _ = e.dispatch(event, params.clone());
-            }
-        }
+        apply_op(&mut e, op)?;
     }
     Ok(e)
+}
+
+/// Current on-the-wire version of the journal serde format.
+///
+/// Bump this when [`Journal`]'s shape changes incompatibly; old readers
+/// then reject new journals with a clear error instead of misparsing them.
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+/// Versioned wire envelope for a journal: `{version, policy, start, ops}`.
+///
+/// Deserialization fails closed: a journal stamped with any version other
+/// than [`JOURNAL_FORMAT_VERSION`] is rejected with an explanatory error
+/// rather than parsed on a guess.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JournalEnvelope {
+    version: u32,
+    /// The enclosed journal.
+    #[serde(flatten)]
+    pub journal: Journal,
+}
+
+impl JournalEnvelope {
+    /// Wrap `journal` in an envelope stamped with the current version.
+    pub fn new(journal: Journal) -> JournalEnvelope {
+        JournalEnvelope {
+            version: JOURNAL_FORMAT_VERSION,
+            journal,
+        }
+    }
+
+    /// The stamped format version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Unwrap the journal.
+    pub fn into_journal(self) -> Journal {
+        self.journal
+    }
+}
+
+impl<'de> Deserialize<'de> for JournalEnvelope {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Shadow {
+            version: u32,
+            #[serde(flatten)]
+            journal: Journal,
+        }
+        let s = Shadow::deserialize(d)?;
+        if s.version != JOURNAL_FORMAT_VERSION {
+            return Err(serde::de::Error::custom(format!(
+                "unsupported journal format version {} (this build reads version {}); \
+                 refusing to parse a format it might misinterpret",
+                s.version, JOURNAL_FORMAT_VERSION
+            )));
+        }
+        Ok(JournalEnvelope {
+            version: s.version,
+            journal: s.journal,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +513,36 @@ mod tests {
         // A replica built from the wire format is still state-equal.
         let replica = replay(&back).unwrap();
         assert_state_equal(primary.engine(), &replica);
+    }
+
+    #[test]
+    fn envelope_round_trips_current_version() {
+        let g = policy();
+        let mut primary = RecordingEngine::from_policy(&g, Ts::ZERO).unwrap();
+        let ann = primary.user_id("ann").unwrap();
+        let clerk = primary.role_id("clerk").unwrap();
+        primary.create_session(ann, &[clerk]).unwrap();
+        let env = JournalEnvelope::new(primary.journal().clone());
+        let json = serde_json::to_string(&env).unwrap();
+        assert!(json.contains("\"version\":1"));
+        let back: JournalEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.version(), JOURNAL_FORMAT_VERSION);
+        assert_eq!(&back.into_journal(), primary.journal());
+    }
+
+    #[test]
+    fn envelope_rejects_unknown_future_version() {
+        let g = policy();
+        let env = JournalEnvelope::new(Journal::new(g, Ts::ZERO));
+        let json = serde_json::to_string(&env).unwrap();
+        let future = json.replacen("\"version\":1", "\"version\":99", 1);
+        assert_ne!(json, future, "version field must be present to bump");
+        let err = serde_json::from_str::<JournalEnvelope>(&future).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("unsupported journal format version 99"),
+            "error should name the offending version: {msg}"
+        );
     }
 
     #[test]

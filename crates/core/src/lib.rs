@@ -14,7 +14,12 @@
 //!   resolving generated rule conditions against the monitor, temporal
 //!   policies, privacy state and denial history;
 //! * [`privacy::PrivacyState`] — privacy-aware RBAC (purposes, purpose
-//!   hierarchies, object policies).
+//!   hierarchies, object policies);
+//! * [`durable::DurableEngine`] — the crash-tolerant engine: a
+//!   write-ahead journal ([`wal::Wal`]) of checksummed frames over a
+//!   pluggable [`storage::Storage`] backend, with snapshot recovery and a
+//!   deterministic fault injector ([`storage::FaultyStorage`]) for
+//!   crash-consistency testing.
 //!
 //! ```
 //! use owte_core::Engine;
@@ -40,15 +45,24 @@
 pub mod baseline;
 pub mod bridge;
 pub mod context;
+pub mod durable;
 pub mod engine;
 pub mod journal;
 pub mod privacy;
 pub mod shared;
+pub mod storage;
+pub mod wal;
 
 pub use baseline::DirectEngine;
 pub use bridge::BridgeView;
+pub use durable::{DurableConfig, DurableEngine, DurableError};
 pub use engine::{Engine, EngineError};
 pub use context::ContextState;
-pub use journal::{replay, Journal, JournalOp, RecordingEngine};
+pub use journal::{
+    apply_op, replay, Journal, JournalEnvelope, JournalOp, RecordingEngine,
+    JOURNAL_FORMAT_VERSION,
+};
 pub use privacy::{ObjectPolicy, PrivacyState, PurposeId};
 pub use shared::SharedEngine;
+pub use storage::{FaultPlan, FaultyStorage, FileStorage, MemStorage, Storage, StorageError};
+pub use wal::{Recovered, Wal, WalConfig, WalError, WAL_VERSION};

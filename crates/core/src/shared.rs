@@ -35,6 +35,18 @@ impl SharedEngine {
         f(&mut self.inner.lock())
     }
 
+    /// Like [`SharedEngine::with`], but gives up after `timeout` instead of
+    /// blocking indefinitely behind a stuck compound operation. Returns
+    /// `None` (without running `f`) if the lock was not acquired in time.
+    pub fn try_with<R>(
+        &self,
+        timeout: std::time::Duration,
+        f: impl FnOnce(&mut Engine) -> R,
+    ) -> Option<R> {
+        let mut guard = self.inner.try_lock_for(timeout)?;
+        Some(f(&mut guard))
+    }
+
     /// See [`Engine::user_id`].
     pub fn user_id(&self, name: &str) -> Result<UserId, EngineError> {
         self.inner.lock().user_id(name)
@@ -162,6 +174,40 @@ mod tests {
             assert_eq!(e.system().session_count(), 0, "all sessions closed");
             assert_eq!(e.log().denial_count(), 0, "no spurious denials");
         });
+    }
+
+    #[test]
+    fn try_with_succeeds_on_uncontended_lock() {
+        let engine = shared();
+        let n = engine.try_with(std::time::Duration::from_millis(10), |e| {
+            e.system().session_count()
+        });
+        assert_eq!(n, Some(0));
+    }
+
+    #[test]
+    fn try_with_times_out_behind_a_stuck_holder() {
+        let engine = shared();
+        let other = engine.clone();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let holder = thread::spawn(move || {
+            other.with(|_| {
+                // Hold the lock until the main thread has observed the
+                // timeout.
+                rx.recv().unwrap();
+            });
+        });
+        // Wait until the holder actually has the lock.
+        while engine
+            .try_with(std::time::Duration::from_millis(1), |_| ())
+            .is_some()
+        {
+            std::thread::yield_now();
+        }
+        let res = engine.try_with(std::time::Duration::from_millis(5), |_| ());
+        assert!(res.is_none(), "lock is held; try_with must give up");
+        tx.send(()).unwrap();
+        holder.join().unwrap();
     }
 
     #[test]

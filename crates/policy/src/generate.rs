@@ -10,6 +10,7 @@
 //! cascades (Rule 9), plus the globalized check-access (Rule 5),
 //! administrative, and active-security rules.
 
+use serde::{Deserialize, Serialize};
 use crate::consistency::{self, Issue, Severity};
 use crate::events;
 use crate::graph::{PolicyGraph, RoleNode, SecurityAction};
@@ -26,7 +27,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Name → id maps produced by instantiation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Binding {
     /// Role names to monitor ids.
     pub roles: HashMap<String, RoleId>,
@@ -59,7 +60,7 @@ impl Binding {
 
 /// Rule-pool composition statistics (the E2 experiment's dependent
 /// variable: roles in → rules out).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GenStats {
     /// Activation rules (AAR₁…AAR₄).
     pub activation: usize,
@@ -144,6 +145,10 @@ impl From<DetectorError> for InstantiateError {
 
 /// A fully instantiated policy: monitor state, event graph, rule pool and
 /// temporal constraint data, ready to be driven by an engine.
+///
+/// Serializable as a unit so the durable engine can snapshot a running
+/// policy instantiation and restore it without re-generating rules.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Instantiated {
     /// The policy it was generated from.
     pub graph: PolicyGraph,

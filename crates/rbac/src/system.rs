@@ -95,6 +95,9 @@ pub struct System {
     pub(crate) ops: Vec<String>,
     pub(crate) objs: Vec<String>,
     pub(crate) perms: Vec<Permission>,
+    /// Tuple-keyed, which JSON map keys cannot express; stored as a
+    /// sorted pair list on the wire.
+    #[serde(with = "serde_perm_index")]
     pub(crate) perm_index: HashMap<(OpId, ObjId), PermId>,
     pub(crate) ssd: Vec<Option<SodSet>>,
     pub(crate) dsd: Vec<Option<SodSet>>,
@@ -337,5 +340,32 @@ impl System {
             .enumerate()
             .filter(|(_, s)| s.is_some())
             .map(|(i, _)| DsdId(i as u32))
+    }
+}
+
+/// `perm_index` has tuple keys; serialize as a pair list sorted by key so
+/// the wire form is deterministic.
+mod serde_perm_index {
+    use crate::ids::{ObjId, OpId, PermId};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+
+    #[allow(clippy::type_complexity)]
+    pub fn serialize<S: Serializer>(
+        map: &HashMap<(OpId, ObjId), PermId>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut pairs: Vec<(&(OpId, ObjId), &PermId)> = map.iter().collect();
+        pairs.sort_by_key(|(k, _)| **k);
+        pairs.serialize(s)
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<HashMap<(OpId, ObjId), PermId>, D::Error> {
+        Ok(Vec::<((OpId, ObjId), PermId)>::deserialize(d)?
+            .into_iter()
+            .collect())
     }
 }

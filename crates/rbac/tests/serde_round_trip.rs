@@ -1,0 +1,33 @@
+//! The monitor state must survive JSON serialization byte-faithfully —
+//! the durable engine's snapshots depend on it.
+
+use rbac::{RoleId, System};
+
+#[test]
+fn newtype_map_keys_round_trip_via_json() {
+    // serde_json stringifies integer-newtype map keys; make sure the
+    // round trip is lossless for the id types the monitor uses as keys.
+    let mut m = std::collections::HashMap::new();
+    m.insert(RoleId(3), "doctor".to_string());
+    m.insert(RoleId(7), "nurse".to_string());
+    let json = serde_json::to_string(&m).unwrap();
+    let back: std::collections::HashMap<RoleId, String> = serde_json::from_str(&json).unwrap();
+    assert_eq!(m, back);
+}
+
+#[test]
+fn system_round_trips_via_json() {
+    let mut s = System::new();
+    let r = s.add_role("doctor").unwrap();
+    let u = s.add_user("ann").unwrap();
+    s.assign_user(u, r).unwrap();
+    let op = s.add_operation("read").unwrap();
+    let ob = s.add_object("chart").unwrap();
+    s.grant_permission(r, op, ob).unwrap();
+    let sess = s.create_session(u, &[r]).unwrap();
+
+    let json = serde_json::to_string(&s).unwrap();
+    let back: System = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.session_roles(sess).unwrap(), s.session_roles(sess).unwrap());
+    assert!(back.check_access(sess, op, ob).unwrap());
+}

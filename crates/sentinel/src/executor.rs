@@ -9,6 +9,7 @@
 //! activation) — which are processed in the same dispatch up to a depth
 //! limit.
 
+use serde::{Deserialize, Serialize};
 use crate::lang::{ActionSpec, Check, CondExpr};
 use crate::log::{AuditEntry, AuditKind, AuditLog};
 use crate::pool::RulePool;
@@ -53,7 +54,7 @@ impl ExecReport {
 
 /// Drives rule evaluation. Stateless apart from configuration; all mutable
 /// state lives in the detector, pool, auth state and log it is handed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Executor {
     /// Maximum cascade depth before the executor cuts a rule loop.
     pub max_cascade_depth: usize,

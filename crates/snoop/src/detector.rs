@@ -13,6 +13,7 @@ use crate::context::Context;
 use crate::event::{Detection, EventId, Occurrence, Params};
 use crate::node::{NodeOutput, NodeState, Slot, TimerReq, BinState, WindowedState};
 use crate::time::{Dur, Ts};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
@@ -52,6 +53,7 @@ impl fmt::Display for DetectorError {
 
 impl std::error::Error for DetectorError {}
 
+#[derive(Clone, Serialize, Deserialize)]
 struct Node {
     state: NodeState,
     context: Context,
@@ -64,7 +66,7 @@ struct Node {
     label: String,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Timer {
     node: EventId,
     req: TimerReq,
@@ -73,7 +75,7 @@ struct Timer {
 
 /// Structural key for hash-consing composite nodes (common subexpression
 /// sharing across generated rules — large rule pools share event graphs).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 enum NodeKey {
     And(EventId, EventId, Context),
     Or(EventId, EventId, Context),
@@ -86,11 +88,21 @@ enum NodeKey {
 }
 
 /// The composite event detector.
+///
+/// Serializable: the durable engine's snapshots persist the full detector
+/// state (graph, buffered partial detections, pending timers, clock), so a
+/// deserialized detector resumes exactly where the serialized one stopped.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Detector {
     nodes: Vec<Node>,
     by_name: HashMap<String, EventId>,
+    /// Hash-consing table. Its keys are structural (an enum), which JSON
+    /// map keys cannot express, so it is serialized as a pair list.
+    #[serde(with = "serde_interned")]
     interned: HashMap<NodeKey, EventId>,
     timers: Vec<Timer>,
+    /// Serialized as a sorted `Vec<(Ts, u64)>`; rebuilt into a heap on load.
+    #[serde(with = "serde_timer_queue")]
     timer_queue: BinaryHeap<Reverse<(Ts, u64)>>,
     now: Ts,
     /// Per-node occurrence buffer cap.
@@ -605,6 +617,58 @@ impl Detector {
     }
 }
 
+/// `interned` has structural (enum) keys, which JSON cannot use as map
+/// keys; persist it as a list of pairs, sorted by node id so serialized
+/// detectors are byte-deterministic.
+mod serde_interned {
+    use super::{EventId, NodeKey};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+
+    pub fn serialize<S: Serializer>(
+        map: &HashMap<NodeKey, EventId>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut pairs: Vec<(&NodeKey, &EventId)> = map.iter().collect();
+        pairs.sort_by_key(|(_, id)| **id);
+        pairs.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<HashMap<NodeKey, EventId>, D::Error> {
+        Ok(Vec::<(NodeKey, EventId)>::deserialize(d)?
+            .into_iter()
+            .collect())
+    }
+}
+
+/// The timer queue is persisted as a sorted `Vec<(Ts, u64)>` and rebuilt
+/// into a heap on load (heaps have no canonical serialized form).
+mod serde_timer_queue {
+    use super::{Reverse, Ts};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::BinaryHeap;
+
+    pub fn serialize<S: Serializer>(
+        q: &BinaryHeap<Reverse<(Ts, u64)>>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut v: Vec<(Ts, u64)> = q.iter().map(|Reverse(x)| *x).collect();
+        v.sort_unstable();
+        v.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<BinaryHeap<Reverse<(Ts, u64)>>, D::Error> {
+        Ok(Vec::<(Ts, u64)>::deserialize(d)?
+            .into_iter()
+            .map(Reverse)
+            .collect())
+    }
+}
+
 fn key_label(key: &NodeKey) -> String {
     match key {
         NodeKey::Calendar(s) => s.clone(),
@@ -929,6 +993,40 @@ mod star_tests {
             let dets = d.raise_named("m", Params::new()).unwrap();
             assert_eq!(dets.len(), expected, "context {ctx}");
         }
+    }
+
+    #[test]
+    fn detector_round_trips_mid_detection() {
+        // Serialize a detector with a buffered SEQ initiator and a pending
+        // PLUS timer; the deserialized copy must finish both detections
+        // exactly like the original (the durable engine's snapshots rely
+        // on this).
+        let mut d = Detector::new(Ts::ZERO);
+        let seq = d
+            .define(&E::seq(E::prim("a"), E::prim("b")).context(Context::Chronicle))
+            .unwrap();
+        let plus = d.define(&E::plus(E::prim("a"), Dur::from_secs(30))).unwrap();
+        d.watch(seq);
+        d.watch(plus);
+        d.raise_named("a", Params::new()).unwrap();
+        d.advance(Dur::from_secs(1)).unwrap();
+
+        let json = serde_json::to_string(&d).unwrap();
+        let mut back: Detector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.now(), d.now());
+        assert_eq!(back.pending_timers(), d.pending_timers());
+
+        for r in [&mut d, &mut back] {
+            let dets = r.raise_named("b", Params::new()).unwrap();
+            assert_eq!(dets.len(), 1, "buffered SEQ initiator survived");
+            let dets = r.advance(Dur::from_secs(60)).unwrap();
+            assert_eq!(dets.len(), 1, "pending PLUS timer survived");
+        }
+        assert_eq!(
+            serde_json::to_value(&d).unwrap(),
+            serde_json::to_value(&back).unwrap(),
+            "states stay identical after further events"
+        );
     }
 
     #[test]

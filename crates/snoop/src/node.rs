@@ -10,10 +10,11 @@ use crate::calendar::CalendarExpr;
 use crate::context::Context;
 use crate::event::{EventId, Occurrence, Params};
 use crate::time::{Dur, Interval, Ts};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Which input of an operator an occurrence arrives on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Slot {
     /// Left child of a binary operator, or the initiator (E₁) of a
     /// windowed operator (NOT / APERIODIC / PERIODIC), or PLUS's base.
@@ -27,7 +28,7 @@ pub enum Slot {
 }
 
 /// A request the node makes of the detector's timer queue.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum TimerReq {
     /// Fire a PLUS detection at `at`, built from the stored base occurrence.
     Plus {
@@ -52,7 +53,7 @@ pub enum TimerReq {
 
 /// An open window of a windowed operator (NOT / APERIODIC / PERIODIC),
 /// opened by an initiator occurrence.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Window {
     /// Identity for timer routing.
     pub serial: u64,
@@ -79,7 +80,7 @@ impl Window {
 }
 
 /// Node behaviour + state.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum NodeState {
     /// Externally raised event (`U → F(…)`), including external/sensor events.
     Primitive {
@@ -125,7 +126,7 @@ pub enum NodeState {
 }
 
 /// Buffers for binary operators (AND buffers both sides, SEQ only the left).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BinState {
     /// Buffered left-side occurrences.
     pub left: VecDeque<Occurrence>,
@@ -134,7 +135,7 @@ pub struct BinState {
 }
 
 /// Open windows of a windowed operator.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct WindowedState {
     /// Currently open windows, oldest first.
     pub windows: VecDeque<Window>,

@@ -1,0 +1,69 @@
+//! Crash-tolerant enforcement: the engine journals every operation to a
+//! write-ahead log on disk before applying it, snapshots periodically,
+//! and recovers its exact state — sessions, active roles, audit log,
+//! clock, even half-detected composite events — after a "process restart".
+//!
+//! Run with: `cargo run --example durable`
+
+use owte_core::{DurableConfig, DurableEngine, FileStorage};
+use policy::PolicyGraph;
+use snoop::Ts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("owte-durable-demo-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut graph = PolicyGraph::enterprise_xyz();
+    graph.user("alice");
+    graph.assign("alice", "PM");
+
+    let config = DurableConfig {
+        snapshot_every: Some(8),
+        ..DurableConfig::default()
+    };
+
+    // First "process": create the durable store and serve some requests.
+    let (sessions, denials, clock) = {
+        let storage = FileStorage::open(&dir)?;
+        let mut engine = DurableEngine::create(storage, &graph, Ts::ZERO, config.clone())?;
+        let alice = engine.user_id("alice")?;
+        let pm = engine.role_id("PM")?;
+        let s = engine.create_session(alice, &[pm])?;
+        let read = engine.engine().system().op_by_name("read")?;
+        let po = engine.engine().system().obj_by_name("purchase_order")?;
+        for _ in 0..10 {
+            engine.check_access(s, read, po)?;
+        }
+        engine.advance_to(Ts::from_secs(3600))?;
+        println!(
+            "primary: {} ops journaled, snapshot covers {} ops, {} segment files in {}",
+            engine.op_count(),
+            engine.snapshot_ops(),
+            std::fs::read_dir(&dir)?.count(),
+            dir.display(),
+        );
+        (
+            engine.engine().system().session_count(),
+            engine.engine().log().denial_count(),
+            engine.engine().now(),
+        )
+    }; // engine dropped: the "process" exits without any shutdown ritual
+
+    // Second "process": recover from storage alone.
+    let storage = FileStorage::open(&dir)?;
+    let recovered = DurableEngine::open(storage, config)?;
+    println!(
+        "recovered: {} ops, {} sessions, {} denials, clock at {}",
+        recovered.op_count(),
+        recovered.engine().system().session_count(),
+        recovered.engine().log().denial_count(),
+        recovered.engine().now(),
+    );
+    assert_eq!(recovered.engine().system().session_count(), sessions);
+    assert_eq!(recovered.engine().log().denial_count(), denials);
+    assert_eq!(recovered.engine().now(), clock);
+    println!("state verified identical — durability holds");
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

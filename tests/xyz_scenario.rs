@@ -138,13 +138,13 @@ fn session_isolation_and_ownership() {
 #[test]
 fn rule_dump_shows_paper_syntax() {
     let e = engine();
-    let dump = e.dump_rules();
+    let dump = e.dump_rules().unwrap();
     assert!(dump.contains("RULE [ AAR2_PC"));
     assert!(dump.contains("WHEN"));
     assert!(dump.contains("(checkAuthorization(user,"));
     assert!(dump.contains("ELSE  raise error"));
     // The dump round-trips as stable golden output.
-    assert_eq!(dump, e.dump_rules());
+    assert_eq!(dump, e.dump_rules().unwrap());
 }
 
 #[test]
