@@ -120,6 +120,20 @@ impl DurableConfig {
     }
 }
 
+/// What the last recovery had to repair. All-zero after a fresh
+/// [`DurableEngine::create`] or a clean reopen; callers that care about
+/// data loss at the durability boundary (records written but never
+/// acknowledged) should inspect this after [`DurableEngine::open`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// A torn final record (an interrupted, never-acknowledged append)
+    /// was dropped during recovery.
+    pub truncated_tail: bool,
+    /// Records dropped because a later segment superseded them — written
+    /// by a failed append/sync but never acknowledged to the caller.
+    pub dropped_unacked: usize,
+}
+
 /// A crash-tolerant, journaled engine over a storage backend.
 pub struct DurableEngine<S: Storage> {
     engine: Engine,
@@ -130,6 +144,8 @@ pub struct DurableEngine<S: Storage> {
     /// Automatic snapshots that failed (storage trouble); the operation
     /// itself stays acknowledged and the snapshot is retried later.
     snapshot_failures: u64,
+    /// What [`DurableEngine::open`] had to repair.
+    recovery: RecoveryStats,
 }
 
 impl<S: Storage> DurableEngine<S> {
@@ -152,6 +168,7 @@ impl<S: Storage> DurableEngine<S> {
             config,
             snapshot_ops: 0,
             snapshot_failures: 0,
+            recovery: RecoveryStats::default(),
         })
     }
 
@@ -164,7 +181,8 @@ impl<S: Storage> DurableEngine<S> {
             snapshot,
             snapshot_ops,
             tail,
-            ..
+            truncated_tail,
+            dropped_unacked,
         } = recovered;
         let blob = snapshot.ok_or(DurableError::NoSnapshot)?;
         let mut engine: Engine =
@@ -208,6 +226,10 @@ impl<S: Storage> DurableEngine<S> {
             config,
             snapshot_ops,
             snapshot_failures: 0,
+            recovery: RecoveryStats {
+                truncated_tail,
+                dropped_unacked,
+            },
         })
     }
 
@@ -417,6 +439,12 @@ impl<S: Storage> DurableEngine<S> {
     /// Automatic snapshots that failed and will be retried.
     pub fn snapshot_failures(&self) -> u64 {
         self.snapshot_failures
+    }
+
+    /// What recovery had to repair when this engine was opened (all-zero
+    /// for a freshly created engine or a clean reopen).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
     }
 
     /// Borrow the storage backend.

@@ -55,7 +55,7 @@ pub mod wal;
 
 pub use baseline::DirectEngine;
 pub use bridge::BridgeView;
-pub use durable::{DurableConfig, DurableEngine, DurableError};
+pub use durable::{DurableConfig, DurableEngine, DurableError, RecoveryStats};
 pub use engine::{Engine, EngineError};
 pub use context::ContextState;
 pub use journal::{

@@ -13,7 +13,12 @@
 //!   Every failure schedule is reproducible from its seed.
 //!
 //! [`FileStorage`] is the production backend: one directory, one file per
-//! segment/snapshot, `File::sync_data` for durability.
+//! segment/snapshot, `File::sync_data` for file contents plus an fsync of
+//! the directory itself whenever an entry is created or removed — without
+//! the directory fsync a crashed OS could forget a freshly created
+//! segment (or remember a deletion while forgetting the file that
+//! superseded it), breaking the ordering [`MemStorage`] models with its
+//! durable-names set.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -213,6 +218,18 @@ impl FileStorage {
         &self.dir
     }
 
+    /// Make directory-entry changes (file creation/removal) durable. On
+    /// POSIX, syncing a file persists its contents but not the entry that
+    /// names it; that lives in the directory, which must be fsynced
+    /// separately.
+    fn sync_dir(&self) -> Result<()> {
+        #[cfg(unix)]
+        File::open(&self.dir)?.sync_all()?;
+        // Non-POSIX platforms don't expose directory fsync (and mostly
+        // don't need it); entry durability is best-effort there.
+        Ok(())
+    }
+
     fn handle(&mut self, name: &str) -> Result<&mut File> {
         if !self.handles.contains_key(name) {
             let path = self.dir.join(name);
@@ -257,6 +274,9 @@ impl Storage for FileStorage {
             .read(true)
             .open(path)?;
         self.handles.insert(name.to_string(), f);
+        // The new directory entry must be durable before any bytes
+        // appended to the file are acknowledged as synced.
+        self.sync_dir()?;
         Ok(())
     }
 
@@ -277,6 +297,9 @@ impl Storage for FileStorage {
             return Err(StorageError::NotFound(name.to_string()));
         }
         std::fs::remove_file(path)?;
+        // Compaction relies on deletions being durable in the order they
+        // were issued; an un-fsynced directory could reorder them.
+        self.sync_dir()?;
         Ok(())
     }
 }

@@ -11,9 +11,12 @@
 //! * **Segments** `wal-{seq:010}.seg` — a 28-byte header
 //!   (`b"OWTEWAL1"` magic · format version `u32` · segment seq `u64` ·
 //!   index of the segment's first record `u64`, all little-endian)
-//!   followed by frames `[len: u32][crc32: u32][payload]`. The CRC covers
-//!   the length field and the payload, so a bit flip anywhere in a
-//!   complete frame is detected.
+//!   followed by frames `[len: u32][hcrc: u32][crc: u32][payload]`.
+//!   `hcrc` covers the length field alone, so a bit flip in `len` is
+//!   detected as corruption instead of being misread as a torn tail (an
+//!   enlarged `len` would otherwise look like a frame the file ends
+//!   inside of); `crc` covers the length field and the payload, so a bit
+//!   flip anywhere else in a complete frame is detected too.
 //! * **Snapshots** `snap-{ops:010}.snap` — a 20-byte header
 //!   (`b"OWTESNP1"` · version · covered record count `u64`) followed by a
 //!   single frame holding the state blob.
@@ -39,13 +42,16 @@ use crate::storage::{Storage, StorageError};
 use std::fmt;
 
 /// Current on-storage format version of segments and snapshots.
-pub const WAL_VERSION: u32 = 1;
+/// Version 2 added the per-frame header CRC (version 1 frames had only
+/// the combined length+payload CRC and could not tell an enlarged length
+/// field apart from a torn tail).
+pub const WAL_VERSION: u32 = 2;
 
 const SEG_MAGIC: &[u8; 8] = b"OWTEWAL1";
 const SNAP_MAGIC: &[u8; 8] = b"OWTESNP1";
 const SEG_HEADER_LEN: usize = 28;
 const SNAP_HEADER_LEN: usize = 20;
-const FRAME_HEADER_LEN: usize = 8;
+const FRAME_HEADER_LEN: usize = 12;
 
 /// An error from the WAL layer.
 #[derive(Debug)]
@@ -62,6 +68,14 @@ pub enum WalError {
         /// Version this build reads.
         supported: u32,
     },
+    /// [`Wal::create`] was asked to initialize a log on storage that
+    /// already holds files. Creating there would leave pre-existing
+    /// snapshots behind and let a later recovery resurrect the old state;
+    /// use [`Wal::open`] for existing logs, or clear the storage first.
+    NotEmpty {
+        /// Number of files already present.
+        files: usize,
+    },
 }
 
 impl fmt::Display for WalError {
@@ -72,6 +86,11 @@ impl fmt::Display for WalError {
             WalError::UnsupportedVersion { found, supported } => write!(
                 f,
                 "wal format version {found} is not supported (this build reads {supported})"
+            ),
+            WalError::NotEmpty { files } => write!(
+                f,
+                "refusing to create a log on non-empty storage ({files} existing files); \
+                 open it instead, or clear the storage first"
             ),
         }
     }
@@ -125,12 +144,14 @@ pub fn crc32(parts: &[&[u8]]) -> u32 {
 
 // ------------------------------------------------------------- framing
 
-/// Encode one `[len][crc][payload]` frame.
+/// Encode one `[len][hcrc][crc][payload]` frame.
 fn encode_frame(payload: &[u8]) -> Vec<u8> {
     let len = (payload.len() as u32).to_le_bytes();
+    let hcrc = crc32(&[&len]).to_le_bytes();
     let crc = crc32(&[&len, payload]).to_le_bytes();
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
     out.extend_from_slice(&len);
+    out.extend_from_slice(&hcrc);
     out.extend_from_slice(&crc);
     out.extend_from_slice(payload);
     out
@@ -140,7 +161,11 @@ fn encode_frame(payload: &[u8]) -> Vec<u8> {
 ///
 /// Returns the decoded records and whether the byte stream ended inside a
 /// frame (a torn tail). A complete frame with a bad checksum is corruption
-/// and fails the decode.
+/// and fails the decode — and because the length field carries its own
+/// CRC, so is a complete frame *header* whose length cannot be trusted: a
+/// torn append leaves a strict prefix of correct bytes, never a full
+/// header that fails its own checksum, so `hcrc` mismatch means damage,
+/// not a crash.
 fn decode_frames(mut bytes: &[u8], first: u64) -> Result<(Vec<(u64, Vec<u8>)>, bool)> {
     let mut recs = Vec::new();
     let mut idx = first;
@@ -153,7 +178,13 @@ fn decode_frames(mut bytes: &[u8], first: u64) -> Result<(Vec<(u64, Vec<u8>)>, b
         }
         let len_bytes: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
         let len = u32::from_le_bytes(len_bytes) as usize;
-        let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let hcrc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if crc32(&[&len_bytes]) != hcrc {
+            return Err(WalError::Corrupt(format!(
+                "frame header checksum mismatch on record {idx}"
+            )));
+        }
         if bytes.len() - FRAME_HEADER_LEN < len {
             return Ok((recs, true));
         }
@@ -291,8 +322,20 @@ impl Default for WalConfig {
 }
 
 impl<S: Storage> Wal<S> {
-    /// Initialize a fresh log on `storage` (which should be empty).
+    /// Initialize a fresh log on `storage`, which must be empty.
+    ///
+    /// Creating over existing files is refused ([`WalError::NotEmpty`]):
+    /// truncating segment 0 while older snapshots survive would let a
+    /// later [`Wal::open`] pick a stale snapshot as newest and silently
+    /// resurrect the obsolete state. Open existing logs instead, or clear
+    /// the storage deliberately before creating.
     pub fn create(storage: S, config: WalConfig) -> Result<Wal<S>> {
+        let existing = storage.list()?;
+        if !existing.is_empty() {
+            return Err(WalError::NotEmpty {
+                files: existing.len(),
+            });
+        }
         let mut wal = Wal {
             storage,
             config,
@@ -362,12 +405,20 @@ impl<S: Storage> Wal<S> {
                 None => {}
                 Some(r) => {
                     if first_op > r {
-                        return Err(WalError::Corrupt(format!(
-                            "gap in record index: segment {seq} starts at {first_op}, \
-                             log only reaches {r}"
-                        )));
-                    }
-                    if first_op < r {
+                        // A gap is only a crash-explicable state when the
+                        // missing records all lie under the snapshot: an
+                        // interrupted compaction can leave stale-segment
+                        // holes there (and only there), while a gap past
+                        // the snapshot is lost acknowledged history.
+                        if first_op > snapshot_ops {
+                            return Err(WalError::Corrupt(format!(
+                                "gap in record index: segment {seq} starts at {first_op}, \
+                                 log only reaches {r}"
+                            )));
+                        }
+                        // Everything before the gap is superseded by the
+                        // snapshot; the records are filtered out below.
+                    } else if first_op < r {
                         // The writer rotated after a failed append/sync:
                         // records at and past first_op were never
                         // acknowledged. Drop them.
@@ -543,12 +594,31 @@ impl<S: Storage> Wal<S> {
 
         // Best-effort space reclamation: a crash here leaves stale files
         // that recovery handles (and the next snapshot retries deleting).
+        // Segments are deleted oldest-first, and deletion stops at the
+        // first failure, so the surviving segments always form a
+        // contiguous suffix of the log — an interrupted compaction must
+        // never open a gap in the record index between survivors.
         if let Ok(names) = self.storage.list() {
-            for n in names {
-                let stale_seg = parse_segment_name(&n).map(|s| s < self.seq).unwrap_or(false);
-                let stale_snap = parse_snapshot_name(&n).map(|s| s < ops).unwrap_or(false);
-                if stale_seg || stale_snap {
-                    let _ = self.storage.delete(&n);
+            let mut stale_segs: Vec<u64> = names
+                .iter()
+                .filter_map(|n| parse_segment_name(n))
+                .filter(|s| *s < self.seq)
+                .collect();
+            stale_segs.sort_unstable();
+            for s in stale_segs {
+                if self.storage.delete(&segment_name(s)).is_err() {
+                    break;
+                }
+            }
+            let mut stale_snaps: Vec<u64> = names
+                .iter()
+                .filter_map(|n| parse_snapshot_name(n))
+                .filter(|s| *s < ops)
+                .collect();
+            stale_snaps.sort_unstable();
+            for s in stale_snaps {
+                if self.storage.delete(&snapshot_name(s)).is_err() {
+                    break;
                 }
             }
         }
@@ -752,6 +822,91 @@ mod tests {
         expect.push(b"acked-after-rotation".to_vec());
         assert_eq!(rec.tail, expect);
         assert_eq!(rec.dropped_unacked, 1);
+    }
+
+    #[test]
+    fn create_on_nonempty_storage_is_refused() {
+        let mut wal = Wal::create(MemStorage::new(), WalConfig::default()).unwrap();
+        wal.append(b"r").unwrap();
+        wal.snapshot(b"state").unwrap();
+        let storage = wal.into_storage();
+        match Wal::create(storage, WalConfig::default()) {
+            Err(WalError::NotEmpty { files }) => assert!(files > 0),
+            other => panic!("expected NotEmpty, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enlarged_len_field_is_corruption_not_torn_tail() {
+        let mut wal = Wal::create(MemStorage::new(), WalConfig::default()).unwrap();
+        for r in recs(3) {
+            wal.append(&r).unwrap();
+        }
+        let mut storage = wal.into_storage();
+        let name = segment_name(0);
+        // Flip a bit in the *length field* of the last frame so it claims
+        // more payload than the file holds. Without the header CRC this
+        // read as a torn tail and silently dropped the acknowledged
+        // record; it must fail closed instead.
+        let last_payload_len = recs(3).last().unwrap().len();
+        let offset = storage.raw(&name).unwrap().len() - (FRAME_HEADER_LEN + last_payload_len);
+        storage.corrupt(&name, offset);
+        match Wal::open(storage, WalConfig::default()) {
+            Err(WalError::Corrupt(m)) => assert!(m.contains("header"), "got: {m}"),
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interrupted_compaction_gap_under_snapshot_recovers() {
+        let config = WalConfig {
+            segment_max_bytes: 64, // tiny: force several segments
+            sync_on_append: true,
+        };
+        let mut wal = Wal::create(MemStorage::new(), config.clone()).unwrap();
+        for r in recs(8) {
+            wal.append(&r).unwrap();
+        }
+        let ops = wal.next_op();
+        assert!(wal.segment_seq() >= 2, "need at least three segments");
+        let mut storage = wal.into_storage();
+        // Hand-write a snapshot covering the whole log, then delete a
+        // *middle* stale segment: the state an unordered (or partially
+        // failed) compaction could have left behind after a crash.
+        let name = snapshot_name(ops);
+        let mut bytes = encode_snapshot_header(ops);
+        bytes.extend_from_slice(&encode_frame(b"covers-all"));
+        storage.create(&name).unwrap();
+        storage.append(&name, &bytes).unwrap();
+        storage.sync(&name).unwrap();
+        storage.delete(&segment_name(1)).unwrap();
+
+        let (wal2, rec) = Wal::open(storage, config).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(b"covers-all".as_ref()));
+        assert_eq!(rec.snapshot_ops, ops);
+        assert!(rec.tail.is_empty(), "everything is under the snapshot");
+        assert_eq!(wal2.next_op(), ops);
+    }
+
+    #[test]
+    fn gap_past_snapshot_still_fails_closed() {
+        let config = WalConfig {
+            segment_max_bytes: 64,
+            sync_on_append: true,
+        };
+        let mut wal = Wal::create(MemStorage::new(), config.clone()).unwrap();
+        for r in recs(8) {
+            wal.append(&r).unwrap();
+        }
+        assert!(wal.segment_seq() >= 2, "need at least three segments");
+        let mut storage = wal.into_storage();
+        // No snapshot covers the hole: deleting a middle segment loses
+        // acknowledged history and recovery must refuse.
+        storage.delete(&segment_name(1)).unwrap();
+        match Wal::open(storage, config) {
+            Err(WalError::Corrupt(m)) => assert!(m.contains("gap"), "got: {m}"),
+            other => panic!("expected gap error, got {other:?}"),
+        }
     }
 
     #[test]

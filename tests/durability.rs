@@ -291,6 +291,11 @@ proptest! {
         disk.crash(); // sync_on_append: everything acknowledged survives
         let recovered = DurableEngine::open(disk, config).unwrap();
         prop_assert_eq!(recovered.op_count(), total);
+        prop_assert_eq!(
+            recovered.recovery_stats(),
+            owte_core::RecoveryStats::default(),
+            "a clean reopen repairs nothing"
+        );
         assert_state_equal(recovered.engine(), &live);
     }
 }
@@ -333,6 +338,10 @@ fn torn_final_frame_truncates_to_previous_op() {
     let recovered = DurableEngine::open(storage, DurableConfig::default())
         .expect("a torn tail is recoverable");
     assert_eq!(recovered.op_count(), acked.len() as u64 - 1);
+    assert!(
+        recovered.recovery_stats().truncated_tail,
+        "the dropped torn record must be surfaced to the caller"
+    );
     let expected = replay(&Journal {
         policy: graph,
         start: Ts::ZERO,
@@ -346,7 +355,7 @@ fn torn_final_frame_truncates_to_previous_op() {
 fn midlog_corruption_fails_closed() {
     let (mut storage, _acked, _graph) = small_run(None);
     // Flip a bit inside the first record's payload: segment header (28)
-    // plus frame header (8) plus a couple of payload bytes.
+    // plus frame header (12) plus a couple of payload bytes.
     let seg = {
         let mut segs: Vec<String> = storage
             .list()
@@ -357,8 +366,8 @@ fn midlog_corruption_fails_closed() {
         segs.sort();
         segs.remove(0)
     };
-    assert!(storage.raw(&seg).unwrap().len() > 40, "segment has records");
-    storage.corrupt(&seg, 28 + 8 + 2);
+    assert!(storage.raw(&seg).unwrap().len() > 44, "segment has records");
+    storage.corrupt(&seg, 28 + 12 + 2);
 
     match DurableEngine::open(storage, DurableConfig::default()) {
         Err(DurableError::Wal(WalError::Corrupt(m))) => {
