@@ -1,0 +1,67 @@
+//! E9 — static rule-pool analysis cost.
+//!
+//! The analyzer runs inside the generation/regeneration gate, so its wall
+//! time must stay a small fraction of instantiation itself (E1/E3) or the
+//! gate would dominate policy changes. Benched: the full `analyze` pass
+//! (termination proof + condition analysis + coverage/conflict checks) on
+//! the Figure-1 pool and on generated enterprises from 10 to 1000 roles,
+//! plus the DOT export. The printed table is the series EXPERIMENTS.md
+//! records.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use policy::{analyze, instantiate, rule_dependency_dot, PolicyGraph};
+use snoop::Ts;
+use std::hint::black_box;
+use workload::{generate_enterprise, EnterpriseSpec};
+
+fn bench_xyz(c: &mut Criterion) {
+    let inst = instantiate(&PolicyGraph::enterprise_xyz(), Ts::ZERO).unwrap();
+    c.bench_function("analyze/xyz_figure1", |b| {
+        b.iter(|| analyze(black_box(&inst)))
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze/roles");
+    group.sample_size(10);
+    println!("\nE9 series: roles -> analyzer verdict (constraint-bearing enterprise)");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>10}",
+        "roles", "rules", "verdict", "errors", "warnings"
+    );
+    for &roles in &[10usize, 50, 100, 200, 500, 1000] {
+        let g = generate_enterprise(&EnterpriseSpec::sized(roles), 42);
+        let inst = instantiate(&g, Ts::ZERO).unwrap();
+        let report = analyze(&inst);
+        println!(
+            "{roles:>8} {:>10} {:>12} {:>10} {:>10}",
+            report.rules,
+            if report.proved_terminating() {
+                "proved"
+            } else {
+                "loop?"
+            },
+            report.error_count(),
+            report.warning_count()
+        );
+        group.throughput(Throughput::Elements(report.rules as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(roles), &inst, |b, inst| {
+            b.iter(|| analyze(black_box(inst)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot_export(c: &mut Criterion) {
+    let inst = instantiate(
+        &generate_enterprise(&EnterpriseSpec::sized(100), 42),
+        Ts::ZERO,
+    )
+    .unwrap();
+    c.bench_function("analyze/dot_rules_100_roles", |b| {
+        b.iter(|| rule_dependency_dot(black_box(&inst.detector), black_box(&inst.pool)))
+    });
+}
+
+criterion_group!(benches, bench_xyz, bench_scaling, bench_dot_export);
+criterion_main!(benches);

@@ -55,7 +55,11 @@ fn fixture(variant: &str) -> Fixture {
         }
         _ => unreachable!("unknown variant"),
     }
-    let assignee = if variant.contains("hierarchy") { "senior" } else { "target" };
+    let assignee = if variant.contains("hierarchy") {
+        "senior"
+    } else {
+        "target"
+    };
     g.assign("u", assignee);
     let owte = Engine::from_policy(&g, Ts::ZERO).unwrap();
     let direct = DirectEngine::from_policy(&g, Ts::ZERO).unwrap();
@@ -114,7 +118,12 @@ fn bench_check_access(c: &mut Criterion) {
         let mut direct = DirectEngine::from_policy(&g, Ts::ZERO).unwrap();
         let user = owte.user_id("user0").unwrap();
         // Activate everything user0 is assigned to, in both engines.
-        let assigned: Vec<RoleId> = owte.system().assigned_roles(user).unwrap().into_iter().collect();
+        let assigned: Vec<RoleId> = owte
+            .system()
+            .assigned_roles(user)
+            .unwrap()
+            .into_iter()
+            .collect();
         let so = owte.create_session(user, &assigned).unwrap();
         let sd = direct.create_session(user, &assigned).unwrap();
         let op = owte.system().op_by_name("op0").unwrap();

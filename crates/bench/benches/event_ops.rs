@@ -66,8 +66,7 @@ fn bench_contexts(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_ops/seq_context");
     group.throughput(Throughput::Elements(EVENTS_PER_ITER as u64));
     for ctx in Context::ALL {
-        let expr =
-            EventExpr::seq(EventExpr::named("a"), EventExpr::named("b")).context(ctx);
+        let expr = EventExpr::seq(EventExpr::named("a"), EventExpr::named("b")).context(ctx);
         group.bench_with_input(BenchmarkId::from_parameter(ctx), &expr, |bch, expr| {
             bch.iter_batched(
                 || setup(expr),

@@ -113,8 +113,7 @@ fn bench_recovery(c: &mut Criterion) {
             &storage,
             |b, storage| {
                 b.iter(|| {
-                    let d =
-                        DurableEngine::open(storage.clone(), DurableConfig::default()).unwrap();
+                    let d = DurableEngine::open(storage.clone(), DurableConfig::default()).unwrap();
                     black_box(d.op_count())
                 })
             },
@@ -130,8 +129,7 @@ fn bench_recovery(c: &mut Criterion) {
             &storage,
             |b, storage| {
                 b.iter(|| {
-                    let d =
-                        DurableEngine::open(storage.clone(), DurableConfig::default()).unwrap();
+                    let d = DurableEngine::open(storage.clone(), DurableConfig::default()).unwrap();
                     black_box(d.op_count())
                 })
             },

@@ -69,5 +69,9 @@ fn bench_noop_change_detection(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_incremental_vs_full, bench_noop_change_detection);
+criterion_group!(
+    benches,
+    bench_incremental_vs_full,
+    bench_noop_change_detection
+);
 criterion_main!(benches);

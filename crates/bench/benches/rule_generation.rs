@@ -23,7 +23,10 @@ fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("generation/roles");
     group.sample_size(10);
     println!("\nE2 series: roles -> rules (constraint-bearing enterprise)");
-    println!("{:>8} {:>10} {:>12} {:>12}", "roles", "rules", "checks", "events");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "roles", "rules", "checks", "events"
+    );
     for &roles in &[10usize, 50, 100, 200, 500, 1000] {
         let g = generate_enterprise(&EnterpriseSpec::sized(roles), 42);
         let inst = instantiate(&g, Ts::ZERO).unwrap();

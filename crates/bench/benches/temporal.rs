@@ -37,7 +37,8 @@ fn bench_day_of_shifts(c: &mut Criterion) {
             b.iter_batched(
                 || Engine::from_policy(g, Ts::ZERO).unwrap(),
                 |mut e| {
-                    e.advance_to(Civil::new(2000, 1, 2, 0, 0, 0).to_ts()).unwrap();
+                    e.advance_to(Civil::new(2000, 1, 2, 0, 0, 0).to_ts())
+                        .unwrap();
                     black_box(e.now())
                 },
                 criterion::BatchSize::LargeInput,
@@ -47,7 +48,8 @@ fn bench_day_of_shifts(c: &mut Criterion) {
             b.iter_batched(
                 || DirectEngine::from_policy(g, Ts::ZERO).unwrap(),
                 |mut e| {
-                    e.advance_to(Civil::new(2000, 1, 2, 0, 0, 0).to_ts()).unwrap();
+                    e.advance_to(Civil::new(2000, 1, 2, 0, 0, 0).to_ts())
+                        .unwrap();
                     black_box(e.now())
                 },
                 criterion::BatchSize::LargeInput,

@@ -14,7 +14,12 @@ fn main() {
     let xyz = PolicyGraph::enterprise_xyz();
     let inst = instantiate(&xyz, Ts::ZERO).unwrap();
     let s = inst.pool.stats();
-    println!("roles: {}   rules: {}   events: {}", xyz.roles.len(), s.total, inst.stats.event_nodes);
+    println!(
+        "roles: {}   rules: {}   events: {}",
+        xyz.roles.len(),
+        s.total,
+        inst.stats.event_nodes
+    );
     println!(
         "classes: administrative={} activity-control={} active-security={}",
         s.administrative, s.activity_control, s.active_security

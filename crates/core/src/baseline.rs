@@ -12,7 +12,9 @@
 use crate::context::ContextState;
 use crate::engine::EngineError;
 use crate::privacy::PrivacyState;
-use gtrbac::{RoleAction, RoleEvent, RoleTrigger, StatusPred, TemporalConstraints, TemporalPolicies};
+use gtrbac::{
+    RoleAction, RoleEvent, RoleTrigger, StatusPred, TemporalConstraints, TemporalPolicies,
+};
 use policy::{Binding, InstantiateError, PolicyGraph, SecurityAction, SecuritySpec};
 use rbac::{ObjId, OpId, RoleId, SessionId, System, UserId};
 use snoop::{Dur, Ts};
@@ -582,10 +584,12 @@ mod tests {
         // Midnight: disabled.
         assert!(e.add_active_role(bob, s, day).is_err());
         // 9 a.m.: enabled.
-        e.advance_to(Civil::new(2000, 1, 1, 9, 0, 0).to_ts()).unwrap();
+        e.advance_to(Civil::new(2000, 1, 1, 9, 0, 0).to_ts())
+            .unwrap();
         e.add_active_role(bob, s, day).unwrap();
         // 5 p.m.: disabled again, and the activation was dropped.
-        e.advance_to(Civil::new(2000, 1, 1, 17, 0, 0).to_ts()).unwrap();
+        e.advance_to(Civil::new(2000, 1, 1, 17, 0, 0).to_ts())
+            .unwrap();
         assert!(!e.sys.session_roles(s).unwrap().contains(&day));
     }
 

@@ -158,13 +158,13 @@ impl AuthState for BridgeView<'_> {
     fn custom_check(&self, name: &str, args: &[i64], occ: &Occurrence) -> bool {
         let now = Self::occ_now(occ);
         match (name, args) {
-            ("disabling_sod_ok", [r]) => role(*r).is_some_and(|r| {
-                self.constraints.check_disable(self.sys, r, now).is_ok()
-            }),
+            ("disabling_sod_ok", [r]) => {
+                role(*r).is_some_and(|r| self.constraints.check_disable(self.sys, r, now).is_ok())
+            }
             ("context_ok", [r]) => role(*r).is_some_and(|r| self.context.check(r)),
-            ("enabling_sod_ok", [r]) => role(*r).is_some_and(|r| {
-                self.constraints.check_enable(self.sys, r, now).is_ok()
-            }),
+            ("enabling_sod_ok", [r]) => {
+                role(*r).is_some_and(|r| self.constraints.check_enable(self.sys, r, now).is_ok())
+            }
             ("may_enable", [r]) => {
                 role(*r).is_some_and(|r| self.temporal.should_be_enabled(r, now))
             }
@@ -322,7 +322,10 @@ mod tests {
             v.add_session_role(-1, 0, 0),
             ActionOutcome::Rejected(_)
         ));
-        assert!(matches!(v.assign_user(i64::from(u.0), i64::from(r.0)), ActionOutcome::Done));
+        assert!(matches!(
+            v.assign_user(i64::from(u.0), i64::from(r.0)),
+            ActionOutcome::Done
+        ));
     }
 
     #[test]

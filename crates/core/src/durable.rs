@@ -267,11 +267,7 @@ impl<S: Storage> DurableEngine<S> {
 
     /// See [`Engine::create_session`]. Failed operations are journaled
     /// too: denials change state (audit log, security windows).
-    pub fn create_session(
-        &mut self,
-        user: UserId,
-        initial: &[RoleId],
-    ) -> Result<SessionId> {
+    pub fn create_session(&mut self, user: UserId, initial: &[RoleId]) -> Result<SessionId> {
         self.record(&JournalOp::CreateSession {
             user,
             initial: initial.to_vec(),
@@ -492,8 +488,7 @@ mod tests {
         d.advance_to(Ts::from_secs(60)).unwrap();
         let live = state_json(d.engine());
 
-        let reopened =
-            DurableEngine::open(d.into_storage(), DurableConfig::default()).unwrap();
+        let reopened = DurableEngine::open(d.into_storage(), DurableConfig::default()).unwrap();
         assert_eq!(state_json(reopened.engine()), live);
         assert_eq!(reopened.op_count(), 3);
     }

@@ -10,7 +10,7 @@
 use crate::bridge::BridgeView;
 use crate::context::ContextState;
 use crate::privacy::PrivacyState;
-use policy::{events, Instantiated, InstantiateError, PolicyGraph, RegenReport};
+use policy::{events, InstantiateError, Instantiated, PolicyGraph, RegenReport, VerifyGate};
 use rbac::{ObjId, OpId, RoleId, SessionId, UserId};
 use sentinel::{AuditLog, ExecReport, Executor, Runtime};
 use serde::{Deserialize, Serialize};
@@ -74,17 +74,36 @@ pub struct Engine {
 impl Engine {
     /// Instantiate a policy and build the engine over it, with the logical
     /// clock starting at `start`.
+    ///
+    /// The generated pool is statically verified first
+    /// ([`VerifyGate::DenyOnError`]): pools with `Error`-severity
+    /// diagnostics are refused, and a proved-terminating pool lets the
+    /// executor skip its per-dispatch cascade-depth bookkeeping. Use
+    /// [`Engine::from_policy_gated`] to change the gate.
     pub fn from_policy(graph: &PolicyGraph, start: Ts) -> Result<Engine, InstantiateError> {
-        let inst = policy::instantiate(graph, start)?;
+        Engine::from_policy_gated(graph, start, VerifyGate::DenyOnError)
+    }
+
+    /// [`Engine::from_policy`] with an explicit verification gate.
+    pub fn from_policy_gated(
+        graph: &PolicyGraph,
+        start: Ts,
+        gate: VerifyGate,
+    ) -> Result<Engine, InstantiateError> {
+        let (inst, report) = policy::instantiate_verified(graph, start, gate)?;
         let privacy = PrivacyState::from_policy(graph, &inst.binding);
         let context = ContextState::from_policy(graph, &inst.binding);
+        let exec = Executor {
+            assume_acyclic: report.proved_terminating(),
+            ..Executor::new()
+        };
         Ok(Engine {
             inst,
             privacy,
             context,
             denials: VecDeque::new(),
             log: AuditLog::new(),
-            exec: Executor::new(),
+            exec,
             in_denial_cascade: false,
             denial_history: 65_536,
         })
@@ -142,6 +161,17 @@ impl Engine {
     /// Current logical time.
     pub fn now(&self) -> Ts {
         self.inst.detector.now()
+    }
+
+    /// Run the static rule-pool analyzer over the current instantiation.
+    pub fn analyze(&self) -> policy::AnalysisReport {
+        policy::analyze(&self.inst)
+    }
+
+    /// Is the executor running with the proved-acyclic fast path (set when
+    /// the analyzer proved the pool terminating at build/apply time)?
+    pub fn proved_acyclic(&self) -> bool {
+        self.exec.assume_acyclic
     }
 
     /// Alerts raised so far (active security).
@@ -440,15 +470,26 @@ impl Engine {
     /// longer hold.
     pub fn set_context(&mut self, key: &str, value: &str) -> Result<ExecReport, EngineError> {
         self.context.set(key, value);
-        self.dispatch(events::CONTEXT_CHANGED, Params::new().with("key", key).with("value", value))
+        self.dispatch(
+            events::CONTEXT_CHANGED,
+            Params::new().with("key", key).with("value", value),
+        )
     }
 
     // ---- policy maintenance ----------------------------------------------------
 
     /// Apply a changed policy: incremental rule regeneration when possible,
     /// full rebuild otherwise (§5's shift-change scenario).
+    ///
+    /// The regenerated pool is analyzed before being committed; a pool with
+    /// `Error`-severity diagnostics is refused with
+    /// [`InstantiateError::Rejected`] and the running instantiation is left
+    /// untouched. The executor's acyclic fast-path hint follows the new
+    /// pool's termination verdict.
     pub fn apply_policy(&mut self, new: &PolicyGraph) -> Result<RegenReport, InstantiateError> {
-        let report = policy::regenerate(&mut self.inst, new)?;
+        let (report, analysis) =
+            policy::regenerate_verified(&mut self.inst, new, VerifyGate::DenyOnError)?;
+        self.exec.assume_acyclic = analysis.proved_terminating();
         self.privacy = PrivacyState::from_policy(new, &self.inst.binding);
         // Constraints follow the new policy; runtime environment values
         // (where the user *is*) are preserved.
@@ -464,12 +505,7 @@ impl Engine {
     /// by name — which means the pool was mutated between listing and
     /// lookup, e.g. by a concurrent policy regeneration.
     pub fn dump_rules(&self) -> Result<String, EngineError> {
-        let mut names: Vec<String> = self
-            .inst
-            .pool
-            .iter()
-            .map(|(_, r)| r.name.clone())
-            .collect();
+        let mut names: Vec<String> = self.inst.pool.iter().map(|(_, r)| r.name.clone()).collect();
         names.sort_unstable();
         let mut out = String::new();
         for n in names {
@@ -485,6 +521,12 @@ impl Engine {
     /// Render the event graph in Graphviz DOT form.
     pub fn event_graph_dot(&self) -> String {
         self.inst.detector.to_dot()
+    }
+
+    /// Render the rule-dependency graph in Graphviz DOT form (solid edges
+    /// synchronous, dashed edges delayed through timers).
+    pub fn rule_graph_dot(&self) -> String {
+        policy::rule_dependency_dot(&self.inst.detector, &self.inst.pool)
     }
 
     /// One rule in OWTE syntax, with the triggering event shown by name
@@ -597,13 +639,68 @@ mod tests {
     }
 
     #[test]
+    fn analyzer_gates_construction_and_sets_fast_path() {
+        let e = xyz_engine();
+        assert!(e.proved_acyclic(), "XYZ pool is proved terminating");
+        let report = e.analyze();
+        assert!(report.is_clean(), "{report}");
+        assert!(e.rule_graph_dot().contains("AAR2_PC"));
+
+        // Mutual post-conditions generate a synchronous ENR loop: the
+        // default gate refuses the policy outright.
+        let mut g = PolicyGraph::new("loopy");
+        g.role("a");
+        g.role("b");
+        g.post_conditions.push(policy::PostConditionSpec {
+            role: "a".into(),
+            requires: "b".into(),
+        });
+        g.post_conditions.push(policy::PostConditionSpec {
+            role: "b".into(),
+            requires: "a".into(),
+        });
+        let err = Engine::from_policy(&g, Ts::ZERO).unwrap_err();
+        assert!(matches!(err, InstantiateError::Rejected(_)), "{err}");
+        // Explicitly ungated, the engine runs with the depth guard on.
+        let e2 = Engine::from_policy_gated(&g, Ts::ZERO, policy::VerifyGate::Off).unwrap();
+        assert!(!e2.proved_acyclic());
+    }
+
+    #[test]
+    fn rejected_policy_change_leaves_engine_running() {
+        let mut e = xyz_engine();
+        let mut bad = e.policy().clone();
+        bad.post_conditions.push(policy::PostConditionSpec {
+            role: "PM".into(),
+            requires: "AM".into(),
+        });
+        bad.post_conditions.push(policy::PostConditionSpec {
+            role: "AM".into(),
+            requires: "PM".into(),
+        });
+        let err = e.apply_policy(&bad).unwrap_err();
+        assert!(matches!(err, InstantiateError::Rejected(_)), "{err}");
+        assert!(e.proved_acyclic(), "old verdict still in force");
+        // The engine still enforces the old policy.
+        let alice = e.user_id("alice").unwrap();
+        let pm = e.role_id("PM").unwrap();
+        let s = e.create_session(alice, &[pm]).unwrap();
+        let create = e.system().op_by_name("create").unwrap();
+        let po = e.system().obj_by_name("purchase_order").unwrap();
+        assert!(e.check_access(s, create, po).unwrap());
+    }
+
+    #[test]
     fn unknown_names_rejected() {
         let e = xyz_engine();
         assert!(matches!(
             e.user_id("nobody"),
             Err(EngineError::UnknownName(_))
         ));
-        assert!(matches!(e.role_id("Ghost"), Err(EngineError::UnknownName(_))));
+        assert!(matches!(
+            e.role_id("Ghost"),
+            Err(EngineError::UnknownName(_))
+        ));
     }
 }
 
@@ -644,7 +741,9 @@ mod error_path_tests {
         assert!(EngineError::Denied(vec!["a".into(), "b".into()])
             .to_string()
             .contains("a; b"));
-        assert!(EngineError::UnknownName("x".into()).to_string().contains("x"));
+        assert!(EngineError::UnknownName("x".into())
+            .to_string()
+            .contains("x"));
         assert!(EngineError::Unhandled("m".into()).to_string().contains("m"));
     }
 
@@ -662,7 +761,9 @@ mod error_path_tests {
         // Foreign session id: rules deny, nothing panics.
         let bogus = rbac::SessionId(999);
         assert!(e.add_active_role(u, bogus, r).is_err());
-        assert!(!e.check_access(bogus, rbac::OpId(0), rbac::ObjId(0)).unwrap());
+        assert!(!e
+            .check_access(bogus, rbac::OpId(0), rbac::ObjId(0))
+            .unwrap());
     }
 
     #[test]

@@ -246,7 +246,9 @@ impl RecordingEngine {
 
     /// See [`Engine::deassign_user`].
     pub fn deassign_user(&mut self, user: UserId, role: RoleId) -> Result<(), EngineError> {
-        self.journal.ops.push(JournalOp::DeassignUser { user, role });
+        self.journal
+            .ops
+            .push(JournalOp::DeassignUser { user, role });
         self.engine.deassign_user(user, role)
     }
 

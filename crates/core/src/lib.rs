@@ -55,12 +55,11 @@ pub mod wal;
 
 pub use baseline::DirectEngine;
 pub use bridge::BridgeView;
+pub use context::ContextState;
 pub use durable::{DurableConfig, DurableEngine, DurableError, RecoveryStats};
 pub use engine::{Engine, EngineError};
-pub use context::ContextState;
 pub use journal::{
-    apply_op, replay, Journal, JournalEnvelope, JournalOp, RecordingEngine,
-    JOURNAL_FORMAT_VERSION,
+    apply_op, replay, Journal, JournalEnvelope, JournalOp, RecordingEngine, JOURNAL_FORMAT_VERSION,
 };
 pub use privacy::{ObjectPolicy, PrivacyState, PurposeId};
 pub use shared::SharedEngine;

@@ -59,8 +59,7 @@ impl PrivacyState {
             // the binding because the permission statements introduced them.
             // Object policies may reference op/obj names that no permission
             // used; skip those (they can never be exercised).
-            let (Some(&opid), Some(&objid)) =
-                (binding.ops.get(&op.op), binding.objs.get(&op.obj))
+            let (Some(&opid), Some(&objid)) = (binding.ops.get(&op.op), binding.objs.get(&op.obj))
             else {
                 continue;
             };
@@ -174,7 +173,15 @@ impl PrivacyState {
 mod tests {
     use super::*;
 
-    fn setup() -> (System, PrivacyState, rbac::SessionId, OpId, ObjId, PurposeId, PurposeId) {
+    fn setup() -> (
+        System,
+        PrivacyState,
+        rbac::SessionId,
+        OpId,
+        ObjId,
+        PurposeId,
+        PurposeId,
+    ) {
         let mut sys = System::new();
         let nurse = sys.add_role("Nurse").unwrap();
         let u = sys.add_user("u").unwrap();
@@ -200,7 +207,10 @@ mod tests {
     fn purpose_hierarchy_satisfaction() {
         let (_, p, _, _, _, treatment, billing) = setup();
         assert!(p.satisfies(treatment, treatment));
-        assert!(p.satisfies(billing, treatment), "descendant satisfies ancestor");
+        assert!(
+            p.satisfies(billing, treatment),
+            "descendant satisfies ancestor"
+        );
         assert!(!p.satisfies(treatment, billing), "not the other way");
     }
 

@@ -263,7 +263,9 @@ fn decode_segment_header(bytes: &[u8], expect_seq: u64) -> Result<u64> {
             "segment file named {expect_seq} has header seq {seq}"
         )));
     }
-    Ok(u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes")))
+    Ok(u64::from_le_bytes(
+        bytes[20..28].try_into().expect("8 bytes"),
+    ))
 }
 
 // ------------------------------------------------------------ recovery

@@ -70,10 +70,16 @@ impl fmt::Display for TemporalViolation {
                 "cannot enable {role}: {conflicting} is already enabled in the SoD window"
             ),
             TemporalViolation::PostConditionUnsatisfied { role, required } => {
-                write!(f, "cannot enable {role}: required role {required} cannot be enabled")
+                write!(
+                    f,
+                    "cannot enable {role}: required role {required} cannot be enabled"
+                )
             }
             TemporalViolation::PrerequisiteNotActive { role, prerequisite } => {
-                write!(f, "cannot activate {role}: prerequisite {prerequisite} not active")
+                write!(
+                    f,
+                    "cannot activate {role}: prerequisite {prerequisite} not active"
+                )
             }
         }
     }
@@ -133,12 +139,7 @@ pub struct EnablingTimeSod {
 impl EnablingTimeSod {
     /// May `role` be enabled at `t`? Outside the window: always. Inside:
     /// only if every *other* role of the set is disabled.
-    pub fn check_enable(
-        &self,
-        sys: &System,
-        role: RoleId,
-        t: Ts,
-    ) -> Result<(), TemporalViolation> {
+    pub fn check_enable(&self, sys: &System, role: RoleId, t: Ts) -> Result<(), TemporalViolation> {
         if !self.roles.contains(&role) || !self.window.contains(t) {
             return Ok(());
         }
@@ -183,9 +184,10 @@ impl PrerequisiteActivation {
         if role != self.role {
             return Ok(());
         }
-        let active = sys
-            .all_sessions()
-            .any(|s| sys.session_roles(s).is_ok_and(|rs| rs.contains(&self.prerequisite)));
+        let active = sys.all_sessions().any(|s| {
+            sys.session_roles(s)
+                .is_ok_and(|rs| rs.contains(&self.prerequisite))
+        });
         if active {
             Ok(())
         } else {
@@ -230,12 +232,7 @@ impl TemporalConstraints {
     }
 
     /// Check every enabling-time SoD before enabling `role` at `t`.
-    pub fn check_enable(
-        &self,
-        sys: &System,
-        role: RoleId,
-        t: Ts,
-    ) -> Result<(), TemporalViolation> {
+    pub fn check_enable(&self, sys: &System, role: RoleId, t: Ts) -> Result<(), TemporalViolation> {
         for c in &self.enabling_sod {
             c.check_enable(sys, role, t)?;
         }

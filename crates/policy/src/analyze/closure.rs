@@ -1,0 +1,127 @@
+//! Transitive role-hierarchy closure, shared between the static analyzer
+//! and [`crate::consistency`].
+//!
+//! The per-edge consistency checks only see direct domination; the SoD
+//! checks here and in the analyzer need the *transitive* seniority
+//! relation: a role authorizes every role reachable downward through the
+//! hierarchy, so a common senior of enough members of an SoD set defeats
+//! the set even when no two members are directly related.
+
+use crate::graph::{PolicyGraph, SodSpec};
+use std::collections::{HashMap, HashSet};
+
+/// Transitive juniors of each role, by name. A role is **not** its own
+/// junior; the closure follows senior → junior hierarchy edges.
+pub fn juniors_closure(g: &PolicyGraph) -> HashMap<&str, HashSet<&str>> {
+    let mut children: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (s, j) in &g.hierarchy {
+        children.entry(s).or_default().push(j);
+    }
+    let mut out: HashMap<&str, HashSet<&str>> = HashMap::new();
+    for role in g.roles.iter().map(|r| r.name.as_str()) {
+        let mut seen = HashSet::new();
+        let mut stack = vec![role];
+        while let Some(cur) = stack.pop() {
+            for &c in children.get(cur).map(Vec::as_slice).unwrap_or(&[]) {
+                if seen.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        out.insert(role, seen);
+    }
+    out
+}
+
+/// One role that transitively covers enough members of an SoD set to
+/// defeat its cardinality on its own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SodCover<'a> {
+    /// The covering senior role.
+    pub senior: &'a str,
+    /// The defeated set.
+    pub set: &'a SodSpec,
+    /// The members of the set the senior authorizes (itself included when
+    /// it is a member), sorted.
+    pub covered: Vec<&'a str>,
+    /// Whether the senior is itself a member of the set.
+    pub senior_in_set: bool,
+}
+
+/// Find every role whose authorized-role closure (itself plus its
+/// transitive juniors) contains at least `cardinality` members of one of
+/// `sets`. Assumes the hierarchy is acyclic (callers check first).
+pub fn sod_covers<'a>(g: &'a PolicyGraph, sets: &'a [SodSpec]) -> Vec<SodCover<'a>> {
+    let juniors = juniors_closure(g);
+    let mut out = Vec::new();
+    for set in sets {
+        for role in &g.roles {
+            let senior = role.name.as_str();
+            let js = juniors.get(senior);
+            let mut covered: Vec<&str> = set
+                .roles
+                .iter()
+                .map(String::as_str)
+                .filter(|m| *m == senior || js.is_some_and(|s| s.contains(m)))
+                .collect();
+            if covered.len() >= set.cardinality.max(2) {
+                covered.sort_unstable();
+                out.push(SodCover {
+                    senior,
+                    set,
+                    covered,
+                    senior_in_set: set.roles.contains(senior),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> PolicyGraph {
+        let mut g = PolicyGraph::new("t");
+        for r in ["top", "mid", "leaf", "other"] {
+            g.role(r);
+        }
+        g.inherits("top", "mid");
+        g.inherits("mid", "leaf");
+        g
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        let g = chain();
+        let j = juniors_closure(&g);
+        assert!(j["top"].contains("leaf"), "grandchild reached");
+        assert!(j["top"].contains("mid"));
+        assert!(!j["top"].contains("top"), "not its own junior");
+        assert!(j["leaf"].is_empty());
+        assert!(j["other"].is_empty());
+    }
+
+    #[test]
+    fn common_senior_covers_sod_set() {
+        let mut g = chain();
+        g.ssd_set("s", &["mid", "leaf"], 2);
+        let covers = sod_covers(&g, &g.ssd);
+        // `top` covers both from outside; `mid` covers both as a member.
+        let seniors: Vec<&str> = covers.iter().map(|c| c.senior).collect();
+        assert!(seniors.contains(&"top"));
+        assert!(seniors.contains(&"mid"));
+        assert!(!seniors.contains(&"leaf"));
+        let top = covers.iter().find(|c| c.senior == "top").unwrap();
+        assert!(!top.senior_in_set);
+        assert_eq!(top.covered, vec!["leaf", "mid"]);
+    }
+
+    #[test]
+    fn unrelated_sets_are_not_covered() {
+        let mut g = chain();
+        g.ssd_set("s", &["leaf", "other"], 2);
+        assert!(sod_covers(&g, &g.ssd).is_empty());
+    }
+}

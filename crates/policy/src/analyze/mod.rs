@@ -1,0 +1,341 @@
+//! `owte-analyze`: static analysis of a generated OWTE rule pool.
+//!
+//! The generator ([`crate::generate`]) compiles a [`PolicyGraph`] into an
+//! event graph plus a pool of On-When-Then-Else rules. Because Then/Else
+//! actions can raise further events, a pool is a program — and like any
+//! program it can loop, contain dead code, or shadow itself. This module
+//! proves properties about the pool *before* it is allowed to run:
+//!
+//! * **Cascade termination** ([`Termination`]): a rule-dependency graph is
+//!   built (rule → event it raises → rules triggered by that event or any
+//!   composite it feeds) and checked for strongly connected components.
+//!   Cycles through synchronous edges mean a single dispatch can cascade
+//!   forever ([`DiagCode::RuleLoop`], verdict
+//!   [`Termination::PotentialLoop`]); cycles that only close through
+//!   delayed (timer) edges terminate per-dispatch and are reported as
+//!   [`DiagCode::TimerLoop`] warnings.
+//! * **Condition analysis**: each When-clause is abstractly evaluated; a
+//!   clause that can never hold makes the rule dead
+//!   ([`DiagCode::UnsatisfiableWhen`]), one that always holds makes its
+//!   Else branch dead ([`DiagCode::TautologicalWhen`]), and a
+//!   higher-priority denying rule with a weaker condition shadows rules
+//!   below it ([`DiagCode::ShadowedRule`]).
+//! * **Coverage and conflicts**: every guarded RBAC operation must keep at
+//!   least one enabled rule ([`DiagCode::UncoveredOperation`]), every
+//!   referenced event name must resolve
+//!   ([`DiagCode::UnregisteredEvent`]), and SoD sets are checked against
+//!   the transitive hierarchy closure
+//!   ([`DiagCode::SodHierarchyConflict`]).
+//!
+//! The analysis is a sound over-approximation of reachability (it ignores
+//! runtime conditions, so a reported loop may be cut by a condition in
+//! practice) and an under-approximation of dead code (only decidable
+//! condition fragments are flagged). See DESIGN.md for the full soundness
+//! discussion.
+
+pub mod closure;
+mod conditions;
+mod coverage;
+mod termination;
+
+pub use crate::consistency::Severity;
+
+use crate::generate::Instantiated;
+use crate::graph::PolicyGraph;
+use sentinel::RulePool;
+use serde::{Deserialize, Serialize};
+use snoop::Detector;
+use std::fmt;
+
+/// Machine-readable classification of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DiagCode {
+    /// Rules can cascade forever within one dispatch.
+    RuleLoop,
+    /// Rules form a loop that only closes through delayed (timer) events.
+    TimerLoop,
+    /// A When-clause that can never hold.
+    UnsatisfiableWhen,
+    /// A When-clause that always holds, making the Else branch dead.
+    TautologicalWhen,
+    /// A rule that can never fire because a higher-priority rule denies
+    /// first.
+    ShadowedRule,
+    /// A guarded RBAC operation with no enabled rule.
+    UncoveredOperation,
+    /// A rule references an event name missing from the detector.
+    UnregisteredEvent,
+    /// A common senior defeats an SoD set through the transitive
+    /// hierarchy.
+    SodHierarchyConflict,
+}
+
+impl DiagCode {
+    /// Stable kebab-case name, used in rendered diagnostics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::RuleLoop => "rule-loop",
+            DiagCode::TimerLoop => "timer-loop",
+            DiagCode::UnsatisfiableWhen => "unsatisfiable-when",
+            DiagCode::TautologicalWhen => "tautological-when",
+            DiagCode::ShadowedRule => "shadowed-rule",
+            DiagCode::UncoveredOperation => "uncovered-operation",
+            DiagCode::UnregisteredEvent => "unregistered-event",
+            DiagCode::SodHierarchyConflict => "sod-hierarchy-conflict",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One analyzer finding, anchored to the rules, roles and events it is
+/// about so tools can navigate from the diagnostic to the artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// How bad ([`Severity::Error`] findings block a gated generation).
+    pub severity: Severity,
+    /// Machine-readable classification.
+    pub code: DiagCode,
+    /// Human-readable description.
+    pub message: String,
+    /// Names of the rules involved (cycle members, shadow pairs, …).
+    pub rules: Vec<String>,
+    /// Names of the roles involved.
+    pub roles: Vec<String>,
+    /// Names of the events involved.
+    pub events: Vec<String>,
+    /// A suggested fix.
+    pub hint: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{tag}[{}]: {}", self.code, self.message)?;
+        if !self.hint.is_empty() {
+            write!(f, "\n    hint: {}", self.hint)?;
+        }
+        Ok(())
+    }
+}
+
+/// The cascade-termination verdict for a rule pool.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Termination {
+    /// No synchronous rule cycle exists: every dispatch finishes without
+    /// hitting the executor's cascade-depth guard, regardless of state.
+    ProvedTerminating,
+    /// At least one synchronous rule cycle exists; each cycle is a rule
+    /// path `[r1, r2, …, r1]`.
+    PotentialLoop {
+        /// The offending cycles, as rule-name paths closing on their first
+        /// element.
+        cycles: Vec<Vec<String>>,
+    },
+}
+
+impl Termination {
+    /// Did the proof go through?
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Termination::ProvedTerminating)
+    }
+}
+
+/// Everything the analyzer found out about one pool.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// The cascade-termination verdict.
+    pub termination: Termination,
+    /// All findings, errors first, in a stable order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of live rules analyzed.
+    pub rules: usize,
+    /// Number of registered events in the detector.
+    pub events: usize,
+}
+
+impl AnalysisReport {
+    /// Number of `Error`-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of `Warning`-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// No findings at all (not even warnings)?
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Shorthand for [`Termination::is_proved`].
+    pub fn proved_terminating(&self) -> bool {
+        self.termination.is_proved()
+    }
+
+    /// One-line verdict, e.g.
+    /// `PROVED-TERMINATING — 23 rules over 57 events, 0 errors, 0 warnings`.
+    pub fn summary(&self) -> String {
+        let verdict = match &self.termination {
+            Termination::ProvedTerminating => "PROVED-TERMINATING".to_string(),
+            Termination::PotentialLoop { cycles } => {
+                format!("POTENTIAL-LOOP ({} cycles)", cycles.len())
+            }
+        };
+        format!(
+            "{verdict} — {} rules over {} events, {} errors, {} warnings",
+            self.rules,
+            self.events,
+            self.error_count(),
+            self.warning_count()
+        )
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "rule-pool analysis: {}", self.summary())?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {}", d.to_string().replace('\n', "\n  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyze an instantiated policy.
+pub fn analyze(inst: &Instantiated) -> AnalysisReport {
+    analyze_parts(&inst.graph, &inst.detector, &inst.pool)
+}
+
+/// Analyze the parts directly (useful mid-regeneration, before an
+/// [`Instantiated`] is assembled).
+pub fn analyze_parts(graph: &PolicyGraph, detector: &Detector, pool: &RulePool) -> AnalysisReport {
+    let mut diagnostics = Vec::new();
+    let termination = termination::check(detector, pool, &mut diagnostics);
+    conditions::check(detector, pool, &mut diagnostics);
+    coverage::check(graph, detector, pool, &mut diagnostics);
+    diagnostics
+        .sort_by(|a, b| (a.severity, a.code, &a.message).cmp(&(b.severity, b.code, &b.message)));
+    AnalysisReport {
+        termination,
+        diagnostics,
+        rules: pool.len(),
+        events: detector.event_ids().count(),
+    }
+}
+
+/// Render the rule-dependency graph in Graphviz DOT. Solid edges are
+/// synchronous (the raised event can trigger the target rule within the
+/// same dispatch); dashed edges only fire through a later timer.
+pub fn rule_dependency_dot(detector: &Detector, pool: &RulePool) -> String {
+    let g = termination::build_rule_graph(detector, pool);
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::from("digraph rules {\n  rankdir=LR;\n  node [shape=box];\n");
+    for (i, name) in g.names.iter().enumerate() {
+        out.push_str(&format!("  n{i} [label=\"{}\"];\n", esc(name)));
+    }
+    for (from, outs) in g.edges.iter().enumerate() {
+        for &(to, sync) in outs {
+            if sync {
+                out.push_str(&format!("  n{from} -> n{to};\n"));
+            } else {
+                out.push_str(&format!(
+                    "  n{from} -> n{to} [style=dashed, label=\"delayed\"];\n"
+                ));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::instantiate;
+    use snoop::Ts;
+
+    fn xyz() -> Instantiated {
+        instantiate(&PolicyGraph::enterprise_xyz(), Ts::ZERO).unwrap()
+    }
+
+    #[test]
+    fn xyz_report_is_clean_and_proved() {
+        let report = analyze(&xyz());
+        assert!(report.is_clean(), "{report}");
+        assert!(report.proved_terminating());
+        assert_eq!(report.rules, 5 * 4 + 3);
+        assert_eq!(report.error_count(), 0);
+        assert!(report.summary().starts_with("PROVED-TERMINATING"));
+    }
+
+    #[test]
+    fn report_orders_errors_before_warnings() {
+        let mut inst = xyz();
+        // Uncover an operation (Error) and shadow nothing; then check a
+        // Warning sorts after it by disabling a rule that also leaves a
+        // warning-free pool — instead inject a tautological rule.
+        inst.pool.set_enabled("AAR2_PC", false);
+        let ev = inst.detector.lookup(crate::events::CHECK_ACCESS).unwrap();
+        sentinel::attach_rule(
+            &mut inst.detector,
+            &mut inst.pool,
+            sentinel::Rule::new("TAUT", ev, sentinel::CondExpr::True)
+                .otherwise(vec![sentinel::ActionSpec::RaiseError("dead".into())]),
+        );
+        let report = analyze(&inst);
+        assert!(report.error_count() >= 1);
+        assert!(report.warning_count() >= 1);
+        let first_warning = report
+            .diagnostics
+            .iter()
+            .position(|d| d.severity == Severity::Warning)
+            .unwrap();
+        assert!(report.diagnostics[..first_warning]
+            .iter()
+            .all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn display_renders_tag_code_and_hint() {
+        let d = Diagnostic {
+            severity: Severity::Error,
+            code: DiagCode::RuleLoop,
+            message: "m".into(),
+            rules: vec![],
+            roles: vec![],
+            events: vec![],
+            hint: "h".into(),
+        };
+        assert_eq!(d.to_string(), "error[rule-loop]: m\n    hint: h");
+    }
+
+    #[test]
+    fn dot_export_names_rules() {
+        let inst = xyz();
+        let dot = rule_dependency_dot(&inst.detector, &inst.pool);
+        assert!(dot.starts_with("digraph rules {"));
+        assert!(dot.contains("AAR2_PC"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn report_serializes_round_trip() {
+        let report = analyze(&xyz());
+        let json = serde_json::to_string(&report).unwrap();
+        let back: AnalysisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

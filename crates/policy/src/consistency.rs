@@ -6,12 +6,18 @@
 //! [`PolicyGraph`] *before* instantiation, reporting precise errors
 //! (policy cannot be instantiated) and warnings (suspicious but legal).
 
+use crate::analyze::closure::{juniors_closure, sod_covers};
 use crate::graph::{PolicyGraph, SecurityAction};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 /// Severity of a finding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Error` orders before `Warning`, so sorting findings by severity puts
+/// the blocking ones first. The same scale is used by the static rule-pool
+/// analyzer ([`crate::analyze`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Severity {
     /// The policy cannot be instantiated.
     Error,
@@ -20,7 +26,7 @@ pub enum Severity {
 }
 
 /// One consistency finding.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Issue {
     /// How bad.
     pub severity: Severity,
@@ -73,6 +79,10 @@ pub fn check(g: &PolicyGraph) -> Vec<Issue> {
 }
 
 /// Are there no errors (warnings allowed)?
+///
+/// This is the gate [`crate::generate::instantiate`] applies: a graph with
+/// any `Error`-severity issue is refused, while warnings never block
+/// instantiation.
 pub fn is_consistent(g: &PolicyGraph) -> bool {
     check(g).iter().all(|i| i.severity != Severity::Error)
 }
@@ -81,7 +91,10 @@ fn check_unique_names(g: &PolicyGraph, issues: &mut Vec<Issue>) {
     for (kind, names) in [
         ("role", g.roles.iter().map(|r| &r.name).collect::<Vec<_>>()),
         ("user", g.users.iter().map(|u| &u.name).collect()),
-        ("permission", g.permissions.iter().map(|p| &p.name).collect()),
+        (
+            "permission",
+            g.permissions.iter().map(|p| &p.name).collect(),
+        ),
         ("purpose", g.purposes.iter().map(|p| &p.name).collect()),
     ] {
         let mut seen = HashSet::new();
@@ -130,7 +143,10 @@ fn check_references(g: &PolicyGraph, issues: &mut Vec<Issue>) {
             }
         }
     }
-    for (kind, sets) in [("disabling", &g.disabling_sod), ("enabling", &g.enabling_sod)] {
+    for (kind, sets) in [
+        ("disabling", &g.disabling_sod),
+        ("enabling", &g.enabling_sod),
+    ] {
         for d in sets {
             for r in &d.roles {
                 if !role_ok(r) {
@@ -230,28 +246,6 @@ fn check_sod_sets(g: &PolicyGraph, issues: &mut Vec<Issue>) {
     }
 }
 
-/// Transitive juniors of each role, by name.
-fn juniors_closure(g: &PolicyGraph) -> HashMap<&str, HashSet<&str>> {
-    let mut children: HashMap<&str, Vec<&str>> = HashMap::new();
-    for (s, j) in &g.hierarchy {
-        children.entry(s).or_default().push(j);
-    }
-    let mut out: HashMap<&str, HashSet<&str>> = HashMap::new();
-    for role in g.roles.iter().map(|r| r.name.as_str()) {
-        let mut seen = HashSet::new();
-        let mut stack = vec![role];
-        while let Some(cur) = stack.pop() {
-            for &c in children.get(cur).map(Vec::as_slice).unwrap_or(&[]) {
-                if seen.insert(c) {
-                    stack.push(c);
-                }
-            }
-        }
-        out.insert(role, seen);
-    }
-    out
-}
-
 fn check_ssd_vs_hierarchy(g: &PolicyGraph, issues: &mut Vec<Issue>) {
     let juniors = juniors_closure(g);
     for set in &g.ssd {
@@ -273,6 +267,27 @@ fn check_ssd_vs_hierarchy(g: &PolicyGraph, issues: &mut Vec<Issue>) {
             }
         }
     }
+    // Transitive conflicts. A common senior outside the set (or a set whose
+    // cardinality only trips with three or more members) never shows up in
+    // the pairwise scan above, yet one assignment of the senior still
+    // authorizes enough members to defeat the set.
+    for cover in sod_covers(g, &g.ssd) {
+        if cover.senior_in_set && cover.set.cardinality == 2 {
+            continue; // already reported pairwise
+        }
+        error(
+            issues,
+            format!(
+                "role `{}` is a common senior of {} roles of SSD set `{}` (cardinality {}): \
+                 one assignment authorizes {{{}}} together",
+                cover.senior,
+                cover.covered.len(),
+                cover.set.name,
+                cover.set.cardinality,
+                cover.covered.join(", ")
+            ),
+        );
+    }
 }
 
 fn check_assignments_vs_ssd(g: &PolicyGraph, issues: &mut Vec<Issue>) {
@@ -288,7 +303,11 @@ fn check_assignments_vs_ssd(g: &PolicyGraph, issues: &mut Vec<Issue>) {
     }
     for set in &g.ssd {
         for (u, auth) in &authorized {
-            let hit = set.roles.iter().filter(|r| auth.contains(r.as_str())).count();
+            let hit = set
+                .roles
+                .iter()
+                .filter(|r| auth.contains(r.as_str()))
+                .count();
             if hit >= set.cardinality {
                 error(
                     issues,
@@ -317,14 +336,20 @@ fn check_temporal(g: &PolicyGraph, issues: &mut Vec<Issue>) {
             if d.is_zero() {
                 error(
                     issues,
-                    format!("role `{}` max_activation of zero forbids all activation", r.name),
+                    format!(
+                        "role `{}` max_activation of zero forbids all activation",
+                        r.name
+                    ),
                 );
             }
         }
         if r.max_active_users == Some(0) {
             warning(
                 issues,
-                format!("role `{}` has max_active_users 0: nobody can activate it", r.name),
+                format!(
+                    "role `{}` has max_active_users 0: nobody can activate it",
+                    r.name
+                ),
             );
         }
         for (u, d) in &r.per_user_activation {
@@ -342,7 +367,10 @@ fn check_temporal(g: &PolicyGraph, issues: &mut Vec<Issue>) {
             }
         }
     }
-    for (kind, sets) in [("disabling", &g.disabling_sod), ("enabling", &g.enabling_sod)] {
+    for (kind, sets) in [
+        ("disabling", &g.disabling_sod),
+        ("enabling", &g.enabling_sod),
+    ] {
         for d in sets {
             if d.roles.len() < 2 {
                 error(
@@ -364,7 +392,10 @@ fn check_dependencies(g: &PolicyGraph, issues: &mut Vec<Issue>) {
         }
         for r in [&pc.role, &pc.requires] {
             if g.role_node(r).is_none() {
-                error(issues, format!("post-condition references unknown role `{r}`"));
+                error(
+                    issues,
+                    format!("post-condition references unknown role `{r}`"),
+                );
             }
         }
     }
@@ -380,7 +411,10 @@ fn check_dependencies(g: &PolicyGraph, issues: &mut Vec<Issue>) {
         }
         for r in [&p.role, &p.requires_active] {
             if g.role_node(r).is_none() {
-                error(issues, format!("prerequisite references unknown role `{r}`"));
+                error(
+                    issues,
+                    format!("prerequisite references unknown role `{r}`"),
+                );
             }
         }
     }
@@ -395,7 +429,10 @@ fn check_security(g: &PolicyGraph, issues: &mut Vec<Issue>) {
         if s.threshold == 0 {
             warning(
                 issues,
-                format!("security policy `{}` threshold 0 trips on every denial", s.name),
+                format!(
+                    "security policy `{}` threshold 0 trips on every denial",
+                    s.name
+                ),
             );
         }
         if s.window.is_zero() {
@@ -552,7 +589,9 @@ mod tests {
         let mut g2 = PolicyGraph::new("t");
         g2.role("a");
         g2.inherits("a", "a");
-        assert!(errors(&g2).iter().any(|m| m.contains("inherits from itself")));
+        assert!(errors(&g2)
+            .iter()
+            .any(|m| m.contains("inherits from itself")));
     }
 
     #[test]
@@ -565,6 +604,22 @@ mod tests {
         assert!(errors(&g)
             .iter()
             .any(|m| m.contains("hierarchically related")));
+    }
+
+    #[test]
+    fn common_senior_ssd_conflict_detected() {
+        // PC and AC are unrelated pairwise, but a fresh `Boss` atop both
+        // branches is authorized for the whole purchase-approval SSD set.
+        let mut g = PolicyGraph::enterprise_xyz();
+        g.role("Boss");
+        g.inherits("Boss", "PM");
+        g.inherits("Boss", "AM");
+        assert!(
+            errors(&g).iter().any(|m| m.contains("common senior")),
+            "{:?}",
+            check(&g)
+        );
+        assert!(!is_consistent(&g));
     }
 
     #[test]
@@ -582,7 +637,9 @@ mod tests {
         g.role("a");
         g.role("b");
         g.ssd_set("x", &["a", "b"], 1);
-        assert!(errors(&g).iter().any(|m| m.contains("cardinality 1 invalid")));
+        assert!(errors(&g)
+            .iter()
+            .any(|m| m.contains("cardinality 1 invalid")));
         let mut g2 = PolicyGraph::new("t");
         g2.role("a");
         g2.ssd_set("x", &["a"], 2);
@@ -613,7 +670,9 @@ mod tests {
             end_h: 8,
             end_m: 0,
         });
-        assert!(errors(&g).iter().any(|m| m.contains("window") && m.contains("empty")));
+        assert!(errors(&g)
+            .iter()
+            .any(|m| m.contains("window") && m.contains("empty")));
         let mut g2 = PolicyGraph::new("t");
         g2.role("r").max_activation = Some(Dur::ZERO);
         assert!(errors(&g2).iter().any(|m| m.contains("max_activation")));
@@ -627,7 +686,9 @@ mod tests {
             role: "a".into(),
             requires_active: "a".into(),
         });
-        assert!(errors(&g).iter().any(|m| m.contains("requires itself active")));
+        assert!(errors(&g)
+            .iter()
+            .any(|m| m.contains("requires itself active")));
     }
 
     #[test]

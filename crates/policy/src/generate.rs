@@ -10,7 +10,6 @@
 //! cascades (Rule 9), plus the globalized check-access (Rule 5),
 //! administrative, and active-security rules.
 
-use serde::{Deserialize, Serialize};
 use crate::consistency::{self, Issue, Severity};
 use crate::events;
 use crate::graph::{PolicyGraph, RoleNode, SecurityAction};
@@ -22,6 +21,7 @@ use rbac::{ObjId, OpId, RoleId, UserId};
 use sentinel::{
     attach_rule, ActionSpec, Check, CondExpr, Granularity, ParamRef, Rule, RuleClass, RulePool,
 };
+use serde::{Deserialize, Serialize};
 use snoop::{CalendarExpr, Detector, DetectorError, EventExpr, Ts};
 use std::collections::HashMap;
 use std::fmt;
@@ -111,6 +111,9 @@ pub enum InstantiateError {
     Rbac(rbac::RbacError),
     /// Event-graph construction failed.
     Detector(DetectorError),
+    /// The verification gate refused the generated pool
+    /// (see [`instantiate_verified`]).
+    Rejected(Vec<crate::analyze::Diagnostic>),
 }
 
 impl fmt::Display for InstantiateError {
@@ -125,6 +128,13 @@ impl fmt::Display for InstantiateError {
             }
             InstantiateError::Rbac(e) => write!(f, "monitor rejected policy: {e}"),
             InstantiateError::Detector(e) => write!(f, "event graph error: {e}"),
+            InstantiateError::Rejected(diags) => {
+                writeln!(f, "generated pool failed verification:")?;
+                for d in diags {
+                    writeln!(f, "  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -329,6 +339,45 @@ pub fn instantiate(graph: &PolicyGraph, start: Ts) -> Result<Instantiated, Insta
         binding,
         stats,
     })
+}
+
+/// Whether generation runs the static analyzer and refuses bad pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum VerifyGate {
+    /// Skip the gate: the analysis report is returned but never blocks.
+    Off,
+    /// Refuse pools carrying any `Error`-severity diagnostic (warnings
+    /// pass). The default.
+    #[default]
+    DenyOnError,
+}
+
+/// [`instantiate`], then run the static analyzer ([`crate::analyze`]) over
+/// the generated pool.
+///
+/// With [`VerifyGate::DenyOnError`], a pool carrying `Error`-severity
+/// diagnostics — a synchronous rule loop, an uncovered operation, an
+/// unregistered event reference — is refused with
+/// [`InstantiateError::Rejected`]. The report is returned on success so
+/// callers can act on it (e.g. enable the executor's acyclic fast path
+/// when the termination proof went through).
+pub fn instantiate_verified(
+    graph: &PolicyGraph,
+    start: Ts,
+    gate: VerifyGate,
+) -> Result<(Instantiated, crate::analyze::AnalysisReport), InstantiateError> {
+    let inst = instantiate(graph, start)?;
+    let report = crate::analyze::analyze(&inst);
+    if gate == VerifyGate::DenyOnError && report.error_count() > 0 {
+        return Err(InstantiateError::Rejected(
+            report
+                .diagnostics
+                .into_iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect(),
+        ));
+    }
+    Ok((inst, report))
 }
 
 /// Parameter shorthands.
@@ -800,7 +849,9 @@ pub(crate) fn generate_role(
                     args: vec![ParamRef::Int(rid)],
                 }),
             )
-            .otherwise(vec![ActionSpec::DeactivateRoleEverywhere(ParamRef::Int(rid))])
+            .otherwise(vec![ActionSpec::DeactivateRoleEverywhere(ParamRef::Int(
+                rid,
+            ))])
             .class(RuleClass::ActiveSecurity)
             .granularity(Granularity::Localized),
         );
@@ -820,9 +871,7 @@ pub(crate) fn generate_role(
         let then: Vec<ActionSpec> = dependents
             .iter()
             .map(|d| {
-                ActionSpec::DeactivateRoleEverywhere(ParamRef::Int(i64::from(
-                    binding.role(d).0,
-                )))
+                ActionSpec::DeactivateRoleEverywhere(ParamRef::Int(i64::from(binding.role(d).0)))
             })
             .collect();
         attach_rule(
@@ -1077,8 +1126,54 @@ mod tests {
         // Clerk also sits in the hierarchy.
         assert!(inst.pool.get_by_name("AAR2_Clerk").is_some());
         // No DSD in XYZ: no AAR₃/AAR₄.
-        assert!(!inst.pool.iter().any(|(_, r)| r.name.starts_with("AAR3")
-            || r.name.starts_with("AAR4")));
+        assert!(!inst
+            .pool
+            .iter()
+            .any(|(_, r)| r.name.starts_with("AAR3") || r.name.starts_with("AAR4")));
+    }
+
+    #[test]
+    fn verified_instantiation_passes_clean_pools() {
+        let (inst, report) = instantiate_verified(
+            &PolicyGraph::enterprise_xyz(),
+            Ts::ZERO,
+            VerifyGate::DenyOnError,
+        )
+        .unwrap();
+        assert!(report.proved_terminating());
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(inst.pool.len(), report.rules);
+    }
+
+    #[test]
+    fn verified_instantiation_gates_on_rule_loops() {
+        use crate::graph::PostConditionSpec;
+        // Mutual post-conditions pass the graph-level consistency check but
+        // generate ENR rules that raise each other's enabling event — a
+        // synchronous rule loop the analyzer refuses.
+        let mut g = PolicyGraph::new("t");
+        g.role("a");
+        g.role("b");
+        g.post_conditions.push(PostConditionSpec {
+            role: "a".into(),
+            requires: "b".into(),
+        });
+        g.post_conditions.push(PostConditionSpec {
+            role: "b".into(),
+            requires: "a".into(),
+        });
+        assert!(instantiate(&g, Ts::ZERO).is_ok(), "ungated path accepts");
+        let err = instantiate_verified(&g, Ts::ZERO, VerifyGate::DenyOnError).unwrap_err();
+        match err {
+            InstantiateError::Rejected(diags) => {
+                assert!(!diags.is_empty());
+                assert!(diags.iter().all(|d| d.severity == Severity::Error));
+            }
+            other => panic!("expected Rejected, got {other}"),
+        }
+        // With the gate off the report is returned for inspection instead.
+        let (_, report) = instantiate_verified(&g, Ts::ZERO, VerifyGate::Off).unwrap();
+        assert!(!report.proved_terminating());
     }
 
     #[test]
@@ -1095,7 +1190,10 @@ mod tests {
         g.inherits("both", "d1"); // hmm: gives d1 hierarchy flag too
         let inst = instantiate(&g, Ts::ZERO).unwrap();
         assert!(inst.pool.get_by_name("AAR1_lone").is_some());
-        assert!(inst.pool.get_by_name("AAR4_d1").is_some(), "dsd + hierarchy");
+        assert!(
+            inst.pool.get_by_name("AAR4_d1").is_some(),
+            "dsd + hierarchy"
+        );
         assert!(inst.pool.get_by_name("AAR3_d2").is_some(), "dsd only");
         assert!(inst.pool.get_by_name("AAR2_top").is_some());
     }

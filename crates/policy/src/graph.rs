@@ -402,20 +402,14 @@ impl PolicyGraph {
     /// role takes part in, exactly as the GUI set them "when the policies
     /// are specified".
     pub fn role_flags(&self, role: &str) -> RoleFlags {
-        let in_hierarchy = self
-            .hierarchy
-            .iter()
-            .any(|(s, j)| s == role || j == role);
+        let in_hierarchy = self.hierarchy.iter().any(|(s, j)| s == role || j == role);
         let in_ssd = self.ssd.iter().any(|s| s.roles.contains(role));
         let in_dsd = self.dsd.iter().any(|s| s.roles.contains(role));
         let node = self.role_node(role);
         let temporal = node.is_some_and(|n| {
             n.enabling.is_some() || n.max_activation.is_some() || !n.per_user_activation.is_empty()
         });
-        let in_security = self
-            .disabling_sod
-            .iter()
-            .any(|d| d.roles.contains(role))
+        let in_security = self.disabling_sod.iter().any(|d| d.roles.contains(role))
             || self.enabling_sod.iter().any(|d| d.roles.contains(role))
             || self
                 .triggers
@@ -429,14 +423,12 @@ impl PolicyGraph {
                 .prerequisites
                 .iter()
                 .any(|p| p.role == role || p.requires_active == role)
-            || self
-                .security
-                .iter()
-                .any(|s| s.actions.iter().any(|a| matches!(a, SecurityAction::DisableRole(r) if r == role)));
-        let in_context = self
-            .context_constraints
-            .iter()
-            .any(|c| c.role == role);
+            || self.security.iter().any(|s| {
+                s.actions
+                    .iter()
+                    .any(|a| matches!(a, SecurityAction::DisableRole(r) if r == role))
+            });
+        let in_context = self.context_constraints.iter().any(|c| c.role == role);
         RoleFlags {
             hierarchy: in_hierarchy,
             static_sod: in_ssd,

@@ -19,10 +19,14 @@
 //!   enable/disable, CFD and prerequisite rules, check-access,
 //!   administrative and active-security rules);
 //! * [`mod@regenerate`] — incremental regeneration on policy change (§5's
-//!   day-doctor shift scenario).
+//!   day-doctor shift scenario);
+//! * [`analyze`] — `owte-analyze`, the static rule-pool analyzer: proves
+//!   cascade termination, finds dead/shadowed/unsatisfiable rules and
+//!   coverage gaps, and gates generation on a verified pool.
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod consistency;
 pub mod events;
 pub mod generate;
@@ -30,12 +34,18 @@ pub mod graph;
 pub mod regenerate;
 pub mod spec;
 
+pub use analyze::{
+    analyze, analyze_parts, rule_dependency_dot, AnalysisReport, DiagCode, Diagnostic, Termination,
+};
 pub use consistency::{check, is_consistent, Issue, Severity};
-pub use generate::{instantiate, Binding, GenStats, Instantiated, InstantiateError};
+pub use generate::{
+    instantiate, instantiate_verified, Binding, GenStats, InstantiateError, Instantiated,
+    VerifyGate,
+};
 pub use graph::{
     ContextConstraintSpec, DailyWindow, DisablingSodSpec, ObjectPolicySpec, PolicyGraph,
     PostConditionSpec, PrerequisiteSpec, PurposeSpec, RoleFlags, RoleNode, SecurityAction,
     SecuritySpec, SodSpec, StatusKind, TriggerSpec, UserNode,
 };
-pub use regenerate::{needs_full_rebuild, regenerate, RegenReport};
+pub use regenerate::{needs_full_rebuild, regenerate, regenerate_verified, RegenReport};
 pub use spec::{parse, print, SpecError};

@@ -13,7 +13,7 @@
 //! *other* roles too; those fall back to full re-instantiation, which
 //! [`needs_full_rebuild`] detects.
 
-use crate::generate::{self, GenStats, Instantiated, InstantiateError};
+use crate::generate::{self, GenStats, InstantiateError, Instantiated};
 use crate::graph::{PolicyGraph, RoleNode};
 use gtrbac::{BoundedPeriodic, PeriodicWindow};
 use std::collections::BTreeSet;
@@ -141,6 +141,33 @@ pub fn regenerate(
     Ok(report)
 }
 
+/// [`regenerate`] with the static analyzer as a commit gate.
+///
+/// The new pool is built on a clone of the instantiation and analyzed
+/// *before* being committed, so a rejected change leaves `inst` exactly as
+/// it was. On success the regeneration report is returned together with
+/// the analysis (e.g. so an engine can refresh its acyclic fast-path hint).
+pub fn regenerate_verified(
+    inst: &mut Instantiated,
+    new: &PolicyGraph,
+    gate: generate::VerifyGate,
+) -> Result<(RegenReport, crate::analyze::AnalysisReport), InstantiateError> {
+    let mut staged = inst.clone();
+    let report = regenerate(&mut staged, new)?;
+    let analysis = crate::analyze::analyze(&staged);
+    if gate == generate::VerifyGate::DenyOnError && analysis.error_count() > 0 {
+        return Err(InstantiateError::Rejected(
+            analysis
+                .diagnostics
+                .into_iter()
+                .filter(|d| d.severity == crate::consistency::Severity::Error)
+                .collect(),
+        ));
+    }
+    *inst = staged;
+    Ok((report, analysis))
+}
+
 /// Names of the live rules scoped to one role (deterministic suffix match).
 fn rules_of_role(inst: &Instantiated, role: &str) -> BTreeSet<String> {
     inst.pool
@@ -249,6 +276,34 @@ mod tests {
         let report = regenerate(&mut inst, &new).unwrap();
         assert!(report.full_rebuild);
         assert!(inst.pool.get_by_name("AAR1_Surgeon").is_some());
+    }
+
+    #[test]
+    fn verified_regeneration_rejects_without_committing() {
+        use crate::generate::VerifyGate;
+        use crate::graph::PostConditionSpec;
+        let g = PolicyGraph::enterprise_xyz();
+        let mut inst = generate::instantiate(&g, Ts::ZERO).unwrap();
+        let rules_before = inst.pool.len();
+        let mut bad = g.clone();
+        bad.post_conditions.push(PostConditionSpec {
+            role: "PM".into(),
+            requires: "AM".into(),
+        });
+        bad.post_conditions.push(PostConditionSpec {
+            role: "AM".into(),
+            requires: "PM".into(),
+        });
+        let err = regenerate_verified(&mut inst, &bad, VerifyGate::DenyOnError).unwrap_err();
+        assert!(matches!(err, InstantiateError::Rejected(_)), "{err}");
+        assert_eq!(inst.graph, g, "rejected change must not commit");
+        assert_eq!(inst.pool.len(), rules_before);
+        // The same change goes through with the gate off, and the report
+        // says why it would have been refused.
+        let (report, analysis) = regenerate_verified(&mut inst, &bad, VerifyGate::Off).unwrap();
+        assert!(report.full_rebuild);
+        assert!(!analysis.proved_terminating());
+        assert_eq!(inst.graph, bad);
     }
 
     #[test]

@@ -346,7 +346,12 @@ mod tests {
     fn times_and_ranges() {
         assert_eq!(
             toks("08:00-16:30"),
-            vec![Tok::Time(8, 0, 0), Tok::Dash, Tok::Time(16, 30, 0), Tok::Eof]
+            vec![
+                Tok::Time(8, 0, 0),
+                Tok::Dash,
+                Tok::Time(16, 30, 0),
+                Tok::Eof
+            ]
         );
         assert_eq!(toks("10:00:30"), vec![Tok::Time(10, 0, 30), Tok::Eof]);
         assert!(lex("25:00").is_err());

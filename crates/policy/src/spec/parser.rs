@@ -648,7 +648,11 @@ mod tests {
         assert_eq!(g.role_node("Nurse").unwrap().max_active_users, Some(5));
         assert_eq!(g.user_node("jane").unwrap().max_active_roles, Some(3));
         assert_eq!(
-            g.role_node("DayDoctor").unwrap().enabling.unwrap().to_string(),
+            g.role_node("DayDoctor")
+                .unwrap()
+                .enabling
+                .unwrap()
+                .to_string(),
             "08:00-16:00"
         );
         assert_eq!(

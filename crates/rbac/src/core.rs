@@ -176,9 +176,7 @@ impl System {
     /// `RevokePermission`: revoke (op, obj) from a role.
     pub fn revoke_permission(&mut self, r: RoleId, op: OpId, obj: ObjId) -> Result<()> {
         self.role(r)?;
-        let p = self
-            .find_perm(op, obj)
-            .ok_or(RbacError::NotGranted(r))?;
+        let p = self.find_perm(op, obj).ok_or(RbacError::NotGranted(r))?;
         if !self.role_mut(r)?.perms.remove(&p) {
             return Err(RbacError::NotGranted(r));
         }
@@ -219,7 +217,11 @@ impl System {
 
     pub(crate) fn delete_session_internal(&mut self, s: SessionId) {
         if let Some(sess) = self.sessions.get_mut(s.index()).and_then(Option::take) {
-            if let Some(user) = self.users.get_mut(sess.user.index()).and_then(Option::as_mut) {
+            if let Some(user) = self
+                .users
+                .get_mut(sess.user.index())
+                .and_then(Option::as_mut)
+            {
                 user.sessions.remove(&s);
             }
         }

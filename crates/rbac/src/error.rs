@@ -147,17 +147,25 @@ impl fmt::Display for RbacError {
             InheritanceExists(a, b) => write!(f, "inheritance {a} ⪰ {b} already exists"),
             NoSuchInheritance(a, b) => write!(f, "no inheritance {a} ⪰ {b}"),
             LimitedHierarchy(r) => {
-                write!(f, "role {r} already has an immediate senior (limited hierarchy)")
+                write!(
+                    f,
+                    "role {r} already has an immediate senior (limited hierarchy)"
+                )
             }
-            SsdInheritanceConflict { set, user } => write!(
-                f,
-                "inheritance would violate SSD set {set} for user {user}"
-            ),
+            SsdInheritanceConflict { set, user } => {
+                write!(f, "inheritance would violate SSD set {set} for user {user}")
+            }
             BadCardinality { n, set_size } => {
-                write!(f, "cardinality {n} invalid for a role set of size {set_size}")
+                write!(
+                    f,
+                    "cardinality {n} invalid for a role set of size {set_size}"
+                )
             }
             SsdUnsatisfied { set, user } => {
-                write!(f, "existing assignments of user {user} violate SSD set {set}")
+                write!(
+                    f,
+                    "existing assignments of user {user} violate SSD set {set}"
+                )
             }
             AccessDenied { session, op, obj } => {
                 write!(f, "session {session} denied {op} on {obj}")

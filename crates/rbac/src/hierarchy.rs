@@ -31,8 +31,7 @@ impl System {
         if self.juniors_closure(junior)?.contains(&senior) {
             return Err(RbacError::HierarchyCycle(senior, junior));
         }
-        if self.hierarchy_kind() == HierarchyKind::Limited
-            && !self.role(junior)?.seniors.is_empty()
+        if self.hierarchy_kind() == HierarchyKind::Limited && !self.role(junior)?.seniors.is_empty()
         {
             return Err(RbacError::LimitedHierarchy(junior));
         }

@@ -118,7 +118,10 @@ mod tests {
         assert_eq!(s.role_permissions(pc).unwrap(), [p_read].into());
 
         // User permissions span all authorized roles.
-        assert_eq!(s.user_permissions(alice).unwrap(), [p_read, p_approve].into());
+        assert_eq!(
+            s.user_permissions(alice).unwrap(),
+            [p_read, p_approve].into()
+        );
 
         let sess = s.create_session(alice, &[pm]).unwrap();
         assert_eq!(s.session_roles(sess).unwrap(), [pm].into());

@@ -133,7 +133,11 @@ impl System {
         for id in self.all_ssd_sets() {
             let set = self.ssd_set(id)?;
             if prospective.intersection(&set.roles).count() >= set.n {
-                return Err(RbacError::SsdViolation { set: id, user: u, role: r });
+                return Err(RbacError::SsdViolation {
+                    set: id,
+                    user: u,
+                    role: r,
+                });
             }
         }
         Ok(())
@@ -157,11 +161,7 @@ impl System {
     /// Does the role participate in any SSD set? (Rule-variant selection.)
     pub fn in_ssd(&self, r: RoleId) -> Result<bool> {
         self.role(r)?;
-        Ok(self
-            .ssd
-            .iter()
-            .flatten()
-            .any(|s| s.roles.contains(&r)))
+        Ok(self.ssd.iter().flatten().any(|s| s.roles.contains(&r)))
     }
 
     pub(crate) fn ssd_set(&self, id: SsdId) -> Result<&SodSet> {

@@ -28,6 +28,9 @@ fn system_round_trips_via_json() {
 
     let json = serde_json::to_string(&s).unwrap();
     let back: System = serde_json::from_str(&json).unwrap();
-    assert_eq!(back.session_roles(sess).unwrap(), s.session_roles(sess).unwrap());
+    assert_eq!(
+        back.session_roles(sess).unwrap(),
+        s.session_roles(sess).unwrap()
+    );
     assert!(back.check_access(sess, op, ob).unwrap());
 }

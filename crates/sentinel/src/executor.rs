@@ -9,12 +9,12 @@
 //! activation) — which are processed in the same dispatch up to a depth
 //! limit.
 
-use serde::{Deserialize, Serialize};
 use crate::lang::{ActionSpec, Check, CondExpr};
 use crate::log::{AuditEntry, AuditKind, AuditLog};
 use crate::pool::RulePool;
 use crate::rule::Rule;
 use crate::state::{ActionOutcome, AuthState};
+use serde::{Deserialize, Serialize};
 use snoop::{Detection, Detector, DetectorError, Dur, EventId, Occurrence, Params, Ts};
 
 /// Outcome of one dispatch (an external event plus everything it cascaded
@@ -58,12 +58,23 @@ impl ExecReport {
 pub struct Executor {
     /// Maximum cascade depth before the executor cuts a rule loop.
     pub max_cascade_depth: usize,
+    /// Skip the per-dispatch cascade-depth guard.
+    ///
+    /// Only set this when a static analysis has *proved* the pool free of
+    /// synchronous rule cycles (`policy::analyze`, verdict
+    /// `ProvedTerminating`): the guard is the last line of defence against
+    /// a looping pool, and with this flag an actual loop runs unbounded.
+    /// Legitimate cascades deeper than `max_cascade_depth` then complete
+    /// instead of being cut.
+    #[serde(default)]
+    pub assume_acyclic: bool,
 }
 
 impl Default for Executor {
     fn default() -> Executor {
         Executor {
             max_cascade_depth: 32,
+            assume_acyclic: false,
         }
     }
 }
@@ -82,7 +93,11 @@ pub struct Runtime<'a> {
 
 /// Register a rule: watches its triggering event in the detector (so
 /// occurrences are delivered) and adds it to the pool.
-pub fn attach_rule(detector: &mut Detector, pool: &mut RulePool, rule: Rule) -> crate::rule::RuleId {
+pub fn attach_rule(
+    detector: &mut Detector,
+    pool: &mut RulePool,
+    rule: Rule,
+) -> crate::rule::RuleId {
     detector.watch(rule.event);
     pool.add(rule)
 }
@@ -121,11 +136,7 @@ impl Executor {
     /// Advancing happens timer by timer: rules triggered by a firing run
     /// *at* that instant (so their conditions, cascades and audit entries
     /// see the correct logical time), before the clock moves on.
-    pub fn advance_to(
-        &self,
-        rt: &mut Runtime<'_>,
-        ts: Ts,
-    ) -> Result<ExecReport, DetectorError> {
+    pub fn advance_to(&self, rt: &mut Runtime<'_>, ts: Ts) -> Result<ExecReport, DetectorError> {
         let mut report = ExecReport::default();
         while let Some(at) = rt.detector.next_timer_at().filter(|&at| at <= ts) {
             let detections = rt.detector.advance_to(at)?;
@@ -154,7 +165,9 @@ impl Executor {
             let occ = det.occurrence;
             let rule_ids = rt.pool.triggered_by(occ.event).to_vec();
             for id in rule_ids {
-                let Some(rule) = rt.pool.get(id) else { continue };
+                let Some(rule) = rt.pool.get(id) else {
+                    continue;
+                };
                 if !rule.enabled {
                     continue;
                 }
@@ -250,10 +263,7 @@ impl Executor {
                 match $p.resolve_int(occ) {
                     Some(v) => v,
                     None => {
-                        let m = format!(
-                            "rule {}: parameter {} missing in {}",
-                            rule.name, $p, occ
-                        );
+                        let m = format!("rule {}: parameter {} missing in {}", rule.name, $p, occ);
                         log_entry(rt, AuditKind::EngineError, m.clone());
                         report.errors.push(m);
                         return report;
@@ -276,7 +286,7 @@ impl Executor {
                 log_entry(rt, AuditKind::Alert, m.clone());
             }
             ActionSpec::RaiseEvent { event, params } => {
-                if depth + 1 > self.max_cascade_depth {
+                if !self.assume_acyclic && depth + 1 > self.max_cascade_depth {
                     let m = format!(
                         "rule {}: cascade depth {} exceeded raising {event}",
                         rule.name, self.max_cascade_depth
@@ -481,15 +491,11 @@ fn eval_check(
         Check::SessionOwnedBy { session, user } => {
             Ok(state.session_owned_by(int(session)?, int(user)?))
         }
-        Check::RoleNotActive { session, role } => {
-            Ok(!state.role_active(int(session)?, int(role)?))
-        }
+        Check::RoleNotActive { session, role } => Ok(!state.role_active(int(session)?, int(role)?)),
         Check::RoleActive { session, role } => Ok(state.role_active(int(session)?, int(role)?)),
         Check::Assigned { user, role } => Ok(state.assigned(int(user)?, int(role)?)),
         Check::Authorized { user, role } => Ok(state.authorized(int(user)?, int(role)?)),
-        Check::DsdSatisfied { session, role } => {
-            Ok(state.dsd_satisfied(int(session)?, int(role)?))
-        }
+        Check::DsdSatisfied { session, role } => Ok(state.dsd_satisfied(int(session)?, int(role)?)),
         Check::RoleEnabled(r) => Ok(state.role_enabled(int(r)?)),
         Check::RoleActiveAnywhere(r) => Ok(state.role_active_anywhere(int(r)?)),
         Check::RoleCardinalityBelow { role, user, max } => {
@@ -672,11 +678,49 @@ mod tests {
         );
         let exec = Executor {
             max_cascade_depth: 5,
+            ..Executor::default()
         };
         let mut rt = fx.rt();
         let rep = exec.dispatch(&mut rt, e, Params::new()).unwrap();
         assert_eq!(rep.fired, 6, "initial + 5 cascades");
         assert_eq!(rep.errors.len(), 1, "then the depth guard cut it");
+    }
+
+    #[test]
+    fn acyclic_hint_lifts_depth_guard() {
+        // A finite chain deeper than the limit: cut without the hint,
+        // completed with it.
+        let mut fx = Fixture::new();
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            ids.push(fx.detector.primitive(&format!("c{i}")));
+        }
+        for i in 0..9 {
+            fx.attach(
+                Rule::new(format!("C{i}"), ids[i], CondExpr::True).then(vec![
+                    ActionSpec::RaiseEvent {
+                        event: format!("c{}", i + 1),
+                        params: vec![],
+                    },
+                ]),
+            );
+        }
+        let guarded = Executor {
+            max_cascade_depth: 5,
+            ..Executor::default()
+        };
+        let mut rt = fx.rt();
+        let rep = guarded.dispatch(&mut rt, ids[0], Params::new()).unwrap();
+        assert_eq!(rep.errors.len(), 1, "chain cut at depth 5");
+
+        let proved = Executor {
+            max_cascade_depth: 5,
+            assume_acyclic: true,
+        };
+        let mut rt = fx.rt();
+        let rep = proved.dispatch(&mut rt, ids[0], Params::new()).unwrap();
+        assert!(rep.errors.is_empty(), "{:?}", rep.errors);
+        assert_eq!(rep.fired, 9, "whole chain ran");
     }
 
     #[test]
@@ -778,18 +822,19 @@ mod tests {
         let open = fx.detector.primitive("open");
         let plus = fx
             .detector
-            .define(&EventExpr::plus(EventExpr::named("open"), Dur::from_secs(10)))
+            .define(&EventExpr::plus(
+                EventExpr::named("open"),
+                Dur::from_secs(10),
+            ))
             .unwrap();
         fx.detector.watch(plus);
-        fx.attach(
-            Rule::new("close-after", plus, CondExpr::True).then(vec![
-                ActionSpec::DropSessionRole {
-                    user: ParamRef::param("user"),
-                    session: ParamRef::param("session"),
-                    role: ParamRef::Int(4),
-                },
-            ]),
-        );
+        fx.attach(Rule::new("close-after", plus, CondExpr::True).then(vec![
+            ActionSpec::DropSessionRole {
+                user: ParamRef::param("user"),
+                session: ParamRef::param("session"),
+                role: ParamRef::Int(4),
+            },
+        ]));
         let mut rt = fx.rt();
         let exec = Executor::new();
         exec.dispatch(

@@ -503,6 +503,9 @@ mod tests {
             "(user IN userL) && (sessionId IN sessionL) && (checkAssigned(user, 1))"
         );
         let a = ActionSpec::RaiseError("Access Denied Cannot Activate".into());
-        assert_eq!(a.to_string(), "raise error \"Access Denied Cannot Activate\"");
+        assert_eq!(
+            a.to_string(),
+            "raise error \"Access Denied Cannot Activate\""
+        );
     }
 }

@@ -74,12 +74,7 @@ impl RulePool {
 
     fn resort(&mut self, event: EventId) {
         if let Some(ids) = self.by_event.get_mut(&event) {
-            ids.sort_by_key(|&id| {
-                (
-                    std::cmp::Reverse(self.rules[id.0 as usize].priority),
-                    id,
-                )
-            });
+            ids.sort_by_key(|&id| (std::cmp::Reverse(self.rules[id.0 as usize].priority), id));
         }
     }
 

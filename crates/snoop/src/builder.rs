@@ -229,7 +229,10 @@ mod tests {
         let one = EventExpr::any(vec![EventExpr::prim("a")]).unwrap();
         assert_eq!(one.to_string(), "a");
         let four = EventExpr::any(
-            ["a", "b", "c", "d"].iter().map(|n| EventExpr::prim(*n)).collect(),
+            ["a", "b", "c", "d"]
+                .iter()
+                .map(|n| EventExpr::prim(*n))
+                .collect(),
         )
         .unwrap();
         assert_eq!(four.to_string(), "OR(OR(a, b), OR(c, d))");

@@ -375,7 +375,10 @@ impl CalendarExpr {
 
     /// Last (h, m, s) matching the time fields that is <= `ceil`
     /// (or the largest matching time when `ceil` is None).
-    fn last_time_of_day_at_or_before(&self, ceil: Option<(u32, u32, u32)>) -> Option<(u32, u32, u32)> {
+    fn last_time_of_day_at_or_before(
+        &self,
+        ceil: Option<(u32, u32, u32)>,
+    ) -> Option<(u32, u32, u32)> {
         let (ch, cm, cs) = ceil.unwrap_or((23, 59, 59));
         let hours: Vec<u32> = match self.hour {
             Field::Is(h) => vec![h],
@@ -412,7 +415,10 @@ impl CalendarExpr {
 
     /// First (h, m, s) matching the time fields that is >= `floor`
     /// (or the smallest matching time when `floor` is None).
-    fn first_time_of_day_at_or_after(&self, floor: Option<(u32, u32, u32)>) -> Option<(u32, u32, u32)> {
+    fn first_time_of_day_at_or_after(
+        &self,
+        floor: Option<(u32, u32, u32)>,
+    ) -> Option<(u32, u32, u32)> {
         let (fh, fm, fs) = floor.unwrap_or((0, 0, 0));
         let hours: Vec<u32> = match self.hour {
             Field::Is(h) => vec![h],
@@ -554,7 +560,9 @@ mod tests {
     fn next_after_monthly_and_absolute() {
         // First of every month at midnight.
         let e = CalendarExpr::parse("00:00:00/*/1/*").unwrap();
-        let t = e.next_after(Civil::new(2000, 1, 15, 0, 0, 0).to_ts()).unwrap();
+        let t = e
+            .next_after(Civil::new(2000, 1, 15, 0, 0, 0).to_ts())
+            .unwrap();
         assert_eq!(Civil::from_ts(t), Civil::new(2000, 2, 1, 0, 0, 0));
 
         // Absolute instant fires once, then never again.

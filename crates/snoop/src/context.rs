@@ -71,7 +71,13 @@ mod tests {
         let names: Vec<String> = Context::ALL.iter().map(|c| c.to_string()).collect();
         assert_eq!(
             names,
-            ["unrestricted", "recent", "chronicle", "continuous", "cumulative"]
+            [
+                "unrestricted",
+                "recent",
+                "chronicle",
+                "continuous",
+                "cumulative"
+            ]
         );
     }
 }

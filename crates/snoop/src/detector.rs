@@ -11,7 +11,7 @@ use crate::builder::EventExpr;
 use crate::calendar::CalendarExpr;
 use crate::context::Context;
 use crate::event::{Detection, EventId, Occurrence, Params};
-use crate::node::{NodeOutput, NodeState, Slot, TimerReq, BinState, WindowedState};
+use crate::node::{BinState, NodeOutput, NodeState, Slot, TimerReq, WindowedState};
 use crate::time::{Dur, Ts};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -448,8 +448,7 @@ impl Detector {
             let node_id = timer.node;
             let req = timer.req.clone();
             // Calendar nodes may reschedule; clear their flag first.
-            if let NodeState::Calendar { scheduled, .. } =
-                &mut self.nodes[node_id.0 as usize].state
+            if let NodeState::Calendar { scheduled, .. } = &mut self.nodes[node_id.0 as usize].state
             {
                 *scheduled = false;
             }
@@ -457,10 +456,13 @@ impl Detector {
             self.nodes[node_id.0 as usize]
                 .state
                 .on_timer(node_id, at, &req, &mut out);
-            if let NodeState::Calendar { scheduled, .. } =
-                &mut self.nodes[node_id.0 as usize].state
+            if let NodeState::Calendar { scheduled, .. } = &mut self.nodes[node_id.0 as usize].state
             {
-                if out.timers.iter().any(|t| matches!(t, TimerReq::Calendar { .. })) {
+                if out
+                    .timers
+                    .iter()
+                    .any(|t| matches!(t, TimerReq::Calendar { .. }))
+                {
                     *scheduled = true;
                 }
             }
@@ -583,6 +585,106 @@ impl Detector {
             }
         }
         detections
+    }
+}
+
+impl Detector {
+    /// All event ids in the graph, in definition order.
+    pub fn event_ids(&self) -> impl Iterator<Item = EventId> + '_ {
+        (0..self.nodes.len()).map(|i| EventId(i as u32))
+    }
+
+    /// Whether `id` is a primitive (externally raisable) event.
+    pub fn is_primitive(&self, id: EventId) -> bool {
+        self.nodes
+            .get(id.0 as usize)
+            .is_some_and(|n| matches!(n.state, NodeState::Primitive { .. }))
+    }
+
+    /// Parent operator edges of `id`: each `(parent, delayed)` pair is an
+    /// operator node subscribed to `id`'s occurrences. `delayed` is true
+    /// when the parent can only emit through a **timer** in response to
+    /// this input (PLUS; PERIODIC window opens), so the composite never
+    /// fires within the same propagation pass as the child. Edges into
+    /// AND / OR / SEQ / NOT / APERIODIC — and a PERIODIC terminator, which
+    /// flushes P* synchronously — are classified synchronous. The
+    /// classification over-approximates: a "synchronous" edge may still
+    /// need more constituents before the parent actually emits.
+    pub fn parent_edges(&self, id: EventId) -> Vec<(EventId, bool)> {
+        let Some(node) = self.nodes.get(id.0 as usize) else {
+            return Vec::new();
+        };
+        node.parents
+            .iter()
+            .map(|&(parent, slot)| {
+                let delayed = match self.nodes[parent.0 as usize].state {
+                    NodeState::Plus { .. } => true,
+                    NodeState::Periodic { .. } => slot != Slot::End,
+                    _ => false,
+                };
+                (parent, delayed)
+            })
+            .collect()
+    }
+
+    /// Transitive closure of parent edges from `id`, **including `id`
+    /// itself**: every event whose detection can be caused by an
+    /// occurrence of `id`. With `sync_only`, delayed edges (see
+    /// [`Detector::parent_edges`]) are not followed, restricting the
+    /// closure to events that can fire within the same propagation pass.
+    pub fn ancestor_closure(&self, id: EventId, sync_only: bool) -> Vec<EventId> {
+        if self.nodes.get(id.0 as usize).is_none() {
+            return Vec::new();
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![id];
+        let mut out = Vec::new();
+        while let Some(cur) = stack.pop() {
+            if std::mem::replace(&mut seen[cur.0 as usize], true) {
+                continue;
+            }
+            out.push(cur);
+            for (parent, delayed) in self.parent_edges(cur) {
+                if !(sync_only && delayed) {
+                    stack.push(parent);
+                }
+            }
+        }
+        out
+    }
+
+    /// The primitive events underneath `id` — the possible `sources` of an
+    /// occurrence of `id` ([`crate::Occurrence::has_source`] can only hold
+    /// for these). A primitive is its own sole constituent; calendar
+    /// events have none.
+    pub fn constituent_primitives(&self, id: EventId) -> Vec<EventId> {
+        if self.nodes.get(id.0 as usize).is_none() {
+            return Vec::new();
+        }
+        // Children are not stored on nodes; invert the parent adjacency.
+        let mut children: Vec<Vec<EventId>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &(parent, _) in &node.parents {
+                children[parent.0 as usize].push(EventId(i as u32));
+            }
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![id];
+        let mut out = Vec::new();
+        while let Some(cur) = stack.pop() {
+            if std::mem::replace(&mut seen[cur.0 as usize], true) {
+                continue;
+            }
+            if matches!(
+                self.nodes[cur.0 as usize].state,
+                NodeState::Primitive { .. }
+            ) {
+                out.push(cur);
+            }
+            stack.extend(children[cur.0 as usize].iter().copied());
+        }
+        out.sort();
+        out
     }
 }
 
@@ -747,6 +849,34 @@ mod tests {
     }
 
     #[test]
+    fn topology_edges_closures_and_constituents() {
+        let mut d = det();
+        let seq = d.define(&E::seq(E::prim("a"), E::prim("b"))).unwrap();
+        let plus = d
+            .define(&E::plus(E::named("a"), Dur::from_secs(5)))
+            .unwrap();
+        let a = d.lookup("a").unwrap();
+        let b = d.lookup("b").unwrap();
+
+        assert!(d.is_primitive(a));
+        assert!(!d.is_primitive(seq));
+        assert_eq!(d.event_ids().count(), d.node_count());
+
+        // `a` feeds SEQ synchronously and PLUS through a timer.
+        let edges = d.parent_edges(a);
+        assert!(edges.contains(&(seq, false)));
+        assert!(edges.contains(&(plus, true)));
+
+        let full = d.ancestor_closure(a, false);
+        assert!(full.contains(&a) && full.contains(&seq) && full.contains(&plus));
+        let sync = d.ancestor_closure(a, true);
+        assert!(sync.contains(&seq) && !sync.contains(&plus));
+
+        assert_eq!(d.constituent_primitives(seq), vec![a, b]);
+        assert_eq!(d.constituent_primitives(a), vec![a]);
+    }
+
+    #[test]
     fn plus_fires_via_clock() {
         let mut d = det();
         let root = d
@@ -857,13 +987,17 @@ mod tests {
     #[test]
     fn or_propagates_sources() {
         let mut d = det();
-        let root = d.define(&E::or(E::prim("nurse_off"), E::prim("doctor_off"))).unwrap();
+        let root = d
+            .define(&E::or(E::prim("nurse_off"), E::prim("doctor_off")))
+            .unwrap();
         d.watch(root);
         let nurse = d.lookup("nurse_off").unwrap();
         let dets = d.raise(nurse, Params::new()).unwrap();
         assert_eq!(dets.len(), 1);
         assert!(dets[0].occurrence.has_source(nurse));
-        assert!(!dets[0].occurrence.has_source(d.lookup("doctor_off").unwrap()));
+        assert!(!dets[0]
+            .occurrence
+            .has_source(d.lookup("doctor_off").unwrap()));
     }
 
     #[test]
@@ -893,17 +1027,27 @@ mod tests {
         let root = d.define(&expr).unwrap();
         d.watch(root);
         // 09:00 on Jan 1: outside window — no detection.
-        d.advance_to(Civil::new(2000, 1, 1, 9, 0, 0).to_ts()).unwrap();
-        assert!(d.raise_named("nurse_disable", Params::new()).unwrap().is_empty());
+        d.advance_to(Civil::new(2000, 1, 1, 9, 0, 0).to_ts())
+            .unwrap();
+        assert!(d
+            .raise_named("nurse_disable", Params::new())
+            .unwrap()
+            .is_empty());
         // 11:00: inside window — detection.
-        d.advance_to(Civil::new(2000, 1, 1, 11, 0, 0).to_ts()).unwrap();
+        d.advance_to(Civil::new(2000, 1, 1, 11, 0, 0).to_ts())
+            .unwrap();
         let dets = d.raise_named("nurse_disable", Params::new()).unwrap();
         assert_eq!(dets.len(), 1);
         // 18:00: after close — no detection.
-        d.advance_to(Civil::new(2000, 1, 1, 18, 0, 0).to_ts()).unwrap();
-        assert!(d.raise_named("doctor_disable", Params::new()).unwrap().is_empty());
+        d.advance_to(Civil::new(2000, 1, 1, 18, 0, 0).to_ts())
+            .unwrap();
+        assert!(d
+            .raise_named("doctor_disable", Params::new())
+            .unwrap()
+            .is_empty());
         // Next day 12:00: window reopened — detection again.
-        d.advance_to(Civil::new(2000, 1, 2, 12, 0, 0).to_ts()).unwrap();
+        d.advance_to(Civil::new(2000, 1, 2, 12, 0, 0).to_ts())
+            .unwrap();
         let dets = d.raise_named("doctor_disable", Params::new()).unwrap();
         assert_eq!(dets.len(), 1);
     }
@@ -945,7 +1089,8 @@ mod star_tests {
             ))
             .unwrap();
         d.watch(root);
-        d.raise_named("start", Params::new().with("who", "p*")).unwrap();
+        d.raise_named("start", Params::new().with("who", "p*"))
+            .unwrap();
         // Ticks at 10, 20, 30 accumulate silently.
         assert!(d.advance(Dur::from_secs(35)).unwrap().is_empty());
         let dets = d.raise_named("stop", Params::new()).unwrap();
@@ -981,9 +1126,7 @@ mod star_tests {
         for (ctx, expected) in [(Context::Chronicle, 1usize), (Context::Continuous, 2)] {
             let mut d = Detector::new(Ts::ZERO);
             let root = d
-                .define(
-                    &E::aperiodic(E::prim("s"), E::prim("m"), E::prim("e")).context(ctx),
-                )
+                .define(&E::aperiodic(E::prim("s"), E::prim("m"), E::prim("e")).context(ctx))
                 .unwrap();
             d.watch(root);
             d.raise_named("s", Params::new()).unwrap();
@@ -1005,7 +1148,9 @@ mod star_tests {
         let seq = d
             .define(&E::seq(E::prim("a"), E::prim("b")).context(Context::Chronicle))
             .unwrap();
-        let plus = d.define(&E::plus(E::prim("a"), Dur::from_secs(30))).unwrap();
+        let plus = d
+            .define(&E::plus(E::prim("a"), Dur::from_secs(30)))
+            .unwrap();
         d.watch(seq);
         d.watch(plus);
         d.raise_named("a", Params::new()).unwrap();
@@ -1035,9 +1180,7 @@ mod star_tests {
         // that killed the old window does not affect the new one.
         let mut d = Detector::new(Ts::ZERO);
         let root = d
-            .define(
-                &E::not(E::prim("m"), E::prim("s"), E::prim("e")).context(Context::Recent),
-            )
+            .define(&E::not(E::prim("m"), E::prim("s"), E::prim("e")).context(Context::Recent))
             .unwrap();
         d.watch(root);
         d.raise_named("s", Params::new()).unwrap();

@@ -315,7 +315,10 @@ mod tests {
         assert!(!c.has_source(EventId(5)));
         assert_eq!(c.params.get_int("a"), Some(1));
         assert_eq!(c.params.get_int("b"), Some(2));
-        assert_eq!(c.interval, Interval::new(Ts::from_secs(1), Ts::from_secs(3)));
+        assert_eq!(
+            c.interval,
+            Interval::new(Ts::from_secs(1), Ts::from_secs(3))
+        );
     }
 
     #[test]
@@ -323,7 +326,10 @@ mod tests {
         assert_eq!(Value::from(4i64).as_int(), Some(4));
         assert_eq!(Value::from(true).as_bool(), Some(true));
         assert_eq!(Value::from("hi").as_str(), Some("hi"));
-        assert_eq!(Value::from(Ts::from_secs(1)).as_time(), Some(Ts::from_secs(1)));
+        assert_eq!(
+            Value::from(Ts::from_secs(1)).as_time(),
+            Some(Ts::from_secs(1))
+        );
         assert_eq!(Value::from("hi").as_int(), None);
     }
 

@@ -194,9 +194,7 @@ fn pair(
     if idxs.is_empty() {
         return Vec::new();
     }
-    let compose = |i: &Occurrence| {
-        Occurrence::composite(me, i.interval.hull(&t.interval), &[i, t])
-    };
+    let compose = |i: &Occurrence| Occurrence::composite(me, i.interval.hull(&t.interval), &[i, t]);
     match ctx {
         Context::Unrestricted => idxs.iter().map(|&i| compose(&buf[i])).collect(),
         Context::Recent => {
@@ -421,13 +419,7 @@ impl NodeState {
     }
 
     /// Handle a timer firing at `now`.
-    pub fn on_timer(
-        &mut self,
-        me: EventId,
-        now: Ts,
-        req: &TimerReq,
-        out: &mut NodeOutput,
-    ) {
+    pub fn on_timer(&mut self, me: EventId, now: Ts, req: &TimerReq, out: &mut NodeOutput) {
         match (self, req) {
             (NodeState::Plus { .. }, TimerReq::Plus { base, .. }) => {
                 let interval = Interval::new(base.interval.start, now);
@@ -508,7 +500,10 @@ mod tests {
             &[(Slot::Left, occ(1, 1)), (Slot::Right, occ(2, 3))],
         );
         assert_eq!(dets.len(), 1);
-        assert_eq!(dets[0].interval, Interval::new(Ts::from_secs(1), Ts::from_secs(3)));
+        assert_eq!(
+            dets[0].interval,
+            Interval::new(Ts::from_secs(1), Ts::from_secs(3))
+        );
     }
 
     #[test]
@@ -550,7 +545,10 @@ mod tests {
         // Cumulative: both initiators merged into one detection.
         let d = run_seq(Context::Cumulative, &evs);
         assert_eq!(d.len(), 1);
-        assert_eq!(d[0].interval, Interval::new(Ts::from_secs(1), Ts::from_secs(5)));
+        assert_eq!(
+            d[0].interval,
+            Interval::new(Ts::from_secs(1), Ts::from_secs(5))
+        );
         // Unrestricted: all pairings, nothing consumed: 2 + 2.
         let d = run_seq(Context::Unrestricted, &evs);
         assert_eq!(d.len(), 4);
@@ -561,9 +559,23 @@ mod tests {
         for order in [[Slot::Left, Slot::Right], [Slot::Right, Slot::Left]] {
             let mut n = NodeState::And(BinState::default());
             let mut out = NodeOutput::default();
-            n.on_child(EventId(9), Context::Chronicle, 16, order[0], &occ(1, 1), &mut out);
+            n.on_child(
+                EventId(9),
+                Context::Chronicle,
+                16,
+                order[0],
+                &occ(1, 1),
+                &mut out,
+            );
             assert!(out.occurrences.is_empty());
-            n.on_child(EventId(9), Context::Chronicle, 16, order[1], &occ(2, 2), &mut out);
+            n.on_child(
+                EventId(9),
+                Context::Chronicle,
+                16,
+                order[1],
+                &occ(2, 2),
+                &mut out,
+            );
             assert_eq!(out.occurrences.len(), 1);
         }
     }
@@ -572,12 +584,33 @@ mod tests {
     fn and_chronicle_consumes() {
         let mut n = NodeState::And(BinState::default());
         let mut out = NodeOutput::default();
-        n.on_child(EventId(9), Context::Chronicle, 16, Slot::Left, &occ(1, 1), &mut out);
-        n.on_child(EventId(9), Context::Chronicle, 16, Slot::Right, &occ(2, 2), &mut out);
+        n.on_child(
+            EventId(9),
+            Context::Chronicle,
+            16,
+            Slot::Left,
+            &occ(1, 1),
+            &mut out,
+        );
+        n.on_child(
+            EventId(9),
+            Context::Chronicle,
+            16,
+            Slot::Right,
+            &occ(2, 2),
+            &mut out,
+        );
         assert_eq!(out.occurrences.len(), 1);
         // Initiator consumed: another right alone does not detect.
         let mut out2 = NodeOutput::default();
-        n.on_child(EventId(9), Context::Chronicle, 16, Slot::Right, &occ(2, 3), &mut out2);
+        n.on_child(
+            EventId(9),
+            Context::Chronicle,
+            16,
+            Slot::Right,
+            &occ(2, 3),
+            &mut out2,
+        );
         assert!(out2.occurrences.is_empty());
     }
 
@@ -585,9 +618,30 @@ mod tests {
     fn and_recent_initiator_survives() {
         let mut n = NodeState::And(BinState::default());
         let mut out = NodeOutput::default();
-        n.on_child(EventId(9), Context::Recent, 16, Slot::Left, &occ(1, 1), &mut out);
-        n.on_child(EventId(9), Context::Recent, 16, Slot::Right, &occ(2, 2), &mut out);
-        n.on_child(EventId(9), Context::Recent, 16, Slot::Right, &occ(2, 3), &mut out);
+        n.on_child(
+            EventId(9),
+            Context::Recent,
+            16,
+            Slot::Left,
+            &occ(1, 1),
+            &mut out,
+        );
+        n.on_child(
+            EventId(9),
+            Context::Recent,
+            16,
+            Slot::Right,
+            &occ(2, 2),
+            &mut out,
+        );
+        n.on_child(
+            EventId(9),
+            Context::Recent,
+            16,
+            Slot::Right,
+            &occ(2, 3),
+            &mut out,
+        );
         // Left initiator reused by both right occurrences.
         assert_eq!(out.occurrences.len(), 2);
     }
@@ -601,13 +655,23 @@ mod tests {
         n.on_child(me, Context::Chronicle, 16, Slot::Left, &occ(1, 1), &mut out);
         n.on_child(me, Context::Chronicle, 16, Slot::End, &occ(3, 5), &mut out);
         assert_eq!(out.occurrences.len(), 1);
-        assert_eq!(out.occurrences[0].interval, Interval::new(Ts::from_secs(1), Ts::from_secs(5)));
+        assert_eq!(
+            out.occurrences[0].interval,
+            Interval::new(Ts::from_secs(1), Ts::from_secs(5))
+        );
 
         // S at 1, M at 3, E at 5: no detection.
         let mut n = NodeState::Not(WindowedState::default());
         let mut out = NodeOutput::default();
         n.on_child(me, Context::Chronicle, 16, Slot::Left, &occ(1, 1), &mut out);
-        n.on_child(me, Context::Chronicle, 16, Slot::Middle, &occ(2, 3), &mut out);
+        n.on_child(
+            me,
+            Context::Chronicle,
+            16,
+            Slot::Middle,
+            &occ(2, 3),
+            &mut out,
+        );
         n.on_child(me, Context::Chronicle, 16, Slot::End, &occ(3, 5), &mut out);
         assert!(out.occurrences.is_empty());
     }

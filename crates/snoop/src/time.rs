@@ -14,7 +14,9 @@ use std::ops::{Add, AddAssign, Sub};
 pub const MICROS_PER_SEC: u64 = 1_000_000;
 
 /// A point on the logical timeline (microseconds since origin).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Ts(pub u64);
 
 impl Ts {
@@ -80,7 +82,9 @@ impl fmt::Display for Ts {
 }
 
 /// A span of logical time (microseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Dur(pub u64);
 
 impl Dur {

@@ -138,15 +138,23 @@ pub fn generate(spec: &EnterpriseSpec, seed: u64) -> PolicyGraph {
         out
     };
 
-    // Disjoint role pairs for SSD and DSD, skipping related pairs.
+    // Disjoint role pairs for SSD and DSD. A pair must be unrelated AND
+    // share no ancestor: in a forest a common ancestor is a common senior,
+    // which defeats a cardinality-2 SoD set transitively (one assignment of
+    // the senior authorizes both members) — the consistency check and the
+    // static analyzer reject such sets.
     let mut pool: Vec<usize> = (0..spec.roles).collect();
     pool.shuffle(&mut rng);
     let take_pair = |pool: &mut Vec<usize>| -> Option<(usize, usize)> {
         while pool.len() >= 2 {
             let a = pool.pop().expect("len checked");
-            // Find a partner unrelated to `a`.
+            let anc_a = ancestors(a, &parent_of);
+            // Find a partner with a fully disjoint ancestor chain.
             if let Some(pos) = pool.iter().position(|&b| {
-                !ancestors(a, &parent_of).contains(&b) && !ancestors(b, &parent_of).contains(&a)
+                let anc_b = ancestors(b, &parent_of);
+                !anc_a.contains(&b)
+                    && !anc_b.contains(&a)
+                    && anc_a.iter().all(|x| !anc_b.contains(x))
             }) {
                 let b = pool.remove(pos);
                 return Some((a, b));
@@ -167,7 +175,11 @@ pub fn generate(spec: &EnterpriseSpec, seed: u64) -> PolicyGraph {
 
     // Permissions and grants.
     for p in 0..spec.permissions {
-        g.permission(&format!("perm{p}"), &format!("op{}", p % 8), &format!("obj{p}"));
+        g.permission(
+            &format!("perm{p}"),
+            &format!("op{}", p % 8),
+            &format!("obj{p}"),
+        );
     }
     for i in 0..spec.roles {
         for _ in 0..spec.grants_per_role {
@@ -194,8 +206,7 @@ pub fn generate(spec: &EnterpriseSpec, seed: u64) -> PolicyGraph {
             });
         }
         if rng.gen_bool(spec.duration_fraction.clamp(0.0, 1.0)) {
-            g.role(&role_name(i)).max_activation =
-                Some(Dur::from_mins(rng.gen_range(30..240)));
+            g.role(&role_name(i)).max_activation = Some(Dur::from_mins(rng.gen_range(30..240)));
         }
         if rng.gen_bool(spec.context_fraction.clamp(0.0, 1.0)) {
             let zone = ZONES[rng.gen_range(0..ZONES.len())];

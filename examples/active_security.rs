@@ -38,8 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sa = e.create_session(alice, &[teller])?;
     let sm = e.create_session(mallory, &[])?;
 
-    println!("normal operation: alice serves a customer: allowed = {}\n",
-        e.check_access(sa, serve, counter)?);
+    println!(
+        "normal operation: alice serves a customer: allowed = {}\n",
+        e.check_access(sa, serve, counter)?
+    );
 
     println!("mallory starts probing the Vault role…");
     for attempt in 1..=14 {
@@ -47,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let alerts = e.alerts().len();
         println!(
             "  attempt {attempt:2}: {} (alerts so far: {alerts})",
-            if result.is_err() { "denied" } else { "granted!?" }
+            if result.is_err() {
+                "denied"
+            } else {
+                "granted!?"
+            }
         );
     }
 
@@ -65,12 +71,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nadministrator reviews the report and re-enables the rules:");
     let n = e.enable_rule_class(RuleClass::ActivityControl);
     println!("  {n} activity-control rules re-enabled");
-    println!("  alice serves a customer: allowed = {}",
-        e.check_access(sa, serve, counter)?);
+    println!(
+        "  alice serves a customer: allowed = {}",
+        e.check_access(sa, serve, counter)?
+    );
 
     println!("\nadministrator report (last entries):");
     let report = e.log().report();
-    for line in report.lines().rev().take(8).collect::<Vec<_>>().iter().rev() {
+    for line in report
+        .lines()
+        .rev()
+        .take(8)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
         println!("  {line}");
     }
     Ok(())

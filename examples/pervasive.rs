@@ -39,7 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sr = e.create_session(ralph, &[])?;
 
     println!("the generated context rule for WardNurse:");
-    println!("{}\n", e.pool().get_by_name("CTX_WardNurse").expect("generated").to_owte_string());
+    println!(
+        "{}\n",
+        e.pool()
+            .get_by_name("CTX_WardNurse")
+            .expect("generated")
+            .to_owte_string()
+    );
 
     println!("nina badges in at the cafeteria:");
     e.set_context("location", "cafeteria")?;
@@ -51,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nnina walks onto the ward (location sensor event):");
     e.set_context("location", "ward")?;
     e.add_active_role(nina, sn, nurse)?;
-    println!("  WardNurse active; chart access = {}", e.check_access(sn, read, chart)?);
+    println!(
+        "  WardNurse active; chart access = {}",
+        e.check_access(sn, read, chart)?
+    );
 
     println!("\nthe VPN comes up; ralph activates RemoteAnalyst:");
     e.set_context("network", "secure")?;
@@ -60,13 +69,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nnina leaves the ward — her role is deactivated by the CTX rule:");
     e.set_context("location", "hallway")?;
-    println!("  WardNurse active = {}", e.system().session_roles(sn)?.contains(&nurse));
+    println!(
+        "  WardNurse active = {}",
+        e.system().session_roles(sn)?.contains(&nurse)
+    );
     println!("  chart access     = {}", e.check_access(sn, read, chart)?);
-    println!("  ralph unaffected = {}", e.system().session_roles(sr)?.contains(&analyst));
+    println!(
+        "  ralph unaffected = {}",
+        e.system().session_roles(sr)?.contains(&analyst)
+    );
 
     println!("\nthe network is flagged insecure — ralph loses his role too:");
     e.set_context("network", "insecure")?;
-    println!("  RemoteAnalyst active = {}", e.system().session_roles(sr)?.contains(&analyst));
+    println!(
+        "  RemoteAnalyst active = {}",
+        e.system().session_roles(sr)?.contains(&analyst)
+    );
 
     println!("\naudit trail:\n{}", e.log().report());
     Ok(())

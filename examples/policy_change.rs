@@ -40,8 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dana = e.user_id("dana")?;
     let day = e.role_id("DayDoctor")?;
     let s = e.create_session(dana, &[day])?;
-    println!("08:30  dana is on shift (8–16): active = {}",
-        e.system().session_roles(s)?.contains(&day));
+    println!(
+        "08:30  dana is on shift (8–16): active = {}",
+        e.system().session_roles(s)?.contains(&day)
+    );
 
     // HR moves the shift to 9–17. One line in the high-level spec…
     let mut new = graph.clone();
@@ -55,31 +57,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\npolicy change applied:");
     println!("  full rebuild:      {}", report.full_rebuild);
     println!("  roles regenerated: {:?}", report.regenerated_roles);
-    println!("  rules rewritten:   {} of {}", report.rules_rewritten, report.total_rules);
+    println!(
+        "  rules rewritten:   {} of {}",
+        report.rules_rewritten, report.total_rules
+    );
 
     // …and the behaviour follows immediately:
     println!("\n08:30  under the new shift dana is too early:");
-    println!("       DayDoctor enabled = {}, dana active = {}",
+    println!(
+        "       DayDoctor enabled = {}, dana active = {}",
         e.system().is_enabled(day)?,
-        e.system().session_roles(s)?.contains(&day));
+        e.system().session_roles(s)?.contains(&day)
+    );
 
     e.advance_to(clock(9, 30))?;
     e.add_active_role(dana, s, day)?;
     println!("09:30  shift opened at 9: dana re-activates: ok");
 
     e.advance_to(clock(16, 30))?;
-    println!("16:30  previously end-of-shift, now still working: active = {}",
-        e.system().session_roles(s)?.contains(&day));
+    println!(
+        "16:30  previously end-of-shift, now still working: active = {}",
+        e.system().session_roles(s)?.contains(&day)
+    );
 
     e.advance_to(clock(17, 30))?;
-    println!("17:30  new shift end passed: active = {}",
-        e.system().session_roles(s)?.contains(&day));
+    println!(
+        "17:30  new shift end passed: active = {}",
+        e.system().session_roles(s)?.contains(&day)
+    );
 
     // Contrast: a structural change (new role) falls back to full rebuild.
     let mut bigger = new.clone();
     bigger.role("NightDoctor");
     let report = e.apply_policy(&bigger)?;
-    println!("\nadding a brand-new role forces a full rebuild: {}",
-        report.full_rebuild);
+    println!(
+        "\nadding a brand-new role forces a full rebuild: {}",
+        report.full_rebuild
+    );
     Ok(())
 }

@@ -30,13 +30,22 @@ const XYZ: &str = r#"
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = Engine::from_source(XYZ, Ts::ZERO)?;
     let stats = engine.stats();
-    println!("policy instantiated: {} rules generated over {} event nodes",
-        stats.total_rules(), stats.event_nodes);
+    println!(
+        "policy instantiated: {} rules generated over {} event nodes",
+        stats.total_rules(),
+        stats.event_nodes
+    );
     println!("rule classes: {:?}\n", engine.pool().stats());
 
     // The rule generated for PC is the AAR₂ variant, exactly as §5 says.
-    println!("generated activation rule for PC:\n{}\n",
-        engine.pool().get_by_name("AAR2_PC").expect("generated").to_owte_string());
+    println!(
+        "generated activation rule for PC:\n{}\n",
+        engine
+            .pool()
+            .get_by_name("AAR2_PC")
+            .expect("generated")
+            .to_owte_string()
+    );
 
     let alice = engine.user_id("alice")?;
     let bob = engine.user_id("bob")?;
@@ -50,10 +59,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Alice (purchase manager) opens a session and works.
     let session = engine.create_session(alice, &[pm])?;
     println!("alice activates PM: ok");
-    println!("alice creates a purchase order:  allowed = {}",
-        engine.check_access(session, create, po)?);
-    println!("alice approves a purchase order: allowed = {} (AC's permission, not hers)",
-        engine.check_access(session, approve, po)?);
+    println!(
+        "alice creates a purchase order:  allowed = {}",
+        engine.check_access(session, create, po)?
+    );
+    println!(
+        "alice approves a purchase order: allowed = {} (AC's permission, not hers)",
+        engine.check_access(session, approve, po)?
+    );
 
     // The hierarchy lets her activate the junior purchase-clerk role…
     engine.add_active_role(alice, session, pc)?;
@@ -68,10 +81,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Bob (approval clerk) approves but cannot place orders.
     let bob_session = engine.create_session(bob, &[ac])?;
-    println!("bob approves a purchase order:   allowed = {}",
-        engine.check_access(bob_session, approve, po)?);
-    println!("bob creates a purchase order:    allowed = {}",
-        engine.check_access(bob_session, create, po)?);
+    println!(
+        "bob approves a purchase order:   allowed = {}",
+        engine.check_access(bob_session, approve, po)?
+    );
+    println!(
+        "bob creates a purchase order:    allowed = {}",
+        engine.check_access(bob_session, create, po)?
+    );
 
     println!("\naudit log:\n{}", engine.log().report());
     Ok(())

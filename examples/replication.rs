@@ -25,28 +25,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     primary.add_active_role(alice, s, timed)?;
     let read = primary.engine().system().op_by_name("read")?;
     let po = primary.engine().system().obj_by_name("purchase_order")?;
-    println!("primary: alice reads the purchase order: {}",
-        primary.check_access(s, read, po)?);
+    println!(
+        "primary: alice reads the purchase order: {}",
+        primary.check_access(s, read, po)?
+    );
     // Two hours pass: the Δ rule expires the Timed activation.
     primary.advance_to(Ts::from_secs(2 * 3600))?;
-    println!("primary: Timed still active after 2h: {}",
-        primary.engine().system().session_roles(s)?.contains(&timed));
+    println!(
+        "primary: Timed still active after 2h: {}",
+        primary.engine().system().session_roles(s)?.contains(&timed)
+    );
 
     // Ship the journal (here: through JSON, as a real replica would
     // receive it) and replay it on a fresh node.
     let wire = serde_json::to_vec(primary.journal())?;
-    println!("\njournal: {} operations, {} bytes on the wire",
-        primary.journal().len(), wire.len());
+    println!(
+        "\njournal: {} operations, {} bytes on the wire",
+        primary.journal().len(),
+        wire.len()
+    );
     let journal: owte_core::Journal = serde_json::from_slice(&wire)?;
     let replica = replay(&journal)?;
 
     println!("\nreplica state equals primary:");
-    println!("  clock:        {} == {}", replica.now(), primary.engine().now());
-    println!("  sessions:     {} == {}",
+    println!(
+        "  clock:        {} == {}",
+        replica.now(),
+        primary.engine().now()
+    );
+    println!(
+        "  sessions:     {} == {}",
         replica.system().session_count(),
-        primary.engine().system().session_count());
-    println!("  audit length: {} == {}",
-        replica.log().len(), primary.engine().log().len());
+        primary.engine().system().session_count()
+    );
+    println!(
+        "  audit length: {} == {}",
+        replica.log().len(),
+        primary.engine().log().len()
+    );
     assert_eq!(replica.log().entries(), primary.engine().log().entries());
     println!("  audit logs are byte-identical ✓");
     Ok(())

@@ -40,7 +40,11 @@ fn main() -> io::Result<()> {
         // Heredoc-style policy loading: `load-policy <<EOF` … `EOF`.
         if let Some(rest) = trimmed.strip_prefix("load-policy") {
             let terminator = rest.trim().strip_prefix("<<").unwrap_or("EOF").to_string();
-            let terminator = if terminator.is_empty() { "EOF".into() } else { terminator };
+            let terminator = if terminator.is_empty() {
+                "EOF".into()
+            } else {
+                terminator
+            };
             let mut src = String::new();
             for l in lines.by_ref() {
                 let l = l?;

@@ -60,7 +60,11 @@ commands:
   clock                      show the logical time
   log [n]                    last n audit entries (default 10)
   alerts                     active-security alerts
-  dot policy | dot events    Graphviz DOT of the policy / event graph
+  analyze                    static rule-pool analysis: termination proof,
+                             dead/shadowed rules, coverage and SoD conflicts
+  dot policy | dot events | dot rules
+                             Graphviz DOT of the policy graph, the event
+                             graph, or the rule-dependency graph
   help                       this text";
 
 impl Shell {
@@ -193,7 +197,10 @@ impl Shell {
                 for r in e.system().all_roles() {
                     let name = e.system().role_name(r).map_err(|x| x.to_string())?;
                     let enabled = e.system().is_enabled(r).map_err(|x| x.to_string())?;
-                    let active = e.system().active_users_of_role(r).map_err(|x| x.to_string())?;
+                    let active = e
+                        .system()
+                        .active_users_of_role(r)
+                        .map_err(|x| x.to_string())?;
                     out.push(format!(
                         "{name}{} ({active} active)",
                         if enabled { "" } else { " [disabled]" }
@@ -339,6 +346,19 @@ impl Shell {
                 let e = self.engine()?;
                 Ok(e.event_graph_dot())
             }
+            ("dot", ["rules"]) => {
+                let e = self.engine()?;
+                Ok(e.rule_graph_dot())
+            }
+            ("analyze", []) => {
+                let e = self.engine()?;
+                let report = e.analyze();
+                let mut out = report.to_string().trim_end().to_string();
+                if e.proved_acyclic() {
+                    out.push_str("\nexecutor: cascade-depth bookkeeping skipped (proved acyclic)");
+                }
+                Ok(out)
+            }
             ("alerts", []) => {
                 let e = self.engine()?;
                 let alerts = e.alerts();
@@ -432,7 +452,10 @@ mod tests {
         assert!(out.contains("AAR1_Teller"));
         let out = sh.exec("rule CA").unwrap();
         assert!(out.starts_with("RULE [ CA"));
-        assert!(out.contains("ON    checkAccess"), "event shown by name: {out}");
+        assert!(
+            out.contains("ON    checkAccess"),
+            "event shown by name: {out}"
+        );
         assert!(sh.exec("rule nope").is_err());
         let out = sh.exec("stats").unwrap();
         assert!(out.contains("activity-control"));
@@ -470,7 +493,10 @@ mod tests {
     fn unknown_commands_and_names() {
         let mut sh = shell();
         assert!(sh.exec("frobnicate").is_err());
-        assert!(sh.exec("session nobody").unwrap_err().contains("unknown name"));
+        assert!(sh
+            .exec("session nobody")
+            .unwrap_err()
+            .contains("unknown name"));
         assert!(sh.exec("activate alice zero Teller").is_err());
         assert_eq!(sh.exec("").unwrap(), "");
     }
@@ -494,7 +520,24 @@ mod tests {
     fn dot_outputs() {
         let mut sh = shell();
         assert!(sh.exec("dot policy").unwrap().starts_with("graph policy {"));
-        assert!(sh.exec("dot events").unwrap().starts_with("digraph events {"));
+        assert!(sh
+            .exec("dot events")
+            .unwrap()
+            .starts_with("digraph events {"));
+        let rules = sh.exec("dot rules").unwrap();
+        assert!(rules.starts_with("digraph rules {"), "{rules}");
+        assert!(rules.contains("AAR1_Teller"));
+    }
+
+    #[test]
+    fn analyze_reports_clean_verdict() {
+        let mut sh = shell();
+        let out = sh.exec("analyze").unwrap();
+        assert!(out.contains("PROVED-TERMINATING"), "{out}");
+        assert!(out.contains("0 errors"));
+        assert!(out.contains("proved acyclic"), "{out}");
+        // Listed in help.
+        assert!(sh.exec("help").unwrap().contains("analyze"));
     }
 
     #[test]

@@ -182,7 +182,8 @@ fn transaction_based_activation_via_aperiodic() {
         log: &mut log,
     };
     // Request before the manager window: no rule fires.
-    exec.dispatch_named(&mut rt, "juniorRequest", Params::new()).unwrap();
+    exec.dispatch_named(&mut rt, "juniorRequest", Params::new())
+        .unwrap();
     assert!(state.log.is_empty());
 
     let mut rt = sentinel::Runtime {
@@ -192,14 +193,16 @@ fn transaction_based_activation_via_aperiodic() {
         log: &mut log,
     };
     // SnoopIB sequencing is strict: separate the occurrences in time.
-    exec.dispatch_named(&mut rt, "managerActivated", Params::new()).unwrap();
+    exec.dispatch_named(&mut rt, "managerActivated", Params::new())
+        .unwrap();
     exec.advance(&mut rt, Dur::from_secs(1)).unwrap();
     let rep = exec
         .dispatch_named(&mut rt, "juniorRequest", Params::new())
         .unwrap();
     assert_eq!(rep.fired, 1);
     exec.advance(&mut rt, Dur::from_secs(1)).unwrap();
-    exec.dispatch_named(&mut rt, "managerDeactivated", Params::new()).unwrap();
+    exec.dispatch_named(&mut rt, "managerDeactivated", Params::new())
+        .unwrap();
     exec.advance(&mut rt, Dur::from_secs(1)).unwrap();
     let rep = exec
         .dispatch_named(&mut rt, "juniorRequest", Params::new())

@@ -71,7 +71,10 @@ fn consistency_of_round_tripped_policies_is_stable() {
         let g = generate_enterprise(&EnterpriseSpec::sized(25), seed);
         let back = policy::parse(&policy::print(&g)).unwrap();
         let a: Vec<String> = policy::check(&g).into_iter().map(|i| i.message).collect();
-        let b: Vec<String> = policy::check(&back).into_iter().map(|i| i.message).collect();
+        let b: Vec<String> = policy::check(&back)
+            .into_iter()
+            .map(|i| i.message)
+            .collect();
         assert_eq!(a, b, "seed {seed}");
     }
 }

@@ -45,11 +45,7 @@ fn assert_state_equal(a: &Engine, b: &Engine) {
 /// denied request is journaled too while a storage failure is not).
 /// Operations keep being attempted after the storage dies — the engine
 /// must reject them without corrupting its history.
-fn record_op<S: Storage>(
-    d: &mut DurableEngine<S>,
-    acked: &mut Vec<JournalOp>,
-    op: JournalOp,
-) {
+fn record_op<S: Storage>(d: &mut DurableEngine<S>, acked: &mut Vec<JournalOp>, op: JournalOp) {
     let before = d.op_count();
     let _ = match &op {
         JournalOp::DeleteSession { user, session } => d.delete_session(*user, *session),
@@ -107,7 +103,14 @@ fn drive_durable<S: Storage>(
                         .engine()
                         .user_id(&workload::enterprise::user_name(*user))
                         .unwrap();
-                    record_op(d, acked, JournalOp::DeleteSession { user: u, session: s });
+                    record_op(
+                        d,
+                        acked,
+                        JournalOp::DeleteSession {
+                            user: u,
+                            session: s,
+                        },
+                    );
                 }
             }
             Step::AddActiveRole { user, role } => {
@@ -302,9 +305,7 @@ proptest! {
 
 /// Helper: run a small deterministic workload and return storage + the
 /// acknowledged ops + the policy.
-fn small_run(
-    snapshot_every: Option<u64>,
-) -> (MemStorage, Vec<JournalOp>, policy::PolicyGraph) {
+fn small_run(snapshot_every: Option<u64>) -> (MemStorage, Vec<JournalOp>, policy::PolicyGraph) {
     let (spec, graph) = enterprise(7);
     let trace = trace_for(&spec, 40, 11);
     let config = DurableConfig {
@@ -335,8 +336,8 @@ fn torn_final_frame_truncates_to_previous_op() {
     let len = storage.raw(&seg).unwrap().len();
     storage.truncate(&seg, len - 2); // tear the last record
 
-    let recovered = DurableEngine::open(storage, DurableConfig::default())
-        .expect("a torn tail is recoverable");
+    let recovered =
+        DurableEngine::open(storage, DurableConfig::default()).expect("a torn tail is recoverable");
     assert_eq!(recovered.op_count(), acked.len() as u64 - 1);
     assert!(
         recovered.recovery_stats().truncated_tail,
@@ -417,10 +418,7 @@ fn clock_regression_in_journal_is_rejected_before_apply() {
 
 #[test]
 fn file_storage_survives_process_restart() {
-    let dir = std::env::temp_dir().join(format!(
-        "owte-durability-file-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("owte-durability-file-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
 
     let (spec, graph) = enterprise(5);

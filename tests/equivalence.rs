@@ -74,10 +74,7 @@ impl Harness {
                     (Err(_), Err(_)) => {}
                     _ => {}
                 }
-                (
-                    Outcome::Access(a.is_ok()),
-                    Outcome::Access(b.is_ok()),
-                )
+                (Outcome::Access(a.is_ok()), Outcome::Access(b.is_ok()))
             }
             Step::DeleteSession { user } => {
                 let u = self.user(*user);

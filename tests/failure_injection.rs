@@ -55,7 +55,9 @@ fn rule_with_missing_parameter_fails_closed() {
         .otherwise(vec![ActionSpec::RaiseError("denied".into())]),
     );
     let mut rt = fx.rt();
-    let rep = Executor::new().dispatch_named(&mut rt, "op", Params::new()).unwrap();
+    let rep = Executor::new()
+        .dispatch_named(&mut rt, "op", Params::new())
+        .unwrap();
     assert_eq!(rep.allows, 0, "no grant from a broken rule");
     assert!(rep.denied());
     assert_eq!(rep.errors.len(), 1);
@@ -76,7 +78,9 @@ fn action_with_missing_parameter_is_logged_not_applied() {
         }]),
     );
     let mut rt = fx.rt();
-    let rep = Executor::new().dispatch_named(&mut rt, "op", Params::new()).unwrap();
+    let rep = Executor::new()
+        .dispatch_named(&mut rt, "op", Params::new())
+        .unwrap();
     assert_eq!(rep.errors.len(), 1);
     assert!(fx.state.log.is_empty(), "no mutation happened");
 }
@@ -102,7 +106,9 @@ fn mutually_recursive_rules_are_cut_by_depth_guard() {
             params: vec![],
         }]),
     );
-    let exec = Executor { max_cascade_depth: 10 };
+    let exec = Executor {
+        max_cascade_depth: 10,
+    };
     let mut rt = fx.rt();
     let rep = exec.dispatch_named(&mut rt, "ping", Params::new()).unwrap();
     assert_eq!(rep.fired, 11, "initial + 10 cascade levels");
@@ -126,7 +132,9 @@ fn raise_of_unknown_event_is_an_error_not_a_panic() {
         }]),
     );
     let mut rt = fx.rt();
-    let rep = Executor::new().dispatch_named(&mut rt, "op", Params::new()).unwrap();
+    let rep = Executor::new()
+        .dispatch_named(&mut rt, "op", Params::new())
+        .unwrap();
     assert_eq!(rep.errors.len(), 1);
     assert!(rep.errors[0].contains("never_defined"));
 }

@@ -152,14 +152,12 @@ impl Driver {
                 }
             }
             Op::AddActive(u, s, r) => {
-                if let (Some(u), Some(s), Some(r)) = (self.user(u), self.session(s), self.role(r))
-                {
+                if let (Some(u), Some(s), Some(r)) = (self.user(u), self.session(s), self.role(r)) {
                     let _ = self.sys.add_active_role(u, s, r);
                 }
             }
             Op::DropActive(u, s, r) => {
-                if let (Some(u), Some(s), Some(r)) = (self.user(u), self.session(s), self.role(r))
-                {
+                if let (Some(u), Some(s), Some(r)) = (self.user(u), self.session(s), self.role(r)) {
                     let _ = self.sys.drop_active_role(u, s, r);
                 }
             }
@@ -197,7 +195,10 @@ impl Driver {
             for u in sys.all_users() {
                 let auth = sys.authorized_roles(u).unwrap();
                 let hit = auth.intersection(&roles).count();
-                assert!(hit < n, "SSD `{name}` violated: user {u} holds {hit} of {roles:?}");
+                assert!(
+                    hit < n,
+                    "SSD `{name}` violated: user {u} holds {hit} of {roles:?}"
+                );
             }
         }
         // 2. DSD: no session has ≥ n roles of any DSD set active.

@@ -39,7 +39,9 @@ fn purpose_required_when_policy_applies() {
     // Plain check (no purpose): denied, because an object policy applies.
     assert!(!e.check_access(s, read, rec).unwrap());
     // With the required purpose: allowed.
-    assert!(e.check_access_for_purpose(s, read, rec, "treatment").unwrap());
+    assert!(e
+        .check_access_for_purpose(s, read, rec, "treatment")
+        .unwrap());
     // With an unrelated purpose: denied.
     assert!(!e.check_access_for_purpose(s, read, rec, "billing").unwrap());
 }
@@ -55,7 +57,9 @@ fn purpose_hierarchy_descendants_satisfy() {
 
     // Doctor's policy requires `care`; `treatment` is under `care`.
     assert!(e.check_access_for_purpose(s, read, rec, "care").unwrap());
-    assert!(e.check_access_for_purpose(s, read, rec, "treatment").unwrap());
+    assert!(e
+        .check_access_for_purpose(s, read, rec, "treatment")
+        .unwrap());
     assert!(!e.check_access_for_purpose(s, read, rec, "billing").unwrap());
 }
 
@@ -71,7 +75,9 @@ fn unconstrained_objects_ignore_purpose() {
     // No object policy on invoices: plain check passes on RBAC grounds.
     assert!(e.check_access(s, read, invoice).unwrap());
     // A stated purpose is harmless.
-    assert!(e.check_access_for_purpose(s, read, invoice, "billing").unwrap());
+    assert!(e
+        .check_access_for_purpose(s, read, invoice, "billing")
+        .unwrap());
 }
 
 #[test]
@@ -83,7 +89,9 @@ fn rbac_denial_still_wins_over_purpose() {
     let read = e.system().op_by_name("read").unwrap();
     let rec = e.system().obj_by_name("patient_record").unwrap();
     // Billing has no permission on patient records at all.
-    assert!(!e.check_access_for_purpose(s, read, rec, "treatment").unwrap());
+    assert!(!e
+        .check_access_for_purpose(s, read, rec, "treatment")
+        .unwrap());
 }
 
 #[test]
@@ -115,7 +123,8 @@ fn direct_baseline_agrees_on_privacy() {
 
     for purpose in ["treatment", "care", "billing"] {
         assert_eq!(
-            owte.check_access_for_purpose(so, read, rec, purpose).unwrap(),
+            owte.check_access_for_purpose(so, read, rec, purpose)
+                .unwrap(),
             direct
                 .check_access_for_purpose(sd, read, rec, purpose)
                 .unwrap(),

@@ -19,7 +19,10 @@ fn fingerprint(inst: &policy::Instantiated) -> Vec<String> {
                 .name_of(r.event)
                 .map(str::to_string)
                 .unwrap_or_else(|| inst.detector.label(r.event).to_string());
-            format!("{}|{}|{}|{:?}|{:?}", r.name, ev, r.when, r.then, r.otherwise)
+            format!(
+                "{}|{}|{}|{:?}|{:?}",
+                r.name, ev, r.when, r.then, r.otherwise
+            )
         })
         .collect();
     v.sort();

@@ -55,8 +55,8 @@ fn conditional_delayed_trigger() {
     let primary = e.role_id("Primary").unwrap();
     let standby = e.role_id("Standby").unwrap();
     e.disable_role(primary).unwrap(); // failover: standby up
-    // Primary returns: failback arms (condition "Standby enabled" holds),
-    // action fires 10 minutes later.
+                                      // Primary returns: failback arms (condition "Standby enabled" holds),
+                                      // action fires 10 minutes later.
     e.enable_role(primary).unwrap();
     assert!(e.system().is_enabled(standby).unwrap(), "not yet");
     e.advance(Dur::from_mins(9)).unwrap();
@@ -146,7 +146,10 @@ fn generated_trigger_rules_visible_in_pool() {
     let e = owte();
     assert!(e.pool().get_by_name("TRIG_failover").is_some());
     assert!(e.pool().get_by_name("TRIG_failback").is_some());
-    assert!(e.pool().get_by_name("TRIGD_failback").is_some(), "delayed half");
+    assert!(
+        e.pool().get_by_name("TRIGD_failback").is_some(),
+        "delayed half"
+    );
     let text = e.rule_text("TRIG_failover").unwrap();
     assert!(text.contains("ON    roleDisabled_Primary"), "{text}");
     assert!(text.contains("raiseEvent(enableRole_Standby)"));

@@ -49,7 +49,8 @@ fn shift_window_enables_and_disables_via_calendar_rules() {
     assert!(!e.system().is_enabled(day).unwrap());
     assert!(!e.system().session_roles(s).unwrap().contains(&day));
     // Next morning it re-enables.
-    e.advance_to(Civil::new(2000, 1, 6, 9, 0, 0).to_ts()).unwrap();
+    e.advance_to(Civil::new(2000, 1, 6, 9, 0, 0).to_ts())
+        .unwrap();
     assert!(e.system().is_enabled(day).unwrap());
 }
 
