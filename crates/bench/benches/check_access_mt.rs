@@ -1,0 +1,101 @@
+//! E10 — multithreaded `checkAccess` scaling: the published-snapshot read
+//! path vs a mutex-only baseline.
+//!
+//! Expected shape: the mutex baseline is flat-to-degrading with thread
+//! count (every decision serializes through the engine lock; adding
+//! threads adds contention, not throughput). The snapshot path answers
+//! grants from an immutable `AuthSnapshot` shared by `Arc`, so aggregate
+//! throughput scales with cores — the acceptance bar is ≥4× the
+//! single-mutex baseline at 8 threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owte_core::{Engine, SharedEngine};
+use policy::PolicyGraph;
+use rbac::{ObjId, OpId, SessionId};
+use snoop::Ts;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn fixture() -> (SharedEngine, SessionId, OpId, ObjId) {
+    let mut g = PolicyGraph::enterprise_xyz();
+    g.user("alice");
+    g.assign("alice", "PM");
+    let mut e = Engine::from_policy(&g, Ts::ZERO).unwrap();
+    // The mutex baseline appends an Allowed audit entry per locked grant;
+    // cap retention so the bench measures locking, not allocation.
+    e.set_log_cap(Some(4096));
+    let engine = SharedEngine::new(e);
+    let alice = engine.user_id("alice").unwrap();
+    let pm = engine.role_id("PM").unwrap();
+    let s = engine.create_session(alice, &[pm]).unwrap();
+    let (op, obj) = engine.with(|e| {
+        (
+            e.system().op_by_name("create").unwrap(),
+            e.system().obj_by_name("purchase_order").unwrap(),
+        )
+    });
+    (engine, s, op, obj)
+}
+
+/// Run `iters` granted checks spread over `threads` threads, timed as one
+/// wall-clock interval (aggregate throughput, criterion `iter_custom`).
+fn run_threads(
+    threads: u64,
+    iters: u64,
+    check: impl Fn(&SharedEngine, SessionId, OpId, ObjId) -> bool + Copy + Send,
+    fx: &(SharedEngine, SessionId, OpId, ObjId),
+) -> std::time::Duration {
+    let (engine, s, op, obj) = fx;
+    let per_thread = iters.div_ceil(threads);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let engine = engine.clone();
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    black_box(check(&engine, *s, *op, *obj));
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let fx = fixture();
+    let mut group = c.benchmark_group("check_access_mt");
+    for &threads in &[1u64, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("snapshot", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    run_threads(
+                        threads,
+                        iters,
+                        |e, s, op, obj| e.check_access(s, op, obj).unwrap(),
+                        &fx,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutex", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    run_threads(
+                        threads,
+                        iters,
+                        |e, s, op, obj| e.with(|eng| eng.check_access(s, op, obj).unwrap()),
+                        &fx,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

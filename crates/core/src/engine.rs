@@ -69,6 +69,23 @@ pub struct Engine {
     in_denial_cascade: bool,
     /// Cap on remembered denial timestamps.
     denial_history: usize,
+    /// Monotonic write epoch: bumped by every state-changing operation
+    /// (applied mutations, clock movement, session churn, policy or rule
+    /// changes). Published read-path snapshots are current iff their epoch
+    /// equals this. Decision-only dispatches do not bump it.
+    #[serde(default)]
+    state_version: u64,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("policy", &self.inst.graph.name)
+            .field("now", &self.now())
+            .field("rules", &self.inst.pool.len())
+            .field("log_entries", &self.log.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Engine {
@@ -93,8 +110,10 @@ impl Engine {
         let (inst, report) = policy::instantiate_verified(graph, start, gate)?;
         let privacy = PrivacyState::from_policy(graph, &inst.binding);
         let context = ContextState::from_policy(graph, &inst.binding);
+        // Only trust the termination proof when the gate actually enforced
+        // it: with the gate off, the cascade-depth guard stays armed.
         let exec = Executor {
-            assume_acyclic: report.proved_terminating(),
+            assume_acyclic: gate != VerifyGate::Off && report.proved_terminating(),
             ..Executor::new()
         };
         Ok(Engine {
@@ -106,6 +125,7 @@ impl Engine {
             exec,
             in_denial_cascade: false,
             denial_history: 65_536,
+            state_version: 0,
         })
     }
 
@@ -147,6 +167,14 @@ impl Engine {
         &self.log
     }
 
+    /// Cap the audit log's retention (`None` = unbounded). Eviction keeps
+    /// running totals correct — see [`AuditLog::set_cap`]. Size the cap
+    /// above the largest active-security window so `denials_since`
+    /// queries stay complete.
+    pub fn set_log_cap(&mut self, cap: Option<usize>) {
+        self.log.set_cap(cap);
+    }
+
     /// Purposes and object policies.
     pub fn privacy(&self) -> &PrivacyState {
         &self.privacy
@@ -161,6 +189,34 @@ impl Engine {
     /// Current logical time.
     pub fn now(&self) -> Ts {
         self.inst.detector.now()
+    }
+
+    /// The write epoch (see the field docs): compare against a captured
+    /// [`crate::AuthSnapshot::epoch`] to decide whether the snapshot is
+    /// still current.
+    pub fn state_version(&self) -> u64 {
+        self.state_version
+    }
+
+    fn bump_version(&mut self) {
+        self.state_version = self.state_version.wrapping_add(1);
+    }
+
+    /// Capture an immutable read-path snapshot of the current
+    /// authorization state (see [`crate::AuthSnapshot`]).
+    pub fn snapshot(&self) -> crate::snapshot::AuthSnapshot {
+        crate::snapshot::AuthSnapshot::capture(self)
+    }
+
+    /// The event detector (read-only; snapshot capture needs timer state).
+    pub(crate) fn detector_ref(&self) -> &snoop::Detector {
+        &self.inst.detector
+    }
+
+    /// The temporal policies (read-only; snapshot capture needs the
+    /// next-transition horizon).
+    pub(crate) fn temporal_ref(&self) -> &gtrbac::TemporalPolicies {
+        &self.inst.temporal
     }
 
     /// Run the static rule-pool analyzer over the current instantiation.
@@ -232,12 +288,16 @@ impl Engine {
             };
             self.exec.dispatch_named(&mut rt, event, params)?
         };
+        if report.mutations > 0 {
+            self.bump_version();
+        }
         self.after_dispatch(&report)?;
         Ok(report)
     }
 
     /// Advance the logical clock, firing temporal rules on the way.
     pub fn advance_to(&mut self, ts: Ts) -> Result<ExecReport, EngineError> {
+        let before = self.now();
         let report = {
             let mut view = BridgeView {
                 sys: &mut self.inst.system,
@@ -255,6 +315,11 @@ impl Engine {
             };
             self.exec.advance_to(&mut rt, ts)?
         };
+        // Clock movement alone invalidates snapshots: their `from` anchor
+        // is stale even when no timer fired.
+        if self.now() != before || report.mutations > 0 {
+            self.bump_version();
+        }
         self.after_dispatch(&report)?;
         Ok(report)
     }
@@ -313,6 +378,7 @@ impl Engine {
             .system
             .create_session(user, &[])
             .map_err(|e| EngineError::Denied(vec![e.to_string()]))?;
+        self.bump_version();
         for &r in initial {
             if let Err(e) = self.add_active_role(user, session, r) {
                 let _ = self.inst.system.delete_session(user, session);
@@ -327,7 +393,9 @@ impl Engine {
         self.inst
             .system
             .delete_session(user, session)
-            .map_err(|e| EngineError::Denied(vec![e.to_string()]))
+            .map_err(|e| EngineError::Denied(vec![e.to_string()]))?;
+        self.bump_version();
+        Ok(())
     }
 
     /// `AddActiveRole` — raises `addActiveRole_<role>`; the generated
@@ -470,6 +538,7 @@ impl Engine {
     /// longer hold.
     pub fn set_context(&mut self, key: &str, value: &str) -> Result<ExecReport, EngineError> {
         self.context.set(key, value);
+        self.bump_version();
         self.dispatch(
             events::CONTEXT_CHANGED,
             Params::new().with("key", key).with("value", value),
@@ -495,6 +564,7 @@ impl Engine {
         // (where the user *is*) are preserved.
         self.context = ContextState::from_policy(new, &self.inst.binding)
             .with_values(self.context.values().clone());
+        self.bump_version();
         Ok(report)
     }
 
@@ -545,12 +615,14 @@ impl Engine {
     /// Re-enable all rules of a class (administrator recovery after an
     /// active-security lockdown).
     pub fn enable_rule_class(&mut self, class: sentinel::RuleClass) -> usize {
+        self.bump_version();
         self.inst.pool.set_class_enabled(class, true)
     }
 
     /// Disable all rules of a class (manual lockdown; the active-security
     /// rules do this automatically on threshold breaches).
     pub fn disable_rule_class(&mut self, class: sentinel::RuleClass) -> usize {
+        self.bump_version();
         self.inst.pool.set_class_enabled(class, false)
     }
 }

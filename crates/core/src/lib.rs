@@ -15,6 +15,10 @@
 //!   policies, privacy state and denial history;
 //! * [`privacy::PrivacyState`] — privacy-aware RBAC (purposes, purpose
 //!   hierarchies, object policies);
+//! * [`snapshot::AuthSnapshot`] — the lock-free read path: an immutable,
+//!   structurally-verified capture of the `checkAccess` decision state,
+//!   published per write epoch by [`shared::SharedEngine`] so grants can
+//!   be answered without the engine mutex;
 //! * [`durable::DurableEngine`] — the crash-tolerant engine: a
 //!   write-ahead journal ([`wal::Wal`]) of checksummed frames over a
 //!   pluggable [`storage::Storage`] backend, with snapshot recovery and a
@@ -50,6 +54,7 @@ pub mod engine;
 pub mod journal;
 pub mod privacy;
 pub mod shared;
+pub mod snapshot;
 pub mod storage;
 pub mod wal;
 
@@ -63,5 +68,6 @@ pub use journal::{
 };
 pub use privacy::{ObjectPolicy, PrivacyState, PurposeId};
 pub use shared::SharedEngine;
+pub use snapshot::AuthSnapshot;
 pub use storage::{FaultPlan, FaultyStorage, FileStorage, MemStorage, Storage, StorageError};
 pub use wal::{Recovered, Wal, WalConfig, WalError, WAL_VERSION};

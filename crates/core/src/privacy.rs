@@ -110,6 +110,12 @@ impl PrivacyState {
         self.policies.len()
     }
 
+    /// The object policies (read-only; the read-path snapshot replicates
+    /// the purpose decision over these).
+    pub fn policies(&self) -> &[ObjectPolicy] {
+        &self.policies
+    }
+
     /// Is `child` equal to or a descendant of `ancestor`?
     pub fn satisfies(&self, child: PurposeId, ancestor: PurposeId) -> bool {
         let mut cur = Some(child);

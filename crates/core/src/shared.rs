@@ -1,60 +1,239 @@
-//! A thread-safe handle over the engine.
+//! A thread-safe handle over the engine: serialized writes, lock-free
+//! reads.
 //!
 //! The OWTE engine is intentionally a single-threaded state machine (every
-//! event is a serializable transaction over the rule pool and the monitor).
-//! Real deployments have many client threads, so [`SharedEngine`] provides
-//! the obvious concurrency model: clonable handles serializing operations
-//! through a mutex. The per-operation cost is microseconds (see the E5
-//! benchmarks), so a single lock sustains hundreds of thousands of
-//! decisions per second — contention, not the lock, is the limit.
+//! event is a serializable transaction over the rule pool and the
+//! monitor), so [`SharedEngine`] serializes every state-changing operation
+//! through one mutex. Reads are different: `checkAccess` is the hot path
+//! and is usually decision-only, so the handle keeps an immutable
+//! [`AuthSnapshot`] published per write epoch and answers **grants**
+//! straight from it — no mutex, readers scale with cores (see the E10
+//! benchmark).
+//!
+//! # Read-path protocol
+//!
+//! * Every write bumps the engine's `state_version`; the handle mirrors it
+//!   in an atomic after each lock release. A published snapshot is used
+//!   only while its epoch equals the mirror.
+//! * Only a **grant** is taken from the snapshot. Anything else — denials,
+//!   unknown sessions, stale or missing snapshots, reads at or past the
+//!   snapshot's [`valid_until`](AuthSnapshot::valid_until) horizon — falls
+//!   back to the locked engine, which runs the full OWTE machinery
+//!   (denial audit entry, `accessDenied` feed into active security). The
+//!   one relaxation: fast-path grants skip the `Fired`/`Allowed` audit
+//!   entries a locked grant would append.
+//! * The first slow read after a write rebuilds and republishes the
+//!   snapshot under the mutex; concurrent readers keep hitting the old
+//!   epoch's snapshot until then, which is linearizable (those reads order
+//!   before the write).
+//!
+//! # Re-entrancy contract
+//!
+//! The engine mutex is **not** re-entrant. Calling any `SharedEngine`
+//! method from inside a [`SharedEngine::with`] closure (or any other
+//! method) **on the same thread** would self-deadlock; the handle detects
+//! this and panics with a clear message instead of hanging. Perform
+//! compound operations on the `&mut Engine` the closure receives, not on
+//! the handle. [`SharedEngine::try_with`] returns `None` instead of
+//! panicking on same-thread re-entry.
 
 use crate::engine::{Engine, EngineError};
-use parking_lot::Mutex;
+use crate::snapshot::AuthSnapshot;
+use parking_lot::{Mutex, RwLock};
 use rbac::{ObjId, OpId, RoleId, SessionId, UserId};
 use sentinel::ExecReport;
 use snoop::{Dur, Ts};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// A clonable, `Send + Sync` handle to a shared [`Engine`].
+/// A unique, never-zero id for the current thread (0 = "no owner").
+fn thread_token() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TOKEN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+    TOKEN.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+struct Shared {
+    engine: Mutex<Engine>,
+    /// The published read-path snapshot for the current write epoch.
+    published: RwLock<Option<Arc<AuthSnapshot>>>,
+    /// Mirror of the engine's `state_version`, updated on lock release, so
+    /// readers can check snapshot currency without the mutex.
+    version: AtomicU64,
+    /// Thread token currently holding the engine mutex (re-entry guard).
+    lock_owner: AtomicU64,
+    /// Reads answered from the published snapshot.
+    fast_hits: AtomicU64,
+    /// Reads that took the locked path.
+    slow_hits: AtomicU64,
+}
+
+/// A clonable, `Send + Sync` handle to a shared [`Engine`] with a
+/// lock-free `checkAccess` read path. See the module docs for the
+/// concurrency model and the re-entrancy contract.
 #[derive(Clone)]
 pub struct SharedEngine {
-    inner: Arc<Mutex<Engine>>,
+    inner: Arc<Shared>,
+}
+
+/// Mutex guard that tracks the owning thread and refreshes the version
+/// mirror on release.
+struct EngineGuard<'a> {
+    guard: parking_lot::MutexGuard<'a, Engine>,
+    shared: &'a Shared,
+}
+
+impl Drop for EngineGuard<'_> {
+    fn drop(&mut self) {
+        self.shared
+            .version
+            .store(self.guard.state_version(), Ordering::Release);
+        self.shared.lock_owner.store(0, Ordering::Release);
+    }
+}
+
+impl std::ops::Deref for EngineGuard<'_> {
+    type Target = Engine;
+    fn deref(&self) -> &Engine {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for EngineGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Engine {
+        &mut self.guard
+    }
 }
 
 impl SharedEngine {
-    /// Wrap an engine.
+    /// Wrap an engine and publish its first read-path snapshot.
     pub fn new(engine: Engine) -> SharedEngine {
+        let version = engine.state_version();
+        let snapshot = Arc::new(engine.snapshot());
         SharedEngine {
-            inner: Arc::new(Mutex::new(engine)),
+            inner: Arc::new(Shared {
+                engine: Mutex::new(engine),
+                published: RwLock::new(Some(snapshot)),
+                version: AtomicU64::new(version),
+                lock_owner: AtomicU64::new(0),
+                fast_hits: AtomicU64::new(0),
+                slow_hits: AtomicU64::new(0),
+            }),
         }
+    }
+
+    /// Acquire the engine mutex, panicking on same-thread re-entry (which
+    /// would otherwise deadlock forever).
+    fn lock(&self) -> EngineGuard<'_> {
+        let me = thread_token();
+        assert!(
+            self.inner.lock_owner.load(Ordering::Acquire) != me,
+            "SharedEngine re-entry: this thread already holds the engine lock \
+             (a SharedEngine method was called from inside `with`/`try_with`, \
+             which would deadlock); use the `&mut Engine` passed to the closure \
+             for compound operations"
+        );
+        let guard = self.inner.engine.lock();
+        self.inner.lock_owner.store(me, Ordering::Release);
+        EngineGuard {
+            guard,
+            shared: &self.inner,
+        }
+    }
+
+    /// The published snapshot, if it is current for the latest write epoch.
+    fn current_snapshot(&self) -> Option<Arc<AuthSnapshot>> {
+        let snap = self.inner.published.read().clone()?;
+        (snap.epoch() == self.inner.version.load(Ordering::Acquire)).then_some(snap)
+    }
+
+    /// Rebuild and publish the snapshot if the published one is stale.
+    /// Caller holds the engine lock, so the capture is consistent.
+    fn republish_if_stale(&self, engine: &Engine) {
+        let current = engine.state_version();
+        let stale = self
+            .inner
+            .published
+            .read()
+            .as_ref()
+            .is_none_or(|s| s.epoch() != current);
+        if stale {
+            *self.inner.published.write() = Some(Arc::new(engine.snapshot()));
+        }
+    }
+
+    /// `(fast, slow)` read counters: reads answered from the published
+    /// snapshot vs. reads that took the locked path.
+    pub fn read_stats(&self) -> (u64, u64) {
+        (
+            self.inner.fast_hits.load(Ordering::Relaxed),
+            self.inner.slow_hits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The currently published snapshot (may be stale; compare
+    /// [`AuthSnapshot::epoch`] against a fresh write if that matters).
+    pub fn snapshot(&self) -> Option<Arc<AuthSnapshot>> {
+        self.inner.published.read().clone()
     }
 
     /// Run an arbitrary closure under the lock (escape hatch for compound
     /// read-modify-write sequences that must be atomic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from a thread that already holds the engine lock —
+    /// i.e. from inside another `with`/`try_with` closure or any
+    /// `SharedEngine` method on the same thread. Such a call would
+    /// deadlock: the mutex is not re-entrant. Use the provided
+    /// `&mut Engine` instead of the handle inside the closure.
     pub fn with<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
-        f(&mut self.inner.lock())
+        let mut guard = self.lock();
+        let r = f(&mut guard);
+        self.republish_if_stale(&guard);
+        r
     }
 
     /// Like [`SharedEngine::with`], but gives up after `timeout` instead of
     /// blocking indefinitely behind a stuck compound operation. Returns
-    /// `None` (without running `f`) if the lock was not acquired in time.
+    /// `None` (without running `f`) if the lock was not acquired in time —
+    /// including immediately on same-thread re-entry, which could never
+    /// succeed.
     pub fn try_with<R>(
         &self,
         timeout: std::time::Duration,
         f: impl FnOnce(&mut Engine) -> R,
     ) -> Option<R> {
-        let mut guard = self.inner.try_lock_for(timeout)?;
-        Some(f(&mut guard))
+        let me = thread_token();
+        if self.inner.lock_owner.load(Ordering::Acquire) == me {
+            return None;
+        }
+        let guard = self.inner.engine.try_lock_for(timeout)?;
+        self.inner.lock_owner.store(me, Ordering::Release);
+        let mut guard = EngineGuard {
+            guard,
+            shared: &self.inner,
+        };
+        let r = f(&mut guard);
+        self.republish_if_stale(&guard);
+        Some(r)
     }
 
     /// See [`Engine::user_id`].
     pub fn user_id(&self, name: &str) -> Result<UserId, EngineError> {
-        self.inner.lock().user_id(name)
+        self.lock().user_id(name)
     }
 
     /// See [`Engine::role_id`].
     pub fn role_id(&self, name: &str) -> Result<RoleId, EngineError> {
-        self.inner.lock().role_id(name)
+        self.lock().role_id(name)
     }
 
     /// See [`Engine::create_session`].
@@ -63,12 +242,18 @@ impl SharedEngine {
         user: UserId,
         initial: &[RoleId],
     ) -> Result<SessionId, EngineError> {
-        self.inner.lock().create_session(user, initial)
+        let mut e = self.lock();
+        let r = e.create_session(user, initial);
+        self.republish_if_stale(&e);
+        r
     }
 
     /// See [`Engine::delete_session`].
     pub fn delete_session(&self, user: UserId, session: SessionId) -> Result<(), EngineError> {
-        self.inner.lock().delete_session(user, session)
+        let mut e = self.lock();
+        let r = e.delete_session(user, session);
+        self.republish_if_stale(&e);
+        r
     }
 
     /// See [`Engine::add_active_role`].
@@ -78,7 +263,10 @@ impl SharedEngine {
         session: SessionId,
         role: RoleId,
     ) -> Result<(), EngineError> {
-        self.inner.lock().add_active_role(user, session, role)
+        let mut e = self.lock();
+        let r = e.add_active_role(user, session, role);
+        self.republish_if_stale(&e);
+        r
     }
 
     /// See [`Engine::drop_active_role`].
@@ -88,42 +276,114 @@ impl SharedEngine {
         session: SessionId,
         role: RoleId,
     ) -> Result<(), EngineError> {
-        self.inner.lock().drop_active_role(user, session, role)
+        let mut e = self.lock();
+        let r = e.drop_active_role(user, session, role);
+        self.republish_if_stale(&e);
+        r
     }
 
-    /// See [`Engine::check_access`].
+    /// See [`Engine::check_access`]. Grants are answered from the
+    /// published snapshot when possible (no lock); everything else takes
+    /// the locked path so OWTE denial semantics (audit entry +
+    /// active-security feed) are preserved.
     pub fn check_access(
         &self,
         session: SessionId,
         op: OpId,
         obj: ObjId,
     ) -> Result<bool, EngineError> {
-        self.inner.lock().check_access(session, op, obj)
+        if let Some(snap) = self.current_snapshot() {
+            if snap.grants(session, op, obj, None) {
+                self.inner.fast_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(true);
+            }
+        }
+        self.inner.slow_hits.fetch_add(1, Ordering::Relaxed);
+        let mut e = self.lock();
+        self.republish_if_stale(&e);
+        e.check_access(session, op, obj)
+    }
+
+    /// See [`Engine::check_access_for_purpose`]; same fast path as
+    /// [`SharedEngine::check_access`].
+    pub fn check_access_for_purpose(
+        &self,
+        session: SessionId,
+        op: OpId,
+        obj: ObjId,
+        purpose: &str,
+    ) -> Result<bool, EngineError> {
+        if let Some(snap) = self.current_snapshot() {
+            if let Some(pid) = snap.purpose_by_name(purpose) {
+                if snap.grants(session, op, obj, Some(pid)) {
+                    self.inner.fast_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(true);
+                }
+            }
+        }
+        self.inner.slow_hits.fetch_add(1, Ordering::Relaxed);
+        let mut e = self.lock();
+        self.republish_if_stale(&e);
+        e.check_access_for_purpose(session, op, obj, purpose)
+    }
+
+    /// `checkAccess` at a future logical time `t`: answered from the
+    /// snapshot only while `t` is strictly inside its validity interval
+    /// `[from, valid_until)` — a read exactly at the horizon (or past it)
+    /// takes the locked path, which first advances the clock to `t`,
+    /// firing any timers due on the way (deactivation Δs, temporal
+    /// enable/disable boundaries).
+    pub fn check_access_at(
+        &self,
+        t: Ts,
+        session: SessionId,
+        op: OpId,
+        obj: ObjId,
+    ) -> Result<bool, EngineError> {
+        if let Some(snap) = self.current_snapshot() {
+            if snap.answers_at(t) && snap.grants(session, op, obj, None) {
+                self.inner.fast_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(true);
+            }
+        }
+        self.inner.slow_hits.fetch_add(1, Ordering::Relaxed);
+        let mut e = self.lock();
+        if t > e.now() {
+            e.advance_to(t)?;
+        }
+        self.republish_if_stale(&e);
+        e.check_access(session, op, obj)
     }
 
     /// See [`Engine::set_context`].
     pub fn set_context(&self, key: &str, value: &str) -> Result<ExecReport, EngineError> {
-        self.inner.lock().set_context(key, value)
+        let mut e = self.lock();
+        let r = e.set_context(key, value);
+        self.republish_if_stale(&e);
+        r
     }
 
     /// See [`Engine::advance`].
     pub fn advance(&self, d: Dur) -> Result<ExecReport, EngineError> {
-        self.inner.lock().advance(d)
+        let mut e = self.lock();
+        let r = e.advance(d);
+        self.republish_if_stale(&e);
+        r
     }
 
     /// Current logical time.
     pub fn now(&self) -> Ts {
-        self.inner.lock().now()
+        self.lock().now()
     }
 
     /// Snapshot of the alert list.
     pub fn alerts(&self) -> Vec<String> {
-        self.inner.lock().alerts()
+        self.lock().alerts()
     }
 
     /// Total denials in the audit log.
     pub fn denial_count(&self) -> usize {
-        self.inner.lock().log().denial_count()
+        self.lock().log().denial_count()
     }
 }
 
@@ -141,6 +401,13 @@ mod tests {
             g.user(&name);
             g.assign(&name, "worker");
         }
+        SharedEngine::new(Engine::from_policy(&g, Ts::ZERO).unwrap())
+    }
+
+    fn xyz() -> SharedEngine {
+        let mut g = PolicyGraph::enterprise_xyz();
+        g.user("alice");
+        g.assign("alice", "PM");
         SharedEngine::new(Engine::from_policy(&g, Ts::ZERO).unwrap())
     }
 
@@ -174,6 +441,78 @@ mod tests {
             assert_eq!(e.system().session_count(), 0, "all sessions closed");
             assert_eq!(e.log().denial_count(), 0, "no spurious denials");
         });
+    }
+
+    #[test]
+    fn grants_come_from_the_snapshot() {
+        let engine = xyz();
+        let alice = engine.user_id("alice").unwrap();
+        let pm = engine.role_id("PM").unwrap();
+        let s = engine.create_session(alice, &[pm]).unwrap();
+        let (create, po) = engine.with(|e| {
+            (
+                e.system().op_by_name("create").unwrap(),
+                e.system().obj_by_name("purchase_order").unwrap(),
+            )
+        });
+        let (fast0, _) = engine.read_stats();
+        for _ in 0..10 {
+            assert!(engine.check_access(s, create, po).unwrap());
+        }
+        let (fast1, _) = engine.read_stats();
+        assert!(
+            fast1 >= fast0 + 9,
+            "repeated grants are served lock-free (fast {fast0} -> {fast1})"
+        );
+        // Fast-path grants leave no audit residue; the locked replay of
+        // the same decision would (documented relaxation).
+        engine.with(|e| assert_eq!(e.log().denial_count(), 0));
+    }
+
+    #[test]
+    fn mutation_invalidates_published_snapshot() {
+        let engine = xyz();
+        let alice = engine.user_id("alice").unwrap();
+        let pm = engine.role_id("PM").unwrap();
+        let s = engine.create_session(alice, &[pm]).unwrap();
+        let (create, po) = engine.with(|e| {
+            (
+                e.system().op_by_name("create").unwrap(),
+                e.system().obj_by_name("purchase_order").unwrap(),
+            )
+        });
+        assert!(engine.check_access(s, create, po).unwrap());
+        // Drop the role: the old snapshot would still grant; the handle
+        // must not use it.
+        engine.drop_active_role(alice, s, pm).unwrap();
+        assert!(
+            !engine.check_access(s, create, po).unwrap(),
+            "stale snapshot must not leak a grant"
+        );
+        assert_eq!(engine.denial_count(), 1, "denial went through the lock");
+    }
+
+    #[test]
+    #[should_panic(expected = "SharedEngine re-entry")]
+    fn with_reentry_panics_instead_of_deadlocking() {
+        let engine = shared();
+        let inner = engine.clone();
+        engine.with(|_| {
+            // Same thread, lock already held: must panic, not hang.
+            let _ = inner.now();
+        });
+    }
+
+    #[test]
+    fn try_with_refuses_reentry_without_running() {
+        let engine = shared();
+        let inner = engine.clone();
+        let out = engine.with(|_| {
+            inner.try_with(std::time::Duration::from_millis(100), |_| {
+                unreachable!("closure must not run on re-entry")
+            })
+        });
+        assert!(out.is_none(), "same-thread re-entry can never succeed");
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! Immutable authorization snapshots: the lock-free read path.
+//!
+//! `checkAccess` is by far the hottest operation and, in the common case,
+//! is *decision-only*: the generated CA rule inspects state (session
+//! exists, session has the permission, purpose acceptable) and either
+//! allows or raises an error, changing nothing. [`AuthSnapshot`] captures
+//! exactly the state that decision reads — per-session active-role sets,
+//! role → permission closures, the `(op, obj)` permission index and the
+//! privacy state — so that a grant can be computed without holding the
+//! engine mutex at all. [`crate::SharedEngine`] publishes one snapshot per
+//! engine epoch and routes reads through it.
+//!
+//! # Soundness
+//!
+//! The snapshot is only consulted when, at capture time, the `checkAccess`
+//! dispatch is *provably* equivalent to the pure decision procedure below.
+//! [`AuthSnapshot::capture`] verifies structurally that:
+//!
+//! * the `checkAccess` event is a plain primitive with no composite-event
+//!   ancestors (nothing upstream consumes it, so dispatching it fires no
+//!   other machinery);
+//! * exactly one enabled rule subscribes to it, and that rule is the
+//!   generated CA rule, matched *structurally*: its When conditions are
+//!   exactly `SessionExists(session) && SessionHasPermission(session, op,
+//!   obj)` (plus the `purpose_ok` custom check when object policies
+//!   exist), its Then is `[Allow]` and its Else a single `raise error`.
+//!
+//! If any of this fails — an administrator disabled the CA rule, a custom
+//! pool subscribed extra rules to `checkAccess`, a composite event watches
+//! it — [`AuthSnapshot::has_fast_path`] is `false` and every read takes
+//! the locked path. Rule pools are data, so this gate is re-evaluated on
+//! every capture.
+//!
+//! Even with the fast path armed, **only a grant is authoritative**:
+//! [`AuthSnapshot::grants`] returning `false` means "not provably allowed
+//! from this snapshot", and the caller must fall back to the locked
+//! engine. This keeps the OWTE denial semantics intact — the Else branch
+//! (`raise error "Permission Denied"`), the audit log entry and the
+//! `accessDenied` feed into the active-security rules all still happen
+//! under the lock. The one documented relaxation: fast-path *grants* do
+//! not append `Fired` audit entries.
+//!
+//! # Validity horizon
+//!
+//! A snapshot answers queries for logical times `t` in `[from,
+//! valid_until)`. `from` is the engine clock at capture; `valid_until` is
+//! the earliest instant at which deferred machinery may change the
+//! decision — the next pending detector timer (role deactivation Δs,
+//! lockout expiries) or the next GTRBAC periodic enable/disable boundary.
+//! A query exactly **at** `valid_until` must take the locked path: the
+//! timer fires at that instant, and only the serialized write path may
+//! run it. Snapshots of engines with no pending timers and no periodic
+//! policies are valid forever (until invalidated by a write).
+
+use crate::engine::Engine;
+use crate::privacy::{PrivacyState, PurposeId};
+use policy::events;
+use rbac::{ObjId, OpId, PermId, RoleId, SessionId};
+use sentinel::{ActionSpec, Check, CondExpr, ParamRef};
+use snoop::Ts;
+use std::collections::{BTreeSet, HashMap};
+
+/// What the structural gate proved about the CA rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FastPath {
+    /// The CA rule carries the `purpose_ok` check (object policies exist),
+    /// so the snapshot must replicate the privacy decision.
+    needs_purpose: bool,
+}
+
+/// An immutable capture of everything `checkAccess` reads, valid for one
+/// engine epoch over the interval `[from, valid_until)`.
+///
+/// Build via [`Engine::snapshot`]; share via `Arc`. All methods are
+/// `&self` — the snapshot never changes after capture.
+#[derive(Debug, Clone)]
+pub struct AuthSnapshot {
+    epoch: u64,
+    from: Ts,
+    valid_until: Option<Ts>,
+    fast: Option<FastPath>,
+    /// Session → active role set.
+    sessions: HashMap<u32, BTreeSet<RoleId>>,
+    /// Role → full permission closure (direct + inherited from juniors).
+    role_perms: HashMap<RoleId, BTreeSet<PermId>>,
+    /// Role → roles it dominates (reflexive junior closure); drives the
+    /// privacy policy's role-dominance applicability test.
+    dominated: HashMap<RoleId, BTreeSet<RoleId>>,
+    /// `(op, obj)` → permission id.
+    perm_index: HashMap<(OpId, ObjId), PermId>,
+    /// Purposes, purpose hierarchy and object policies at capture time.
+    privacy: PrivacyState,
+}
+
+impl AuthSnapshot {
+    /// Capture the engine's current authorization state. Called by
+    /// [`Engine::snapshot`]; runs under whatever lock protects the engine.
+    pub(crate) fn capture(engine: &Engine) -> AuthSnapshot {
+        let sys = engine.system();
+        let from = engine.now();
+        let next_timer = engine.detector_ref().next_timer_at();
+        let next_temporal = engine.temporal_ref().next_transition_after(from);
+        let valid_until = match (next_timer, next_temporal) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+
+        let fast = Self::prove_fast_path(engine);
+        let mut sessions = HashMap::new();
+        for s in sys.all_sessions() {
+            if let Ok(active) = sys.session_roles(s) {
+                sessions.insert(s.0, active);
+            }
+        }
+        let needs_privacy = fast.is_some_and(|f| f.needs_purpose);
+        let mut dominated = HashMap::new();
+        if needs_privacy {
+            for r in sys.all_roles() {
+                let mut d = sys.juniors_closure(r).unwrap_or_default();
+                d.insert(r);
+                dominated.insert(r, d);
+            }
+        }
+        AuthSnapshot {
+            epoch: engine.state_version(),
+            from,
+            valid_until,
+            fast,
+            sessions,
+            role_perms: sys.all_role_perm_closures(),
+            dominated,
+            perm_index: sys.permission_pairs().collect(),
+            privacy: engine.privacy().clone(),
+        }
+    }
+
+    /// The structural soundness gate (see module docs): is dispatching
+    /// `checkAccess` provably equivalent to the pure decision procedure?
+    fn prove_fast_path(engine: &Engine) -> Option<FastPath> {
+        let det = engine.detector_ref();
+        let pool = engine.pool();
+        let ev = det.lookup(events::CHECK_ACCESS)?;
+        // No composite event may consume checkAccess: its ancestor closure
+        // must be just itself.
+        if det.ancestor_closure(ev, false) != vec![ev] {
+            return None;
+        }
+        // Exactly one enabled subscriber.
+        let enabled: Vec<_> = pool
+            .triggered_by(ev)
+            .iter()
+            .filter_map(|&id| pool.get(id))
+            .filter(|r| r.enabled)
+            .collect();
+        let [rule] = enabled[..] else {
+            return None;
+        };
+        // Structurally the generated CA rule, nothing else.
+        let session = || ParamRef::param("session");
+        let base = || {
+            vec![
+                CondExpr::check(Check::SessionExists(session())),
+                CondExpr::check(Check::SessionHasPermission {
+                    session: session(),
+                    op: ParamRef::param("op"),
+                    obj: ParamRef::param("obj"),
+                }),
+            ]
+        };
+        let purpose_check = CondExpr::check(Check::Custom {
+            name: "purpose_ok".into(),
+            args: vec![
+                session(),
+                ParamRef::param("op"),
+                ParamRef::param("obj"),
+                ParamRef::param("purpose"),
+            ],
+        });
+        let needs_purpose = if rule.when == CondExpr::all(base()) {
+            false
+        } else {
+            let mut with_purpose = base();
+            with_purpose.push(purpose_check);
+            if rule.when == CondExpr::all(with_purpose) {
+                true
+            } else {
+                return None;
+            }
+        };
+        if rule.then != [ActionSpec::Allow] {
+            return None;
+        }
+        if !matches!(rule.otherwise[..], [ActionSpec::RaiseError(_)]) {
+            return None;
+        }
+        Some(FastPath { needs_purpose })
+    }
+
+    /// The engine `state_version` this snapshot was captured at. A
+    /// published snapshot is current iff this equals the engine's version.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Engine clock at capture (inclusive start of the validity interval).
+    pub fn from(&self) -> Ts {
+        self.from
+    }
+
+    /// Exclusive end of the validity interval: the next timer firing or
+    /// temporal enable/disable boundary. `None` = valid until invalidated.
+    pub fn valid_until(&self) -> Option<Ts> {
+        self.valid_until
+    }
+
+    /// Can this snapshot answer a query at logical time `t`? True iff
+    /// `from <= t` and `t` is strictly before [`valid_until`]
+    /// (queries exactly at the horizon belong to the write path, which
+    /// must fire the timer due at that instant first).
+    ///
+    /// [`valid_until`]: AuthSnapshot::valid_until
+    pub fn answers_at(&self, t: Ts) -> bool {
+        t >= self.from && self.valid_until.is_none_or(|u| t < u)
+    }
+
+    /// Did the capture-time soundness gate pass? When `false`,
+    /// [`grants`](AuthSnapshot::grants) always returns `false` and every
+    /// read takes the locked path.
+    pub fn has_fast_path(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// Resolve a purpose name against the captured purpose registry.
+    pub fn purpose_by_name(&self, name: &str) -> Option<PurposeId> {
+        self.privacy.purpose_by_name(name)
+    }
+
+    /// Number of sessions captured.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The pure `checkAccess` decision. **Only `true` is authoritative**:
+    /// `false` means "not provably allowed from this snapshot" and the
+    /// caller must re-ask the locked engine, which runs the full OWTE
+    /// machinery (denial audit entry + `accessDenied` feed).
+    pub fn grants(
+        &self,
+        session: SessionId,
+        op: OpId,
+        obj: ObjId,
+        purpose: Option<PurposeId>,
+    ) -> bool {
+        let Some(fast) = self.fast else {
+            return false;
+        };
+        // SessionExists(session)
+        let Some(active) = self.sessions.get(&session.0) else {
+            return false;
+        };
+        // SessionHasPermission(session, op, obj)
+        let Some(&perm) = self.perm_index.get(&(op, obj)) else {
+            return false;
+        };
+        let has = active
+            .iter()
+            .any(|r| self.role_perms.get(r).is_some_and(|ps| ps.contains(&perm)));
+        if !has {
+            return false;
+        }
+        // purpose_ok(session, op, obj, purpose)
+        if fast.needs_purpose && !self.purpose_ok(active, op, obj, purpose) {
+            return false;
+        }
+        true
+    }
+
+    /// Replicates [`PrivacyState::check`] over captured data: every object
+    /// policy whose role is dominated by an active role constrains the
+    /// access; the stated purpose must satisfy one applicable policy.
+    fn purpose_ok(
+        &self,
+        active: &BTreeSet<RoleId>,
+        op: OpId,
+        obj: ObjId,
+        purpose: Option<PurposeId>,
+    ) -> bool {
+        let mut applicable = false;
+        for p in self.privacy.policies() {
+            if p.op != op || p.obj != obj {
+                continue;
+            }
+            let role_applies = active
+                .iter()
+                .any(|a| self.dominated.get(a).is_some_and(|d| d.contains(&p.role)));
+            if !role_applies {
+                continue;
+            }
+            applicable = true;
+            if let Some(given) = purpose {
+                if self.privacy.satisfies(given, p.purpose) {
+                    return true;
+                }
+            }
+        }
+        !applicable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policy::PolicyGraph;
+    use snoop::Dur;
+
+    fn xyz_engine() -> Engine {
+        let mut g = PolicyGraph::enterprise_xyz();
+        g.user("alice");
+        g.user("bob");
+        g.assign("alice", "PM");
+        g.assign("bob", "AC");
+        Engine::from_policy(&g, Ts::ZERO).unwrap()
+    }
+
+    #[test]
+    fn snapshot_grants_match_engine_decisions() {
+        let mut e = xyz_engine();
+        let alice = e.user_id("alice").unwrap();
+        let pm = e.role_id("PM").unwrap();
+        let s = e.create_session(alice, &[pm]).unwrap();
+        let create = e.system().op_by_name("create").unwrap();
+        let approve = e.system().op_by_name("approve").unwrap();
+        let po = e.system().obj_by_name("purchase_order").unwrap();
+
+        let snap = e.snapshot();
+        assert!(snap.has_fast_path(), "XYZ pool passes the soundness gate");
+        assert_eq!(snap.epoch(), e.state_version());
+        assert_eq!(snap.session_count(), 1);
+
+        // Inherited permission (PM dominates PC): granted on both paths.
+        assert!(snap.grants(s, create, po, None));
+        assert!(e.check_access(s, create, po).unwrap());
+        assert_eq!(
+            snap.grants(s, approve, po, None),
+            e.check_access(s, approve, po).unwrap()
+        );
+        // Unknown session: not provable; the engine denies it too.
+        let bogus = SessionId(999);
+        assert!(!snap.grants(bogus, create, po, None));
+        assert!(!e.check_access(bogus, create, po).unwrap());
+    }
+
+    #[test]
+    fn denials_are_never_authoritative() {
+        let mut e = xyz_engine();
+        let bob = e.user_id("bob").unwrap();
+        let s = e.create_session(bob, &[]).unwrap();
+        let create = e.system().op_by_name("create").unwrap();
+        let po = e.system().obj_by_name("purchase_order").unwrap();
+        let snap = e.snapshot();
+        // No active roles: the snapshot cannot prove a grant. The locked
+        // path must still be consulted so the denial is audited.
+        assert!(!snap.grants(s, create, po, None));
+        let before = e.log().denial_count();
+        assert!(!e.check_access(s, create, po).unwrap());
+        assert_eq!(e.log().denial_count(), before + 1);
+    }
+
+    #[test]
+    fn epoch_tracks_mutations_but_not_reads() {
+        let mut e = xyz_engine();
+        let alice = e.user_id("alice").unwrap();
+        let pm = e.role_id("PM").unwrap();
+        let create = e.system().op_by_name("create").unwrap();
+        let po = e.system().obj_by_name("purchase_order").unwrap();
+
+        let v0 = e.state_version();
+        let s = e.create_session(alice, &[pm]).unwrap();
+        assert!(e.state_version() > v0, "session creation is a write");
+
+        let v1 = e.state_version();
+        assert!(e.check_access(s, create, po).unwrap());
+        assert_eq!(e.state_version(), v1, "granted checkAccess mutates nothing");
+
+        let snap = e.snapshot();
+        assert_eq!(snap.epoch(), v1);
+        e.drop_active_role(alice, s, pm).unwrap();
+        assert!(e.state_version() > v1, "role drop invalidates the snapshot");
+        // The stale snapshot must no longer be treated as current…
+        assert_ne!(snap.epoch(), e.state_version());
+        // …because it would now grant what the engine denies.
+        assert!(snap.grants(s, create, po, None));
+        assert!(!e.check_access(s, create, po).unwrap());
+    }
+
+    #[test]
+    fn gate_refuses_disabled_or_foreign_pools() {
+        let mut e = xyz_engine();
+        assert!(e.snapshot().has_fast_path());
+        // Lockdown disables the activity-control class (CA included):
+        // the snapshot must refuse to answer.
+        e.disable_rule_class(sentinel::RuleClass::ActivityControl);
+        let snap = e.snapshot();
+        assert!(!snap.has_fast_path());
+        assert!(!snap.grants(SessionId(0), OpId(0), ObjId(0), None));
+        e.enable_rule_class(sentinel::RuleClass::ActivityControl);
+        assert!(e.snapshot().has_fast_path(), "re-armed after recovery");
+    }
+
+    #[test]
+    fn validity_horizon_follows_timers() {
+        let mut e = xyz_engine();
+        // Untimed engine: valid forever.
+        assert_eq!(e.snapshot().valid_until(), None);
+        let snap = e.snapshot();
+        assert!(snap.answers_at(Ts::ZERO));
+        assert!(snap.answers_at(Ts::from_secs(1_000_000)));
+
+        // An activation-duration policy arms a timer on activation.
+        let mut g = e.policy().clone();
+        g.role("PM").max_activation = Some(Dur::from_hours(2));
+        e.apply_policy(&g).unwrap();
+        let alice = e.user_id("alice").unwrap();
+        let pm = e.role_id("PM").unwrap();
+        e.create_session(alice, &[pm]).unwrap();
+        let snap = e.snapshot();
+        let until = snap.valid_until().expect("pending Δ timer bounds validity");
+        assert_eq!(until, Ts::ZERO + Dur::from_hours(2));
+        assert!(snap.answers_at(Ts(until.0 - 1)));
+        assert!(
+            !snap.answers_at(until),
+            "the instant the timer fires belongs to the write path"
+        );
+        assert!(!snap.answers_at(Ts(until.0 + 1)));
+    }
+
+    #[test]
+    fn purpose_constraints_replicated() {
+        let mut g = PolicyGraph::new("clinic");
+        g.user("nina");
+        g.role("Nurse");
+        g.assign("nina", "Nurse");
+        g.permission("read_record", "read", "patient_record");
+        g.grant("read_record", "Nurse");
+        g.purposes.push(policy::PurposeSpec {
+            name: "treatment".into(),
+            parent: None,
+        });
+        g.purposes.push(policy::PurposeSpec {
+            name: "billing".into(),
+            parent: Some("treatment".into()),
+        });
+        g.object_policies.push(policy::ObjectPolicySpec {
+            op: "read".into(),
+            obj: "patient_record".into(),
+            role: "Nurse".into(),
+            purpose: "treatment".into(),
+        });
+        let mut e = Engine::from_policy(&g, Ts::ZERO).unwrap();
+        let nina = e.user_id("nina").unwrap();
+        let nurse = e.role_id("Nurse").unwrap();
+        let s = e.create_session(nina, &[nurse]).unwrap();
+        let read = e.system().op_by_name("read").unwrap();
+        let rec = e.system().obj_by_name("patient_record").unwrap();
+
+        let snap = e.snapshot();
+        assert!(snap.has_fast_path());
+        let treatment = snap.purpose_by_name("treatment").unwrap();
+        let billing = snap.purpose_by_name("billing").unwrap();
+        // Right purpose (and descendant): provable grants, agreeing with
+        // the engine.
+        assert!(snap.grants(s, read, rec, Some(treatment)));
+        assert!(e
+            .check_access_for_purpose(s, read, rec, "treatment")
+            .unwrap());
+        assert!(snap.grants(s, read, rec, Some(billing)));
+        // Constrained access without a purpose: not provable; engine denies.
+        assert!(!snap.grants(s, read, rec, None));
+        assert!(!e.check_access(s, read, rec).unwrap());
+    }
+}

@@ -287,6 +287,7 @@ pub struct Recovered {
 }
 
 /// The write-ahead log over a [`Storage`] backend.
+#[derive(Debug)]
 pub struct Wal<S: Storage> {
     storage: S,
     config: WalConfig,

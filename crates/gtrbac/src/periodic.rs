@@ -98,6 +98,38 @@ impl BoundedPeriodic {
         self
     }
 
+    /// The next instant strictly after `t` at which `contains` may change
+    /// value, or `None` if the expression is constant from `t` on. Used to
+    /// bound how long a published read-path snapshot stays valid: a
+    /// snapshot taken at `t` can answer enablement questions up to (but not
+    /// including) this instant.
+    ///
+    /// Candidates are the next periodic-window boundary, the interval
+    /// `begin` (the expression switches on there), and the first instant
+    /// after the inclusive interval `end` (it switches off one tick later).
+    pub fn next_transition_after(&self, t: Ts) -> Option<Ts> {
+        let mut next: Option<Ts> = None;
+        let mut consider = |c: Ts| {
+            if c > t && next.is_none_or(|n| c < n) {
+                next = Some(c);
+            }
+        };
+        if let Some(w) = &self.window {
+            if let Some((b, _)) = w.next_boundary(t) {
+                consider(b);
+            }
+        }
+        if let Some(b) = self.begin {
+            consider(b);
+        }
+        if let Some(e) = self.end {
+            // `contains` treats `end` as inclusive, so the switch-off
+            // happens one tick (1 µs) after it.
+            consider(Ts(e.0.saturating_add(1)));
+        }
+        next
+    }
+
     /// Is `t` inside both I and P?
     pub fn contains(&self, t: Ts) -> bool {
         if let Some(b) = self.begin {
@@ -177,6 +209,28 @@ mod tests {
         let (t3, open3) = w.next_boundary(t2).unwrap();
         assert_eq!(t3, at(2000, 1, 6, 10, 0));
         assert!(open3);
+    }
+
+    #[test]
+    fn next_transition_covers_window_and_interval_edges() {
+        let w = BoundedPeriodic::window(PeriodicWindow::daily(10, 0, 17, 0));
+        assert_eq!(
+            w.next_transition_after(at(2000, 1, 5, 8, 0)),
+            Some(at(2000, 1, 5, 10, 0))
+        );
+        assert_eq!(
+            w.next_transition_after(at(2000, 1, 5, 10, 0)),
+            Some(at(2000, 1, 5, 17, 0))
+        );
+        // An inclusive interval end switches off one tick later.
+        let end = at(2000, 1, 5, 12, 0);
+        let b = BoundedPeriodic::always().bounded(at(2000, 1, 1, 0, 0), end);
+        assert_eq!(b.next_transition_after(end), Some(Ts(end.0 + 1)));
+        // Constant expressions have no horizon.
+        assert_eq!(
+            BoundedPeriodic::always().next_transition_after(at(2000, 6, 1, 0, 0)),
+            None
+        );
     }
 
     #[test]

@@ -106,6 +106,20 @@ impl TemporalPolicies {
         self.policies.get(&role)?.activation_limit(user)
     }
 
+    /// The earliest instant strictly after `t` at which *any* role's
+    /// enabling state may flip, or `None` when every enabling expression is
+    /// constant from `t` on. This is the temporal half of a read-path
+    /// snapshot's validity horizon: a snapshot built at `t` stops being
+    /// trustworthy at this instant, because some role may enable or
+    /// disable then.
+    pub fn next_transition_after(&self, t: Ts) -> Option<Ts> {
+        self.policies
+            .values()
+            .filter_map(|p| p.enabling.as_ref())
+            .filter_map(|e| e.next_transition_after(t))
+            .min()
+    }
+
     /// Roles with a non-trivial policy.
     pub fn constrained_roles(&self) -> impl Iterator<Item = RoleId> + '_ {
         self.policies.keys().copied()
@@ -166,6 +180,28 @@ mod tests {
         assert_eq!(p.activation_limit(r, bob), Some(Dur::from_hours(2)));
         assert_eq!(p.activation_limit(r, jane), Some(Dur::from_hours(4)));
         assert_eq!(p.activation_limit(RoleId(9), bob), None);
+    }
+
+    #[test]
+    fn next_transition_is_earliest_over_all_roles() {
+        let mut p = TemporalPolicies::new();
+        assert_eq!(p.next_transition_after(at(3)), None);
+        p.set_enabling(
+            RoleId(1),
+            BoundedPeriodic::window(PeriodicWindow::daily(8, 0, 16, 0)),
+        );
+        p.set_enabling(
+            RoleId(2),
+            BoundedPeriodic::window(PeriodicWindow::daily(10, 0, 12, 0)),
+        );
+        // At 09:00, role 2's 10:00 opening is still ahead but role 1's next
+        // flip is 16:00 — the earliest wins.
+        assert_eq!(p.next_transition_after(at(9)), Some(at(10)));
+        assert_eq!(p.next_transition_after(at(13)), Some(at(16)));
+        // Activation limits alone impose no horizon.
+        let mut q = TemporalPolicies::new();
+        q.set_max_activation(RoleId(5), Dur::from_hours(1));
+        assert_eq!(q.next_transition_after(at(9)), None);
     }
 
     #[test]

@@ -178,6 +178,16 @@ pub struct Instantiated {
     pub stats: GenStats,
 }
 
+impl std::fmt::Debug for Instantiated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instantiated")
+            .field("policy", &self.graph.name)
+            .field("events", &self.detector.node_count())
+            .field("rules", &self.pool.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Compile `graph` into an [`Instantiated`] policy with the detector clock
 /// starting at `start`.
 pub fn instantiate(graph: &PolicyGraph, start: Ts) -> Result<Instantiated, InstantiateError> {

@@ -114,8 +114,29 @@ pub fn regenerate(
         } else {
             inst.system.disable_role(rid, true)?;
         }
-        // Retract Δ timers scheduled under the old policy; new activations
-        // get timers from the regenerated rules.
+        // Retract Δ state scheduled under the old policy. A *changed*
+        // duration hash-conses to a different Plus node, so the old node
+        // must be fully retired (timers cancelled, deterministic name
+        // unbound, detached so future activations stop feeding it) before
+        // the regenerated rules can claim `delta_<role>` for the new node.
+        // An unchanged duration keeps its node; only pending timers go.
+        let old_role = inst.graph.role_node(&node.name).cloned();
+        let mut stale_deltas = Vec::new();
+        if let Some(old) = &old_role {
+            if old.max_activation != node.max_activation {
+                stale_deltas.push(crate::events::delta(&node.name));
+            }
+            for user in old.per_user_activation.keys() {
+                if old.per_user_activation.get(user) != node.per_user_activation.get(user) {
+                    stale_deltas.push(crate::events::delta_user(&node.name, user));
+                }
+            }
+        }
+        for name in &stale_deltas {
+            if let Some(plus) = inst.detector.lookup(name) {
+                inst.detector.retire(plus)?;
+            }
+        }
         if let Some(plus) = inst.detector.lookup(&crate::events::delta(&node.name)) {
             inst.detector.cancel_timers(plus);
         }

@@ -4,7 +4,7 @@
 use crate::error::Result;
 use crate::ids::{ObjId, OpId, PermId, RoleId, SessionId, UserId};
 use crate::system::{Permission, System};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 impl System {
     /// `AssignedUsers(r)`: users directly assigned to `r`.
@@ -26,6 +26,46 @@ impl System {
     /// Permissions granted *directly* to `r` (no inheritance).
     pub fn role_direct_permissions(&self, r: RoleId) -> Result<BTreeSet<PermId>> {
         Ok(self.role(r)?.perms.clone())
+    }
+
+    /// Permission closures of every live role in one pass (role → direct
+    /// permissions plus everything inherited from juniors). A single
+    /// memoized walk over the junior DAG, so shared juniors are expanded
+    /// once rather than once per senior — this is what a read-path
+    /// snapshot captures instead of issuing per-role
+    /// [`role_permissions`](Self::role_permissions) calls under the lock.
+    pub fn all_role_perm_closures(&self) -> HashMap<RoleId, BTreeSet<PermId>> {
+        let mut done: HashMap<RoleId, BTreeSet<PermId>> = HashMap::new();
+        for start in self.all_roles() {
+            if done.contains_key(&start) {
+                continue;
+            }
+            // Iterative post-order: expand juniors first, then fold their
+            // finished closures into the parent.
+            let mut stack = vec![(start, false)];
+            let mut on_stack: BTreeSet<RoleId> = BTreeSet::new();
+            while let Some((r, expanded)) = stack.pop() {
+                let Ok(rec) = self.role(r) else { continue };
+                if expanded {
+                    on_stack.remove(&r);
+                    let mut acc = rec.perms.clone();
+                    for j in &rec.juniors {
+                        if let Some(c) = done.get(j) {
+                            acc.extend(c.iter().copied());
+                        }
+                    }
+                    done.insert(r, acc);
+                } else if !done.contains_key(&r) && on_stack.insert(r) {
+                    stack.push((r, true));
+                    for &j in &rec.juniors {
+                        if !done.contains_key(&j) && !on_stack.contains(&j) {
+                            stack.push((j, false));
+                        }
+                    }
+                }
+            }
+        }
+        done
     }
 
     /// `UserPermissions(u)`: permissions of every role the user is
@@ -141,5 +181,27 @@ mod tests {
             s.user_operations_on_object(alice, po).unwrap(),
             [read, approve].into()
         );
+    }
+
+    #[test]
+    fn bulk_closures_match_per_role_queries() {
+        // Diamond: top inherits via two middles from one shared bottom.
+        let mut s = System::new();
+        let top = s.add_role("top").unwrap();
+        let m1 = s.add_descendant("m1", top).unwrap();
+        let m2 = s.add_descendant("m2", top).unwrap();
+        let bottom = s.add_descendant("bottom", m1).unwrap();
+        s.add_inheritance(m2, bottom).unwrap();
+        let read = s.add_operation("read").unwrap();
+        let doc = s.add_object("doc").unwrap();
+        s.grant_permission(bottom, read, doc).unwrap();
+        let memo = s.add_object("memo").unwrap();
+        s.grant_permission(m1, read, memo).unwrap();
+
+        let all = s.all_role_perm_closures();
+        assert_eq!(all.len(), s.role_count());
+        for r in s.all_roles() {
+            assert_eq!(all[&r], s.role_permissions(r).unwrap(), "role {r:?}");
+        }
     }
 }

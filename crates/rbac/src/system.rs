@@ -295,6 +295,14 @@ impl System {
         self.perm_index.get(&(op, obj)).copied()
     }
 
+    /// Every interned permission as `((op, obj), perm)` pairs, in no
+    /// particular order. Lets callers (e.g. a published read-path
+    /// snapshot) rebuild the `(op, obj) → permission` index without a
+    /// per-request `find_perm` round trip into the locked system.
+    pub fn permission_pairs(&self) -> impl Iterator<Item = ((OpId, ObjId), PermId)> + '_ {
+        self.perm_index.iter().map(|(&k, &v)| (k, v))
+    }
+
     // ---- iteration -----------------------------------------------------------
 
     /// All live user ids.

@@ -33,6 +33,12 @@ pub struct ExecReport {
     pub alerts: Vec<String>,
     /// Engine errors (missing parameters, unknown events, depth exceeded).
     pub errors: Vec<String>,
+    /// Number of state-changing actions that actually applied: successful
+    /// monitor mutations (activations, assignments, role status), rule
+    /// enable/disable toggles and timer cancellations. Zero means the
+    /// dispatch was decision-only, which lets callers keep published
+    /// read-path snapshots valid across it.
+    pub mutations: usize,
 }
 
 impl ExecReport {
@@ -49,6 +55,7 @@ impl ExecReport {
         self.allows += other.allows;
         self.alerts.extend(other.alerts);
         self.errors.extend(other.errors);
+        self.mutations += other.mutations;
     }
 }
 
@@ -330,24 +337,29 @@ impl Executor {
                     return report;
                 };
                 let key = occ.params.get(key_param).cloned();
-                rt.detector.cancel_timers_where(id, |base| {
+                let n = rt.detector.cancel_timers_where(id, |base| {
                     base.is_some_and(|b| b.params.get(key_param) == key.as_ref())
                 });
+                report.mutations += n;
             }
             ActionSpec::DisableRuleClass(c) => {
                 let n = rt.pool.set_class_enabled(*c, false);
+                report.mutations += 1;
                 log_entry(rt, AuditKind::RuleToggle, format!("disabled {n} {c} rules"));
             }
             ActionSpec::EnableRuleClass(c) => {
                 let n = rt.pool.set_class_enabled(*c, true);
+                report.mutations += 1;
                 log_entry(rt, AuditKind::RuleToggle, format!("enabled {n} {c} rules"));
             }
             ActionSpec::DisableRule(name) => {
                 rt.pool.set_enabled(name, false);
+                report.mutations += 1;
                 log_entry(rt, AuditKind::RuleToggle, format!("disabled rule {name}"));
             }
             ActionSpec::EnableRule(name) => {
                 rt.pool.set_enabled(name, true);
+                report.mutations += 1;
                 log_entry(rt, AuditKind::RuleToggle, format!("enabled rule {name}"));
             }
             ActionSpec::AddSessionRole {
@@ -399,9 +411,12 @@ impl Executor {
                     resolved.push(arg!(a));
                 }
                 let outcome = rt.state.custom_action(name, &resolved, occ);
-                if let ActionOutcome::Rejected(m) = outcome {
-                    report.denials.push(m.clone());
-                    log_entry(rt, AuditKind::ActionRejected, m);
+                match outcome {
+                    ActionOutcome::Done => report.mutations += 1,
+                    ActionOutcome::Rejected(m) => {
+                        report.denials.push(m.clone());
+                        log_entry(rt, AuditKind::ActionRejected, m);
+                    }
                 }
             }
         }
@@ -417,7 +432,7 @@ impl Executor {
         f: impl FnOnce(&mut dyn AuthState) -> ActionOutcome,
     ) {
         match f(rt.state) {
-            ActionOutcome::Done => {}
+            ActionOutcome::Done => report.mutations += 1,
             ActionOutcome::Rejected(m) => {
                 report.denials.push(m.clone());
                 rt.log.push(AuditEntry {
@@ -594,6 +609,34 @@ mod tests {
         assert!(!rep.denied());
         assert_eq!(fx.state.log, vec!["add_session_role(1,2,5)"]);
         assert_eq!(fx.log.entries().len(), 1, "one fired record");
+    }
+
+    #[test]
+    fn mutation_counter_tracks_applied_state_actions() {
+        let mut fx = Fixture::new();
+        let e = fx.detector.primitive("activate");
+        fx.attach(Rule::new("r", e, CondExpr::True).then(vec![
+            ActionSpec::Allow,
+            ActionSpec::AddSessionRole {
+                user: ParamRef::Int(1),
+                session: ParamRef::Int(2),
+                role: ParamRef::Int(3),
+            },
+        ]));
+        let mut rt = fx.rt();
+        let rep = Executor::new().dispatch(&mut rt, e, Params::new()).unwrap();
+        assert_eq!(rep.mutations, 1, "Allow is decision-only, the add mutates");
+
+        // A pure decision dispatch reports zero mutations, so read-path
+        // snapshots survive it.
+        let mut fx2 = Fixture::new();
+        let e2 = fx2.detector.primitive("check");
+        fx2.attach(Rule::new("ca", e2, CondExpr::True).then(vec![ActionSpec::Allow]));
+        let mut rt = fx2.rt();
+        let rep = Executor::new()
+            .dispatch(&mut rt, e2, Params::new())
+            .unwrap();
+        assert_eq!(rep.mutations, 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 use snoop::{EventId, Ts};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// What happened.
@@ -76,55 +77,122 @@ impl fmt::Display for AuditEntry {
     }
 }
 
-/// Append-only audit log with simple query helpers.
+/// Audit log with simple query helpers and an optional retention cap.
+///
+/// Uncapped (the default) it is append-only. With a cap set, the oldest
+/// entries are evicted as new ones arrive; running totals (`denial_count`,
+/// `alert_count`, `total_len`) still count evicted entries, so
+/// threshold-style queries stay correct after eviction. Only
+/// `denials_since` and `entries` are limited to what is retained.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AuditLog {
-    entries: Vec<AuditEntry>,
+    entries: VecDeque<AuditEntry>,
+    /// Max retained entries; `None` = unbounded.
+    #[serde(default)]
+    cap: Option<usize>,
+    /// Entries evicted by the cap, total.
+    #[serde(default)]
+    evicted: usize,
+    /// Evicted entries that were denials.
+    #[serde(default)]
+    evicted_denials: usize,
+    /// Evicted entries that were alerts.
+    #[serde(default)]
+    evicted_alerts: usize,
 }
 
 impl AuditLog {
-    /// An empty log.
+    /// An empty, unbounded log.
     pub fn new() -> AuditLog {
         AuditLog::default()
     }
 
-    /// Append an entry.
-    pub fn push(&mut self, entry: AuditEntry) {
-        self.entries.push(entry);
+    /// An empty log retaining at most `cap` entries.
+    pub fn with_cap(cap: usize) -> AuditLog {
+        AuditLog {
+            cap: Some(cap),
+            ..AuditLog::default()
+        }
     }
 
-    /// All entries in order.
-    pub fn entries(&self) -> &[AuditEntry] {
+    /// Change the retention cap (`None` = unbounded). Shrinking evicts the
+    /// oldest entries immediately.
+    pub fn set_cap(&mut self, cap: Option<usize>) {
+        self.cap = cap;
+        self.enforce_cap();
+    }
+
+    /// The retention cap in force.
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
+    }
+
+    fn enforce_cap(&mut self) {
+        let Some(cap) = self.cap else {
+            return;
+        };
+        while self.entries.len() > cap {
+            let Some(old) = self.entries.pop_front() else {
+                break;
+            };
+            self.evicted += 1;
+            match old.kind {
+                AuditKind::Denied => self.evicted_denials += 1,
+                AuditKind::Alert => self.evicted_alerts += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Append an entry, evicting the oldest if the cap is exceeded.
+    pub fn push(&mut self, entry: AuditEntry) {
+        self.entries.push_back(entry);
+        self.enforce_cap();
+    }
+
+    /// The retained entries in order (oldest first).
+    pub fn entries(&self) -> &VecDeque<AuditEntry> {
         &self.entries
     }
 
-    /// Number of entries.
+    /// Number of retained entries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Is the log empty?
+    /// Total entries ever recorded, including evicted ones.
+    pub fn total_len(&self) -> usize {
+        self.entries.len() + self.evicted
+    }
+
+    /// Entries evicted by the retention cap so far.
+    pub fn evicted_count(&self) -> usize {
+        self.evicted
+    }
+
+    /// Is the log empty (nothing retained)?
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// Entries of one kind.
+    /// Retained entries of one kind.
     pub fn of_kind(&self, kind: &AuditKind) -> impl Iterator<Item = &AuditEntry> {
         let kind = kind.clone();
         self.entries.iter().filter(move |e| e.kind == kind)
     }
 
-    /// Total denials recorded.
+    /// Total denials recorded, including evicted ones.
     pub fn denial_count(&self) -> usize {
-        self.of_kind(&AuditKind::Denied).count()
+        self.evicted_denials + self.of_kind(&AuditKind::Denied).count()
     }
 
-    /// Total alerts recorded.
+    /// Total alerts recorded, including evicted ones.
     pub fn alert_count(&self) -> usize {
-        self.of_kind(&AuditKind::Alert).count()
+        self.evicted_alerts + self.of_kind(&AuditKind::Alert).count()
     }
 
-    /// Denials with `time > since` (active-security sliding windows).
+    /// Denials with `time > since` (active-security sliding windows). Only
+    /// retained entries are visible; size the cap above the largest window.
     pub fn denials_since(&self, since: Ts) -> usize {
         self.entries
             .iter()
@@ -132,9 +200,13 @@ impl AuditLog {
             .count()
     }
 
-    /// Drop everything (test hygiene between scenario phases).
+    /// Drop everything, including eviction totals (test hygiene between
+    /// scenario phases). The cap itself is kept.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.evicted = 0;
+        self.evicted_denials = 0;
+        self.evicted_alerts = 0;
     }
 
     /// Render the whole log (administrator "report generation").
@@ -174,6 +246,48 @@ mod tests {
         assert_eq!(log.denials_since(Ts::from_secs(1)), 1);
         assert_eq!(log.denials_since(Ts::ZERO), 2);
         assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn retention_cap_evicts_but_totals_survive() {
+        let mut log = AuditLog::with_cap(3);
+        for t in 0..10 {
+            let kind = if t % 2 == 0 {
+                AuditKind::Denied
+            } else {
+                AuditKind::Alert
+            };
+            log.push(entry(kind, t));
+        }
+        assert_eq!(log.len(), 3, "only the cap is retained");
+        assert_eq!(log.total_len(), 10);
+        assert_eq!(log.evicted_count(), 7);
+        // Totals count evicted entries: 5 denials (even t), 5 alerts.
+        assert_eq!(log.denial_count(), 5);
+        assert_eq!(log.alert_count(), 5);
+        // The retained window is the newest entries.
+        assert_eq!(log.entries().front().unwrap().time, Ts::from_secs(7));
+        // Windowed queries see only the retained tail.
+        assert_eq!(log.denials_since(Ts::ZERO), 1);
+        log.clear();
+        assert_eq!(log.denial_count(), 0);
+        assert_eq!(log.cap(), Some(3), "cap survives clear");
+    }
+
+    #[test]
+    fn shrinking_cap_evicts_immediately() {
+        let mut log = AuditLog::new();
+        for t in 0..5 {
+            log.push(entry(AuditKind::Denied, t));
+        }
+        assert_eq!(log.denial_count(), 5);
+        log.set_cap(Some(2));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.denial_count(), 5, "totals unchanged by eviction");
+        log.set_cap(None);
+        log.push(entry(AuditKind::Denied, 9));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.denial_count(), 6);
     }
 
     #[test]

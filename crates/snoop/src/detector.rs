@@ -34,6 +34,9 @@ pub enum DetectorError {
     },
     /// A name was defined twice with different meanings.
     DuplicateName(String),
+    /// An operation that only applies to composite events was attempted
+    /// on a primitive (e.g. [`Detector::retire`]).
+    NotComposite(EventId),
 }
 
 impl fmt::Display for DetectorError {
@@ -47,6 +50,9 @@ impl fmt::Display for DetectorError {
                 write!(f, "clock regression: now={now}, requested={requested}")
             }
             DetectorError::DuplicateName(n) => write!(f, "event name {n:?} already defined"),
+            DetectorError::NotComposite(id) => {
+                write!(f, "event {id} is primitive and cannot be retired")
+            }
         }
     }
 }
@@ -70,7 +76,27 @@ struct Node {
 struct Timer {
     node: EventId,
     req: TimerReq,
-    cancelled: bool,
+}
+
+/// One generation-tagged slot in the timer slab.
+///
+/// Heap entries carry `(generation, index)` packed into a `u64`; freeing a
+/// slot (timer fired or cancelled) bumps the generation, so stale heap
+/// entries are detected and skipped lazily. Freed slots go on a free list
+/// and are reused, keeping slab size bounded by the high-water mark of
+/// *concurrent* timers rather than growing with schedule/cancel history.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct TimerSlot {
+    gen: u32,
+    timer: Option<Timer>,
+}
+
+fn pack_timer_key(gen: u32, idx: u32) -> u64 {
+    (u64::from(gen) << 32) | u64::from(idx)
+}
+
+fn unpack_timer_key(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
 }
 
 /// Structural key for hash-consing composite nodes (common subexpression
@@ -100,8 +126,13 @@ pub struct Detector {
     /// map keys cannot express, so it is serialized as a pair list.
     #[serde(with = "serde_interned")]
     interned: HashMap<NodeKey, EventId>,
-    timers: Vec<Timer>,
+    timers: Vec<TimerSlot>,
+    /// Indices of free slab slots, reused before the slab grows.
+    free_timers: Vec<u32>,
+    /// Timers scheduled and not yet fired or cancelled.
+    live_timers: usize,
     /// Serialized as a sorted `Vec<(Ts, u64)>`; rebuilt into a heap on load.
+    /// The `u64` packs a slab `(generation, index)` pair.
     #[serde(with = "serde_timer_queue")]
     timer_queue: BinaryHeap<Reverse<(Ts, u64)>>,
     now: Ts,
@@ -120,6 +151,8 @@ impl Detector {
             by_name: HashMap::new(),
             interned: HashMap::new(),
             timers: Vec::new(),
+            free_timers: Vec::new(),
+            live_timers: 0,
             timer_queue: BinaryHeap::new(),
             now: start,
             buffer_cap: 4096,
@@ -207,6 +240,48 @@ impl Detector {
                 Ok(())
             }
         }
+    }
+
+    /// Remove a composite event's name binding, returning the id it was
+    /// bound to. Primitive names are identity and cannot be removed.
+    ///
+    /// Policy regeneration uses this to retarget a deterministic name
+    /// (e.g. `delta_<role>`) to a replacement node when the underlying
+    /// expression changed.
+    pub fn unname(&mut self, name: &str) -> Option<EventId> {
+        let &id = self.by_name.get(name)?;
+        if matches!(self.nodes[id.0 as usize].state, NodeState::Primitive { .. }) {
+            return None;
+        }
+        self.by_name.remove(name)
+    }
+
+    /// Permanently detach a composite node from the event graph: its
+    /// pending timers are cancelled, no child occurrence will feed it
+    /// again, its name bindings are removed, and it leaves the
+    /// hash-consing table so an identical later [`Detector::define`]
+    /// builds a fresh live node. The node's slot remains (event ids are
+    /// stable for the audit log) but it can never fire again.
+    ///
+    /// Returns the number of timers cancelled. Retiring a primitive is
+    /// refused ([`DetectorError::NotComposite`]): rules raise primitives
+    /// by name, so their bindings must stay.
+    pub fn retire(&mut self, id: EventId) -> Result<usize, DetectorError> {
+        let node = self
+            .nodes
+            .get(id.0 as usize)
+            .ok_or_else(|| DetectorError::UnknownEvent(id.to_string()))?;
+        if matches!(node.state, NodeState::Primitive { .. }) {
+            return Err(DetectorError::NotComposite(id));
+        }
+        let cancelled = self.cancel_timers(id);
+        for n in &mut self.nodes {
+            n.parents.retain(|&(p, _)| p != id);
+        }
+        self.interned.retain(|_, v| *v != id);
+        self.by_name.retain(|_, v| *v != id);
+        self.nodes[id.0 as usize].watched = false;
+        Ok(cancelled)
     }
 
     /// Build the node graph for `expr`, sharing structurally identical
@@ -435,18 +510,21 @@ impl Detector {
             });
         }
         let mut detections = Vec::new();
-        while let Some(&Reverse((at, idx))) = self.timer_queue.peek() {
+        while let Some(&Reverse((at, key))) = self.timer_queue.peek() {
             if at > ts {
                 break;
             }
             self.timer_queue.pop();
-            let timer = &self.timers[idx as usize];
-            if timer.cancelled {
-                continue;
+            let (gen, idx) = unpack_timer_key(key);
+            let live = self
+                .timers
+                .get(idx as usize)
+                .is_some_and(|s| s.gen == gen && s.timer.is_some());
+            if !live {
+                continue; // stale entry: the timer was cancelled
             }
+            let Timer { node: node_id, req } = self.free_timer_slot(idx);
             self.now = at;
-            let node_id = timer.node;
-            let req = timer.req.clone();
             // Calendar nodes may reschedule; clear their flag first.
             if let NodeState::Calendar { scheduled, .. } = &mut self.nodes[node_id.0 as usize].state
             {
@@ -488,9 +566,43 @@ impl Detector {
     pub fn next_timer_at(&self) -> Option<Ts> {
         self.timer_queue
             .iter()
-            .filter(|Reverse((_, idx))| !self.timers[*idx as usize].cancelled)
+            .filter(|Reverse((_, key))| self.timer_key_live(*key))
             .map(|Reverse((at, _))| *at)
             .min()
+    }
+
+    /// Does `key` still refer to a live (scheduled, uncancelled) timer?
+    fn timer_key_live(&self, key: u64) -> bool {
+        let (gen, idx) = unpack_timer_key(key);
+        self.timers
+            .get(idx as usize)
+            .is_some_and(|s| s.gen == gen && s.timer.is_some())
+    }
+
+    /// Free a slab slot holding a live timer: take the timer out, bump the
+    /// slot's generation (invalidating any heap entry still pointing at
+    /// it), and put the slot on the free list.
+    fn free_timer_slot(&mut self, idx: u32) -> Timer {
+        let slot = &mut self.timers[idx as usize];
+        let timer = slot.timer.take().expect("freeing a live timer slot");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free_timers.push(idx);
+        self.live_timers -= 1;
+        timer
+    }
+
+    /// Drop stale heap entries once they outnumber live ones: cancellation
+    /// is O(1) per timer (generation bump), and this amortized sweep keeps
+    /// the heap itself bounded by the live count, not by history.
+    fn maybe_compact_queue(&mut self) {
+        if self.timer_queue.len() <= 2 * self.live_timers + 64 {
+            return;
+        }
+        let queue = std::mem::take(&mut self.timer_queue);
+        self.timer_queue = queue
+            .into_iter()
+            .filter(|Reverse((_, key))| self.timer_key_live(*key))
+            .collect();
     }
 
     /// Cancel every pending timer belonging to `node` for which `pred`
@@ -505,18 +617,24 @@ impl Detector {
         mut pred: impl FnMut(Option<&Occurrence>) -> bool,
     ) -> usize {
         let mut n = 0;
-        for t in &mut self.timers {
-            if t.cancelled || t.node != node {
-                continue;
-            }
-            let base = match &t.req {
-                TimerReq::Plus { base, .. } => Some(base),
-                _ => None,
+        for idx in 0..self.timers.len() {
+            let hit = {
+                let Some(t) = &self.timers[idx].timer else {
+                    continue;
+                };
+                t.node == node
+                    && pred(match &t.req {
+                        TimerReq::Plus { base, .. } => Some(base),
+                        _ => None,
+                    })
             };
-            if pred(base) {
-                t.cancelled = true;
+            if hit {
+                self.free_timer_slot(idx as u32);
                 n += 1;
             }
+        }
+        if n > 0 {
+            self.maybe_compact_queue();
         }
         n
     }
@@ -526,12 +644,19 @@ impl Detector {
         self.cancel_timers_where(node, |_| true)
     }
 
-    /// Number of timers scheduled and not yet fired or cancelled.
+    /// Number of timers scheduled and not yet fired or cancelled (the live
+    /// count; O(1)).
     pub fn pending_timers(&self) -> usize {
-        self.timer_queue
-            .iter()
-            .filter(|Reverse((_, idx))| !self.timers[*idx as usize].cancelled)
-            .count()
+        self.live_timers
+    }
+
+    /// Current capacity of the timer slab (live + reusable free slots).
+    ///
+    /// Bounded by the high-water mark of *concurrent* timers — not by how
+    /// many timers were ever scheduled — so long-running detectors with
+    /// periodic or Δ events stay in bounded memory.
+    pub fn timer_slab_len(&self) -> usize {
+        self.timers.len()
     }
 
     fn push_timer(&mut self, node: EventId, req: TimerReq) {
@@ -540,13 +665,20 @@ impl Detector {
             TimerReq::PeriodicTick { at, .. } => *at,
             TimerReq::Calendar { at } => *at,
         };
-        let idx = self.timers.len() as u64;
-        self.timers.push(Timer {
-            node,
-            req,
-            cancelled: false,
-        });
-        self.timer_queue.push(Reverse((at, idx)));
+        let idx = match self.free_timers.pop() {
+            Some(i) => i,
+            None => {
+                let i = u32::try_from(self.timers.len()).expect("timer slab fits u32");
+                self.timers.push(TimerSlot::default());
+                i
+            }
+        };
+        let slot = &mut self.timers[idx as usize];
+        debug_assert!(slot.timer.is_none(), "free-list slot must be empty");
+        slot.timer = Some(Timer { node, req });
+        self.live_timers += 1;
+        self.timer_queue
+            .push(Reverse((at, pack_timer_key(slot.gen, idx))));
     }
 
     /// Breadth-first propagation of an occurrence up the event graph.
@@ -820,6 +952,98 @@ mod tests {
             d.raise(seq, Params::new()),
             Err(DetectorError::NotPrimitive(_))
         ));
+    }
+
+    #[test]
+    fn timer_slab_stays_bounded_over_many_cycles() {
+        // Regression: the slab used to grow by one slot per scheduled timer
+        // and never reclaim cancelled entries. 100k schedule/cancel cycles
+        // must reuse a handful of slots and keep the heap compacted.
+        let mut d = det();
+        let root = d
+            .define(&E::plus(E::prim("open"), Dur::from_secs(100)))
+            .unwrap();
+        d.watch(root);
+        let open = d.lookup("open").unwrap();
+        for i in 0..100_000i64 {
+            d.raise(open, Params::new().with("n", i)).unwrap();
+            assert_eq!(d.pending_timers(), 1);
+            assert_eq!(d.cancel_timers(root), 1);
+            assert_eq!(d.pending_timers(), 0);
+        }
+        assert!(
+            d.timer_slab_len() <= 8,
+            "slab grew to {} slots over 100k cycles",
+            d.timer_slab_len()
+        );
+        // The lazy heap must have been compacted along the way, not kept
+        // one stale entry per cycle.
+        assert!(d.timer_queue.len() <= 2 * d.live_timers + 64);
+        // Slots are safely reusable: a fresh timer still fires.
+        d.raise(open, Params::new().with("n", -1i64)).unwrap();
+        let dets = d.advance(Dur::from_secs(100)).unwrap();
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].occurrence.params.get_int("n"), Some(-1));
+    }
+
+    #[test]
+    fn stale_generation_never_fires_recycled_slot() {
+        // Cancel a timer, reuse its slot for a later deadline, then advance
+        // past the *original* deadline: the stale heap entry must be skipped.
+        let mut d = det();
+        let short = d
+            .define(&E::plus(E::prim("a"), Dur::from_secs(10)))
+            .unwrap();
+        let long = d
+            .define(&E::plus(E::prim("b"), Dur::from_secs(50)))
+            .unwrap();
+        d.watch(short);
+        d.watch(long);
+        d.raise_named("a", Params::new()).unwrap();
+        assert_eq!(d.cancel_timers(short), 1);
+        // Reuses the freed slot with a bumped generation.
+        d.raise_named("b", Params::new()).unwrap();
+        assert!(d.advance(Dur::from_secs(20)).unwrap().is_empty());
+        let dets = d.advance(Dur::from_secs(40)).unwrap();
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].event(), long);
+    }
+
+    #[test]
+    fn retire_unbinds_name_and_cancels_timers() {
+        let mut d = det();
+        let plus = d
+            .define(&E::plus(E::prim("open"), Dur::from_secs(5)))
+            .unwrap();
+        d.name(plus, "deadline").unwrap();
+        d.watch(plus);
+        d.raise_named("open", Params::new()).unwrap();
+        assert_eq!(d.pending_timers(), 1);
+
+        let cancelled = d.retire(plus).unwrap();
+        assert_eq!(cancelled, 1);
+        assert!(d.lookup("deadline").is_none());
+        // The retired node no longer observes its base event, and the same
+        // structure can be re-defined under a fresh node and renamed.
+        assert!(d.advance(Dur::from_secs(10)).unwrap().is_empty());
+        let plus2 = d
+            .define(&E::plus(E::named("open"), Dur::from_secs(5)))
+            .unwrap();
+        assert_ne!(plus, plus2, "retired node must not be re-interned");
+        d.name(plus2, "deadline").unwrap();
+        d.watch(plus2);
+        d.raise_named("open", Params::new()).unwrap();
+        let dets = d.advance(Dur::from_secs(5)).unwrap();
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].event(), plus2);
+    }
+
+    #[test]
+    fn retire_rejects_primitives() {
+        let mut d = det();
+        let a = d.primitive("a");
+        assert!(matches!(d.retire(a), Err(DetectorError::NotComposite(_))));
+        assert_eq!(d.unname("a"), None, "unname refuses primitives");
     }
 
     #[test]

@@ -332,8 +332,9 @@ impl Shell {
                 let e = self.engine()?;
                 let entries = e.log().entries();
                 let start = entries.len().saturating_sub(n);
-                Ok(entries[start..]
+                Ok(entries
                     .iter()
+                    .skip(start)
                     .map(ToString::to_string)
                     .collect::<Vec<_>>()
                     .join("\n"))

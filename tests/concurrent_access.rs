@@ -1,0 +1,224 @@
+//! Read-path equivalence under concurrency: N reader threads racing one
+//! mutator over a [`SharedEngine`] must produce exactly the state a
+//! mutex-only sequential replay produces, and the lock-free fast path
+//! must never leak a stale grant.
+
+use owte_core::{Engine, SharedEngine};
+use policy::PolicyGraph;
+use rbac::{ObjId, OpId};
+use snoop::{Dur, Ts};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn xyz_shared() -> SharedEngine {
+    let mut g = PolicyGraph::enterprise_xyz();
+    g.user("alice");
+    g.user("bob");
+    g.assign("alice", "PM");
+    g.assign("bob", "AC");
+    SharedEngine::new(Engine::from_policy(&g, Ts::ZERO).unwrap())
+}
+
+fn op_obj(e: &SharedEngine) -> (OpId, ObjId) {
+    e.with(|e| {
+        (
+            e.system().op_by_name("create").unwrap(),
+            e.system().obj_by_name("purchase_order").unwrap(),
+        )
+    })
+}
+
+/// Many readers, no writers: every decision must come out identical to
+/// the locked engine's, and nearly all grants must be served lock-free.
+#[test]
+fn readers_agree_with_locked_engine() {
+    let engine = xyz_shared();
+    let alice = engine.user_id("alice").unwrap();
+    let pm = engine.role_id("PM").unwrap();
+    let s = engine.create_session(alice, &[pm]).unwrap();
+    let (create, po) = op_obj(&engine);
+    let expected = engine.with(|e| e.check_access(s, create, po).unwrap());
+    assert!(expected);
+
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let e = engine.clone();
+        handles.push(thread::spawn(move || {
+            for _ in 0..500 {
+                assert!(e.check_access(s, create, po).unwrap());
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let (fast, slow) = engine.read_stats();
+    assert!(
+        fast >= 8 * 500,
+        "grants served from the snapshot (fast {fast}, slow {slow})"
+    );
+}
+
+/// N readers race one mutator that repeatedly activates/deactivates the
+/// permission-carrying role. Per-read results are racy by design (reads
+/// concurrent with a write may order before it); what must hold is:
+/// readers only ever see decisions the engine could have produced, and
+/// the final state equals a mutex-only sequential replay.
+#[test]
+fn readers_race_one_mutator_equivalently() {
+    let engine = xyz_shared();
+    let alice = engine.user_id("alice").unwrap();
+    let pm = engine.role_id("PM").unwrap();
+    let s = engine.create_session(alice, &[pm]).unwrap();
+    let (create, po) = op_obj(&engine);
+
+    const ROUNDS: usize = 200;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let e = engine.clone();
+        let stop = stop.clone();
+        readers.push(thread::spawn(move || {
+            let mut grants = 0usize;
+            let mut checks = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                if e.check_access(s, create, po).unwrap() {
+                    grants += 1;
+                }
+                checks += 1;
+            }
+            (grants, checks)
+        }));
+    }
+    for _ in 0..ROUNDS {
+        engine.drop_active_role(alice, s, pm).unwrap();
+        engine.add_active_role(alice, s, pm).unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut total_checks = 0;
+    for r in readers {
+        let (_, checks) = r.join().unwrap();
+        total_checks += checks;
+    }
+    assert!(total_checks > 0);
+
+    // Final state must equal a mutex-only sequential replay of the same
+    // mutation history (the readers are decision-only and cannot have
+    // perturbed it). Denial counts are not compared: racy reads may have
+    // hit windows where the role was dropped, which is legal behavior.
+    let replay = xyz_shared();
+    let r_alice = replay.user_id("alice").unwrap();
+    let r_pm = replay.role_id("PM").unwrap();
+    let r_s = replay.create_session(r_alice, &[r_pm]).unwrap();
+    for _ in 0..ROUNDS {
+        replay.drop_active_role(r_alice, r_s, r_pm).unwrap();
+        replay.add_active_role(r_alice, r_s, r_pm).unwrap();
+    }
+    let (roles, sessions) = engine.with(|e| {
+        (
+            e.system().session_roles(s).unwrap(),
+            e.system().session_count(),
+        )
+    });
+    let (r_roles, r_sessions) = replay.with(|e| {
+        (
+            e.system().session_roles(r_s).unwrap(),
+            e.system().session_count(),
+        )
+    });
+    assert_eq!(roles, r_roles, "active role sets diverged");
+    assert_eq!(sessions, r_sessions);
+    // And the post-race engine answers exactly like the replay.
+    assert_eq!(
+        engine.check_access(s, create, po).unwrap(),
+        replay.check_access(r_s, create, po).unwrap()
+    );
+}
+
+/// After a mutation completes, no reader may be served the pre-mutation
+/// grant: sequential staleness check.
+#[test]
+fn completed_mutation_is_immediately_visible() {
+    let engine = xyz_shared();
+    let alice = engine.user_id("alice").unwrap();
+    let pm = engine.role_id("PM").unwrap();
+    let s = engine.create_session(alice, &[pm]).unwrap();
+    let (create, po) = op_obj(&engine);
+    for _ in 0..50 {
+        assert!(engine.check_access(s, create, po).unwrap());
+        engine.drop_active_role(alice, s, pm).unwrap();
+        assert!(
+            !engine.check_access(s, create, po).unwrap(),
+            "stale snapshot grant leaked past a completed drop"
+        );
+        engine.add_active_role(alice, s, pm).unwrap();
+    }
+}
+
+/// A snapshot whose validity is bounded by a pending Δ timer must refuse
+/// to answer exactly at the horizon: the timed deactivation belongs to
+/// the serialized write path, and a fast-path grant at that instant would
+/// leak access the rules are about to revoke.
+#[test]
+fn read_exactly_on_the_horizon_takes_the_locked_path() {
+    let mut g = PolicyGraph::enterprise_xyz();
+    g.user("alice");
+    g.assign("alice", "PM");
+    g.role("PM").max_activation = Some(Dur::from_hours(2));
+    let engine = SharedEngine::new(Engine::from_policy(&g, Ts::ZERO).unwrap());
+    let alice = engine.user_id("alice").unwrap();
+    let pm = engine.role_id("PM").unwrap();
+    let s = engine.create_session(alice, &[pm]).unwrap();
+    let (create, po) = op_obj(&engine);
+
+    let snap = engine.snapshot().expect("published");
+    let until = snap.valid_until().expect("Δ timer bounds the snapshot");
+    assert_eq!(until, Ts::ZERO + Dur::from_hours(2));
+    // Strictly inside the horizon: lock-free grant.
+    let (fast0, _) = engine.read_stats();
+    assert!(engine
+        .check_access_at(Ts(until.0 - 1), s, create, po)
+        .unwrap());
+    let (fast1, slow1) = engine.read_stats();
+    assert_eq!(fast1, fast0 + 1, "in-horizon read served from snapshot");
+
+    // Exactly at the horizon: must take the locked path, which fires the
+    // deactivation timer first and therefore denies.
+    assert!(!engine.check_access_at(until, s, create, po).unwrap());
+    let (fast2, slow2) = engine.read_stats();
+    assert_eq!(fast2, fast1, "horizon read did not use the snapshot");
+    assert_eq!(slow2, slow1 + 1);
+    // The Δ rule deactivated PM at the horizon.
+    assert!(engine.with(|e| e.system().session_roles(s).unwrap().is_empty()));
+}
+
+/// The fast path stays sound when the CA rule is disabled mid-flight
+/// (active-security lockdown): reads must immediately fall back to the
+/// locked path, which reports the lockdown.
+#[test]
+fn lockdown_disables_the_fast_path() {
+    let engine = xyz_shared();
+    let alice = engine.user_id("alice").unwrap();
+    let pm = engine.role_id("PM").unwrap();
+    let s = engine.create_session(alice, &[pm]).unwrap();
+    let (create, po) = op_obj(&engine);
+    assert!(engine.check_access(s, create, po).unwrap());
+
+    engine.with(|e| {
+        e.disable_rule_class(sentinel::RuleClass::ActivityControl);
+    });
+    // The republished snapshot failed the soundness gate, so the read
+    // takes the locked path, where no enabled rule answers: not granted.
+    assert!(
+        !engine.check_access(s, create, po).unwrap(),
+        "lockdown must not be masked by a stale snapshot grant"
+    );
+
+    engine.with(|e| {
+        e.enable_rule_class(sentinel::RuleClass::ActivityControl);
+    });
+    assert!(engine.check_access(s, create, po).unwrap());
+    let snap = engine.snapshot().unwrap();
+    assert!(snap.has_fast_path(), "fast path re-armed after recovery");
+}

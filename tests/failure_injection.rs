@@ -108,6 +108,7 @@ fn mutually_recursive_rules_are_cut_by_depth_guard() {
     );
     let exec = Executor {
         max_cascade_depth: 10,
+        ..Executor::new()
     };
     let mut rt = fx.rt();
     let rep = exec.dispatch_named(&mut rt, "ping", Params::new()).unwrap();

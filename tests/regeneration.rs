@@ -74,6 +74,35 @@ fn repeated_changes_converge() {
 }
 
 #[test]
+fn changed_activation_duration_rebinds_delta_event() {
+    // Regression: changing a role's max_activation *duration* (Some -> Some
+    // with a different Dur) used to collide in the detector: the Δ name was
+    // still bound to the old PLUS node, so re-binding it to the new-delta
+    // node failed with DuplicateName and left the old timers orphaned.
+    let base = generate_enterprise(&EnterpriseSpec::sized(20), 7);
+    let mut inst = instantiate(&base, Ts::ZERO).unwrap();
+
+    let mut g = base.clone();
+    g.role("role2").max_activation = Some(Dur::from_hours(2));
+    regenerate(&mut inst, &g).unwrap();
+
+    // Shrink the duration: must rebind, not error.
+    g.role("role2").max_activation = Some(Dur::from_hours(1));
+    let report = regenerate(&mut inst, &g).unwrap();
+    assert!(!report.full_rebuild);
+    let fresh = instantiate(&g, Ts::ZERO).unwrap();
+    assert_eq!(fingerprint(&inst), fingerprint(&fresh));
+
+    // Off and back on with a third value still converges.
+    g.role("role2").max_activation = None;
+    regenerate(&mut inst, &g).unwrap();
+    g.role("role2").max_activation = Some(Dur::from_mins(30));
+    regenerate(&mut inst, &g).unwrap();
+    let fresh = instantiate(&g, Ts::ZERO).unwrap();
+    assert_eq!(fingerprint(&inst), fingerprint(&fresh));
+}
+
+#[test]
 fn regeneration_cost_scales_with_change_not_policy() {
     // The paper's administrative-burden claim, as a structural property:
     // one changed role out of 200 rewrites only that role's rules.
