@@ -1,13 +1,43 @@
-//! Prints the evaluation tables recorded in EXPERIMENTS.md: rule-pool
-//! composition per enterprise size (E2), regeneration scope (E3), and the
-//! XYZ / Figure-1 pool breakdown (E1).
+//! Prints the evaluation tables recorded in EXPERIMENTS.md — rule-pool
+//! composition per enterprise size (E2), regeneration scope (E3), the
+//! XYZ / Figure-1 pool breakdown (E1), and the bounded model-check
+//! sweep (E11) — and emits each as a machine-readable `BENCH_<id>.json`
+//! so CI can track the perf trajectory across PRs.
 //!
 //! Run with: `cargo run -p bench --bin report --release`
+//! (`BENCH_JSON_DIR=path` overrides the default `target/bench-report`.)
 
+use owte_core::DurableConfig;
 use policy::{instantiate, regenerate, DailyWindow, PolicyGraph};
+use sim::{
+    explore, strip_sod, tiny_enterprise, tiny_ops, Budget, Invariants, Outcome, Strategy, World,
+};
 use snoop::Ts;
+use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 use workload::{generate_enterprise, EnterpriseSpec};
+
+/// Where the `BENCH_*.json` files land.
+fn json_dir() -> PathBuf {
+    std::env::var_os("BENCH_JSON_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/bench-report"))
+}
+
+/// Write one experiment's JSON body (already a valid JSON value).
+fn emit_json(id: &str, body: &str) {
+    let dir = json_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("BENCH_{id}.json"));
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("  -> {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
 
 fn main() {
     println!("== E1: enterprise XYZ (Figure 1) ==");
@@ -35,12 +65,26 @@ fn main() {
             .expect("one variant per role");
         println!("  {role:<6} -> {}", rule.name.split('_').next().unwrap());
     }
+    emit_json(
+        "E1",
+        &format!(
+            "{{\"roles\":{},\"rules\":{},\"events\":{},\"administrative\":{},\
+             \"activity_control\":{},\"active_security\":{}}}\n",
+            xyz.roles.len(),
+            s.total,
+            inst.stats.event_nodes,
+            s.administrative,
+            s.activity_control,
+            s.active_security
+        ),
+    );
 
     println!("\n== E2: roles -> rules (\"hundreds of roles, thousands of rules\") ==");
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>12} {:>14}",
         "roles", "rules", "checks", "events", "gen time", "rules/role"
     );
+    let mut e2_rows = Vec::new();
     for &roles in &[10usize, 50, 100, 200, 500, 1000] {
         let g = generate_enterprise(&EnterpriseSpec::sized(roles), 42);
         let t0 = Instant::now();
@@ -55,13 +99,22 @@ fn main() {
             dt,
             s.total as f64 / roles as f64
         );
+        e2_rows.push(format!(
+            "{{\"roles\":{roles},\"rules\":{},\"checks\":{},\"events\":{},\"gen_ms\":{:.3}}}",
+            s.total,
+            s.checks,
+            inst.stats.event_nodes,
+            dt.as_secs_f64() * 1e3
+        ));
     }
+    emit_json("E2", &format!("[{}]\n", e2_rows.join(",")));
 
     println!("\n== E3: regeneration scope on a shift change (one role) ==");
     println!(
         "{:>8} {:>12} {:>12} {:>14} {:>14}",
         "roles", "total rules", "rewritten", "incr time", "rebuild time"
     );
+    let mut e3_rows = Vec::new();
     for &roles in &[50usize, 200, 500, 1000] {
         let base = generate_enterprise(&EnterpriseSpec::sized(roles), 42);
         let mut changed = base.clone();
@@ -85,5 +138,126 @@ fn main() {
             incr,
             full
         );
+        e3_rows.push(format!(
+            "{{\"roles\":{roles},\"total_rules\":{},\"rewritten\":{},\
+             \"incr_ms\":{:.3},\"rebuild_ms\":{:.3}}}",
+            fresh.pool.len(),
+            report.rules_rewritten,
+            incr.as_secs_f64() * 1e3,
+            full.as_secs_f64() * 1e3
+        ));
     }
+    emit_json("E3", &format!("[{}]\n", e3_rows.join(",")));
+
+    println!("\n== E11: bounded model check (tiny enterprise, exhaustive) ==");
+    let graph = tiny_enterprise();
+    let invariants = Invariants::from_reference(&graph);
+    let config = DurableConfig {
+        snapshot_every: Some(4),
+        ..DurableConfig::default()
+    };
+    let budget = Budget {
+        max_steps: 10,
+        max_crashes: 1,
+        max_states: 2_000_000,
+        ..Budget::default()
+    };
+    let mut e11 = String::from("{");
+    for (label, reduction) in [("reduced", true), ("raw", false)] {
+        // The raw walk validates the reduction on a smaller space: two
+        // client ops and five steps are already thousands of schedules.
+        let (ops, steps) = if reduction {
+            (tiny_ops(), budget.max_steps)
+        } else {
+            (tiny_ops()[..2].to_vec(), 5)
+        };
+        let world = World::new(&graph, ops, config.clone()).expect("tiny policy instantiates");
+        let t0 = Instant::now();
+        let outcome = explore(
+            &world,
+            &invariants,
+            Strategy::Exhaustive { reduction },
+            Budget {
+                max_steps: steps,
+                ..budget.clone()
+            },
+        );
+        let dt = t0.elapsed();
+        let Outcome::Clean(stats) = outcome else {
+            panic!("honest tiny enterprise must sweep clean");
+        };
+        println!(
+            "{label:>8}: {} states explored, {} fingerprint-pruned, {} stutter-pruned, \
+             complete={} ({dt:?}, {} steps, {} ops)",
+            stats.explored,
+            stats.pruned_fingerprint,
+            stats.pruned_stutter,
+            stats.complete,
+            steps,
+            if reduction { 7 } else { 2 },
+        );
+        let _ = write!(
+            e11,
+            "\"{label}\":{{\"explored\":{},\"pruned_fingerprint\":{},\
+             \"pruned_stutter\":{},\"complete\":{},\"ms\":{:.3}}},",
+            stats.explored,
+            stats.pruned_fingerprint,
+            stats.pruned_stutter,
+            stats.complete,
+            dt.as_secs_f64() * 1e3
+        );
+    }
+    // Seeded-bug detection: both doctored stacks must fail, minimally.
+    for (label, doctored_graph, dconfig, crashes) in [
+        (
+            "seeded_ssd",
+            strip_sod(tiny_enterprise()),
+            DurableConfig::default(),
+            0usize,
+        ),
+        (
+            "seeded_durability",
+            tiny_enterprise(),
+            DurableConfig {
+                sync_on_append: false,
+                snapshot_every: None,
+                ..DurableConfig::default()
+            },
+            1,
+        ),
+    ] {
+        let world =
+            World::new(&doctored_graph, tiny_ops(), dconfig).expect("doctored policy instantiates");
+        let outcome = explore(
+            &world,
+            &invariants,
+            Strategy::Exhaustive { reduction: true },
+            Budget {
+                max_crashes: crashes,
+                ..budget.clone()
+            },
+        );
+        let Outcome::Violation {
+            violation,
+            schedule,
+            stats,
+        } = outcome
+        else {
+            panic!("{label}: seeded bug went unnoticed");
+        };
+        println!(
+            "{label:>18}: caught after {} states, minimal schedule {} steps — {violation}",
+            stats.explored,
+            schedule.0.len()
+        );
+        let _ = write!(
+            e11,
+            "\"{label}\":{{\"explored\":{},\"minimal_steps\":{}}},",
+            stats.explored,
+            schedule.0.len()
+        );
+    }
+    e11.pop(); // trailing comma
+    e11.push_str("}\n");
+    emit_json("E11", &e11);
 }

@@ -75,6 +75,12 @@ pub struct Engine {
     /// equals this. Decision-only dispatches do not bump it.
     #[serde(default)]
     state_version: u64,
+    /// High-water mark of [`ExecReport::max_depth`] over every dispatch —
+    /// the deepest synchronous cascade ever observed, checkable against
+    /// the static analyzer's proved bound
+    /// ([`policy::AnalysisReport::max_sync_depth`]).
+    #[serde(default)]
+    deepest_cascade: usize,
 }
 
 impl fmt::Debug for Engine {
@@ -126,6 +132,7 @@ impl Engine {
             in_denial_cascade: false,
             denial_history: 65_536,
             state_version: 0,
+            deepest_cascade: 0,
         })
     }
 
@@ -202,6 +209,13 @@ impl Engine {
         self.state_version = self.state_version.wrapping_add(1);
     }
 
+    /// Deepest synchronous rule cascade any dispatch has reached (see the
+    /// field docs). The model checker asserts this never exceeds the
+    /// analyzer's proved bound.
+    pub fn deepest_cascade(&self) -> usize {
+        self.deepest_cascade
+    }
+
     /// Capture an immutable read-path snapshot of the current
     /// authorization state (see [`crate::AuthSnapshot`]).
     pub fn snapshot(&self) -> crate::snapshot::AuthSnapshot {
@@ -211,6 +225,18 @@ impl Engine {
     /// The event detector (read-only; snapshot capture needs timer state).
     pub(crate) fn detector_ref(&self) -> &snoop::Detector {
         &self.inst.detector
+    }
+
+    /// When the earliest pending detector timer fires, if any. A virtual-
+    /// time scheduler advances to exactly this instant to fire it.
+    pub fn next_timer_at(&self) -> Option<Ts> {
+        self.inst.detector.next_timer_at()
+    }
+
+    /// Deadlines of all pending detector timers, sorted and deduplicated
+    /// (see [`snoop::Detector::pending_timer_deadlines`]).
+    pub fn pending_timer_deadlines(&self) -> Vec<Ts> {
+        self.inst.detector.pending_timer_deadlines()
     }
 
     /// The temporal policies (read-only; snapshot capture needs the
@@ -291,6 +317,7 @@ impl Engine {
         if report.mutations > 0 {
             self.bump_version();
         }
+        self.deepest_cascade = self.deepest_cascade.max(report.max_depth);
         self.after_dispatch(&report)?;
         Ok(report)
     }
@@ -320,6 +347,7 @@ impl Engine {
         if self.now() != before || report.mutations > 0 {
             self.bump_version();
         }
+        self.deepest_cascade = self.deepest_cascade.max(report.max_depth);
         self.after_dispatch(&report)?;
         Ok(report)
     }

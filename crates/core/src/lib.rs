@@ -69,5 +69,8 @@ pub use journal::{
 pub use privacy::{ObjectPolicy, PrivacyState, PurposeId};
 pub use shared::SharedEngine;
 pub use snapshot::AuthSnapshot;
-pub use storage::{FaultPlan, FaultyStorage, FileStorage, MemStorage, Storage, StorageError};
+pub use storage::{
+    FaultKind, FaultPlan, FaultyStorage, FileStorage, MemStorage, ScriptedFault, Storage,
+    StorageError,
+};
 pub use wal::{Recovered, Wal, WalConfig, WalError, WAL_VERSION};

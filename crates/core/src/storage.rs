@@ -144,6 +144,33 @@ impl MemStorage {
     pub fn raw(&self, name: &str) -> Option<&[u8]> {
         self.files.get(name).map(|f| f.data.as_slice())
     }
+
+    /// Order-independent FNV-1a digest of the full store state (names,
+    /// bytes, synced prefixes, durable-entry set). Deterministic across
+    /// processes — the model checker uses it to deduplicate explored
+    /// states, so it must not depend on `HashMap` iteration order or any
+    /// per-process hasher seed.
+    pub fn state_digest(&self) -> u64 {
+        fn fnv1a(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let mut names: Vec<&String> = self.files.keys().collect();
+        names.sort_unstable();
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for name in names {
+            let f = &self.files[name];
+            fnv1a(&mut h, name.as_bytes());
+            fnv1a(&mut h, &[0xFF]);
+            fnv1a(&mut h, &(f.data.len() as u64).to_le_bytes());
+            fnv1a(&mut h, &f.data);
+            fnv1a(&mut h, &(f.synced_len as u64).to_le_bytes());
+            fnv1a(&mut h, &[u8::from(self.durable_names.contains(name))]);
+        }
+        h
+    }
 }
 
 impl Storage for MemStorage {
@@ -333,6 +360,39 @@ impl SplitMix64 {
     }
 }
 
+/// What a [`ScriptedFault`] does when its operation index is reached.
+///
+/// Unlike the probabilistic knobs on [`FaultPlan`], scripted faults are
+/// exact: the model checker uses them to enumerate every crash boundary
+/// of an engine operation instead of sampling them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Kill the store at this op. If the op is an append, exactly
+    /// `min(keep, data.len())` bytes of the record still reach the file
+    /// first (`keep: 0` models a clean pre-op crash, anything shorter
+    /// than the record a torn write).
+    Kill {
+        /// Bytes of the in-flight append that still land before death.
+        keep: usize,
+    },
+    /// The operation fails transiently having done nothing; the store
+    /// stays alive.
+    TransientIo,
+    /// A sync returns an error without making bytes durable. On non-sync
+    /// operations this behaves like [`FaultKind::TransientIo`].
+    FailedSync,
+}
+
+/// A fault pinned to an exact mutating-operation index (1-based, i.e. the
+/// value [`FaultyStorage::ops`] reports once the op is underway).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// Which mutating operation triggers the fault.
+    pub at_op: u64,
+    /// What happens when it does.
+    pub kind: FaultKind,
+}
+
 /// What [`FaultyStorage`] is allowed to break, and how often.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
@@ -348,6 +408,9 @@ pub struct FaultPlan {
     /// Probability that a sync silently fails to make bytes durable while
     /// still returning an error (callers must treat it as failed).
     pub p_failed_sync: f64,
+    /// Deterministic faults at exact operation indices, checked before the
+    /// probabilistic knobs. Empty by default.
+    pub scripted: Vec<ScriptedFault>,
 }
 
 impl Default for FaultPlan {
@@ -357,6 +420,17 @@ impl Default for FaultPlan {
             torn_writes: true,
             p_transient_io: 0.0,
             p_failed_sync: 0.0,
+            scripted: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with a single scripted fault and nothing probabilistic.
+    pub fn scripted_one(at_op: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            scripted: vec![ScriptedFault { at_op, kind }],
+            ..FaultPlan::default()
         }
     }
 }
@@ -405,9 +479,21 @@ impl<S: Storage> FaultyStorage<S> {
         self.inner
     }
 
+    /// Borrow the wrapped storage (inspection hook).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
     /// Borrow the wrapped storage mutably (test hook).
     pub fn inner_mut(&mut self) -> &mut S {
         &mut self.inner
+    }
+
+    /// Borrow the fault plan mutably. The simulator uses this to install
+    /// [`ScriptedFault`]s on a live store — e.g. "kill at the 3rd storage
+    /// op of whatever the engine does next".
+    pub fn plan_mut(&mut self) -> &mut FaultPlan {
+        &mut self.plan
     }
 
     /// Count a mutating op; `Err(Crashed)` exactly when the kill point fires.
@@ -423,6 +509,29 @@ impl<S: Storage> FaultyStorage<S> {
             }
         }
         Ok(())
+    }
+
+    /// The scripted fault (if any) pinned to the op `tick` just counted.
+    fn scripted_now(&self) -> Option<FaultKind> {
+        self.plan
+            .scripted
+            .iter()
+            .find(|f| f.at_op == self.ops)
+            .map(|f| f.kind.clone())
+    }
+
+    /// Apply a scripted fault on a non-append operation.
+    fn apply_scripted(&mut self, what: &'static str) -> Result<()> {
+        match self.scripted_now() {
+            None => Ok(()),
+            Some(FaultKind::Kill { .. }) => {
+                self.dead = true;
+                Err(StorageError::Crashed)
+            }
+            Some(FaultKind::TransientIo) | Some(FaultKind::FailedSync) => Err(StorageError::Io(
+                format!("scripted fault: {what} failed at op {}", self.ops),
+            )),
+        }
     }
 }
 
@@ -443,6 +552,7 @@ impl<S: Storage> Storage for FaultyStorage<S> {
 
     fn create(&mut self, name: &str) -> Result<()> {
         self.tick()?;
+        self.apply_scripted("create")?;
         self.inner.create(name)
     }
 
@@ -460,6 +570,24 @@ impl<S: Storage> Storage for FaultyStorage<S> {
                 return Err(e);
             }
         }
+        match self.scripted_now() {
+            None => {}
+            Some(FaultKind::Kill { keep }) => {
+                // Exact torn write: precisely `keep` bytes reach the file.
+                let cut = keep.min(data.len());
+                if cut > 0 {
+                    let _ = self.inner.append(name, &data[..cut]);
+                }
+                self.dead = true;
+                return Err(StorageError::Crashed);
+            }
+            Some(FaultKind::TransientIo) | Some(FaultKind::FailedSync) => {
+                return Err(StorageError::Io(format!(
+                    "scripted fault: append failed at op {}",
+                    self.ops
+                )));
+            }
+        }
         if self.plan.p_transient_io > 0.0 && self.rng.unit() < self.plan.p_transient_io {
             return Err(StorageError::Io("injected transient append failure".into()));
         }
@@ -468,6 +596,7 @@ impl<S: Storage> Storage for FaultyStorage<S> {
 
     fn sync(&mut self, name: &str) -> Result<()> {
         self.tick()?;
+        self.apply_scripted("sync")?;
         if self.plan.p_transient_io > 0.0 && self.rng.unit() < self.plan.p_transient_io {
             return Err(StorageError::Io("injected transient sync failure".into()));
         }
@@ -479,6 +608,7 @@ impl<S: Storage> Storage for FaultyStorage<S> {
 
     fn delete(&mut self, name: &str) -> Result<()> {
         self.tick()?;
+        self.apply_scripted("delete")?;
         self.inner.delete(name)
     }
 }
@@ -592,6 +722,66 @@ mod tests {
         let written = inner.raw("f").unwrap();
         assert!(written.len() < record.len());
         assert_eq!(written, &record[..written.len()]);
+    }
+
+    #[test]
+    fn scripted_kill_tears_exactly_keep_bytes() {
+        for keep in [0usize, 1, 7, 63, 64, 1000] {
+            let plan = FaultPlan::scripted_one(2, FaultKind::Kill { keep });
+            let mut s = FaultyStorage::new(MemStorage::new(), 0, plan);
+            s.create("f").unwrap();
+            let record = [0xCDu8; 64];
+            assert!(matches!(s.append("f", &record), Err(StorageError::Crashed)));
+            assert!(s.is_dead());
+            let inner = s.into_inner();
+            let written = inner.raw("f").unwrap();
+            assert_eq!(written.len(), keep.min(record.len()));
+            assert_eq!(written, &record[..written.len()]);
+        }
+    }
+
+    #[test]
+    fn scripted_transient_io_leaves_store_alive() {
+        let plan = FaultPlan::scripted_one(2, FaultKind::TransientIo);
+        let mut s = FaultyStorage::new(MemStorage::new(), 0, plan);
+        s.create("f").unwrap();
+        assert!(matches!(s.append("f", b"lost"), Err(StorageError::Io(_))));
+        assert!(!s.is_dead());
+        s.append("f", b"kept").unwrap();
+        assert_eq!(s.into_inner().raw("f").unwrap(), b"kept");
+    }
+
+    #[test]
+    fn scripted_failed_sync_keeps_bytes_unsynced() {
+        let plan = FaultPlan::scripted_one(3, FaultKind::FailedSync);
+        let mut s = FaultyStorage::new(MemStorage::new(), 0, plan);
+        s.create("f").unwrap();
+        s.append("f", b"data").unwrap();
+        assert!(matches!(s.sync("f"), Err(StorageError::Io(_))));
+        let mut inner = s.into_inner();
+        inner.crash();
+        // The failed sync made nothing durable: file never synced → gone.
+        assert!(inner.raw("f").is_none());
+    }
+
+    #[test]
+    fn state_digest_tracks_observable_state() {
+        let mut a = MemStorage::new();
+        let mut b = MemStorage::new();
+        for s in [&mut a, &mut b] {
+            s.create("x").unwrap();
+            s.append("x", b"abc").unwrap();
+            s.sync("x").unwrap();
+            s.create("y").unwrap();
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+        b.append("y", b"!").unwrap();
+        assert_ne!(a.state_digest(), b.state_digest());
+        // Sync state matters even when bytes agree.
+        a.append("y", b"!").unwrap();
+        assert_eq!(a.state_digest(), b.state_digest());
+        b.sync("y").unwrap();
+        assert_ne!(a.state_digest(), b.state_digest());
     }
 
     #[test]

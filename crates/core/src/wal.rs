@@ -287,7 +287,11 @@ pub struct Recovered {
 }
 
 /// The write-ahead log over a [`Storage`] backend.
-#[derive(Debug)]
+///
+/// `Clone` (for cloneable backends like [`crate::MemStorage`]) forks the
+/// log together with its storage — the deterministic simulator uses this
+/// to branch a world at a choice point and explore both futures.
+#[derive(Debug, Clone)]
 pub struct Wal<S: Storage> {
     storage: S,
     config: WalConfig,

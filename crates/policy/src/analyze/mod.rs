@@ -159,6 +159,14 @@ pub struct AnalysisReport {
     pub rules: usize,
     /// Number of registered events in the detector.
     pub events: usize,
+    /// Proved upper bound on the synchronous cascade depth any dispatch
+    /// can reach (in rule-to-rule trigger edges; `Some(0)` = no rule ever
+    /// triggers another synchronously). `None` when a synchronous cycle
+    /// exists, i.e. exactly when termination is [`Termination::PotentialLoop`]
+    /// with a synchronous cycle. The executor's observed `max_depth` must
+    /// never exceed this bound; the model checker asserts it.
+    #[serde(default)]
+    pub max_sync_depth: Option<usize>,
 }
 
 impl AnalysisReport {
@@ -224,6 +232,8 @@ pub fn analyze(inst: &Instantiated) -> AnalysisReport {
 pub fn analyze_parts(graph: &PolicyGraph, detector: &Detector, pool: &RulePool) -> AnalysisReport {
     let mut diagnostics = Vec::new();
     let termination = termination::check(detector, pool, &mut diagnostics);
+    let max_sync_depth =
+        termination::max_sync_depth(&termination::build_rule_graph(detector, pool));
     conditions::check(detector, pool, &mut diagnostics);
     coverage::check(graph, detector, pool, &mut diagnostics);
     diagnostics
@@ -233,6 +243,7 @@ pub fn analyze_parts(graph: &PolicyGraph, detector: &Detector, pool: &RulePool) 
         diagnostics,
         rules: pool.len(),
         events: detector.event_ids().count(),
+        max_sync_depth,
     }
 }
 

@@ -199,6 +199,47 @@ fn cycle_path(g: &RuleGraph, members: &[usize], sync_only: bool, start: usize) -
     names
 }
 
+/// Longest chain of synchronous rule-to-rule triggers, counted in edges:
+/// a rule running at cascade depth `d` can only have been reached through
+/// `d` synchronous raises, so this bounds the executor's observable
+/// `max_depth` for any run. `Some(0)` means no rule can synchronously
+/// trigger another; `None` means a synchronous cycle exists and no finite
+/// bound holds.
+pub(crate) fn max_sync_depth(g: &RuleGraph) -> Option<usize> {
+    let n = g.edges.len();
+    let mut indeg = vec![0usize; n];
+    for outs in &g.edges {
+        for &(t, sync) in outs {
+            if sync {
+                indeg[t] += 1;
+            }
+        }
+    }
+    // Kahn's algorithm over the sync-only subgraph: longest-path DP while
+    // peeling indegree-zero nodes. A self-loop or larger sync cycle keeps
+    // its nodes' indegrees positive, so `seen != n` detects cycles.
+    let mut depth = vec![0usize; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(v) = queue.pop() {
+        seen += 1;
+        for &(t, sync) in &g.edges[v] {
+            if !sync {
+                continue;
+            }
+            depth[t] = depth[t].max(depth[v] + 1);
+            indeg[t] -= 1;
+            if indeg[t] == 0 {
+                queue.push(t);
+            }
+        }
+    }
+    if seen != n {
+        return None;
+    }
+    Some(depth.into_iter().max().unwrap_or(0))
+}
+
 /// Run the termination analysis: compute the verdict and append loop
 /// diagnostics.
 pub(crate) fn check(
@@ -303,6 +344,43 @@ mod tests {
         let mut diags = Vec::new();
         assert_eq!(check(&d, &pool, &mut diags), Termination::ProvedTerminating);
         assert!(diags.is_empty());
+        assert_eq!(
+            max_sync_depth(&build_rule_graph(&d, &pool)),
+            Some(1),
+            "r1 -> r2 is one synchronous trigger edge"
+        );
+    }
+
+    #[test]
+    fn max_sync_depth_on_longer_chain_and_cycles() {
+        // a chain r1 -> r2 -> r3 (depth 2) plus an unrelated leaf rule.
+        let mut d = Detector::new(Ts::ZERO);
+        let a = d.primitive("a");
+        let b = d.primitive("b");
+        let c = d.primitive("c");
+        let lone = d.primitive("lone");
+        let mut pool = RulePool::new();
+        attach_rule(
+            &mut d,
+            &mut pool,
+            Rule::new("r1", a, CondExpr::True).then(vec![raise("b")]),
+        );
+        attach_rule(
+            &mut d,
+            &mut pool,
+            Rule::new("r2", b, CondExpr::True).then(vec![raise("c")]),
+        );
+        attach_rule(&mut d, &mut pool, Rule::new("r3", c, CondExpr::True));
+        attach_rule(&mut d, &mut pool, Rule::new("leaf", lone, CondExpr::True));
+        assert_eq!(max_sync_depth(&build_rule_graph(&d, &pool)), Some(2));
+
+        // adding a synchronous self-loop destroys the bound.
+        attach_rule(
+            &mut d,
+            &mut pool,
+            Rule::new("echo", c, CondExpr::True).then(vec![raise("c")]),
+        );
+        assert_eq!(max_sync_depth(&build_rule_graph(&d, &pool)), None);
     }
 
     #[test]
@@ -372,6 +450,11 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, super::super::DiagCode::TimerLoop);
         assert_eq!(diags[0].severity, Severity::Warning);
+        assert_eq!(
+            max_sync_depth(&build_rule_graph(&d, &pool)),
+            Some(0),
+            "a purely delayed cycle never deepens a single dispatch"
+        );
     }
 
     #[test]

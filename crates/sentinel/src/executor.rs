@@ -39,6 +39,10 @@ pub struct ExecReport {
     /// dispatch was decision-only, which lets callers keep published
     /// read-path snapshots valid across it.
     pub mutations: usize,
+    /// Deepest cascade level at which any rule ran during this dispatch
+    /// (0 = only directly-triggered rules; each synchronous `raise`
+    /// adds one). Checkable against the static analyzer's proved bound.
+    pub max_depth: usize,
 }
 
 impl ExecReport {
@@ -56,6 +60,7 @@ impl ExecReport {
         self.alerts.extend(other.alerts);
         self.errors.extend(other.errors);
         self.mutations += other.mutations;
+        self.max_depth = self.max_depth.max(other.max_depth);
     }
 }
 
@@ -201,7 +206,10 @@ impl Executor {
         occ: &Occurrence,
         depth: usize,
     ) -> ExecReport {
-        let mut report = ExecReport::default();
+        let mut report = ExecReport {
+            max_depth: depth,
+            ..ExecReport::default()
+        };
         let cond = match eval_cond(&rule.when, occ, rt.state, rt.detector) {
             Ok(b) => b,
             Err(msg) => {

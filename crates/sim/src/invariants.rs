@@ -1,0 +1,332 @@
+//! The pluggable invariant layer, evaluated after every scheduler step.
+//!
+//! Invariants are derived from a *reference* policy graph — normally the
+//! same graph the engine was built from, but deliberately *not* trusted
+//! to be: the seeded-bug harness builds the engine from a doctored graph
+//! (SoD sets stripped, durability relaxed) while the invariants keep
+//! checking the original specification, so the checker proves it can
+//! catch an engine that silently enforces less than the policy demands.
+
+use crate::world::World;
+use owte_core::{replay, Engine, Journal};
+use policy::PolicyGraph;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A property violation, with enough detail to read the failure without
+/// re-running anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Some user's authorized roles break a static SoD set.
+    Ssd {
+        /// The SoD set name.
+        set: String,
+        /// The offending user.
+        user: String,
+        /// The conflicting roles the user holds.
+        held: Vec<String>,
+    },
+    /// Some session's active roles break a dynamic SoD set.
+    Dsd {
+        /// The SoD set name.
+        set: String,
+        /// The offending session.
+        session: String,
+        /// The conflicting roles active together.
+        active: Vec<String>,
+    },
+    /// More users hold a role active than its cardinality allows.
+    RoleCardinality {
+        /// The role.
+        role: String,
+        /// The cap from the policy.
+        cap: usize,
+        /// Users currently active in it.
+        active: usize,
+    },
+    /// A user has more roles active than their cardinality allows.
+    UserCardinality {
+        /// The user.
+        user: String,
+        /// The cap from the policy.
+        cap: usize,
+        /// Roles currently active.
+        active: usize,
+    },
+    /// A dispatch cascaded deeper than the analyzer's proved bound.
+    CascadeExceeded {
+        /// The proved bound.
+        bound: usize,
+        /// The depth actually observed.
+        observed: usize,
+    },
+    /// Recovery after a crash failed outright.
+    RecoveryFailed {
+        /// The recovery error.
+        error: String,
+    },
+    /// Recovery came back with a different number of operations than
+    /// were acknowledged before the crash.
+    AckedOpsLost {
+        /// Operations the engine acknowledged journaling.
+        acked: usize,
+        /// Operations recovery restored.
+        recovered: u64,
+    },
+    /// The recovered state is not the sequential replay of the
+    /// acknowledged prefix — reads after recovery would grant or deny
+    /// outside any linearization of what was acknowledged.
+    StateDivergence {
+        /// First difference found.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Ssd { set, user, held } => write!(
+                f,
+                "SSD violation: user {user} holds {{{}}} from set `{set}`",
+                held.join(", ")
+            ),
+            Violation::Dsd {
+                set,
+                session,
+                active,
+            } => write!(
+                f,
+                "DSD violation: session {session} has {{{}}} active from set `{set}`",
+                active.join(", ")
+            ),
+            Violation::RoleCardinality { role, cap, active } => write!(
+                f,
+                "cardinality violation: {active} users active in role {role} (cap {cap})"
+            ),
+            Violation::UserCardinality { user, cap, active } => write!(
+                f,
+                "cardinality violation: user {user} has {active} roles active (cap {cap})"
+            ),
+            Violation::CascadeExceeded { bound, observed } => write!(
+                f,
+                "cascade depth {observed} exceeds the analyzer's proved bound {bound}"
+            ),
+            Violation::RecoveryFailed { error } => write!(f, "recovery failed: {error}"),
+            Violation::AckedOpsLost { acked, recovered } => write!(
+                f,
+                "durability violation: {acked} ops acknowledged, {recovered} recovered"
+            ),
+            Violation::StateDivergence { detail } => {
+                write!(f, "recovered state diverges from prefix replay: {detail}")
+            }
+        }
+    }
+}
+
+/// One SoD constraint as the invariant layer checks it.
+#[derive(Debug, Clone)]
+struct SodCheck {
+    name: String,
+    roles: Vec<String>,
+    cardinality: usize,
+}
+
+/// The invariant suite for one reference policy.
+#[derive(Debug, Clone)]
+pub struct Invariants {
+    ssd: Vec<SodCheck>,
+    dsd: Vec<SodCheck>,
+    role_caps: Vec<(String, usize)>,
+    user_caps: Vec<(String, usize)>,
+}
+
+impl Invariants {
+    /// Derive the suite from the policy that *should* be enforced.
+    pub fn from_reference(graph: &PolicyGraph) -> Invariants {
+        let sod = |sets: &[policy::SodSpec]| {
+            sets.iter()
+                .map(|s| SodCheck {
+                    name: s.name.clone(),
+                    roles: s.roles.iter().cloned().collect(),
+                    cardinality: s.cardinality,
+                })
+                .collect::<Vec<_>>()
+        };
+        Invariants {
+            ssd: sod(&graph.ssd),
+            dsd: sod(&graph.dsd),
+            role_caps: graph
+                .roles
+                .iter()
+                .filter_map(|r| r.max_active_users.map(|n| (r.name.clone(), n)))
+                .collect(),
+            user_caps: graph
+                .users
+                .iter()
+                .filter_map(|u| u.max_active_roles.map(|n| (u.name.clone(), n)))
+                .collect(),
+        }
+    }
+
+    /// Evaluate every invariant against `world`, returning the first
+    /// violation found. Crashed worlds have nothing observable; the
+    /// durability invariants run on the step that restarts them.
+    pub fn check(&self, world: &World) -> Option<Violation> {
+        let d = world.engine()?;
+        let e = d.engine();
+        let sys = e.system();
+
+        // --- Static SoD over every user's authorized roles. ---
+        for u in sys.all_users().collect::<Vec<_>>() {
+            let Ok(authorized) = sys.authorized_roles(u) else {
+                continue;
+            };
+            let names: BTreeSet<String> = authorized
+                .iter()
+                .filter_map(|r| sys.role_name(*r).ok().map(str::to_string))
+                .collect();
+            for set in &self.ssd {
+                let held: Vec<String> = set
+                    .roles
+                    .iter()
+                    .filter(|r| names.contains(*r))
+                    .cloned()
+                    .collect();
+                if held.len() >= set.cardinality {
+                    return Some(Violation::Ssd {
+                        set: set.name.clone(),
+                        user: sys.user_name(u).unwrap_or("?").to_string(),
+                        held,
+                    });
+                }
+            }
+        }
+
+        // --- Dynamic SoD over every session's active roles. ---
+        for s in sys.all_sessions().collect::<Vec<_>>() {
+            let Ok(roles) = sys.session_roles(s) else {
+                continue;
+            };
+            let names: BTreeSet<String> = roles
+                .iter()
+                .filter_map(|r| sys.role_name(*r).ok().map(str::to_string))
+                .collect();
+            for set in &self.dsd {
+                let active: Vec<String> = set
+                    .roles
+                    .iter()
+                    .filter(|r| names.contains(*r))
+                    .cloned()
+                    .collect();
+                if active.len() >= set.cardinality {
+                    return Some(Violation::Dsd {
+                        set: set.name.clone(),
+                        session: format!("{s}"),
+                        active,
+                    });
+                }
+            }
+        }
+
+        // --- Activation cardinality (paper Rule 4 and scenario 1). ---
+        for (role, cap) in &self.role_caps {
+            let Ok(r) = sys.role_by_name(role) else {
+                continue;
+            };
+            let active = sys.active_users_of_role(r).unwrap_or(0);
+            if active > *cap {
+                return Some(Violation::RoleCardinality {
+                    role: role.clone(),
+                    cap: *cap,
+                    active,
+                });
+            }
+        }
+        for (user, cap) in &self.user_caps {
+            let Ok(u) = sys.user_by_name(user) else {
+                continue;
+            };
+            let active = sys.active_roles_of_user(u).map(|s| s.len()).unwrap_or(0);
+            if active > *cap {
+                return Some(Violation::UserCardinality {
+                    user: user.clone(),
+                    cap: *cap,
+                    active,
+                });
+            }
+        }
+
+        // --- Cascades stay within the analyzer's proved depth. ---
+        if let Some(bound) = world.cascade_bound() {
+            if e.deepest_cascade() > bound {
+                return Some(Violation::CascadeExceeded {
+                    bound,
+                    observed: e.deepest_cascade(),
+                });
+            }
+        }
+
+        // --- Durability, on the step that recovered from a crash. ---
+        if world.just_restarted() {
+            let acked = world.acked();
+            if d.op_count() != acked.len() as u64 {
+                return Some(Violation::AckedOpsLost {
+                    acked: acked.len(),
+                    recovered: d.op_count(),
+                });
+            }
+            let journal = Journal {
+                policy: world.graph().clone(),
+                start: world.start(),
+                ops: acked.to_vec(),
+            };
+            match replay(&journal) {
+                Err(err) => {
+                    return Some(Violation::StateDivergence {
+                        detail: format!("acknowledged prefix does not replay: {err}"),
+                    })
+                }
+                Ok(expected) => {
+                    if let Some(detail) = state_diff(e, &expected) {
+                        return Some(Violation::StateDivergence { detail });
+                    }
+                }
+            }
+        }
+
+        None
+    }
+}
+
+/// First observable difference between two engines, if any — the same
+/// equality the durability/replication suites assert, as a value.
+pub fn state_diff(a: &Engine, b: &Engine) -> Option<String> {
+    let (sa, sb) = (a.system(), b.system());
+    let (la, lb): (Vec<_>, Vec<_>) = (sa.all_sessions().collect(), sb.all_sessions().collect());
+    if la != lb {
+        return Some(format!("session sets differ: {la:?} vs {lb:?}"));
+    }
+    for s in la {
+        let (ra, rb) = (sa.session_roles(s), sb.session_roles(s));
+        match (&ra, &rb) {
+            (Ok(x), Ok(y)) if x == y => {}
+            _ => return Some(format!("active roles differ for {s}: {ra:?} vs {rb:?}")),
+        }
+    }
+    for r in sa.all_roles().collect::<Vec<_>>() {
+        if sa.is_enabled(r).ok() != sb.is_enabled(r).ok() {
+            return Some(format!("enablement differs for {r}"));
+        }
+    }
+    if a.log().entries() != b.log().entries() {
+        return Some(format!(
+            "audit logs differ ({} vs {} entries)",
+            a.log().entries().len(),
+            b.log().entries().len()
+        ));
+    }
+    if a.now() != b.now() {
+        return Some(format!("clocks differ: {} vs {}", a.now(), b.now()));
+    }
+    None
+}

@@ -1,0 +1,121 @@
+//! Client operations a simulated process issues against the engine.
+//!
+//! Roles, operations and objects are referred to by *name* and users by
+//! *index* (`workload::enterprise::user_name`), so an operation script is
+//! stable across crash/restart cycles — ids are rebound against whatever
+//! engine instance is currently alive.
+
+use std::fmt;
+use workload::Step;
+
+/// One client operation of a simulated trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimOp {
+    /// Open a session (no initial roles) for user `i`.
+    CreateSession {
+        /// User index.
+        user: usize,
+    },
+    /// Close user `i`'s tracked session, if any.
+    DeleteSession {
+        /// User index.
+        user: usize,
+    },
+    /// Activate a role in user `i`'s tracked session.
+    AddActiveRole {
+        /// User index.
+        user: usize,
+        /// Role name.
+        role: String,
+    },
+    /// Deactivate a role in user `i`'s tracked session.
+    DropActiveRole {
+        /// User index.
+        user: usize,
+        /// Role name.
+        role: String,
+    },
+    /// Access check through user `i`'s tracked session.
+    CheckAccess {
+        /// User index.
+        user: usize,
+        /// Operation name.
+        op: String,
+        /// Object name.
+        obj: String,
+    },
+    /// Administrative `AssignUser(user, role)`.
+    AssignUser {
+        /// User index.
+        user: usize,
+        /// Role name.
+        role: String,
+    },
+    /// Administrative `DeassignUser(user, role)`.
+    DeassignUser {
+        /// User index.
+        user: usize,
+        /// Role name.
+        role: String,
+    },
+    /// Advance virtual time by `secs`.
+    Advance {
+        /// Seconds forward.
+        secs: u64,
+    },
+    /// Set a context key (zone, network, …).
+    SetContext {
+        /// Context key.
+        key: String,
+        /// Context value.
+        value: String,
+    },
+}
+
+impl fmt::Display for SimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimOp::CreateSession { user } => write!(f, "create-session(u{user})"),
+            SimOp::DeleteSession { user } => write!(f, "delete-session(u{user})"),
+            SimOp::AddActiveRole { user, role } => write!(f, "add-active-role(u{user}, {role})"),
+            SimOp::DropActiveRole { user, role } => write!(f, "drop-active-role(u{user}, {role})"),
+            SimOp::CheckAccess { user, op, obj } => {
+                write!(f, "check-access(u{user}, {op}, {obj})")
+            }
+            SimOp::AssignUser { user, role } => write!(f, "assign-user(u{user}, {role})"),
+            SimOp::DeassignUser { user, role } => write!(f, "deassign-user(u{user}, {role})"),
+            SimOp::Advance { secs } => write!(f, "advance(+{secs}s)"),
+            SimOp::SetContext { key, value } => write!(f, "set-context({key}={value})"),
+        }
+    }
+}
+
+/// Lower a generated workload trace to simulator operations, using the
+/// workload crate's canonical `role{i}` / `op{i}` / `obj{i}` naming.
+pub fn from_trace(trace: &[Step]) -> Vec<SimOp> {
+    trace
+        .iter()
+        .map(|s| match s {
+            Step::CreateSession { user } => SimOp::CreateSession { user: *user },
+            Step::DeleteSession { user } => SimOp::DeleteSession { user: *user },
+            Step::AddActiveRole { user, role } => SimOp::AddActiveRole {
+                user: *user,
+                role: workload::enterprise::role_name(*role),
+            },
+            Step::DropActiveRole { user, role } => SimOp::DropActiveRole {
+                user: *user,
+                role: workload::enterprise::role_name(*role),
+            },
+            Step::CheckAccess { user, op, obj } => SimOp::CheckAccess {
+                user: *user,
+                op: format!("op{op}"),
+                obj: format!("obj{obj}"),
+            },
+            Step::Advance { secs } => SimOp::Advance { secs: *secs },
+            Step::SetContext { zone } => SimOp::SetContext {
+                key: "zone".to_string(),
+                value: workload::enterprise::ZONES[*zone].to_string(),
+            },
+        })
+        .collect()
+}

@@ -1,0 +1,540 @@
+//! A simulated process: one durable engine over a simulated disk, plus
+//! everything the scheduler needs to fork, crash, restart and compare
+//! worlds.
+
+use crate::op::SimOp;
+use owte_core::{
+    DurableConfig, DurableEngine, FaultKind, FaultPlan, FaultyStorage, JournalOp, MemStorage,
+    ScriptedFault,
+};
+use policy::PolicyGraph;
+use rbac::SessionId;
+use snoop::{Dur, Ts};
+use std::fmt;
+use std::rc::Rc;
+
+/// The storage stack every simulated process runs on: deterministic
+/// fault injection over a crashable in-memory disk.
+pub type SimStore = FaultyStorage<MemStorage>;
+
+/// One scheduler decision. Schedules are position-independent: each
+/// choice resolves against the current world state ("the next client
+/// op", "the earliest pending timer"), so a recorded schedule replays
+/// deterministically from the initial world with no absolute indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Choice {
+    /// Run the next client operation to completion.
+    NextOp,
+    /// Run the next client operation, but kill the store at its `at`-th
+    /// storage operation (1-based); if that operation is an append,
+    /// exactly `keep` bytes still reach the disk (a torn write). The
+    /// process then power-fails: unsynced bytes are dropped.
+    CrashDuringNextOp {
+        /// Which storage op of the client op dies.
+        at: u64,
+        /// Bytes of the in-flight append that land first.
+        keep: usize,
+    },
+    /// Power-fail between operations (unsynced bytes are dropped).
+    CrashNow,
+    /// Advance virtual time to the earliest pending detector timer,
+    /// firing it (and any rules it cascades into).
+    FireNextTimer,
+    /// Restart the crashed process: recover from surviving bytes.
+    Restart,
+}
+
+impl fmt::Display for Choice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Choice::NextOp => write!(f, "op"),
+            Choice::CrashDuringNextOp { at, keep } => {
+                write!(f, "crash-during-op(storage-op {at}, keep {keep}B)")
+            }
+            Choice::CrashNow => write!(f, "crash"),
+            Choice::FireNextTimer => write!(f, "fire-timer"),
+            Choice::Restart => write!(f, "restart"),
+        }
+    }
+}
+
+/// Why a [`World::apply`] call did not produce a successor state.
+#[derive(Debug, Clone)]
+pub enum StepError {
+    /// The choice is not enabled in the current state (e.g. `Restart`
+    /// while running) — schedules being shrunk hit this; explorers never
+    /// should.
+    NotEnabled(Choice),
+    /// The step itself surfaced a violation (recovery failed outright).
+    Violation(crate::invariants::Violation),
+}
+
+/// The process half of a world: either a live engine or a crashed disk
+/// waiting for a restart.
+#[derive(Clone)]
+enum Node {
+    Running(Box<DurableEngine<SimStore>>),
+    Crashed(MemStorage),
+}
+
+/// One complete simulated state: process, pending client script, the
+/// acknowledged-operation ledger, and the schedule that produced it.
+#[derive(Clone)]
+pub struct World {
+    node: Node,
+    ops: Rc<Vec<SimOp>>,
+    cursor: usize,
+    sessions: Vec<Option<SessionId>>,
+    acked: Vec<JournalOp>,
+    crashes: usize,
+    just_restarted: bool,
+    graph: Rc<PolicyGraph>,
+    config: DurableConfig,
+    start: Ts,
+    cascade_bound: Option<usize>,
+    schedule: Vec<Choice>,
+}
+
+impl World {
+    /// Boot a fresh world: instantiate `graph`, write the genesis
+    /// snapshot, and stage `ops` as the client script.
+    pub fn new(
+        graph: &PolicyGraph,
+        ops: Vec<SimOp>,
+        config: DurableConfig,
+    ) -> Result<World, String> {
+        let storage = FaultyStorage::new(MemStorage::new(), 0, FaultPlan::default());
+        let engine = DurableEngine::create(storage, graph, Ts::ZERO, config.clone())
+            .map_err(|e| format!("world genesis failed: {e}"))?;
+        let cascade_bound = engine.engine().analyze().max_sync_depth;
+        let users = graph.users.len();
+        Ok(World {
+            node: Node::Running(Box::new(engine)),
+            ops: Rc::new(ops),
+            cursor: 0,
+            sessions: vec![None; users],
+            acked: Vec::new(),
+            crashes: 0,
+            just_restarted: false,
+            graph: Rc::new(graph.clone()),
+            config,
+            start: Ts::ZERO,
+            cascade_bound,
+            schedule: Vec::new(),
+        })
+    }
+
+    /// The live engine, if the process is up.
+    pub fn engine(&self) -> Option<&DurableEngine<SimStore>> {
+        match &self.node {
+            Node::Running(d) => Some(d),
+            Node::Crashed(_) => None,
+        }
+    }
+
+    /// Is the process down, waiting for a restart?
+    pub fn is_crashed(&self) -> bool {
+        matches!(self.node, Node::Crashed(_))
+    }
+
+    /// Operations the engine acknowledged journaling, in execution order.
+    pub fn acked(&self) -> &[JournalOp] {
+        &self.acked
+    }
+
+    /// The policy graph this world's engines are built from.
+    pub fn graph(&self) -> &PolicyGraph {
+        &self.graph
+    }
+
+    /// Virtual start instant (worlds boot at `Ts::ZERO`).
+    pub fn start(&self) -> Ts {
+        self.start
+    }
+
+    /// Crash/restart cycles taken so far.
+    pub fn crashes(&self) -> usize {
+        self.crashes
+    }
+
+    /// Did the immediately preceding step recover from a crash? The
+    /// invariant layer runs its durability checks exactly then.
+    pub fn just_restarted(&self) -> bool {
+        self.just_restarted
+    }
+
+    /// The analyzer's proved synchronous cascade bound for this policy.
+    pub fn cascade_bound(&self) -> Option<usize> {
+        self.cascade_bound
+    }
+
+    /// The schedule (sequence of applied choices) that produced this
+    /// world from its initial state.
+    pub fn schedule(&self) -> &[Choice] {
+        &self.schedule
+    }
+
+    /// Index of the next client operation.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// The full client script.
+    pub fn ops(&self) -> &[SimOp] {
+        &self.ops
+    }
+
+    /// Human-readable description of what `choice` would do here.
+    pub fn describe(&self, choice: &Choice) -> String {
+        let next = self
+            .ops
+            .get(self.cursor)
+            .map(|o| o.to_string())
+            .unwrap_or_else(|| "<none>".into());
+        match choice {
+            Choice::NextOp => format!("op[{}]: {next}", self.cursor),
+            Choice::CrashDuringNextOp { at, keep } => format!(
+                "op[{}]: {next} — killed at storage op {at} (keep {keep}B), then power loss",
+                self.cursor
+            ),
+            Choice::CrashNow => "power loss (unsynced bytes dropped)".to_string(),
+            Choice::FireNextTimer => match self.engine().and_then(|d| d.engine().next_timer_at()) {
+                Some(t) => format!("advance to {t} and fire pending timers"),
+                None => "fire-timer (none pending)".to_string(),
+            },
+            Choice::Restart => "restart: recover from surviving bytes".to_string(),
+        }
+    }
+
+    /// How many storage operations the next client op performs, measured
+    /// on a throwaway clone of the engine. `0` when it resolves to a
+    /// no-op (unknown name, no session) or nothing is pending.
+    pub fn probe_next_op_storage_ops(&self) -> u64 {
+        let (Node::Running(d), Some(op)) = (&self.node, self.ops.get(self.cursor)) else {
+            return 0;
+        };
+        let mut clone = d.clone();
+        let mut sessions = self.sessions.clone();
+        let before = clone.storage().ops();
+        let _ = apply_client_op(&mut clone, &mut sessions, op);
+        clone.storage().ops() - before
+    }
+
+    /// Digest of what the disk would hold if the process power-failed
+    /// right now (synced bytes only). `None` while crashed. Diagnostic:
+    /// two worlds whose crash digests agree recover identically.
+    pub fn crash_digest(&self) -> Option<u64> {
+        match &self.node {
+            Node::Running(d) => {
+                let mut mem = d.storage().inner().clone();
+                mem.crash();
+                Some(mem.state_digest())
+            }
+            Node::Crashed(_) => None,
+        }
+    }
+
+    /// Apply one scheduler choice, transforming this world into its
+    /// successor.
+    pub fn apply(&mut self, choice: &Choice) -> Result<(), StepError> {
+        self.just_restarted = false;
+        match choice {
+            Choice::NextOp => {
+                let Node::Running(d) = &mut self.node else {
+                    return Err(StepError::NotEnabled(choice.clone()));
+                };
+                let Some(op) = self.ops.get(self.cursor) else {
+                    return Err(StepError::NotEnabled(choice.clone()));
+                };
+                if let Some(j) = apply_client_op(d, &mut self.sessions, op) {
+                    self.acked.push(j);
+                }
+                self.cursor += 1;
+            }
+            Choice::CrashDuringNextOp { at, keep } => {
+                let Node::Running(d) = &mut self.node else {
+                    return Err(StepError::NotEnabled(choice.clone()));
+                };
+                let Some(op) = self.ops.get(self.cursor) else {
+                    return Err(StepError::NotEnabled(choice.clone()));
+                };
+                let base = d.storage().ops();
+                d.storage_mut().plan_mut().scripted.push(ScriptedFault {
+                    at_op: base + at,
+                    kind: FaultKind::Kill { keep: *keep },
+                });
+                if let Some(j) = apply_client_op(d, &mut self.sessions, op) {
+                    // The journal append (and its sync) beat the kill
+                    // point: the op is acknowledged even though the
+                    // client saw an error from a later storage op.
+                    self.acked.push(j);
+                }
+                self.cursor += 1;
+                self.power_fail();
+            }
+            Choice::CrashNow => {
+                if !matches!(self.node, Node::Running(_)) {
+                    return Err(StepError::NotEnabled(choice.clone()));
+                }
+                self.power_fail();
+            }
+            Choice::FireNextTimer => {
+                let Node::Running(d) = &mut self.node else {
+                    return Err(StepError::NotEnabled(choice.clone()));
+                };
+                let Some(deadline) = d.engine().next_timer_at() else {
+                    return Err(StepError::NotEnabled(choice.clone()));
+                };
+                let before = d.op_count();
+                let _ = d.advance_to(deadline);
+                if d.op_count() > before {
+                    self.acked.push(JournalOp::AdvanceTo { to: deadline });
+                }
+            }
+            Choice::Restart => {
+                let Node::Crashed(_) = &self.node else {
+                    return Err(StepError::NotEnabled(choice.clone()));
+                };
+                let Node::Crashed(mem) =
+                    std::mem::replace(&mut self.node, Node::Crashed(MemStorage::new()))
+                else {
+                    unreachable!("matched Crashed above");
+                };
+                let storage = FaultyStorage::new(mem, 0, FaultPlan::default());
+                match DurableEngine::open(storage, self.config.clone()) {
+                    Ok(d) => {
+                        self.node = Node::Running(Box::new(d));
+                        self.just_restarted = true;
+                    }
+                    Err(e) => {
+                        self.schedule.push(choice.clone());
+                        return Err(StepError::Violation(
+                            crate::invariants::Violation::RecoveryFailed {
+                                error: e.to_string(),
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        self.schedule.push(choice.clone());
+        Ok(())
+    }
+
+    /// Drop the engine mid-flight and keep only what a real power loss
+    /// would: the synced bytes of the inner store.
+    fn power_fail(&mut self) {
+        let node = std::mem::replace(&mut self.node, Node::Crashed(MemStorage::new()));
+        let mut mem = match node {
+            Node::Running(d) => d.into_storage().into_inner(),
+            Node::Crashed(mem) => mem,
+        };
+        mem.crash();
+        self.node = Node::Crashed(mem);
+        self.crashes += 1;
+        // Session handles do not survive the process.
+        for s in &mut self.sessions {
+            *s = None;
+        }
+    }
+
+    /// An order-independent fingerprint of everything observable about
+    /// this state: process status, disk digest, engine-visible RBAC
+    /// state, clock, pending timers, audit log and client-script cursor.
+    /// Two worlds with equal fingerprints behave identically under every
+    /// future schedule, so the exhaustive explorer prunes revisits.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.cursor as u64);
+        h.u64(self.acked.len() as u64);
+        for s in &self.sessions {
+            match s {
+                Some(sid) => h.str(&format!("S{sid}")),
+                None => h.str("-"),
+            }
+        }
+        match &self.node {
+            Node::Crashed(mem) => {
+                h.str("crashed");
+                h.u64(mem.state_digest());
+            }
+            Node::Running(d) => {
+                h.str("running");
+                h.u64(d.storage().inner().state_digest());
+                h.u64(d.op_count());
+                let e = d.engine();
+                h.str(&format!("{}", e.now()));
+                h.u64(e.deepest_cascade() as u64);
+                for t in e.pending_timer_deadlines() {
+                    h.str(&format!("{t}"));
+                }
+                let sys = e.system();
+                for s in sys.all_sessions() {
+                    h.str(&format!("{s}"));
+                    if let Ok(u) = sys.session_user(s) {
+                        h.str(&format!("{u}"));
+                    }
+                    if let Ok(roles) = sys.session_roles(s) {
+                        for r in roles {
+                            h.str(&format!("{r}"));
+                        }
+                    }
+                }
+                for r in sys.all_roles() {
+                    h.str(if sys.is_enabled(r).unwrap_or(false) {
+                        "e"
+                    } else {
+                        "d"
+                    });
+                }
+                for u in sys.all_users() {
+                    if let Ok(assigned) = sys.assigned_roles(u) {
+                        for r in assigned {
+                            h.str(&format!("{r}"));
+                        }
+                    }
+                    h.str(";");
+                }
+                let ctx: std::collections::BTreeMap<_, _> = e.context().values().iter().collect();
+                for (k, v) in ctx {
+                    h.str(k);
+                    h.str(v);
+                }
+                h.u64(e.log().entries().len() as u64);
+                for entry in e.log().entries() {
+                    h.str(&format!("{entry}"));
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Run one client op against a live engine, returning the journal record
+/// to add to the acknowledged ledger if the engine acknowledged it (the
+/// op counter moved), regardless of the client-visible result. Unknown
+/// names and missing sessions make the op a silent no-op, mirroring the
+/// proptest drivers.
+fn apply_client_op(
+    d: &mut DurableEngine<SimStore>,
+    sessions: &mut [Option<SessionId>],
+    op: &SimOp,
+) -> Option<JournalOp> {
+    let before = d.op_count();
+    let journaled: Option<JournalOp> = match op {
+        SimOp::CreateSession { user } => {
+            let u = d.user_id(&workload::enterprise::user_name(*user)).ok()?;
+            let res = d.create_session(u, &[]);
+            if let Ok(s) = res {
+                sessions[*user] = Some(s);
+            }
+            Some(JournalOp::CreateSession {
+                user: u,
+                initial: vec![],
+            })
+        }
+        SimOp::DeleteSession { user } => {
+            let s = sessions[*user].take()?;
+            let u = d.user_id(&workload::enterprise::user_name(*user)).ok()?;
+            let _ = d.delete_session(u, s);
+            Some(JournalOp::DeleteSession {
+                user: u,
+                session: s,
+            })
+        }
+        SimOp::AddActiveRole { user, role } => {
+            let s = sessions[*user]?;
+            let u = d.user_id(&workload::enterprise::user_name(*user)).ok()?;
+            let r = d.role_id(role).ok()?;
+            let _ = d.add_active_role(u, s, r);
+            Some(JournalOp::AddActiveRole {
+                user: u,
+                session: s,
+                role: r,
+            })
+        }
+        SimOp::DropActiveRole { user, role } => {
+            let s = sessions[*user]?;
+            let u = d.user_id(&workload::enterprise::user_name(*user)).ok()?;
+            let r = d.role_id(role).ok()?;
+            let _ = d.drop_active_role(u, s, r);
+            Some(JournalOp::DropActiveRole {
+                user: u,
+                session: s,
+                role: r,
+            })
+        }
+        SimOp::CheckAccess { user, op, obj } => {
+            let s = sessions[*user]?;
+            let o = d.engine().system().op_by_name(op).ok()?;
+            let b = d.engine().system().obj_by_name(obj).ok()?;
+            let _ = d.check_access(s, o, b);
+            Some(JournalOp::CheckAccess {
+                session: s,
+                op: o,
+                obj: b,
+                purpose: -1,
+            })
+        }
+        SimOp::AssignUser { user, role } => {
+            let u = d.user_id(&workload::enterprise::user_name(*user)).ok()?;
+            let r = d.role_id(role).ok()?;
+            let _ = d.assign_user(u, r);
+            Some(JournalOp::AssignUser { user: u, role: r })
+        }
+        SimOp::DeassignUser { user, role } => {
+            let u = d.user_id(&workload::enterprise::user_name(*user)).ok()?;
+            let r = d.role_id(role).ok()?;
+            let _ = d.deassign_user(u, r);
+            Some(JournalOp::DeassignUser { user: u, role: r })
+        }
+        SimOp::Advance { secs } => {
+            let to = d.engine().now() + Dur::from_secs(*secs);
+            let _ = d.advance_to(to);
+            Some(JournalOp::AdvanceTo { to })
+        }
+        SimOp::SetContext { key, value } => {
+            let _ = d.set_context(key, value);
+            Some(JournalOp::SetContext {
+                key: key.clone(),
+                value: value.clone(),
+            })
+        }
+    };
+    if d.op_count() > before {
+        journaled
+    } else {
+        None
+    }
+}
+
+/// FNV-1a, built up from strings and integers.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn str(&mut self, s: &str) {
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+        self.byte(0xFF); // separator
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}

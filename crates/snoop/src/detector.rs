@@ -650,6 +650,21 @@ impl Detector {
         self.live_timers
     }
 
+    /// Deadlines of every live timer, sorted and deduplicated. A virtual-
+    /// time scheduler uses this to enumerate the distinct instants at
+    /// which "fire the next timer batch" is a schedulable choice.
+    pub fn pending_timer_deadlines(&self) -> Vec<Ts> {
+        let mut out: Vec<Ts> = self
+            .timer_queue
+            .iter()
+            .filter(|Reverse((_, key))| self.timer_key_live(*key))
+            .map(|Reverse((at, _))| *at)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Current capacity of the timer slab (live + reusable free slots).
     ///
     /// Bounded by the high-water mark of *concurrent* timers — not by how

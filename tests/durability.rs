@@ -23,21 +23,46 @@ use workload::{generate_enterprise, generate_trace, EnterpriseSpec, Step, TraceS
 
 /// The repo's canonical state-equality check (same as the replication
 /// suite): sessions, active roles, role enablement, the full audit log,
-/// and the clock.
-fn assert_state_equal(a: &Engine, b: &Engine) {
+/// and the clock. `ctx` is prepended to every panic message so a failing
+/// proptest case prints its seeds.
+fn assert_state_equal(a: &Engine, b: &Engine, ctx: &str) {
     let (sa, sb) = (a.system(), b.system());
     assert_eq!(
         sa.all_sessions().collect::<Vec<_>>(),
-        sb.all_sessions().collect::<Vec<_>>()
+        sb.all_sessions().collect::<Vec<_>>(),
+        "{ctx}: session sets differ"
     );
     for s in sa.all_sessions() {
-        assert_eq!(sa.session_roles(s).unwrap(), sb.session_roles(s).unwrap());
+        assert_eq!(
+            sa.session_roles(s).unwrap(),
+            sb.session_roles(s).unwrap(),
+            "{ctx}: active roles differ for {s:?}"
+        );
     }
     for r in sa.all_roles() {
-        assert_eq!(sa.is_enabled(r).unwrap(), sb.is_enabled(r).unwrap());
+        assert_eq!(
+            sa.is_enabled(r).unwrap(),
+            sb.is_enabled(r).unwrap(),
+            "{ctx}: enablement differs for {r:?}"
+        );
     }
-    assert_eq!(a.log().entries(), b.log().entries());
-    assert_eq!(a.now(), b.now());
+    assert_eq!(
+        a.log().entries(),
+        b.log().entries(),
+        "{ctx}: audit logs differ"
+    );
+    assert_eq!(a.now(), b.now(), "{ctx}: clocks differ");
+}
+
+/// Format the seeds of a failing case as a one-command replay recipe.
+fn replay_hint(test: &str, seeds: &[(&str, u64)]) -> String {
+    let pairs: Vec<String> = seeds.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let csv: Vec<String> = seeds.iter().map(|(_, v)| v.to_string()).collect();
+    format!(
+        "[{}; replay: OWTE_REPLAY_SEEDS={} cargo test --test {test} replay_from_env -- --ignored --nocapture]",
+        pairs.join(" "),
+        csv.join(",")
+    )
 }
 
 /// Drive a durable engine through a trace, recording every operation the
@@ -222,6 +247,65 @@ fn trace_for(spec: &EnterpriseSpec, steps: usize, seed: u64) -> Vec<Step> {
     )
 }
 
+/// Body of the crash-consistency property, factored out so a failing seed
+/// combination can be replayed directly via [`replay_from_env`].
+fn check_recovery_equals_prefix_replay(
+    ent_seed: u64,
+    trace_seed: u64,
+    kill_at: u64,
+    fault_seed: u64,
+) {
+    let ctx = replay_hint(
+        "durability",
+        &[
+            ("ent_seed", ent_seed),
+            ("trace_seed", trace_seed),
+            ("kill_at", kill_at),
+            ("fault_seed", fault_seed),
+        ],
+    );
+    let (spec, graph) = enterprise(ent_seed);
+    let trace = trace_for(&spec, 100, trace_seed);
+    let plan = FaultPlan {
+        kill_at_op: Some(kill_at),
+        torn_writes: true,
+        p_transient_io: 0.05,
+        p_failed_sync: 0.05,
+        ..FaultPlan::default()
+    };
+    let storage = FaultyStorage::new(MemStorage::new(), fault_seed, plan);
+    let config = DurableConfig {
+        snapshot_every: Some(25),
+        ..DurableConfig::default()
+    };
+    let Ok(mut d) = DurableEngine::create(storage, &graph, Ts::ZERO, config.clone()) else {
+        // The kill point fired during genesis; nothing to recover.
+        return;
+    };
+    let mut acked = Vec::new();
+    drive_durable(&mut d, &trace, spec.users, &mut acked);
+
+    // Power loss: only synced bytes survive.
+    let mut disk = d.into_storage().into_inner();
+    disk.crash();
+
+    let recovered = DurableEngine::open(disk, config)
+        .unwrap_or_else(|e| panic!("{ctx}: crash at any point must be recoverable: {e}"));
+    assert_eq!(
+        recovered.op_count(),
+        acked.len() as u64,
+        "{ctx}: recovered op count != acknowledged prefix"
+    );
+
+    let expected = replay(&Journal {
+        policy: graph.clone(),
+        start: Ts::ZERO,
+        ops: acked,
+    })
+    .unwrap_or_else(|e| panic!("{ctx}: acknowledged prefix replays: {e}"));
+    assert_state_equal(recovered.engine(), &expected, &ctx);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
 
@@ -235,47 +319,17 @@ proptest! {
         kill_at in 1u64..120,
         fault_seed in 0u64..1000,
     ) {
-        let (spec, graph) = enterprise(ent_seed);
-        let trace = trace_for(&spec, 100, trace_seed);
-        let plan = FaultPlan {
-            kill_at_op: Some(kill_at),
-            torn_writes: true,
-            p_transient_io: 0.05,
-            p_failed_sync: 0.05,
-        };
-        let storage = FaultyStorage::new(MemStorage::new(), fault_seed, plan);
-        let config = DurableConfig {
-            snapshot_every: Some(25),
-            ..DurableConfig::default()
-        };
-        let Ok(mut d) = DurableEngine::create(storage, &graph, Ts::ZERO, config.clone()) else {
-            // The kill point fired during genesis; nothing to recover.
-            return Ok(());
-        };
-        let mut acked = Vec::new();
-        drive_durable(&mut d, &trace, spec.users, &mut acked);
-
-        // Power loss: only synced bytes survive.
-        let mut disk = d.into_storage().into_inner();
-        disk.crash();
-
-        let recovered = DurableEngine::open(disk, config)
-            .expect("crash at any point must be recoverable");
-        prop_assert_eq!(recovered.op_count(), acked.len() as u64);
-
-        let expected = replay(&Journal {
-            policy: graph.clone(),
-            start: Ts::ZERO,
-            ops: acked,
-        })
-        .expect("acknowledged prefix replays");
-        assert_state_equal(recovered.engine(), &expected);
+        check_recovery_equals_prefix_replay(ent_seed, trace_seed, kill_at, fault_seed);
     }
 
     /// Without any injected faults, reopening is lossless for the whole
     /// trace (and exercises the snapshot/compaction path heavily).
     #[test]
     fn clean_reopen_is_lossless(ent_seed in 0u64..200, trace_seed in 0u64..200) {
+        let ctx = replay_hint(
+            "durability",
+            &[("ent_seed", ent_seed), ("trace_seed", trace_seed)],
+        );
         let (spec, graph) = enterprise(ent_seed);
         let trace = trace_for(&spec, 80, trace_seed);
         let config = DurableConfig {
@@ -286,21 +340,45 @@ proptest! {
             .unwrap();
         let mut acked = Vec::new();
         drive_durable(&mut d, &trace, spec.users, &mut acked);
-        prop_assert_eq!(d.snapshot_failures(), 0);
+        prop_assert_eq!(d.snapshot_failures(), 0, "{}: snapshot failed", ctx);
         let live = d.engine().clone();
         let total = d.op_count();
 
         let mut disk = d.into_storage();
         disk.crash(); // sync_on_append: everything acknowledged survives
         let recovered = DurableEngine::open(disk, config).unwrap();
-        prop_assert_eq!(recovered.op_count(), total);
+        prop_assert_eq!(recovered.op_count(), total, "{}: op count changed", ctx);
         prop_assert_eq!(
             recovered.recovery_stats(),
             owte_core::RecoveryStats::default(),
-            "a clean reopen repairs nothing"
+            "{}: a clean reopen repairs nothing",
+            ctx
         );
-        assert_state_equal(recovered.engine(), &live);
+        assert_state_equal(recovered.engine(), &live, &ctx);
     }
+}
+
+/// One-command replay of a failing `recovery_equals_prefix_replay` case:
+///
+/// ```text
+/// OWTE_REPLAY_SEEDS=ent,trace,kill,fault cargo test --test durability \
+///     replay_from_env -- --ignored --nocapture
+/// ```
+#[test]
+#[ignore = "replay harness; set OWTE_REPLAY_SEEDS=ent,trace,kill,fault"]
+fn replay_from_env() {
+    let raw = std::env::var("OWTE_REPLAY_SEEDS")
+        .expect("set OWTE_REPLAY_SEEDS=ent_seed,trace_seed,kill_at,fault_seed");
+    let seeds: Vec<u64> = raw
+        .split(',')
+        .map(|p| p.trim().parse().expect("seeds must be integers"))
+        .collect();
+    assert_eq!(
+        seeds.len(),
+        4,
+        "expected 4 comma-separated seeds, got {raw:?}"
+    );
+    check_recovery_equals_prefix_replay(seeds[0], seeds[1], seeds[2], seeds[3]);
 }
 
 /// Helper: run a small deterministic workload and return storage + the
@@ -349,7 +427,7 @@ fn torn_final_frame_truncates_to_previous_op() {
         ops: acked[..acked.len() - 1].to_vec(),
     })
     .unwrap();
-    assert_state_equal(recovered.engine(), &expected);
+    assert_state_equal(recovered.engine(), &expected, "torn_final_frame");
 }
 
 #[test]
@@ -438,7 +516,7 @@ fn file_storage_survives_process_restart() {
 
     let storage = FileStorage::open(&dir).unwrap();
     let recovered = DurableEngine::open(storage, config).unwrap();
-    assert_state_equal(recovered.engine(), &live);
+    assert_state_equal(recovered.engine(), &live, "file_storage_restart");
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -75,20 +75,72 @@ fn drive(primary: &mut RecordingEngine, trace: &[Step], users: usize) {
     }
 }
 
-fn assert_state_equal(a: &Engine, b: &Engine) {
+/// State equality with a failure context: `ctx` carries the failing case's
+/// seeds so any panic is directly replayable.
+fn assert_state_equal(a: &Engine, b: &Engine, ctx: &str) {
     let (sa, sb) = (a.system(), b.system());
     assert_eq!(
         sa.all_sessions().collect::<Vec<_>>(),
-        sb.all_sessions().collect::<Vec<_>>()
+        sb.all_sessions().collect::<Vec<_>>(),
+        "{ctx}: session sets differ"
     );
     for s in sa.all_sessions() {
-        assert_eq!(sa.session_roles(s).unwrap(), sb.session_roles(s).unwrap());
+        assert_eq!(
+            sa.session_roles(s).unwrap(),
+            sb.session_roles(s).unwrap(),
+            "{ctx}: active roles differ for {s:?}"
+        );
     }
     for r in sa.all_roles() {
-        assert_eq!(sa.is_enabled(r).unwrap(), sb.is_enabled(r).unwrap());
+        assert_eq!(
+            sa.is_enabled(r).unwrap(),
+            sb.is_enabled(r).unwrap(),
+            "{ctx}: enablement differs for {r:?}"
+        );
     }
-    assert_eq!(a.log().entries(), b.log().entries());
-    assert_eq!(a.now(), b.now());
+    assert_eq!(
+        a.log().entries(),
+        b.log().entries(),
+        "{ctx}: audit logs differ"
+    );
+    assert_eq!(a.now(), b.now(), "{ctx}: clocks differ");
+}
+
+/// Body of the replication property, callable with explicit seeds for a
+/// one-command replay via [`replay_from_env`].
+fn check_replica_equals_primary(ent_seed: u64, trace_seed: u64) {
+    let ctx = format!(
+        "[ent_seed={ent_seed} trace_seed={trace_seed}; replay: \
+         OWTE_REPLAY_SEEDS={ent_seed},{trace_seed} cargo test --test replication \
+         replay_from_env -- --ignored --nocapture]"
+    );
+    let spec = EnterpriseSpec {
+        roles: 10,
+        users: 12,
+        permissions: 12,
+        temporal_fraction: 0.3,
+        duration_fraction: 0.3,
+        context_fraction: 0.3,
+        capped_fraction: 0.3,
+        ..EnterpriseSpec::default()
+    };
+    let graph = generate_enterprise(&spec, ent_seed);
+    let trace = generate_trace(
+        &TraceSpec {
+            steps: 150,
+            users: spec.users,
+            roles: spec.roles,
+            objects: spec.permissions,
+            w_context: 5,
+            ..TraceSpec::default()
+        },
+        trace_seed,
+    );
+    let mut primary = RecordingEngine::from_policy(&graph, Ts::ZERO).unwrap();
+    drive(&mut primary, &trace, spec.users);
+    let replica =
+        replay(primary.journal()).unwrap_or_else(|e| panic!("{ctx}: journal replays: {e}"));
+    assert_state_equal(primary.engine(), &replica, &ctx);
 }
 
 proptest! {
@@ -96,38 +148,14 @@ proptest! {
 
     #[test]
     fn replica_equals_primary(ent_seed in 0u64..500, trace_seed in 0u64..500) {
-        let spec = EnterpriseSpec {
-            roles: 10,
-            users: 12,
-            permissions: 12,
-            temporal_fraction: 0.3,
-            duration_fraction: 0.3,
-            context_fraction: 0.3,
-            capped_fraction: 0.3,
-            ..EnterpriseSpec::default()
-        };
-        let graph = generate_enterprise(&spec, ent_seed);
-        let trace = generate_trace(
-            &TraceSpec {
-                steps: 150,
-                users: spec.users,
-                roles: spec.roles,
-                objects: spec.permissions,
-                w_context: 5,
-                ..TraceSpec::default()
-            },
-            trace_seed,
-        );
-        let mut primary = RecordingEngine::from_policy(&graph, Ts::ZERO).unwrap();
-        drive(&mut primary, &trace, spec.users);
-        let replica = replay(primary.journal()).unwrap();
-        assert_state_equal(primary.engine(), &replica);
+        check_replica_equals_primary(ent_seed, trace_seed);
     }
 
     /// The journal survives serialization (a real replica receives it over
     /// the wire).
     #[test]
     fn replica_from_serialized_journal(seed in 0u64..200) {
+        let ctx = format!("[seed={seed}]");
         let spec = EnterpriseSpec::sized(8);
         let graph = generate_enterprise(&spec, seed);
         let trace = generate_trace(
@@ -144,7 +172,30 @@ proptest! {
         drive(&mut primary, &trace, spec.users);
         let wire = serde_json::to_vec(primary.journal()).unwrap();
         let journal: owte_core::Journal = serde_json::from_slice(&wire).unwrap();
-        let replica = replay(&journal).unwrap();
-        assert_state_equal(primary.engine(), &replica);
+        let replica = replay(&journal).unwrap_or_else(|e| panic!("{ctx}: replays: {e}"));
+        assert_state_equal(primary.engine(), &replica, &ctx);
     }
+}
+
+/// One-command replay of a failing `replica_equals_primary` case:
+///
+/// ```text
+/// OWTE_REPLAY_SEEDS=ent,trace cargo test --test replication \
+///     replay_from_env -- --ignored --nocapture
+/// ```
+#[test]
+#[ignore = "replay harness; set OWTE_REPLAY_SEEDS=ent_seed,trace_seed"]
+fn replay_from_env() {
+    let raw =
+        std::env::var("OWTE_REPLAY_SEEDS").expect("set OWTE_REPLAY_SEEDS=ent_seed,trace_seed");
+    let seeds: Vec<u64> = raw
+        .split(',')
+        .map(|p| p.trim().parse().expect("seeds must be integers"))
+        .collect();
+    assert_eq!(
+        seeds.len(),
+        2,
+        "expected 2 comma-separated seeds, got {raw:?}"
+    );
+    check_replica_equals_primary(seeds[0], seeds[1]);
 }

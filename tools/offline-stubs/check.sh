@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Typecheck the workspace against the offline stub crates (no network).
+# Usage: tools/offline-stubs/check.sh [check|clippy] [extra cargo args...]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/../.." && pwd)"
+stubs="$repo/tools/offline-stubs"
+manifest="$repo/Cargo.toml"
+cmd="${1:-check}"
+shift || true
+
+marker="# BEGIN offline-stubs patch (auto-removed)"
+cleanup() {
+    # Strip the injected patch table and the lockfile that references it.
+    sed -i "/^${marker}\$/,\$d" "$manifest"
+    rm -f "$repo/Cargo.lock"
+}
+trap cleanup EXIT
+
+cleanup # in case a previous run died before its trap
+cat >>"$manifest" <<EOF
+$marker
+[patch.crates-io]
+serde = { path = "tools/offline-stubs/serde" }
+serde_json = { path = "tools/offline-stubs/serde_json" }
+rand = { path = "tools/offline-stubs/rand" }
+proptest = { path = "tools/offline-stubs/proptest" }
+parking_lot = { path = "tools/offline-stubs/parking_lot" }
+criterion = { path = "tools/offline-stubs/criterion" }
+EOF
+
+cargo "$cmd" --manifest-path "$manifest" --workspace --all-targets --offline "$@"

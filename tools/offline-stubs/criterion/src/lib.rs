@@ -1,0 +1,160 @@
+//! Typecheck-only stand-in for `criterion` (see ../README.md).
+//!
+//! Mirrors the bench API shape used by `crates/bench`; closures are
+//! typechecked but never executed.
+
+use std::fmt::Display;
+
+/// Mirror of `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion(());
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, _f: F) -> &mut Self {
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, _name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup(std::marker::PhantomData)
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a>(std::marker::PhantomData<&'a ()>);
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        _id: ID,
+        _f: F,
+    ) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<ID: IntoBenchmarkId, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: ID,
+        _input: &I,
+        _f: F,
+    ) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion::Bencher`.
+pub struct Bencher(());
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, _routine: F) {
+        unimplemented!()
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, _setup: S, _routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        unimplemented!()
+    }
+
+    pub fn iter_custom<F: FnMut(u64) -> std::time::Duration>(&mut self, _routine: F) {
+        unimplemented!()
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, _setup: S, _routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        unimplemented!()
+    }
+}
+
+/// Mirror of `criterion::BatchSize`.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Mirror of `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Mirror of `criterion::BenchmarkId`.
+pub struct BenchmarkId(());
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(_function_name: S, _parameter: P) -> Self {
+        BenchmarkId(())
+    }
+
+    pub fn from_parameter<P: Display>(_parameter: P) -> Self {
+        BenchmarkId(())
+    }
+}
+
+/// Anything accepted as a bench id (mirrors criterion's sealed trait).
+pub trait IntoBenchmarkId {}
+
+impl IntoBenchmarkId for BenchmarkId {}
+impl IntoBenchmarkId for &str {}
+impl IntoBenchmarkId for String {}
+
+/// Mirror of `criterion::black_box` (criterion re-exports std's hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

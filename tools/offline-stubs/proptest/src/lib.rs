@@ -1,0 +1,336 @@
+//! Typecheck-only stand-in for `proptest` (see ../README.md).
+//!
+//! The `proptest!` macro here typechecks test bodies inside a never-called
+//! closure; under the stub, property tests compile but assert nothing at
+//! runtime. Real runs must use the real crate.
+
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+        pub max_local_rejects: u32,
+        pub max_global_rejects: u32,
+        pub max_shrink_iters: u32,
+        pub fork: bool,
+        pub timeout: u32,
+        pub verbose: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config {
+                cases: 256,
+                max_local_rejects: 65_536,
+                max_global_rejects: 1024,
+                max_shrink_iters: 4096,
+                fork: false,
+                timeout: 0,
+                verbose: 0,
+            }
+        }
+    }
+
+    /// Mirror of `proptest::test_runner::TestCaseError`.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        Reject(String),
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail<T: Into<String>>(reason: T) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject<T: Into<String>>(reason: T) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+}
+
+pub mod strategy {
+    use std::marker::PhantomData;
+
+    /// Mirror of `proptest::strategy::Strategy` (value type only; no
+    /// shrink trees — the stub never generates values).
+    pub trait Strategy {
+        type Value: core::fmt::Debug;
+
+        fn prop_map<O: core::fmt::Debug, F: Fn(Self::Value) -> O>(self, _f: F) -> Map<Self, F, O>
+        where
+            Self: Sized,
+        {
+            unimplemented!()
+        }
+
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            _whence: &'static str,
+            _f: F,
+        ) -> Filter<Self>
+        where
+            Self: Sized,
+        {
+            unimplemented!()
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(PhantomData)
+        }
+    }
+
+    pub struct Map<S, F, O>(S, F, PhantomData<O>);
+
+    impl<S: Strategy, O: core::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F, O> {
+        type Value = O;
+    }
+
+    pub struct Filter<S>(S);
+
+    impl<S: Strategy> Strategy for Filter<S> {
+        type Value = S::Value;
+    }
+
+    /// Mirror of `proptest::strategy::BoxedStrategy`.
+    pub struct BoxedStrategy<T>(pub(crate) PhantomData<T>);
+
+    impl<T: core::fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+    }
+
+    /// Mirror of `proptest::strategy::Just`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+    }
+
+    /// Backing for `prop_oneof!`: a union of boxed same-valued arms.
+    pub fn union<T: core::fmt::Debug>(_arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        BoxedStrategy(PhantomData)
+    }
+
+    // String literals are regex strategies generating matching Strings.
+    impl Strategy for &'static str {
+        type Value = String;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char);
+
+    macro_rules! tuple_strategy {
+        ($(($($g:ident),+))*) => {$(
+            impl<$($g: Strategy),+> Strategy for ($($g,)+) {
+                type Value = ($($g::Value,)+);
+            }
+        )*};
+    }
+    tuple_strategy!((A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F));
+}
+
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    /// Mirror of `proptest::arbitrary::Arbitrary` (strategy type elided).
+    pub trait Arbitrary: Sized + core::fmt::Debug {}
+
+    macro_rules! arb {
+        ($($t:ty),*) => {$( impl Arbitrary for $t {} )*};
+    }
+    arb!(
+        (),
+        bool,
+        char,
+        u8,
+        u16,
+        u32,
+        u64,
+        usize,
+        i8,
+        i16,
+        i32,
+        i64,
+        isize,
+        f32,
+        f64,
+        String
+    );
+
+    pub struct StrategyFor<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> crate::strategy::Strategy for StrategyFor<A> {
+        type Value = A;
+    }
+
+    /// Mirror of `proptest::arbitrary::any`.
+    pub fn any<A: Arbitrary>() -> StrategyFor<A> {
+        StrategyFor(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use std::marker::PhantomData;
+
+    /// Mirror of `proptest::collection::SizeRange`.
+    pub struct SizeRange(());
+
+    impl From<usize> for SizeRange {
+        fn from(_: usize) -> Self {
+            SizeRange(())
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(_: core::ops::Range<usize>) -> Self {
+            SizeRange(())
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(_: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange(())
+        }
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(
+        _element: S,
+        _size: impl Into<SizeRange>,
+    ) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S::Value: core::fmt::Debug,
+    {
+        BoxedStrategy(PhantomData)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        const _: fn() = || { let _ = $cfg; };
+        $crate::proptest! { $($rest)* }
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                fn __stub_value_of<S: $crate::strategy::Strategy>(_s: S) -> S::Value {
+                    unreachable!("proptest stub never generates values")
+                }
+                #[allow(unreachable_code, unused_variables, unused_mut, clippy::diverging_sub_expression)]
+                let _typecheck = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $arg = __stub_value_of($strat);)*
+                    $body
+                    Ok(())
+                };
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            let _ = format!("{:?} {:?}", l, r);
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                $($fmt)+
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $({ let _ = $weight; $crate::strategy::Strategy::boxed($arm) }),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}

@@ -1,0 +1,112 @@
+//! Typecheck-only stand-in for `rand` 0.8 (see ../README.md).
+
+use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{Distribution, Standard};
+
+/// Mirror of `rand::RngCore` (marker only; nothing here produces bits).
+pub trait RngCore {}
+
+/// Mirror of `rand::SeedableRng` (only `seed_from_u64` is used here).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Mirror of `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, _range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        unimplemented!()
+    }
+
+    fn gen_bool(&mut self, _p: f64) -> bool {
+        unimplemented!()
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        unimplemented!()
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    /// Mirror of `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng(());
+
+    impl crate::RngCore for StdRng {}
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(_state: u64) -> Self {
+            StdRng(())
+        }
+    }
+}
+
+pub mod distributions {
+    /// Mirror of `rand::distributions::Standard`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Standard;
+
+    /// Mirror of `rand::distributions::Distribution`.
+    pub trait Distribution<T> {}
+
+    macro_rules! standard_dist {
+        ($($t:ty),*) => {$( impl Distribution<$t> for Standard {} )*};
+    }
+    standard_dist!(bool, char, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    pub mod uniform {
+        /// Mirror of `rand::distributions::uniform::SampleUniform`.
+        pub trait SampleUniform {}
+
+        /// Mirror of `rand::distributions::uniform::SampleRange`.
+        pub trait SampleRange<T> {}
+
+        // Generic impls, exactly like real rand: concrete per-type impls
+        // would leave integer-literal ranges ambiguous during inference.
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {}
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {}
+
+        macro_rules! sample_uniform {
+            ($($t:ty),*) => {$( impl SampleUniform for $t {} )*};
+        }
+        sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+    }
+}
+
+pub mod seq {
+    /// Mirror of `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: crate::Rng + ?Sized>(&mut self, rng: &mut R);
+
+        fn choose<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: crate::Rng + ?Sized>(&mut self, _rng: &mut R) {
+            unimplemented!()
+        }
+
+        fn choose<R: crate::Rng + ?Sized>(&self, _rng: &mut R) -> Option<&T> {
+            unimplemented!()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

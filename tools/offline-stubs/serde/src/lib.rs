@@ -1,0 +1,167 @@
+//! Typecheck-only stand-in for `serde` (see ../README.md).
+//!
+//! Mirrors the trait surface this workspace uses — `Serialize`,
+//! `Deserialize<'de>`, the generic `Serializer`/`Deserializer` bounds used
+//! by `#[serde(with = ...)]` modules, and `de::Error::custom` — with
+//! `unimplemented!()` bodies. Nothing here runs; it exists so `cargo check`
+//! works without a registry.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::Serialize`.
+pub trait Serialize {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+/// Mirror of `serde::Serializer` (associated types only; no workspace
+/// code implements it, only bounds on it).
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+}
+
+/// Mirror of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// Mirror of `serde::Deserializer` (associated types only).
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+}
+
+pub mod ser {
+    /// Mirror of `serde::ser::Error`.
+    pub trait Error: Sized {
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    /// Mirror of `serde::de::Error`.
+    pub trait Error: Sized {
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Mirror of `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+}
+
+macro_rules! stub_impls {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+                unimplemented!()
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+                unimplemented!()
+            }
+        }
+    )*};
+}
+
+stub_impls!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        unimplemented!()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        unimplemented!()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        unimplemented!()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        unimplemented!()
+    }
+}
+
+macro_rules! stub_container {
+    ($($name:ident<$($g:ident),*> where ser($($sb:tt)*) de($($db:tt)*);)*) => {$(
+        impl<$($g),*> Serialize for $name<$($g),*> where $($sb)* {
+            fn serialize<S2: Serializer>(&self, _s: S2) -> Result<S2::Ok, S2::Error> {
+                unimplemented!()
+            }
+        }
+        impl<'de, $($g),*> Deserialize<'de> for $name<$($g),*> where $($db)* {
+            fn deserialize<D2: Deserializer<'de>>(_d: D2) -> Result<Self, D2::Error> {
+                unimplemented!()
+            }
+        }
+    )*};
+}
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::hash::{BuildHasher, Hash};
+use std::rc::Rc;
+use std::sync::Arc;
+
+stub_container! {
+    Vec<T> where ser(T: Serialize) de(T: Deserialize<'de>);
+    VecDeque<T> where ser(T: Serialize) de(T: Deserialize<'de>);
+    Option<T> where ser(T: Serialize) de(T: Deserialize<'de>);
+    Box<T> where ser(T: Serialize) de(T: Deserialize<'de>);
+    Rc<T> where ser(T: Serialize) de(T: Deserialize<'de>);
+    Arc<T> where ser(T: Serialize) de(T: Deserialize<'de>);
+    BinaryHeap<T> where ser(T: Serialize + Ord) de(T: Deserialize<'de> + Ord);
+    BTreeSet<T> where ser(T: Serialize + Ord) de(T: Deserialize<'de> + Ord);
+    BTreeMap<K, V> where ser(K: Serialize + Ord, V: Serialize)
+        de(K: Deserialize<'de> + Ord, V: Deserialize<'de>);
+    HashSet<T, S> where ser(T: Serialize + Eq + Hash, S: BuildHasher)
+        de(T: Deserialize<'de> + Eq + Hash, S: BuildHasher + Default);
+    HashMap<K, V, S> where ser(K: Serialize + Eq + Hash, V: Serialize, S: BuildHasher)
+        de(K: Deserialize<'de> + Eq + Hash, V: Deserialize<'de>, S: BuildHasher + Default);
+}
+
+macro_rules! stub_tuple {
+    ($(($($g:ident),+))*) => {$(
+        impl<$($g: Serialize),+> Serialize for ($($g,)+) {
+            fn serialize<S2: Serializer>(&self, _s: S2) -> Result<S2::Ok, S2::Error> {
+                unimplemented!()
+            }
+        }
+        impl<'de, $($g: Deserialize<'de>),+> Deserialize<'de> for ($($g,)+) {
+            fn deserialize<D2: Deserializer<'de>>(_d: D2) -> Result<Self, D2::Error> {
+                unimplemented!()
+            }
+        }
+    )*};
+}
+
+stub_tuple!((A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F));

@@ -1,0 +1,79 @@
+//! Typecheck-only stand-in for `serde_derive` (see ../README.md).
+//!
+//! Emits `unimplemented!()` trait impls for the derived type so downstream
+//! code typechecks without pulling `syn`/`quote` from a registry. Field
+//! types are never touched, so no bounds are generated — which matches
+//! what this workspace needs (all derived types are concrete).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the identifier following the first top-level `struct`/`enum`
+/// keyword. Attribute contents live inside groups and are not scanned.
+fn type_name(input: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                for tt in &tokens[i + 1..] {
+                    if let TokenTree::Ident(name) = tt {
+                        return name.to_string();
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    panic!("offline serde stub: derive input has no struct/enum");
+}
+
+fn assert_not_generic(input: &TokenStream, name: &str) {
+    let mut seen_name = false;
+    for tt in input.clone() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == name => seen_name = true,
+            TokenTree::Punct(p) if seen_name => {
+                if p.as_char() == '<' {
+                    panic!(
+                        "offline serde stub: generic type `{name}` unsupported; \
+                         extend tools/offline-stubs/serde_derive to emit generic impls"
+                    );
+                }
+                break;
+            }
+            TokenTree::Group(_) if seen_name => break,
+            _ => {}
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input.clone());
+    assert_not_generic(&input, &name);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S>(&self, _serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error>\n\
+             where __S: ::serde::Serializer {{ ::core::unimplemented!() }}\n\
+         }}"
+    )
+    .parse()
+    .expect("stub Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input.clone());
+    assert_not_generic(&input, &name);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D>(_deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error>\n\
+             where __D: ::serde::Deserializer<'de> {{ ::core::unimplemented!() }}\n\
+         }}"
+    )
+    .parse()
+    .expect("stub Deserialize impl parses")
+}

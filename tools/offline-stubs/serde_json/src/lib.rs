@@ -1,0 +1,82 @@
+//! Typecheck-only stand-in for `serde_json` (see ../README.md).
+
+use std::fmt;
+
+/// Mirror of `serde_json::Error`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(_msg: T) -> Self {
+        Error(())
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(_msg: T) -> Self {
+        Error(())
+    }
+}
+
+/// Mirror of `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Mirror of `serde_json::Value` (structure only; arithmetic on `Number`
+/// is not modelled).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(std::collections::BTreeMap<String, Value>),
+}
+
+impl serde::Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, _s: S) -> std::result::Result<S::Ok, S::Error> {
+        unimplemented!()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(_d: D) -> std::result::Result<Self, D::Error> {
+        unimplemented!()
+    }
+}
+
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    unimplemented!()
+}
+
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    unimplemented!()
+}
+
+pub fn to_vec<T: ?Sized + serde::Serialize>(_value: &T) -> Result<Vec<u8>> {
+    unimplemented!()
+}
+
+pub fn to_value<T: serde::Serialize>(_value: T) -> Result<Value> {
+    unimplemented!()
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    unimplemented!()
+}
+
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(_v: &'a [u8]) -> Result<T> {
+    unimplemented!()
+}
+
+pub fn from_value<T: serde::de::DeserializeOwned>(_value: Value) -> Result<T> {
+    unimplemented!()
+}
