@@ -417,6 +417,15 @@ impl<S: Storage> DurableEngine<S> {
         &self.engine
     }
 
+    /// Mutable access to the wrapped engine, for *monitoring* toggles
+    /// only ([`Engine::record_effects`], log caps). Anything semantic
+    /// changed through this handle bypasses the journal and will not
+    /// survive recovery — re-apply such toggles after
+    /// [`DurableEngine::open`].
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
     /// Resolve a user name through the engine.
     pub fn user_id(&self, name: &str) -> Result<UserId> {
         self.engine.user_id(name).map_err(DurableError::Engine)

@@ -12,10 +12,10 @@ use crate::context::ContextState;
 use crate::privacy::PrivacyState;
 use policy::{events, InstantiateError, Instantiated, PolicyGraph, RegenReport, VerifyGate};
 use rbac::{ObjId, OpId, RoleId, SessionId, UserId};
-use sentinel::{AuditLog, ExecReport, Executor, Runtime};
+use sentinel::{AuditLog, ExecReport, Executor, RuleTouch, Runtime};
 use serde::{Deserialize, Serialize};
 use snoop::{DetectorError, Dur, Params, Ts};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
 /// Why an engine operation failed.
@@ -81,6 +81,14 @@ pub struct Engine {
     /// ([`policy::AnalysisReport::max_sync_depth`]).
     #[serde(default)]
     deepest_cascade: usize,
+    /// Every distinct (rule, access, region) the executor actually
+    /// touched, accumulated while [`Engine::record_effects`] is armed.
+    /// Pure monitoring state: never consulted by any decision, so two
+    /// engines differing only here are behaviourally identical. The model
+    /// checker asserts each entry is covered by the analyzer's declared
+    /// footprint for that rule (`FootprintViolated`).
+    #[serde(default)]
+    observed_touches: BTreeSet<RuleTouch>,
 }
 
 impl fmt::Debug for Engine {
@@ -116,10 +124,21 @@ impl Engine {
         let (inst, report) = policy::instantiate_verified(graph, start, gate)?;
         let privacy = PrivacyState::from_policy(graph, &inst.binding);
         let context = ContextState::from_policy(graph, &inst.binding);
-        // Only trust the termination proof when the gate actually enforced
-        // it: with the gate off, the cascade-depth guard stays armed.
+        // Only trust the termination proof and the per-event independence
+        // certificates when the gate actually verified the pool: with the
+        // gate off, the cascade-depth guard and per-rule conflict
+        // re-checks stay armed. The certificates stay valid across manual
+        // rule enable/disable (they are computed over disabled rules too)
+        // and are recomputed on `apply_policy`.
+        let verified = gate != VerifyGate::Off;
         let exec = Executor {
-            assume_acyclic: gate != VerifyGate::Off && report.proved_terminating(),
+            assume_acyclic: verified && report.proved_terminating(),
+            assume_independent: verified,
+            independent_events: if verified {
+                report.effects.independent_event_ids(&inst.pool)
+            } else {
+                BTreeSet::new()
+            },
             ..Executor::new()
         };
         Ok(Engine {
@@ -133,6 +152,7 @@ impl Engine {
             denial_history: 65_536,
             state_version: 0,
             deepest_cascade: 0,
+            observed_touches: BTreeSet::new(),
         })
     }
 
@@ -256,6 +276,39 @@ impl Engine {
         self.exec.assume_acyclic
     }
 
+    /// How many events carry an analyzer independence certificate (the
+    /// executor's `assume_independent` snapshot fast path applies to
+    /// them).
+    pub fn independent_event_count(&self) -> usize {
+        self.exec.independent_events.len()
+    }
+
+    /// Arm or disarm effect recording: while armed, every state region
+    /// the executor's checks and actions touch is accumulated into
+    /// [`Engine::observed_touches`] (with runtime-resolved targets). Off
+    /// by default — recording costs an allocation per evaluated check.
+    pub fn record_effects(&mut self, on: bool) {
+        self.exec.record_effects = on;
+    }
+
+    /// Is effect recording armed?
+    pub fn effects_recorded(&self) -> bool {
+        self.exec.record_effects
+    }
+
+    /// Every distinct (rule, access, region) observed while
+    /// [`Engine::record_effects`] was armed.
+    pub fn observed_touches(&self) -> &BTreeSet<RuleTouch> {
+        &self.observed_touches
+    }
+
+    /// Render the rule-interference graph in Graphviz DOT form: nodes
+    /// colored by commutativity class, solid red edges write-write
+    /// conflicts, dashed orange edges read-write.
+    pub fn effect_graph_dot(&self) -> String {
+        policy::effect_dot(&self.analyze().effects)
+    }
+
     /// Alerts raised so far (active security).
     pub fn alerts(&self) -> Vec<String> {
         self.log
@@ -318,6 +371,7 @@ impl Engine {
             self.bump_version();
         }
         self.deepest_cascade = self.deepest_cascade.max(report.max_depth);
+        self.observed_touches.extend(report.touches.iter().cloned());
         self.after_dispatch(&report)?;
         Ok(report)
     }
@@ -348,6 +402,7 @@ impl Engine {
             self.bump_version();
         }
         self.deepest_cascade = self.deepest_cascade.max(report.max_depth);
+        self.observed_touches.extend(report.touches.iter().cloned());
         self.after_dispatch(&report)?;
         Ok(report)
     }
@@ -587,6 +642,9 @@ impl Engine {
         let (report, analysis) =
             policy::regenerate_verified(&mut self.inst, new, VerifyGate::DenyOnError)?;
         self.exec.assume_acyclic = analysis.proved_terminating();
+        // Independence certificates follow the regenerated pool.
+        self.exec.assume_independent = true;
+        self.exec.independent_events = analysis.effects.independent_event_ids(&self.inst.pool);
         self.privacy = PrivacyState::from_policy(new, &self.inst.binding);
         // Constraints follow the new policy; runtime environment values
         // (where the user *is*) are preserved.
@@ -764,6 +822,68 @@ mod tests {
         // Explicitly ungated, the engine runs with the depth guard on.
         let e2 = Engine::from_policy_gated(&g, Ts::ZERO, policy::VerifyGate::Off).unwrap();
         assert!(!e2.proved_acyclic());
+    }
+
+    #[test]
+    fn independence_certificates_armed_and_behaviour_identical() {
+        let e = xyz_engine();
+        assert!(
+            e.independent_event_count() > 0,
+            "no XYZ rule toggles rules: events certify independent"
+        );
+        // Same workload through the certified fast path and through an
+        // ungated engine (slow path, no certificates): identical
+        // decisions and audit trail lengths.
+        let run = |mut e: Engine| {
+            let alice = e.user_id("alice").unwrap();
+            let pm = e.role_id("PM").unwrap();
+            let pc = e.role_id("PC").unwrap();
+            let s = e.create_session(alice, &[pm]).unwrap();
+            e.add_active_role(alice, s, pc).unwrap();
+            let second = e.add_active_role(alice, s, pc);
+            assert!(matches!(second, Err(EngineError::Denied(_))));
+            (e.log().len(), e.log().denial_count())
+        };
+        let fast = run(e);
+        let mut g = PolicyGraph::enterprise_xyz();
+        g.user("alice");
+        g.user("bob");
+        g.assign("alice", "PM");
+        g.assign("bob", "AC");
+        let slow_engine = Engine::from_policy_gated(&g, Ts::ZERO, policy::VerifyGate::Off).unwrap();
+        assert_eq!(slow_engine.independent_event_count(), 0);
+        assert_eq!(run(slow_engine), fast);
+    }
+
+    #[test]
+    fn observed_touches_stay_within_declared_footprints() {
+        let mut e = xyz_engine();
+        assert!(e.observed_touches().is_empty());
+        e.record_effects(true);
+        assert!(e.effects_recorded());
+        let alice = e.user_id("alice").unwrap();
+        let pm = e.role_id("PM").unwrap();
+        let s = e.create_session(alice, &[pm]).unwrap();
+        let create = e.system().op_by_name("create").unwrap();
+        let po = e.system().obj_by_name("purchase_order").unwrap();
+        e.check_access(s, create, po).unwrap();
+        let touches = e.observed_touches().clone();
+        assert!(!touches.is_empty());
+        let effects = e.analyze().effects;
+        for t in &touches {
+            let declared = &effects
+                .effect_of(&t.rule)
+                .unwrap_or_else(|| panic!("rule {} missing from report", t.rule))
+                .effective;
+            assert!(
+                declared.covers(t.access, &t.region),
+                "{}: observed {} {} not covered by {declared:?}",
+                t.rule,
+                t.access,
+                t.region
+            );
+        }
+        assert!(e.effect_graph_dot().starts_with("digraph effects {"));
     }
 
     #[test]

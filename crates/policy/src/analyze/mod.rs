@@ -26,6 +26,16 @@
 //!   ([`DiagCode::UnregisteredEvent`]), and SoD sets are checked against
 //!   the transitive hierarchy closure
 //!   ([`DiagCode::SodHierarchyConflict`]).
+//! * **Effect analysis** ([`EffectReport`]): each rule's condition/action
+//!   trees are abstractly interpreted into read/write footprints over a
+//!   partition of the monitor state ([`sentinel::Region`]), closed over
+//!   synchronous cascades, and compared pairwise into an interference
+//!   graph whose connected components are commutativity classes. Custom
+//!   checks/actions missing from the effect table widen to ⊤ and are
+//!   flagged ([`DiagCode::OpaqueFootprint`]). The derived per-event
+//!   independence certificates license the executor's
+//!   `assume_independent` fast path; `crates/sim` certifies the declared
+//!   footprints against every access the executor actually performs.
 //!
 //! The analysis is a sound over-approximation of reachability (it ignores
 //! runtime conditions, so a reported loop may be cut by a condition in
@@ -36,9 +46,12 @@
 pub mod closure;
 mod conditions;
 mod coverage;
+mod footprint;
+mod interference;
 mod termination;
 
 pub use crate::consistency::Severity;
+pub use interference::{effect_dot, EffectReport, RuleEffect};
 
 use crate::generate::Instantiated;
 use crate::graph::PolicyGraph;
@@ -68,6 +81,9 @@ pub enum DiagCode {
     /// A common senior defeats an SoD set through the transitive
     /// hierarchy.
     SodHierarchyConflict,
+    /// A rule uses a custom check/action the effect table cannot map to
+    /// state regions; its footprint widens to ⊤.
+    OpaqueFootprint,
 }
 
 impl DiagCode {
@@ -82,6 +98,7 @@ impl DiagCode {
             DiagCode::UncoveredOperation => "uncovered-operation",
             DiagCode::UnregisteredEvent => "unregistered-event",
             DiagCode::SodHierarchyConflict => "sod-hierarchy-conflict",
+            DiagCode::OpaqueFootprint => "opaque-footprint",
         }
     }
 }
@@ -167,6 +184,10 @@ pub struct AnalysisReport {
     /// never exceed this bound; the model checker asserts it.
     #[serde(default)]
     pub max_sync_depth: Option<usize>,
+    /// Per-rule effect footprints, interference structure and
+    /// independence certificates.
+    #[serde(default)]
+    pub effects: EffectReport,
 }
 
 impl AnalysisReport {
@@ -236,14 +257,26 @@ pub fn analyze_parts(graph: &PolicyGraph, detector: &Detector, pool: &RulePool) 
         termination::max_sync_depth(&termination::build_rule_graph(detector, pool));
     conditions::check(detector, pool, &mut diagnostics);
     coverage::check(graph, detector, pool, &mut diagnostics);
-    diagnostics
-        .sort_by(|a, b| (a.severity, a.code, &a.message).cmp(&(b.severity, b.code, &b.message)));
+    let effects = interference::compute(detector, pool, &mut diagnostics);
+    // Deterministic order over *every* field, then collapse duplicates —
+    // the same finding can be reached through several closure paths (or,
+    // for opaque footprints, several sites in one rule).
+    diagnostics.sort_by(|a, b| {
+        (
+            a.severity, a.code, &a.message, &a.rules, &a.events, &a.roles, &a.hint,
+        )
+            .cmp(&(
+                b.severity, b.code, &b.message, &b.rules, &b.events, &b.roles, &b.hint,
+            ))
+    });
+    diagnostics.dedup();
     AnalysisReport {
         termination,
         diagnostics,
         rules: pool.len(),
         events: detector.event_ids().count(),
         max_sync_depth,
+        effects,
     }
 }
 
@@ -340,6 +373,67 @@ mod tests {
         assert!(dot.starts_with("digraph rules {"));
         assert!(dot.contains("AAR2_PC"));
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn xyz_effects_cover_pool_and_certify_independence() {
+        let inst = xyz();
+        let report = analyze(&inst);
+        let fx = &report.effects;
+        assert_eq!(fx.effects.len(), report.rules);
+        assert!(
+            fx.effects.iter().all(|e| !e.direct.opaque),
+            "every generated custom is in the effect table"
+        );
+        assert!(!fx.classes.is_empty());
+        assert!(
+            !fx.independent_events.is_empty(),
+            "no XYZ rule toggles rules, so events certify: {}",
+            fx.summary()
+        );
+        assert!(!fx.independent_event_ids(&inst.pool).is_empty());
+        // Activation rules maintain cross-user role aggregates; the
+        // check-access rule reads only one session's state.
+        let cross = fx.cross_user_footprints();
+        assert!(cross.iter().any(|r| r.starts_with("AAR")), "{cross:?}");
+        assert!(!cross.contains(&"CA".to_string()), "{cross:?}");
+        // The dot export renders every rule.
+        let dot = effect_dot(fx);
+        assert!(dot.contains("AAR2_PC") && dot.contains("fillcolor"));
+    }
+
+    #[test]
+    fn duplicate_opaque_diagnostics_are_deduped() {
+        let mut inst = xyz();
+        let ev = inst.detector.lookup(crate::events::CHECK_ACCESS).unwrap();
+        // The same unknown custom in When and Then flags the rule via two
+        // sites (condition walk and action walk) — one diagnostic must
+        // survive.
+        sentinel::attach_rule(
+            &mut inst.detector,
+            &mut inst.pool,
+            sentinel::Rule::new(
+                "OPQ",
+                ev,
+                sentinel::CondExpr::check(sentinel::Check::Custom {
+                    name: "mystery".into(),
+                    args: vec![],
+                }),
+            )
+            .then(vec![sentinel::ActionSpec::Custom {
+                name: "mystery".into(),
+                args: vec![],
+            }]),
+        );
+        let report = analyze(&inst);
+        let opaque: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == DiagCode::OpaqueFootprint)
+            .collect();
+        assert_eq!(opaque.len(), 1, "{opaque:?}");
+        assert_eq!(opaque[0].rules, vec!["OPQ".to_string()]);
+        assert!(report.effects.effect_of("OPQ").unwrap().direct.opaque);
     }
 
     #[test]

@@ -35,7 +35,8 @@ pub mod regenerate;
 pub mod spec;
 
 pub use analyze::{
-    analyze, analyze_parts, rule_dependency_dot, AnalysisReport, DiagCode, Diagnostic, Termination,
+    analyze, analyze_parts, effect_dot, rule_dependency_dot, AnalysisReport, DiagCode, Diagnostic,
+    EffectReport, RuleEffect, Termination,
 };
 pub use consistency::{check, is_consistent, Issue, Severity};
 pub use generate::{

@@ -1,0 +1,585 @@
+//! State regions and per-rule effect footprints.
+//!
+//! The analyzer (`policy::analyze`) and the executor see the same
+//! authorization state through two different lenses: the analyzer walks a
+//! rule's [`CondExpr`]/[`ActionSpec`] trees *statically*, the executor
+//! evaluates them against an [`crate::state::AuthState`] at runtime. This
+//! module is the shared vocabulary between the two — an abstract partition
+//! of the monitor state into [`Region`]s plus one mapping from every check
+//! and action to the regions it reads or writes.
+//!
+//! Both sides use the *same* mapping, parameterized only over how a
+//! [`ParamRef`] becomes a [`Target`]:
+//!
+//! * static analysis maps literals to [`Target::Id`] and occurrence
+//!   parameters to [`Target::Param`] (one unknown entity per dispatch);
+//! * the executor maps every argument to the concrete [`Target::Id`] it
+//!   resolved.
+//!
+//! Because [`Target::Param`] and [`Target::Any`] *cover* every concrete
+//! id, `observed ⊆ declared` holds by construction as long as the two
+//! sides agree on the mapping — and `crates/sim` model-checks exactly that
+//! containment on every explored schedule (`FootprintViolated`), so any
+//! drift between this table and what the executor actually touches is
+//! caught dynamically.
+
+use crate::lang::{ActionSpec, Check, CondExpr, ParamRef};
+use serde::{Deserialize, Serialize};
+use snoop::Occurrence;
+use std::fmt;
+
+/// Which entity instance(s) of a region family an effect touches.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// One statically-known entity (generated rules bake ids in).
+    Id(i64),
+    /// One entity per dispatch, bound by a triggering-occurrence
+    /// parameter — unknown statically, but a *single* instance.
+    Param,
+    /// Potentially every instance of the family (bulk operations,
+    /// malformed references).
+    Any,
+}
+
+impl Target {
+    /// Could the two targets denote the same entity? `Param` and `Any`
+    /// overlap everything; two literals overlap iff equal.
+    pub fn overlaps(&self, other: &Target) -> bool {
+        match (self, other) {
+            (Target::Id(a), Target::Id(b)) => a == b,
+            _ => true,
+        }
+    }
+
+    /// Does this (declared) target account for an observed one? `Param`
+    /// and `Any` cover any runtime id; a literal covers only itself.
+    pub fn covers(&self, observed: &Target) -> bool {
+        match (self, observed) {
+            (Target::Id(a), Target::Id(b)) => a == b,
+            (Target::Id(_), _) => false,
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Id(i) => write!(f, "{i}"),
+            Target::Param => write!(f, "?"),
+            Target::Any => write!(f, "*"),
+        }
+    }
+}
+
+/// An abstract region of the authorization state. Two effects can
+/// interfere only when they touch the same region family with
+/// overlapping [`Target`]s; distinct families are disjoint state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// The session table itself: which sessions exist and who owns them.
+    SessionSet,
+    /// The active-role set of one session.
+    SessionRoles(Target),
+    /// The cross-session activation aggregate of one role (who is active
+    /// in it anywhere — the paper's cardinality counters).
+    RoleActivation(Target),
+    /// The active-role aggregate of one user across their sessions
+    /// (per-user cardinality caps).
+    UserActivation(Target),
+    /// The user↔role assignment relation, per user (UA and the derived
+    /// authorization closure).
+    Assignments(Target),
+    /// The enabled/disabled status of one role (GTRBAC).
+    RoleStatus(Target),
+    /// SSD/DSD set membership (which roles conflict).
+    SodState,
+    /// GTRBAC enabling windows and durations.
+    TemporalWindows,
+    /// Context variables consulted by context-aware constraints.
+    ContextVars,
+    /// The recent-denial history that active-security rules read
+    /// (`denials_at_least`) and every denial appends to. Fired/allow
+    /// audit entries are pure observability and deliberately *not* a
+    /// region — otherwise everything would interfere with everything.
+    DenialWindow,
+    /// Pending detector timers (PLUS events, scheduled deactivations).
+    Timers,
+    /// The enabled bits of the rule pool itself (active security).
+    RuleToggles,
+    /// An uninterpreted host-side region, named by the custom check or
+    /// action that touches it.
+    Host(String),
+}
+
+impl Region {
+    /// Could the two regions denote overlapping state?
+    pub fn overlaps(&self, other: &Region) -> bool {
+        use Region::*;
+        match (self, other) {
+            (SessionRoles(a), SessionRoles(b))
+            | (RoleActivation(a), RoleActivation(b))
+            | (UserActivation(a), UserActivation(b))
+            | (Assignments(a), Assignments(b))
+            | (RoleStatus(a), RoleStatus(b)) => a.overlaps(b),
+            (Host(a), Host(b)) => a == b,
+            _ => std::mem::discriminant(self) == std::mem::discriminant(other),
+        }
+    }
+
+    /// Does this (declared) region account for an observed one?
+    pub fn covers(&self, observed: &Region) -> bool {
+        use Region::*;
+        match (self, observed) {
+            (SessionRoles(a), SessionRoles(b))
+            | (RoleActivation(a), RoleActivation(b))
+            | (UserActivation(a), UserActivation(b))
+            | (Assignments(a), Assignments(b))
+            | (RoleStatus(a), RoleStatus(b)) => a.covers(b),
+            (Host(a), Host(b)) => a == b,
+            _ => std::mem::discriminant(self) == std::mem::discriminant(observed),
+        }
+    }
+
+    /// Do two blind *writes* to this region commute? The denial history
+    /// is an append-only multiset: `denials_at_least` counts entries
+    /// within a time window and never observes insertion order, so two
+    /// appends can be reordered freely. Every other region is
+    /// order-sensitive (activations toggle, timers cancel vs schedule).
+    /// Write-vs-read never commutes regardless of this answer.
+    pub fn commutes_on_write(&self) -> bool {
+        matches!(self, Region::DenialWindow)
+    }
+
+    /// Is the target scope of this region `Any` — i.e. does it span every
+    /// instance of a per-entity family? (Families without a target are
+    /// global by nature and answer `true`.)
+    pub fn spans_all(&self) -> bool {
+        use Region::*;
+        match self {
+            SessionRoles(t) | RoleActivation(t) | UserActivation(t) | Assignments(t)
+            | RoleStatus(t) => *t == Target::Any,
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Region::*;
+        match self {
+            SessionSet => write!(f, "session-set"),
+            SessionRoles(t) => write!(f, "session-roles({t})"),
+            RoleActivation(t) => write!(f, "role-activation({t})"),
+            UserActivation(t) => write!(f, "user-activation({t})"),
+            Assignments(t) => write!(f, "assignments({t})"),
+            RoleStatus(t) => write!(f, "role-status({t})"),
+            SodState => write!(f, "sod-state"),
+            TemporalWindows => write!(f, "temporal-windows"),
+            ContextVars => write!(f, "context-vars"),
+            DenialWindow => write!(f, "denial-window"),
+            Timers => write!(f, "timers"),
+            RuleToggles => write!(f, "rule-toggles"),
+            Host(n) => write!(f, "host({n})"),
+        }
+    }
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Access {
+    /// The effect only observes the region.
+    Read,
+    /// The effect may mutate the region.
+    Write,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Read => write!(f, "read"),
+            Access::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// One recorded state access: during execution, rule `rule` performed
+/// `access` on `region` (with runtime-resolved targets).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RuleTouch {
+    /// The rule whose check or action touched the state.
+    pub rule: String,
+    /// Read or write.
+    pub access: Access,
+    /// The region touched.
+    pub region: Region,
+}
+
+/// A set of region effects: what something reads, what it writes, and
+/// whether part of it escaped the analysis (`opaque` — an unknown custom
+/// check/action, treated as touching *everything*).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Footprint {
+    /// Regions read.
+    pub reads: Vec<Region>,
+    /// Regions written.
+    pub writes: Vec<Region>,
+    /// Some effect could not be mapped to regions; assume it touches
+    /// every region (⊤ of the lattice).
+    pub opaque: bool,
+}
+
+impl Footprint {
+    /// The empty footprint (⊥).
+    pub fn empty() -> Footprint {
+        Footprint::default()
+    }
+
+    /// Merge another footprint in (lattice join).
+    pub fn absorb(&mut self, other: Footprint) {
+        self.reads.extend(other.reads);
+        self.writes.extend(other.writes);
+        self.opaque |= other.opaque;
+    }
+
+    /// Sort and deduplicate the region lists (canonical form for reports
+    /// and golden comparisons).
+    pub fn normalize(&mut self) {
+        self.reads.sort();
+        self.reads.dedup();
+        self.writes.sort();
+        self.writes.dedup();
+    }
+
+    /// Does this (declared) footprint account for an observed access?
+    /// Opaque footprints cover everything.
+    pub fn covers(&self, access: Access, region: &Region) -> bool {
+        if self.opaque {
+            return true;
+        }
+        let declared = match access {
+            Access::Read => &self.reads,
+            Access::Write => &self.writes,
+        };
+        declared.iter().any(|d| d.covers(region))
+    }
+
+    /// Could this footprint's writes conflict with the other's reads or
+    /// writes (or vice versa)? Write-write overlap on a region whose
+    /// writes commute ([`Region::commutes_on_write`]) is not a conflict;
+    /// write-read overlap always is. Opaque footprints interfere with
+    /// everything.
+    pub fn interferes(&self, other: &Footprint) -> bool {
+        if self.opaque || other.opaque {
+            return true;
+        }
+        let hits = |ws: &[Region], rs: &Footprint| {
+            ws.iter().any(|w| {
+                rs.reads.iter().any(|r| w.overlaps(r))
+                    || rs
+                        .writes
+                        .iter()
+                        .any(|r| w.overlaps(r) && !w.commutes_on_write())
+            })
+        };
+        hits(&self.writes, other) || hits(&other.writes, self)
+    }
+}
+
+/// How a [`ParamRef`] becomes a [`Target`] for static analysis: literal
+/// ids stay concrete, occurrence parameters become the single-unknown
+/// [`Target::Param`], strings (never a valid entity id) widen to `Any`.
+pub fn static_target(p: &ParamRef) -> Target {
+    match p {
+        ParamRef::Int(i) => Target::Id(*i),
+        ParamRef::Param(_) => Target::Param,
+        ParamRef::Str(_) => Target::Any,
+    }
+}
+
+/// How a [`ParamRef`] becomes a [`Target`] at runtime: the concrete id it
+/// resolves to against the triggering occurrence, or `Any` when
+/// resolution fails (the executor records the access attempt either way).
+pub fn runtime_target(p: &ParamRef, occ: &Occurrence) -> Target {
+    p.resolve_int(occ).map_or(Target::Any, Target::Id)
+}
+
+/// Regions read by one atomic check. The `target` closure decides the
+/// [`ParamRef`] → [`Target`] lens (static vs runtime).
+pub fn check_footprint(check: &Check, mut target: impl FnMut(&ParamRef) -> Target) -> Footprint {
+    let mut fp = Footprint::empty();
+    let mut read = |r: Region| fp.reads.push(r);
+    match check {
+        Check::UserExists(u) => read(Region::Assignments(target(u))),
+        Check::SessionExists(_) => read(Region::SessionSet),
+        Check::SessionOwnedBy {
+            session: _,
+            user: _,
+        } => read(Region::SessionSet),
+        Check::RoleNotActive { session, role: _ } | Check::RoleActive { session, role: _ } => {
+            read(Region::SessionRoles(target(session)))
+        }
+        Check::Assigned { user, role: _ } | Check::Authorized { user, role: _ } => {
+            read(Region::Assignments(target(user)))
+        }
+        Check::DsdSatisfied { session, role: _ } => {
+            read(Region::SodState);
+            read(Region::SessionRoles(target(session)));
+        }
+        Check::RoleEnabled(r) => read(Region::RoleStatus(target(r))),
+        Check::RoleActiveAnywhere(r) => read(Region::RoleActivation(target(r))),
+        Check::RoleCardinalityBelow { role, user, max: _ } => {
+            read(Region::RoleActivation(target(role)));
+            read(Region::UserActivation(target(user)));
+        }
+        Check::UserCardinalityBelow {
+            user,
+            role: _,
+            max: _,
+        }
+        | Check::UserCapOk { user, role: _ } => read(Region::UserActivation(target(user))),
+        Check::SessionHasPermission {
+            session,
+            op: _,
+            obj: _,
+        } => read(Region::SessionRoles(target(session))),
+        // Pure occurrence inspection: no authorization state at all.
+        Check::SourceIs(_) | Check::ParamEquals { .. } => {}
+        Check::Custom { name, args } => fp.absorb(custom_check_footprint(name, args, &mut target)),
+    }
+    fp
+}
+
+/// The bridge's registered custom checks (`owte-core`'s `BridgeView`),
+/// mapped to the host regions they consult. Anything not in this table is
+/// opaque — the analyzer widens to ⊤ and flags the rule.
+pub fn custom_check_footprint(
+    name: &str,
+    args: &[ParamRef],
+    target: &mut impl FnMut(&ParamRef) -> Target,
+) -> Footprint {
+    let mut fp = Footprint::empty();
+    match name {
+        // SoD feasibility of disabling/enabling a role: scans role status
+        // and activations across the whole SoD neighbourhood.
+        "disabling_sod_ok" => {
+            fp.reads.push(Region::SodState);
+            fp.reads.push(Region::RoleStatus(Target::Any));
+            fp.reads.push(Region::RoleActivation(Target::Any));
+            fp.reads.push(Region::TemporalWindows);
+        }
+        "enabling_sod_ok" => {
+            fp.reads.push(Region::SodState);
+            fp.reads.push(Region::RoleStatus(Target::Any));
+            fp.reads.push(Region::TemporalWindows);
+        }
+        "context_ok" => fp.reads.push(Region::ContextVars),
+        "may_enable" => fp.reads.push(Region::TemporalWindows),
+        "denials_at_least" => fp.reads.push(Region::DenialWindow),
+        // purpose_ok(session, op, obj, purpose): privacy check over the
+        // session's active roles plus the (static) purpose bindings.
+        "purpose_ok" => {
+            let t = args.first().map_or(Target::Any, target);
+            fp.reads.push(Region::SessionRoles(t));
+        }
+        _ => {
+            fp.reads.push(Region::Host(name.to_string()));
+            fp.opaque = true;
+        }
+    }
+    fp
+}
+
+/// Regions read/written by one action, under the given target lens.
+///
+/// Monitor mutations that can be *rejected* (SoD, cardinality, temporal
+/// guards inside the reference monitor) also write [`Region::DenialWindow`]
+/// — a rejection appends to the security-relevant denial history.
+pub fn action_footprint(
+    action: &ActionSpec,
+    mut target: impl FnMut(&ParamRef) -> Target,
+) -> Footprint {
+    let mut fp = Footprint::empty();
+    match action {
+        ActionSpec::AddSessionRole {
+            user,
+            session,
+            role,
+        }
+        | ActionSpec::DropSessionRole {
+            user,
+            session,
+            role,
+        } => {
+            fp.writes.push(Region::SessionRoles(target(session)));
+            fp.writes.push(Region::RoleActivation(target(role)));
+            fp.writes.push(Region::UserActivation(target(user)));
+            fp.writes.push(Region::DenialWindow);
+        }
+        ActionSpec::DeactivateRoleEverywhere(role) => {
+            fp.writes.push(Region::RoleActivation(target(role)));
+            fp.writes.push(Region::SessionRoles(Target::Any));
+            fp.writes.push(Region::UserActivation(Target::Any));
+            fp.writes.push(Region::DenialWindow);
+        }
+        ActionSpec::EnableRole(role) => {
+            fp.writes.push(Region::RoleStatus(target(role)));
+            fp.writes.push(Region::DenialWindow);
+        }
+        ActionSpec::DisableRole { role, deactivate } => {
+            fp.writes.push(Region::RoleStatus(target(role)));
+            if *deactivate {
+                fp.writes.push(Region::RoleActivation(target(role)));
+                fp.writes.push(Region::SessionRoles(Target::Any));
+                fp.writes.push(Region::UserActivation(Target::Any));
+            }
+            fp.writes.push(Region::DenialWindow);
+        }
+        ActionSpec::AssignUser { user, role: _ } | ActionSpec::DeassignUser { user, role: _ } => {
+            fp.writes.push(Region::Assignments(target(user)));
+            fp.writes.push(Region::DenialWindow);
+        }
+        // Pure decision/observability: an explicit allow and an alert
+        // append to the audit log only, which is not a region.
+        ActionSpec::Allow | ActionSpec::Alert(_) => {}
+        ActionSpec::RaiseError(_) => fp.writes.push(Region::DenialWindow),
+        // A raise schedules/produces occurrences: the *synchronous* part
+        // is accounted transitively (effective footprints close over the
+        // rule-dependency graph); composite events may arm timers.
+        ActionSpec::RaiseEvent { .. } => fp.writes.push(Region::Timers),
+        ActionSpec::CancelPlus { .. } => fp.writes.push(Region::Timers),
+        ActionSpec::DisableRuleClass(_)
+        | ActionSpec::EnableRuleClass(_)
+        | ActionSpec::DisableRule(_)
+        | ActionSpec::EnableRule(_) => fp.writes.push(Region::RuleToggles),
+        ActionSpec::Custom { name, args: _ } => {
+            fp.writes.push(Region::Host(name.clone()));
+            fp.opaque = true;
+        }
+    }
+    fp
+}
+
+/// The full static footprint of one condition tree: the union of every
+/// atomic check's reads (every branch — the analysis is path-insensitive,
+/// which is exactly what makes it an over-approximation).
+pub fn cond_footprint(cond: &CondExpr, target: &mut impl FnMut(&ParamRef) -> Target) -> Footprint {
+    let mut fp = Footprint::empty();
+    match cond {
+        CondExpr::True | CondExpr::False => {}
+        CondExpr::Check(c) => fp.absorb(check_footprint(c, &mut *target)),
+        CondExpr::All(v) | CondExpr::Any(v) => {
+            for c in v {
+                fp.absorb(cond_footprint(c, target));
+            }
+        }
+        CondExpr::Not(c) => fp.absorb(cond_footprint(c, target)),
+        CondExpr::If {
+            guard,
+            then,
+            otherwise,
+        } => {
+            fp.absorb(cond_footprint(guard, target));
+            fp.absorb(cond_footprint(then, target));
+            fp.absorb(cond_footprint(otherwise, target));
+        }
+    }
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_overlap_and_cover() {
+        assert!(Target::Id(1).overlaps(&Target::Id(1)));
+        assert!(!Target::Id(1).overlaps(&Target::Id(2)));
+        assert!(Target::Param.overlaps(&Target::Id(2)));
+        assert!(Target::Any.covers(&Target::Id(7)));
+        assert!(Target::Param.covers(&Target::Id(7)));
+        assert!(!Target::Id(1).covers(&Target::Id(7)));
+    }
+
+    #[test]
+    fn region_families_are_disjoint() {
+        assert!(!Region::SessionSet.overlaps(&Region::SodState));
+        assert!(Region::SessionRoles(Target::Param).overlaps(&Region::SessionRoles(Target::Id(3))));
+        assert!(!Region::SessionRoles(Target::Id(1)).overlaps(&Region::SessionRoles(Target::Id(2))));
+        assert!(!Region::Host("a".into()).overlaps(&Region::Host("b".into())));
+        assert!(Region::Host("a".into()).overlaps(&Region::Host("a".into())));
+    }
+
+    #[test]
+    fn footprint_interference() {
+        let mut a = Footprint::empty();
+        a.reads.push(Region::SessionSet);
+        let mut b = Footprint::empty();
+        b.reads.push(Region::SessionSet);
+        assert!(!a.interferes(&b), "read-read never interferes");
+        b.writes.push(Region::SessionSet);
+        assert!(a.interferes(&b), "read-write on the same region does");
+        let opaque = Footprint {
+            opaque: true,
+            ..Footprint::empty()
+        };
+        assert!(opaque.interferes(&a));
+    }
+
+    #[test]
+    fn denial_appends_commute_but_reads_conflict() {
+        let appender = Footprint {
+            writes: vec![Region::DenialWindow],
+            ..Footprint::empty()
+        };
+        assert!(
+            !appender.interferes(&appender.clone()),
+            "two blind appends to the denial history are reorderable"
+        );
+        let counter = Footprint {
+            reads: vec![Region::DenialWindow],
+            ..Footprint::empty()
+        };
+        assert!(
+            appender.interferes(&counter),
+            "an append is visible to denials_at_least"
+        );
+    }
+
+    #[test]
+    fn declared_covers_runtime_resolution() {
+        // Static lens: parameter widens to Param; runtime lens: concrete
+        // id. Param must cover whatever id runtime resolution produced.
+        let check = Check::Assigned {
+            user: ParamRef::param("user"),
+            role: ParamRef::Int(3),
+        };
+        let declared = check_footprint(&check, static_target);
+        let observed = check_footprint(&check, |_| Target::Id(42));
+        for r in &observed.reads {
+            assert!(declared.covers(Access::Read, r), "{r} not covered");
+        }
+    }
+
+    #[test]
+    fn unknown_custom_is_opaque() {
+        let fp = check_footprint(
+            &Check::Custom {
+                name: "mystery".into(),
+                args: vec![],
+            },
+            static_target,
+        );
+        assert!(fp.opaque);
+        assert!(fp.covers(Access::Write, &Region::SodState), "⊤ covers all");
+        let known = check_footprint(
+            &Check::Custom {
+                name: "denials_at_least".into(),
+                args: vec![ParamRef::Int(3), ParamRef::Int(60)],
+            },
+            static_target,
+        );
+        assert!(!known.opaque);
+        assert_eq!(known.reads, vec![Region::DenialWindow]);
+    }
+}

@@ -9,6 +9,7 @@
 //! activation) — which are processed in the same dispatch up to a depth
 //! limit.
 
+use crate::effect::{action_footprint, check_footprint, runtime_target, Access, Region, RuleTouch};
 use crate::lang::{ActionSpec, Check, CondExpr};
 use crate::log::{AuditEntry, AuditKind, AuditLog};
 use crate::pool::RulePool;
@@ -16,6 +17,8 @@ use crate::rule::Rule;
 use crate::state::{ActionOutcome, AuthState};
 use serde::{Deserialize, Serialize};
 use snoop::{Detection, Detector, DetectorError, Dur, EventId, Occurrence, Params, Ts};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Outcome of one dispatch (an external event plus everything it cascaded
 /// into).
@@ -43,6 +46,11 @@ pub struct ExecReport {
     /// (0 = only directly-triggered rules; each synchronous `raise`
     /// adds one). Checkable against the static analyzer's proved bound.
     pub max_depth: usize,
+    /// State regions each rule execution actually touched, with
+    /// runtime-resolved targets. Empty unless
+    /// [`Executor::record_effects`] is set; checkable against the static
+    /// analyzer's declared footprints (observed ⊆ declared).
+    pub touches: Vec<RuleTouch>,
 }
 
 impl ExecReport {
@@ -61,6 +69,7 @@ impl ExecReport {
         self.errors.extend(other.errors);
         self.mutations += other.mutations;
         self.max_depth = self.max_depth.max(other.max_depth);
+        self.touches.extend(other.touches);
     }
 }
 
@@ -80,6 +89,27 @@ pub struct Executor {
     /// instead of being cut.
     #[serde(default)]
     pub assume_acyclic: bool,
+    /// Use the independence fast path for events listed in
+    /// [`Executor::independent_events`]: the enabled-rule batch for such
+    /// an event is snapshotted once per occurrence instead of re-fetching
+    /// and re-checking the pool before every rule.
+    ///
+    /// Only set this from the effect analysis (`policy::analyze`): the
+    /// snapshot is sound exactly when no rule triggered by the event can
+    /// (transitively) toggle rule enablement — the analyzer's
+    /// `independent_events` certificate. Deny-overrides short-circuiting
+    /// is preserved either way.
+    #[serde(default)]
+    pub assume_independent: bool,
+    /// Events whose triggered rules were proved free of (effective)
+    /// rule-toggle writes — the license for the fast path above.
+    #[serde(default)]
+    pub independent_events: BTreeSet<EventId>,
+    /// Record every state region each rule execution touches into
+    /// [`ExecReport::touches`] (runtime-resolved targets). Used by the
+    /// simulator to certify declared footprints dynamically.
+    #[serde(default)]
+    pub record_effects: bool,
 }
 
 impl Default for Executor {
@@ -87,6 +117,9 @@ impl Default for Executor {
         Executor {
             max_cascade_depth: 32,
             assume_acyclic: false,
+            assume_independent: false,
+            independent_events: BTreeSet::new(),
+            record_effects: false,
         }
     }
 }
@@ -175,15 +208,38 @@ impl Executor {
         let mut report = ExecReport::default();
         for det in detections {
             let occ = det.occurrence;
+            if self.assume_independent && self.independent_events.contains(&occ.event) {
+                // Fast path (toggle-independence certificate): no rule
+                // triggered by this event can — directly or through any
+                // synchronous cascade — flip rule enablement, so the
+                // enabled batch is snapshotted once and the per-rule pool
+                // refetch + enabled re-check are skipped. Deny-overrides
+                // short-circuiting below is untouched.
+                let batch: Vec<Arc<Rule>> = rt
+                    .pool
+                    .triggered_by(occ.event)
+                    .iter()
+                    .filter_map(|&id| rt.pool.get_arc(id))
+                    .filter(|r| r.enabled)
+                    .collect();
+                for rule in batch {
+                    let sub = self.run_rule(rt, &rule, &occ, depth);
+                    let denied = !sub.denials.is_empty();
+                    report.absorb(sub);
+                    if denied {
+                        break;
+                    }
+                }
+                continue;
+            }
             let rule_ids = rt.pool.triggered_by(occ.event).to_vec();
             for id in rule_ids {
-                let Some(rule) = rt.pool.get(id) else {
+                let Some(rule) = rt.pool.get_arc(id) else {
                     continue;
                 };
                 if !rule.enabled {
                     continue;
                 }
-                let rule = rule.clone();
                 let sub = self.run_rule(rt, &rule, &occ, depth);
                 let denied = !sub.denials.is_empty();
                 report.absorb(sub);
@@ -210,7 +266,13 @@ impl Executor {
             max_depth: depth,
             ..ExecReport::default()
         };
-        let cond = match eval_cond(&rule.when, occ, rt.state, rt.detector) {
+        let mut traced = Vec::new();
+        let sink = if self.record_effects {
+            Some(&mut traced)
+        } else {
+            None
+        };
+        let cond = match eval_cond_rec(&rule.when, occ, rt.state, rt.detector, sink) {
             Ok(b) => b,
             Err(msg) => {
                 let m = format!("condition error in {}: {msg}", rule.name);
@@ -225,6 +287,13 @@ impl Executor {
                 false
             }
         };
+        report
+            .touches
+            .extend(traced.into_iter().map(|region| RuleTouch {
+                rule: rule.name.clone(),
+                access: Access::Read,
+                region,
+            }));
         let (actions, kind) = if cond {
             report.fired += 1;
             (&rule.then, AuditKind::Fired)
@@ -262,6 +331,26 @@ impl Executor {
         depth: usize,
     ) -> ExecReport {
         let mut report = ExecReport::default();
+        if self.record_effects {
+            // Record at the executed site with runtime-resolved targets —
+            // the declared (static) footprint must cover every one.
+            let fp = action_footprint(action, |p| runtime_target(p, occ));
+            let name = &rule.name;
+            report
+                .touches
+                .extend(fp.reads.into_iter().map(|region| RuleTouch {
+                    rule: name.clone(),
+                    access: Access::Read,
+                    region,
+                }));
+            report
+                .touches
+                .extend(fp.writes.into_iter().map(|region| RuleTouch {
+                    rule: name.clone(),
+                    access: Access::Write,
+                    region,
+                }));
+        }
         let now = rt.detector.now();
         let log_entry = |rt: &mut Runtime<'_>, kind: AuditKind, message: String| {
             rt.log.push(AuditEntry {
@@ -463,13 +552,26 @@ pub fn eval_cond(
     state: &dyn AuthState,
     detector: &Detector,
 ) -> Result<bool, String> {
+    eval_cond_rec(cond, occ, state, detector, None)
+}
+
+/// [`eval_cond`] with an optional effect sink: every *evaluated* check
+/// appends the regions it read (runtime-resolved targets). Short-circuited
+/// branches record nothing — observed effects are what actually ran.
+fn eval_cond_rec(
+    cond: &CondExpr,
+    occ: &Occurrence,
+    state: &dyn AuthState,
+    detector: &Detector,
+    mut sink: Option<&mut Vec<Region>>,
+) -> Result<bool, String> {
     match cond {
         CondExpr::True => Ok(true),
         CondExpr::False => Ok(false),
-        CondExpr::Not(c) => Ok(!eval_cond(c, occ, state, detector)?),
+        CondExpr::Not(c) => Ok(!eval_cond_rec(c, occ, state, detector, sink)?),
         CondExpr::All(v) => {
             for c in v {
-                if !eval_cond(c, occ, state, detector)? {
+                if !eval_cond_rec(c, occ, state, detector, sink.as_deref_mut())? {
                     return Ok(false);
                 }
             }
@@ -477,7 +579,7 @@ pub fn eval_cond(
         }
         CondExpr::Any(v) => {
             for c in v {
-                if eval_cond(c, occ, state, detector)? {
+                if eval_cond_rec(c, occ, state, detector, sink.as_deref_mut())? {
                     return Ok(true);
                 }
             }
@@ -488,13 +590,18 @@ pub fn eval_cond(
             then,
             otherwise,
         } => {
-            if eval_cond(guard, occ, state, detector)? {
-                eval_cond(then, occ, state, detector)
+            if eval_cond_rec(guard, occ, state, detector, sink.as_deref_mut())? {
+                eval_cond_rec(then, occ, state, detector, sink)
             } else {
-                eval_cond(otherwise, occ, state, detector)
+                eval_cond_rec(otherwise, occ, state, detector, sink)
             }
         }
-        CondExpr::Check(check) => eval_check(check, occ, state, detector),
+        CondExpr::Check(check) => {
+            if let Some(sink) = sink {
+                sink.extend(check_footprint(check, |p| runtime_target(p, occ)).reads);
+            }
+            eval_check(check, occ, state, detector)
+        }
     }
 }
 
@@ -746,15 +853,13 @@ mod tests {
         for i in 0..10 {
             ids.push(fx.detector.primitive(&format!("c{i}")));
         }
-        for i in 0..9 {
-            fx.attach(
-                Rule::new(format!("C{i}"), ids[i], CondExpr::True).then(vec![
-                    ActionSpec::RaiseEvent {
-                        event: format!("c{}", i + 1),
-                        params: vec![],
-                    },
-                ]),
-            );
+        for (i, &id) in ids.iter().enumerate().take(9) {
+            fx.attach(Rule::new(format!("C{i}"), id, CondExpr::True).then(vec![
+                ActionSpec::RaiseEvent {
+                    event: format!("c{}", i + 1),
+                    params: vec![],
+                },
+            ]));
         }
         let guarded = Executor {
             max_cascade_depth: 5,
@@ -767,6 +872,7 @@ mod tests {
         let proved = Executor {
             max_cascade_depth: 5,
             assume_acyclic: true,
+            ..Executor::default()
         };
         let mut rt = fx.rt();
         let rep = proved.dispatch(&mut rt, ids[0], Params::new()).unwrap();

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod effect;
 pub mod executor;
 pub mod lang;
 pub mod log;
@@ -33,6 +34,10 @@ pub mod pool;
 pub mod rule;
 pub mod state;
 
+pub use effect::{
+    action_footprint, check_footprint, cond_footprint, custom_check_footprint, runtime_target,
+    static_target, Access, Footprint, Region, RuleTouch, Target,
+};
 pub use executor::{attach_rule, eval_cond, ExecReport, Executor, Runtime};
 pub use lang::{ActionSpec, Check, CondExpr, ParamRef};
 pub use log::{AuditEntry, AuditKind, AuditLog};

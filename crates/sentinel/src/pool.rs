@@ -10,11 +10,17 @@ use crate::rule::{Granularity, Rule, RuleClass, RuleId};
 use serde::{Deserialize, Serialize};
 use snoop::EventId;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An indexed collection of OWTE rules.
+///
+/// Rules are stored behind [`Arc`] so the executor's per-dispatch rule
+/// snapshot is a refcount bump, not a deep clone of the condition/action
+/// trees; mutation paths go through [`Arc::make_mut`] (copy-on-write, so
+/// a snapshot taken mid-dispatch stays consistent).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RulePool {
-    rules: Vec<Rule>,
+    rules: Vec<Arc<Rule>>,
     by_event: HashMap<EventId, Vec<RuleId>>,
     by_name: HashMap<String, RuleId>,
 }
@@ -60,14 +66,14 @@ impl RulePool {
                 }
                 self.by_event.entry(rule.event).or_default().push(existing);
             }
-            self.rules[existing.0 as usize] = rule;
+            self.rules[existing.0 as usize] = Arc::new(rule);
             self.resort(self.rules[existing.0 as usize].event);
             return existing;
         }
         let id = RuleId(u32::try_from(self.rules.len()).expect("rule count fits u32"));
         self.by_name.insert(rule.name.clone(), id);
         self.by_event.entry(rule.event).or_default().push(id);
-        self.rules.push(rule);
+        self.rules.push(Arc::new(rule));
         self.resort(self.rules[id.0 as usize].event);
         id
     }
@@ -90,7 +96,7 @@ impl RulePool {
             v.retain(|&r| r != id);
         }
         self.by_name.remove(name);
-        self.rules[id.0 as usize].enabled = false;
+        Arc::make_mut(&mut self.rules[id.0 as usize]).enabled = false;
         true
     }
 
@@ -102,12 +108,20 @@ impl RulePool {
 
     /// Fetch a rule.
     pub fn get(&self, id: RuleId) -> Option<&Rule> {
-        self.rules.get(id.0 as usize)
+        self.rules.get(id.0 as usize).map(Arc::as_ref)
+    }
+
+    /// Fetch a shared handle to a rule (cheap clone for dispatch
+    /// snapshots).
+    pub fn get_arc(&self, id: RuleId) -> Option<Arc<Rule>> {
+        self.rules.get(id.0 as usize).cloned()
     }
 
     /// Fetch a rule by name.
     pub fn get_by_name(&self, name: &str) -> Option<&Rule> {
-        self.by_name.get(name).map(|&id| &self.rules[id.0 as usize])
+        self.by_name
+            .get(name)
+            .map(|&id| self.rules[id.0 as usize].as_ref())
     }
 
     /// Look up a rule id by name.
@@ -119,7 +133,7 @@ impl RulePool {
     pub fn set_enabled(&mut self, name: &str, on: bool) -> bool {
         match self.by_name.get(name) {
             Some(&id) => {
-                self.rules[id.0 as usize].enabled = on;
+                Arc::make_mut(&mut self.rules[id.0 as usize]).enabled = on;
                 true
             }
             None => false,
@@ -131,9 +145,9 @@ impl RulePool {
         let mut n = 0;
         let named: Vec<RuleId> = self.by_name.values().copied().collect();
         for id in named {
-            let r = &mut self.rules[id.0 as usize];
+            let r = &self.rules[id.0 as usize];
             if r.class == class && r.enabled != on {
-                r.enabled = on;
+                Arc::make_mut(&mut self.rules[id.0 as usize]).enabled = on;
                 n += 1;
             }
         }
@@ -144,7 +158,7 @@ impl RulePool {
     pub fn iter(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
         self.by_name
             .values()
-            .map(move |&id| (id, &self.rules[id.0 as usize]))
+            .map(move |&id| (id, self.rules[id.0 as usize].as_ref()))
     }
 
     /// Number of live rules.

@@ -10,6 +10,7 @@
 use crate::world::World;
 use owte_core::{replay, Engine, Journal};
 use policy::PolicyGraph;
+use sentinel::{Access, Region};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -80,6 +81,17 @@ pub enum Violation {
         /// First difference found.
         detail: String,
     },
+    /// A rule execution touched a state region outside the footprint the
+    /// static effect analysis declared for it — the soundness claim
+    /// `observed ⊆ declared` does not hold on this schedule.
+    FootprintViolated {
+        /// The rule whose execution escaped its declared footprint.
+        rule: String,
+        /// Whether the escape was a read or a write.
+        access: Access,
+        /// The region touched but not declared.
+        region: Region,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -119,6 +131,14 @@ impl fmt::Display for Violation {
             Violation::StateDivergence { detail } => {
                 write!(f, "recovered state diverges from prefix replay: {detail}")
             }
+            Violation::FootprintViolated {
+                rule,
+                access,
+                region,
+            } => write!(
+                f,
+                "footprint violation: rule `{rule}` performed an undeclared {access} of {region}"
+            ),
         }
     }
 }
@@ -138,6 +158,7 @@ pub struct Invariants {
     dsd: Vec<SodCheck>,
     role_caps: Vec<(String, usize)>,
     user_caps: Vec<(String, usize)>,
+    stripped_footprints: BTreeSet<String>,
 }
 
 impl Invariants {
@@ -165,7 +186,19 @@ impl Invariants {
                 .iter()
                 .filter_map(|u| u.max_active_roles.map(|n| (u.name.clone(), n)))
                 .collect(),
+            stripped_footprints: BTreeSet::new(),
         }
+    }
+
+    /// Doctor the suite: treat `rule`'s declared footprint as *empty*, so
+    /// its first recorded touch raises [`Violation::FootprintViolated`].
+    /// This is the seeded-bug hook for the effect analysis — it proves
+    /// the checker would catch an analyzer that under-declares, the same
+    /// way the stripped-SoD harness proves it catches an engine that
+    /// under-enforces.
+    pub fn with_stripped_footprint(mut self, rule: &str) -> Invariants {
+        self.stripped_footprints.insert(rule.to_string());
+        self
     }
 
     /// Evaluate every invariant against `world`, returning the first
@@ -262,6 +295,26 @@ impl Invariants {
                 return Some(Violation::CascadeExceeded {
                     bound,
                     observed: e.deepest_cascade(),
+                });
+            }
+        }
+
+        // --- Observed effects stay within declared footprints. ---
+        // Touches are recorded under the rule that actually executed
+        // (cascaded rules record under their own name), so each one is
+        // checked against that rule's *direct* footprint — tighter than
+        // the sync-closed effective footprint used for interference.
+        for t in e.observed_touches() {
+            let declared_covers = !self.stripped_footprints.contains(&t.rule)
+                && world
+                    .effects()
+                    .effect_of(&t.rule)
+                    .is_some_and(|fp| fp.direct.covers(t.access, &t.region));
+            if !declared_covers {
+                return Some(Violation::FootprintViolated {
+                    rule: t.rule.clone(),
+                    access: t.access,
+                    region: t.region.clone(),
                 });
             }
         }

@@ -7,7 +7,7 @@ use owte_core::{
     DurableConfig, DurableEngine, FaultKind, FaultPlan, FaultyStorage, JournalOp, MemStorage,
     ScriptedFault,
 };
-use policy::PolicyGraph;
+use policy::{EffectReport, PolicyGraph};
 use rbac::SessionId;
 use snoop::{Dur, Ts};
 use std::fmt;
@@ -92,6 +92,7 @@ pub struct World {
     config: DurableConfig,
     start: Ts,
     cascade_bound: Option<usize>,
+    effects: Rc<EffectReport>,
     schedule: Vec<Choice>,
 }
 
@@ -104,9 +105,16 @@ impl World {
         config: DurableConfig,
     ) -> Result<World, String> {
         let storage = FaultyStorage::new(MemStorage::new(), 0, FaultPlan::default());
-        let engine = DurableEngine::create(storage, graph, Ts::ZERO, config.clone())
+        let mut engine = DurableEngine::create(storage, graph, Ts::ZERO, config.clone())
             .map_err(|e| format!("world genesis failed: {e}"))?;
-        let cascade_bound = engine.engine().analyze().max_sync_depth;
+        let report = engine.engine().analyze();
+        let cascade_bound = report.max_sync_depth;
+        let effects = Rc::new(report.effects);
+        // Arm effect recording so every explored schedule carries the
+        // observed-touch evidence the `FootprintViolated` invariant
+        // certifies against. Recording is pure monitoring state, so it
+        // is safe to toggle through the journal-bypassing handle.
+        engine.engine_mut().record_effects(true);
         let users = graph.users.len();
         Ok(World {
             node: Node::Running(Box::new(engine)),
@@ -120,6 +128,7 @@ impl World {
             config,
             start: Ts::ZERO,
             cascade_bound,
+            effects,
             schedule: Vec::new(),
         })
     }
@@ -166,6 +175,13 @@ impl World {
     /// The analyzer's proved synchronous cascade bound for this policy.
     pub fn cascade_bound(&self) -> Option<usize> {
         self.cascade_bound
+    }
+
+    /// The static effect report (per-rule declared footprints) computed
+    /// once at genesis; the invariant layer checks every observed touch
+    /// against it.
+    pub fn effects(&self) -> &EffectReport {
+        &self.effects
     }
 
     /// The schedule (sequence of applied choices) that produced this
@@ -302,7 +318,11 @@ impl World {
                 };
                 let storage = FaultyStorage::new(mem, 0, FaultPlan::default());
                 match DurableEngine::open(storage, self.config.clone()) {
-                    Ok(d) => {
+                    Ok(mut d) => {
+                        // Recovery replays the journal with recording at
+                        // its snapshotted setting; re-arm deterministically
+                        // so post-restart execution is certified too.
+                        d.engine_mut().record_effects(true);
                         self.node = Node::Running(Box::new(d));
                         self.just_restarted = true;
                     }

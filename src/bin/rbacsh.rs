@@ -9,7 +9,10 @@
 //! session #0 opened for ann
 //! ```
 //!
-//! Also usable non-interactively: `rbacsh < commands.txt`.
+//! Also usable non-interactively: `rbacsh < commands.txt`. In that mode
+//! the process exits nonzero if any command failed, so scripted
+//! pipelines (e.g. CI running `analyze --strict` over generated pools)
+//! can gate on the result.
 
 use active_authz::shell::Shell;
 use std::io::{self, BufRead, Write};
@@ -19,6 +22,7 @@ fn main() -> io::Result<()> {
     let stdin = io::stdin();
     let mut stdout = io::stdout();
     let interactive = atty_stdin();
+    let mut failed = false;
     if interactive {
         println!("rbacsh — OWTE RBAC administrative shell (`help` for commands, ctrl-d to exit)");
     }
@@ -56,15 +60,24 @@ fn main() -> io::Result<()> {
             }
             match shell.load(&src) {
                 Ok(out) => println!("{out}"),
-                Err(err) => eprintln!("error: {err}"),
+                Err(err) => {
+                    eprintln!("error: {err}");
+                    failed = true;
+                }
             }
             continue;
         }
         match shell.exec(trimmed) {
             Ok(out) if out.is_empty() => {}
             Ok(out) => println!("{out}"),
-            Err(err) => eprintln!("error: {err}"),
+            Err(err) => {
+                eprintln!("error: {err}");
+                failed = true;
+            }
         }
+    }
+    if failed {
+        std::process::exit(1);
     }
     Ok(())
 }

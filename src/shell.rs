@@ -60,11 +60,15 @@ commands:
   clock                      show the logical time
   log [n]                    last n audit entries (default 10)
   alerts                     active-security alerts
-  analyze                    static rule-pool analysis: termination proof,
-                             dead/shadowed rules, coverage and SoD conflicts
-  dot policy | dot events | dot rules
+  analyze [--strict]         static rule-pool analysis: termination proof,
+                             dead/shadowed rules, coverage, SoD conflicts
+                             and effect footprints; --strict fails (for
+                             scripted pipelines) on any diagnostic
+  dot policy | dot events | dot rules [--effects]
                              Graphviz DOT of the policy graph, the event
                              graph, or the rule-dependency graph
+                             (--effects: interference edges, commutativity
+                             classes as colors)
   help                       this text";
 
 impl Shell {
@@ -351,12 +355,30 @@ impl Shell {
                 let e = self.engine()?;
                 Ok(e.rule_graph_dot())
             }
-            ("analyze", []) => {
+            ("dot", ["rules", "--effects"]) => {
+                let e = self.engine()?;
+                Ok(e.effect_graph_dot())
+            }
+            ("analyze", rest) => {
+                let strict = match rest {
+                    [] => false,
+                    ["--strict"] => true,
+                    _ => return Err("usage: analyze [--strict]".to_string()),
+                };
                 let e = self.engine()?;
                 let report = e.analyze();
                 let mut out = report.to_string().trim_end().to_string();
+                out.push_str(&format!("\neffects: {}", report.effects.summary()));
                 if e.proved_acyclic() {
                     out.push_str("\nexecutor: cascade-depth bookkeeping skipped (proved acyclic)");
+                }
+                if strict && !report.diagnostics.is_empty() {
+                    // Strict mode makes every finding fatal so scripted
+                    // pipelines (CI `effects-check`) fail on warnings too.
+                    return Err(format!(
+                        "{out}\nstrict: {} diagnostic(s) present",
+                        report.diagnostics.len()
+                    ));
                 }
                 Ok(out)
             }
@@ -537,8 +559,54 @@ mod tests {
         assert!(out.contains("PROVED-TERMINATING"), "{out}");
         assert!(out.contains("0 errors"));
         assert!(out.contains("proved acyclic"), "{out}");
+        assert!(out.contains("commutativity classes"), "{out}");
         // Listed in help.
         assert!(sh.exec("help").unwrap().contains("analyze"));
+    }
+
+    #[test]
+    fn analyze_strict_gates_on_diagnostics() {
+        // Strict agrees with the plain report: passes iff no findings…
+        let mut sh = shell();
+        let plain = sh.exec("analyze").unwrap();
+        assert_eq!(
+            sh.exec("analyze --strict").is_ok(),
+            plain.contains("0 errors, 0 warnings"),
+            "{plain}"
+        );
+        assert!(sh.exec("analyze --bogus").is_err());
+        // …while a DSD set defeated by a common senior — a Warning, so
+        // the DenyOnError load gate lets it through — fails strict.
+        let mut warny = Shell::new();
+        warny
+            .load(
+                r#"
+                policy "w" {
+                  roles Boss, A, B;
+                  users bob;
+                  hierarchy Boss -> A;
+                  hierarchy Boss -> B;
+                  dsd "ab" { A, B } cardinality 2;
+                  assign bob -> Boss;
+                  permission p = op on obj;
+                  grant p -> A;
+                }
+                "#,
+            )
+            .unwrap();
+        assert!(warny.exec("analyze").is_ok(), "plain analyze only reports");
+        let err = warny.exec("analyze --strict").unwrap_err();
+        assert!(err.contains("strict:"), "{err}");
+        assert!(err.contains("sod-hierarchy-conflict"), "{err}");
+    }
+
+    #[test]
+    fn dot_rules_effects_renders_interference_graph() {
+        let mut sh = shell();
+        let out = sh.exec("dot rules --effects").unwrap();
+        assert!(out.starts_with("digraph effects {"), "{out}");
+        assert!(out.contains("AAR1_Teller"), "{out}");
+        assert!(out.contains("fillcolor"), "{out}");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use sim::{
     explore, run_schedule, strip_sod, tiny_enterprise, tiny_ops, Budget, Choice, Invariants,
     Outcome, Strategy, Violation, World,
 };
+use std::collections::BTreeSet;
 
 /// The durable config the clean sweep runs under: snapshot every 4 ops
 /// so the exhaustive sweep crosses snapshot writes and log compaction,
@@ -44,6 +45,21 @@ fn exhaustive_tiny_enterprise_is_clean() {
             .is_some(),
         "the GTRBAC enabling window must arm a detector timer at boot, \
          or the sweep never interleaves timer firings"
+    );
+    // The footprint invariant must not pass vacuously: the world carries
+    // the static effect report and records touches as rules execute.
+    assert!(
+        !world.effects().effects.is_empty(),
+        "tiny enterprise produced no effect report — FootprintViolated \
+         would certify nothing"
+    );
+    assert!(
+        world
+            .engine()
+            .expect("world boots running")
+            .engine()
+            .effects_recorded(),
+        "worlds must boot with effect recording armed"
     );
     let invariants = Invariants::from_reference(&graph);
     let budget = Budget {
@@ -138,6 +154,110 @@ fn seeded_ssd_violation_is_found_and_minimized() {
         .expect("minimal schedule stays enabled")
         .expect("minimal schedule still violates");
     assert_eq!(replayed, (violation, 3));
+}
+
+/// The footprint invariant certifies real evidence: running the whole
+/// client script records touches from several distinct rules, every one
+/// inside its statically declared footprint.
+#[test]
+fn footprint_certification_observes_real_touches() {
+    let graph = tiny_enterprise();
+    let mut world =
+        World::new(&graph, tiny_ops(), DurableConfig::default()).expect("tiny policy instantiates");
+    let invariants = Invariants::from_reference(&graph);
+    for _ in 0..tiny_ops().len() {
+        world.apply(&Choice::NextOp).expect("script step applies");
+        assert!(
+            invariants.check(&world).is_none(),
+            "honest stack violated an invariant mid-script"
+        );
+    }
+    let touches = world
+        .engine()
+        .expect("world still running")
+        .engine()
+        .observed_touches();
+    assert!(
+        !touches.is_empty(),
+        "a 7-op script over an enterprise with SoD, windows and caps \
+         must execute at least one rule — recording is broken"
+    );
+    let rules: BTreeSet<&str> = touches.iter().map(|t| t.rule.as_str()).collect();
+    for rule in &rules {
+        let fp = world
+            .effects()
+            .effect_of(rule)
+            .unwrap_or_else(|| panic!("rule `{rule}` executed but has no static effect entry"));
+        assert!(
+            touches
+                .iter()
+                .filter(|t| t.rule == *rule)
+                .all(|t| fp.direct.covers(t.access, &t.region)),
+            "rule `{rule}` touched outside its declared direct footprint"
+        );
+    }
+}
+
+/// Seeded-bug: a deliberately under-declared footprint — the invariant
+/// suite treats the check-access rule's declared footprint as empty while
+/// the engine keeps recording its real touches. The checker must raise
+/// `FootprintViolated` for exactly that rule and shrink the schedule to
+/// the shortest op prefix that makes it execute.
+#[test]
+fn seeded_footprint_underdeclaration_is_found_and_minimized() {
+    let graph = tiny_enterprise();
+    let world =
+        World::new(&graph, tiny_ops(), DurableConfig::default()).expect("tiny policy instantiates");
+    assert!(
+        world.effects().effect_of("CA").is_some(),
+        "generated pool must contain the check-access rule `CA`"
+    );
+    let invariants = Invariants::from_reference(&graph).with_stripped_footprint("CA");
+    let budget = Budget {
+        max_steps: 10,
+        max_crashes: 0,
+        max_states: 2_000_000,
+        ..Budget::default()
+    };
+    let outcome = explore(
+        &world,
+        &invariants,
+        Strategy::Exhaustive { reduction: true },
+        budget,
+    );
+    let Outcome::Violation {
+        violation,
+        schedule,
+        ..
+    } = outcome
+    else {
+        panic!("under-declared footprint passed the containment invariant");
+    };
+    let Violation::FootprintViolated { ref rule, .. } = violation else {
+        panic!("wrong violation reported: {violation}");
+    };
+    assert_eq!(rule, "CA", "the stripped rule must be the one reported");
+    // `CA` runs on the CHECK_ACCESS dispatch of ops[4]; nothing earlier
+    // triggers it, so the minimal schedule is exactly the five client
+    // ops up to and including the access check, timers shrunk away.
+    assert_eq!(
+        schedule.0,
+        vec![Choice::NextOp; 5],
+        "minimal schedule must stop at the first check-access op:\n{}",
+        schedule.script(&world)
+    );
+    let replayed = run_schedule(&world, &invariants, &schedule.0)
+        .expect("minimal schedule stays enabled")
+        .expect("minimal schedule still violates");
+    assert_eq!(replayed.0, violation);
+    assert_eq!(replayed.1, 4, "violation observed on the check-access step");
+    // The same schedule is clean when the declared footprints are honest.
+    assert!(
+        run_schedule(&world, &Invariants::from_reference(&graph), &schedule.0)
+            .expect("schedule stays enabled")
+            .is_none(),
+        "honest footprints must cover the same execution"
+    );
 }
 
 /// Seeded-bug 2: `sync_on_append: false` acknowledges journal appends
