@@ -7,6 +7,12 @@
 //! across role-set size since both sit on the same monitor. The paper's
 //! pitch is flexibility at acceptable overhead — this series quantifies
 //! "acceptable".
+//!
+//! Each series runs three ways: `owte` (compiled dispatch plan, the
+//! default), `owte_interp` (the same engine with the plan disarmed via
+//! `set_compiled(false)`), and `direct`. The owte/owte_interp spread is
+//! the compilation speedup; the owte/direct spread is the remaining
+//! flexibility overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use owte_core::{DirectEngine, Engine};
@@ -18,9 +24,11 @@ use workload::{generate_enterprise, EnterpriseSpec};
 
 struct Fixture {
     owte: Engine,
+    interp: Engine,
     direct: DirectEngine,
     user: UserId,
     session_owte: SessionId,
+    session_interp: SessionId,
     session_direct: SessionId,
     role: RoleId,
 }
@@ -62,16 +70,21 @@ fn fixture(variant: &str) -> Fixture {
     };
     g.assign("u", assignee);
     let owte = Engine::from_policy(&g, Ts::ZERO).unwrap();
+    let mut interp = Engine::from_policy(&g, Ts::ZERO).unwrap();
+    interp.set_compiled(false);
     let direct = DirectEngine::from_policy(&g, Ts::ZERO).unwrap();
     let mut fx = Fixture {
         user: owte.user_id("u").unwrap(),
         role: owte.role_id("target").unwrap(),
         session_owte: SessionId(0),
+        session_interp: SessionId(0),
         session_direct: SessionId(0),
         owte,
+        interp,
         direct,
     };
     fx.session_owte = fx.owte.create_session(fx.user, &[]).unwrap();
+    fx.session_interp = fx.interp.create_session(fx.user, &[]).unwrap();
     fx.session_direct = fx.direct.create_session(fx.user, &[]).unwrap();
     fx
 }
@@ -96,6 +109,16 @@ fn bench_activation_variants(c: &mut Criterion) {
                     .unwrap();
             })
         });
+        group.bench_function(BenchmarkId::new("owte_interp", variant), |b| {
+            b.iter(|| {
+                fx.interp
+                    .add_active_role(fx.user, fx.session_interp, fx.role)
+                    .unwrap();
+                fx.interp
+                    .drop_active_role(fx.user, fx.session_interp, fx.role)
+                    .unwrap();
+            })
+        });
         group.bench_function(BenchmarkId::new("direct", variant), |b| {
             b.iter(|| {
                 fx.direct
@@ -115,9 +138,11 @@ fn bench_check_access(c: &mut Criterion) {
     for &roles in &[10usize, 100, 500] {
         let g = generate_enterprise(&EnterpriseSpec::flat(roles), 42);
         let mut owte = Engine::from_policy(&g, Ts::ZERO).unwrap();
+        let mut interp = Engine::from_policy(&g, Ts::ZERO).unwrap();
+        interp.set_compiled(false);
         let mut direct = DirectEngine::from_policy(&g, Ts::ZERO).unwrap();
         let user = owte.user_id("user0").unwrap();
-        // Activate everything user0 is assigned to, in both engines.
+        // Activate everything user0 is assigned to, in all engines.
         let assigned: Vec<RoleId> = owte
             .system()
             .assigned_roles(user)
@@ -125,12 +150,16 @@ fn bench_check_access(c: &mut Criterion) {
             .into_iter()
             .collect();
         let so = owte.create_session(user, &assigned).unwrap();
+        let si = interp.create_session(user, &assigned).unwrap();
         let sd = direct.create_session(user, &assigned).unwrap();
         let op = owte.system().op_by_name("op0").unwrap();
         let obj = owte.system().obj_by_name("obj0").unwrap();
 
         group.bench_with_input(BenchmarkId::new("owte", roles), &roles, |b, _| {
             b.iter(|| black_box(owte.check_access(so, op, obj).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("owte_interp", roles), &roles, |b, _| {
+            b.iter(|| black_box(interp.check_access(si, op, obj).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("direct", roles), &roles, |b, _| {
             b.iter(|| black_box(direct.check_access(sd, op, obj).unwrap()))
@@ -154,16 +183,25 @@ fn bench_hierarchy_depth(c: &mut Criterion) {
         }
         g.assign("u", "r0");
         let mut owte = Engine::from_policy(&g, Ts::ZERO).unwrap();
+        let mut interp = Engine::from_policy(&g, Ts::ZERO).unwrap();
+        interp.set_compiled(false);
         let mut direct = DirectEngine::from_policy(&g, Ts::ZERO).unwrap();
         let u = owte.user_id("u").unwrap();
         let bottom = owte.role_id(&format!("r{depth}")).unwrap();
         let so = owte.create_session(u, &[]).unwrap();
+        let si = interp.create_session(u, &[]).unwrap();
         let sd = direct.create_session(u, &[]).unwrap();
 
         group.bench_with_input(BenchmarkId::new("owte", depth), &depth, |b, _| {
             b.iter(|| {
                 owte.add_active_role(u, so, bottom).unwrap();
                 owte.drop_active_role(u, so, bottom).unwrap();
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("owte_interp", depth), &depth, |b, _| {
+            b.iter(|| {
+                interp.add_active_role(u, si, bottom).unwrap();
+                interp.drop_active_role(u, si, bottom).unwrap();
             })
         });
         group.bench_with_input(BenchmarkId::new("direct", depth), &depth, |b, _| {
@@ -184,14 +222,20 @@ fn bench_denial_path(c: &mut Criterion) {
     g.role("target");
     // u is NOT assigned to target.
     let mut owte = Engine::from_policy(&g, Ts::ZERO).unwrap();
+    let mut interp = Engine::from_policy(&g, Ts::ZERO).unwrap();
+    interp.set_compiled(false);
     let mut direct = DirectEngine::from_policy(&g, Ts::ZERO).unwrap();
     let u = owte.user_id("u").unwrap();
     let r = owte.role_id("target").unwrap();
     let so = owte.create_session(u, &[]).unwrap();
+    let si = interp.create_session(u, &[]).unwrap();
     let sd = direct.create_session(u, &[]).unwrap();
     let mut group = c.benchmark_group("enforcement/denied_activation");
     group.bench_function("owte", |b| {
         b.iter(|| black_box(owte.add_active_role(u, so, r).is_err()))
+    });
+    group.bench_function("owte_interp", |b| {
+        b.iter(|| black_box(interp.add_active_role(u, si, r).is_err()))
     });
     group.bench_function("direct", |b| {
         b.iter(|| black_box(direct.add_active_role(u, sd, r).is_err()))

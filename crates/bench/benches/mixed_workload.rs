@@ -5,9 +5,11 @@
 //! Expected shape: the OWTE/direct gap measured per-operation in
 //! `enforcement.rs` (tens of ×) shrinks here because trace overhead
 //! (session bookkeeping, monitor work) is shared; the paper's "acceptable
-//! overhead" claim is about this end-to-end number.
+//! overhead" claim is about this end-to-end number. The `owte_interp`
+//! series pins the interpreter (`set_compiled(false)`) so the compiled
+//! plan's end-to-end contribution is visible separately (E13).
 
-use bench::{replay_direct, replay_owte};
+use bench::{replay_direct, replay_owte, replay_owte_interpreted};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use workload::{generate_enterprise, generate_trace, EnterpriseSpec, TraceSpec};
@@ -33,9 +35,16 @@ fn bench_mixed(c: &mut Criterion) {
             replay_owte(&graph, &trace, spec.users),
             replay_direct(&graph, &trace, spec.users)
         );
+        assert_eq!(
+            replay_owte(&graph, &trace, spec.users),
+            replay_owte_interpreted(&graph, &trace, spec.users)
+        );
         group.throughput(Throughput::Elements(trace.len() as u64));
         group.bench_with_input(BenchmarkId::new("owte", roles), &roles, |b, _| {
             b.iter(|| black_box(replay_owte(&graph, &trace, spec.users)))
+        });
+        group.bench_with_input(BenchmarkId::new("owte_interp", roles), &roles, |b, _| {
+            b.iter(|| black_box(replay_owte_interpreted(&graph, &trace, spec.users)))
         });
         group.bench_with_input(BenchmarkId::new("direct", roles), &roles, |b, _| {
             b.iter(|| black_box(replay_direct(&graph, &trace, spec.users)))

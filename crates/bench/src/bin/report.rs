@@ -1,14 +1,18 @@
 //! Prints the evaluation tables recorded in EXPERIMENTS.md — rule-pool
 //! composition per enterprise size (E2), regeneration scope (E3), the
-//! XYZ / Figure-1 pool breakdown (E1), and the bounded model-check
-//! sweep (E11) — and emits each as a machine-readable `BENCH_<id>.json`
-//! so CI can track the perf trajectory across PRs.
+//! XYZ / Figure-1 pool breakdown (E1), the bounded model-check sweep
+//! (E11), the independence-certificate fast path (E12), and the
+//! compiled-dispatch gap per-op (E5) and end-to-end (E13) — and emits
+//! each as a machine-readable `BENCH_<id>.json` so CI can track the perf
+//! trajectory across PRs.
 //!
 //! Run with: `cargo run -p bench --bin report --release`
 //! (`BENCH_JSON_DIR=path` overrides the default `target/bench-report`.)
 
-use owte_core::{DurableConfig, Engine};
+use bench::{replay_direct, replay_owte, replay_owte_interpreted};
+use owte_core::{DirectEngine, DurableConfig, Engine};
 use policy::{instantiate, regenerate, DailyWindow, PolicyGraph, VerifyGate};
+use rbac::RoleId;
 use sim::{
     explore, strip_sod, tiny_enterprise, tiny_ops, Budget, Invariants, Outcome, Strategy, World,
 };
@@ -16,7 +20,7 @@ use snoop::Ts;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
-use workload::{generate_enterprise, EnterpriseSpec};
+use workload::{generate_enterprise, generate_trace, EnterpriseSpec, TraceSpec};
 
 /// Where the `BENCH_*.json` files land.
 fn json_dir() -> PathBuf {
@@ -271,8 +275,12 @@ fn main() {
         let g = generate_enterprise(&EnterpriseSpec::sized(roles), 7);
         // Same pool, same workload; the only difference is whether the
         // verification gate armed the per-event independence certificates
-        // (and the acyclicity proof they ride with).
+        // (and the acyclicity proof they ride with). The compiled plan is
+        // disarmed on the certified side so this series keeps measuring
+        // the certificate effect alone — compilation has its own series
+        // (E5/E13) below.
         let mut certified = Engine::from_policy(&g, Ts::ZERO).unwrap();
+        certified.set_compiled(false);
         let mut uncertified = Engine::from_policy_gated(&g, Ts::ZERO, VerifyGate::Off).unwrap();
         let independent = certified.independent_event_count();
         let bench = |e: &mut Engine| {
@@ -314,4 +322,151 @@ fn main() {
         ));
     }
     emit_json("E12", &format!("[{}]\n", e12_rows.join(",")));
+
+    println!("\n== E5: per-op interpreter gap — interpreted vs compiled vs direct ==");
+    println!(
+        "{:>8} {:>14} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "roles", "op", "direct", "interp", "compiled", "interp/d", "compiled/d"
+    );
+    let mut e5_rows = Vec::new();
+    for &roles in &[10usize, 100] {
+        let g = generate_enterprise(&EnterpriseSpec::flat(roles), 42);
+        let mut compiled = Engine::from_policy(&g, Ts::ZERO).unwrap();
+        assert!(
+            compiled.compiled_active(),
+            "E5 needs the compiled plan armed"
+        );
+        let mut interp = Engine::from_policy(&g, Ts::ZERO).unwrap();
+        interp.set_compiled(false);
+        let mut direct = DirectEngine::from_policy(&g, Ts::ZERO).unwrap();
+        let user = compiled
+            .system()
+            .all_users()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .find(|&u| {
+                compiled
+                    .system()
+                    .assigned_roles(u)
+                    .is_ok_and(|r| !r.is_empty())
+            })
+            .expect("some user holds a role");
+        let assigned: Vec<RoleId> = compiled
+            .system()
+            .assigned_roles(user)
+            .unwrap()
+            .into_iter()
+            .collect();
+        let role = *assigned.first().expect("assignment set is non-empty");
+        let sc = compiled.create_session(user, &assigned).unwrap();
+        let si = interp.create_session(user, &assigned).unwrap();
+        let sd = direct.create_session(user, &assigned).unwrap();
+        let op = compiled.system().op_by_name("op0").unwrap();
+        let obj = compiled.system().obj_by_name("obj0").unwrap();
+
+        // check_access: the paper's Rule-5 hot path.
+        let iters = 20_000usize;
+        let check = |t: &mut dyn FnMut() -> bool| {
+            let t0 = Instant::now();
+            let mut hits = 0usize;
+            for _ in 0..iters {
+                hits += usize::from(t());
+            }
+            assert!(hits == 0 || hits == iters, "decision flapped mid-loop");
+            t0.elapsed() / iters as u32
+        };
+        let d = check(&mut || direct.check_access(sd, op, obj).unwrap());
+        let i = check(&mut || interp.check_access(si, op, obj).unwrap());
+        let c = check(&mut || compiled.check_access(sc, op, obj).unwrap());
+
+        // add/drop activation round trip (AAR + deactivation rules).
+        let toggle = |t: &mut dyn FnMut()| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                t();
+            }
+            t0.elapsed() / (2 * iters as u32)
+        };
+        let dt = toggle(&mut || {
+            direct.drop_active_role(user, sd, role).unwrap();
+            direct.add_active_role(user, sd, role).unwrap();
+        });
+        let it = toggle(&mut || {
+            interp.drop_active_role(user, si, role).unwrap();
+            interp.add_active_role(user, si, role).unwrap();
+        });
+        let ct = toggle(&mut || {
+            compiled.drop_active_role(user, sc, role).unwrap();
+            compiled.add_active_role(user, sc, role).unwrap();
+        });
+
+        for (op_name, d, i, c) in [("check_access", d, i, c), ("activation", dt, it, ct)] {
+            let fi = i.as_secs_f64() / d.as_secs_f64();
+            let fc = c.as_secs_f64() / d.as_secs_f64();
+            println!("{roles:>8} {op_name:>14} {d:>12?} {i:>12?} {c:>12?} {fi:>9.2}x {fc:>9.2}x");
+            e5_rows.push(format!(
+                "{{\"roles\":{roles},\"op\":\"{op_name}\",\"direct_ns\":{},\
+                 \"interpreted_ns\":{},\"compiled_ns\":{},\
+                 \"interpreted_factor\":{fi:.3},\"compiled_factor\":{fc:.3}}}",
+                d.as_nanos(),
+                i.as_nanos(),
+                c.as_nanos()
+            ));
+        }
+    }
+    emit_json("E5", &format!("[{}]\n", e5_rows.join(",")));
+
+    println!("\n== E13: mixed-workload throughput — compiled plan end to end ==");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "roles", "steps", "direct", "interp", "compiled", "interp/d", "compiled/d"
+    );
+    let mut e13_rows = Vec::new();
+    for &roles in &[20usize, 100] {
+        let spec = EnterpriseSpec::sized(roles);
+        let graph = generate_enterprise(&spec, 42);
+        let steps = 2_000usize;
+        let trace = generate_trace(
+            &TraceSpec {
+                steps,
+                users: spec.users,
+                roles: spec.roles,
+                objects: spec.permissions,
+                ..TraceSpec::default()
+            },
+            42,
+        );
+        // Identical outcomes before timing anything.
+        let stats = replay_owte(&graph, &trace, spec.users);
+        assert_eq!(stats, replay_owte_interpreted(&graph, &trace, spec.users));
+        assert_eq!(stats, replay_direct(&graph, &trace, spec.users));
+        // Best of three full replays per engine (engine build included,
+        // matching the criterion series in `mixed_workload.rs`).
+        let best = |f: &dyn Fn() -> bench::ReplayStats| {
+            (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let s = f();
+                    assert_eq!(s, stats);
+                    t0.elapsed()
+                })
+                .min()
+                .unwrap()
+        };
+        let d = best(&|| replay_direct(&graph, &trace, spec.users));
+        let i = best(&|| replay_owte_interpreted(&graph, &trace, spec.users));
+        let c = best(&|| replay_owte(&graph, &trace, spec.users));
+        let fi = i.as_secs_f64() / d.as_secs_f64();
+        let fc = c.as_secs_f64() / d.as_secs_f64();
+        println!("{roles:>8} {steps:>8} {d:>12?} {i:>12?} {c:>12?} {fi:>9.2}x {fc:>9.2}x");
+        e13_rows.push(format!(
+            "{{\"roles\":{roles},\"steps\":{steps},\"direct_ms\":{:.3},\
+             \"interpreted_ms\":{:.3},\"compiled_ms\":{:.3},\
+             \"interpreted_factor\":{fi:.3},\"compiled_factor\":{fc:.3}}}",
+            d.as_secs_f64() * 1e3,
+            i.as_secs_f64() * 1e3,
+            c.as_secs_f64() * 1e3
+        ));
+    }
+    emit_json("E13", &format!("[{}]\n", e13_rows.join(",")));
 }

@@ -23,9 +23,25 @@ pub struct ReplayStats {
     pub skipped: u64,
 }
 
-/// Replay a trace against the rule-driven engine.
+/// Replay a trace against the rule-driven engine with its default
+/// configuration (compiled dispatch plan armed when the pool is licensed).
 pub fn replay_owte(graph: &PolicyGraph, trace: &[Step], users: usize) -> ReplayStats {
     let mut e = Engine::from_policy(graph, Ts::ZERO).expect("bench policy instantiates");
+    replay_owte_engine(&mut e, trace, users)
+}
+
+/// Replay a trace against the rule-driven engine with the compiled plan
+/// disarmed — the interpreter baseline the compilation speedup (E5/E13)
+/// is measured against.
+pub fn replay_owte_interpreted(graph: &PolicyGraph, trace: &[Step], users: usize) -> ReplayStats {
+    let mut e = Engine::from_policy(graph, Ts::ZERO).expect("bench policy instantiates");
+    e.set_compiled(false);
+    replay_owte_engine(&mut e, trace, users)
+}
+
+/// Replay a trace against an already-configured rule-driven engine (the
+/// shared loop behind [`replay_owte`] and [`replay_owte_interpreted`]).
+pub fn replay_owte_engine(e: &mut Engine, trace: &[Step], users: usize) -> ReplayStats {
     let mut sessions: Vec<Option<SessionId>> = vec![None; users];
     let mut stats = ReplayStats::default();
     for step in trace {
@@ -199,7 +215,9 @@ mod tests {
         );
         let a = replay_owte(&graph, &trace, spec.users);
         let b = replay_direct(&graph, &trace, spec.users);
+        let c = replay_owte_interpreted(&graph, &trace, spec.users);
         assert_eq!(a, b, "both engines must count identically");
+        assert_eq!(a, c, "compiled and interpreted replays must agree");
         assert!(a.granted + a.denied + a.allowed > 0, "trace did real work");
     }
 }

@@ -69,14 +69,14 @@ impl AuthState for BridgeView<'_> {
 
     fn role_active(&self, s: i64, r: i64) -> bool {
         match (session(s), role(r)) {
-            (Some(s), Some(r)) => self.sys.session_roles(s).is_ok_and(|rs| rs.contains(&r)),
+            (Some(s), Some(r)) => self.sys.is_active_in_session(s, r).unwrap_or(false),
             _ => false,
         }
     }
 
     fn assigned(&self, u: i64, r: i64) -> bool {
         match (user(u), role(r)) {
-            (Some(u), Some(r)) => self.sys.assigned_roles(u).is_ok_and(|rs| rs.contains(&r)),
+            (Some(u), Some(r)) => self.sys.is_assigned(u, r).unwrap_or(false),
             _ => false,
         }
     }
@@ -86,6 +86,18 @@ impl AuthState for BridgeView<'_> {
             (Some(u), Some(r)) => self.sys.is_authorized(u, r).unwrap_or(false),
             _ => false,
         }
+    }
+
+    fn authorized_any(&self, u: i64, roles: &[i64]) -> bool {
+        // Baked-closure form of `authorized`: one user lookup, then
+        // membership tests against the role's precomputed ancestor set.
+        let Some(u) = user(u) else { return false };
+        let Ok(assigned) = self.sys.assigned_roles_ref(u) else {
+            return false;
+        };
+        roles
+            .iter()
+            .any(|&r| role(r).is_some_and(|r| assigned.contains(&r)))
     }
 
     fn dsd_satisfied(&self, s: i64, r: i64) -> bool {

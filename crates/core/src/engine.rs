@@ -10,11 +10,13 @@
 use crate::bridge::BridgeView;
 use crate::context::ContextState;
 use crate::privacy::PrivacyState;
-use policy::{events, InstantiateError, Instantiated, PolicyGraph, RegenReport, VerifyGate};
+use policy::{
+    events, CompiledPolicy, InstantiateError, Instantiated, PolicyGraph, RegenReport, VerifyGate,
+};
 use rbac::{ObjId, OpId, RoleId, SessionId, UserId};
 use sentinel::{AuditLog, ExecReport, Executor, RuleTouch, Runtime};
 use serde::{Deserialize, Serialize};
-use snoop::{DetectorError, Dur, Params, Ts};
+use snoop::{DetectorError, Dur, EventId, Params, Ts};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
@@ -89,6 +91,30 @@ pub struct Engine {
     /// footprint for that rule (`FootprintViolated`).
     #[serde(default)]
     observed_touches: BTreeSet<RuleTouch>,
+    /// The compiled execution plan, when the pool is licensed (proved
+    /// terminating, zero analyzer errors). Pure derived state — rebuilt
+    /// from the instantiation on demand, never persisted; a restored
+    /// engine recompiles lazily on its first dispatch, which the sim's
+    /// crash-restart schedules exercise.
+    #[serde(skip)]
+    compiled: Option<CompiledPolicy>,
+    /// Has a (re)compile been attempted for the current pool? Prevents
+    /// re-running the analyzer per dispatch when compilation is refused.
+    #[serde(skip)]
+    compile_checked: bool,
+    /// Operator kill-switch ([`Engine::set_compiled`]): when set, the
+    /// engine stays on the interpreter regardless of the license.
+    #[serde(skip)]
+    compile_disabled: bool,
+}
+
+/// An event to dispatch: pre-resolved (compiled fast path) or by name.
+#[derive(Clone, Copy)]
+enum EventRef<'a> {
+    /// A pre-resolved event id (from the compiled plan's tables).
+    Id(EventId),
+    /// An event name, resolved by the detector at dispatch time.
+    Name(&'a str),
 }
 
 impl fmt::Debug for Engine {
@@ -141,6 +167,13 @@ impl Engine {
             },
             ..Executor::new()
         };
+        // Eagerly lower the verified pool into the compiled plan; an
+        // unlicensed pool (or an ungated build) keeps the interpreter.
+        let compiled = if verified {
+            policy::compile_pool(&inst, &report).ok()
+        } else {
+            None
+        };
         Ok(Engine {
             inst,
             privacy,
@@ -153,6 +186,9 @@ impl Engine {
             state_version: 0,
             deepest_cascade: 0,
             observed_touches: BTreeSet::new(),
+            compiled,
+            compile_checked: true,
+            compile_disabled: false,
         })
     }
 
@@ -350,6 +386,20 @@ impl Engine {
     /// Raise a primitive event through the rule system and post-process
     /// denials (active-security feed).
     pub fn dispatch(&mut self, event: &str, params: Params) -> Result<ExecReport, EngineError> {
+        self.dispatch_ref(EventRef::Name(event), params)
+    }
+
+    /// Dispatch an event, routed through the compiled plan when one is
+    /// armed (and effect recording — which only the interpreter supports —
+    /// is off). Both paths are decision- and audit-identical by
+    /// construction; the equivalence proptests and the simulator's
+    /// `CompiledDivergence` invariant enforce it.
+    fn dispatch_ref(
+        &mut self,
+        ev: EventRef<'_>,
+        params: Params,
+    ) -> Result<ExecReport, EngineError> {
+        self.ensure_compiled();
         let report = {
             let mut view = BridgeView {
                 sys: &mut self.inst.system,
@@ -365,7 +415,25 @@ impl Engine {
                 state: &mut view,
                 log: &mut self.log,
             };
-            self.exec.dispatch_named(&mut rt, event, params)?
+            let plan = match &self.compiled {
+                Some(c) if !self.exec.record_effects => Some(&c.plan),
+                _ => None,
+            };
+            match (ev, plan) {
+                (EventRef::Id(id), Some(plan)) => {
+                    self.exec.dispatch_compiled(&mut rt, plan, id, params)?
+                }
+                (EventRef::Id(id), None) => self.exec.dispatch(&mut rt, id, params)?,
+                (EventRef::Name(event), Some(plan)) => match rt.detector.lookup(event) {
+                    Some(id) => self.exec.dispatch_compiled(&mut rt, plan, id, params)?,
+                    // Unknown name: the interpreter path produces the
+                    // canonical detector error.
+                    None => self.exec.dispatch_named(&mut rt, event, params)?,
+                },
+                (EventRef::Name(event), None) => {
+                    self.exec.dispatch_named(&mut rt, event, params)?
+                }
+            }
         };
         if report.mutations > 0 {
             self.bump_version();
@@ -378,6 +446,7 @@ impl Engine {
 
     /// Advance the logical clock, firing temporal rules on the way.
     pub fn advance_to(&mut self, ts: Ts) -> Result<ExecReport, EngineError> {
+        self.ensure_compiled();
         let before = self.now();
         let report = {
             let mut view = BridgeView {
@@ -394,7 +463,12 @@ impl Engine {
                 state: &mut view,
                 log: &mut self.log,
             };
-            self.exec.advance_to(&mut rt, ts)?
+            match &self.compiled {
+                Some(c) if !self.exec.record_effects => {
+                    self.exec.advance_to_compiled(&mut rt, &c.plan, ts)?
+                }
+                _ => self.exec.advance_to(&mut rt, ts)?,
+            }
         };
         // Clock movement alone invalidates snapshots: their `from` anchor
         // is stale even when no timer fired.
@@ -426,9 +500,102 @@ impl Engine {
             self.denials.pop_front();
         }
         self.in_denial_cascade = true;
-        let result = self.dispatch(events::ACCESS_DENIED, Params::new().with("time", now));
+        let ev = match self.compiled.as_ref().and_then(|c| c.access_denied) {
+            Some(id) => EventRef::Id(id),
+            None => EventRef::Name(events::ACCESS_DENIED),
+        };
+        let result = self.dispatch_ref(ev, Params::new().with("time", now));
         self.in_denial_cascade = false;
         result.map(|_| ())
+    }
+
+    // ---- compiled-plan lifecycle ----------------------------------------------
+
+    /// Lazily (re)build the compiled plan: runs at most once per pool
+    /// (guarded by `compile_checked`), only when the executor holds a
+    /// termination proof — which is exactly when the analyzer can license
+    /// compilation. Restored (deserialized) engines recompile here on
+    /// their first dispatch.
+    fn ensure_compiled(&mut self) {
+        if self.compiled.is_some()
+            || self.compile_checked
+            || self.compile_disabled
+            || !self.exec.assume_acyclic
+        {
+            return;
+        }
+        self.compile_checked = true;
+        let report = policy::analyze(&self.inst);
+        self.compiled = policy::compile_pool(&self.inst, &report).ok();
+    }
+
+    /// Turn the compiled fast path on or off at runtime. Turning it off
+    /// drops the plan and pins the interpreter (the A/B lever the
+    /// equivalence tests and benches use); turning it back on recompiles
+    /// lazily under the usual license.
+    pub fn set_compiled(&mut self, on: bool) {
+        if on {
+            self.compile_disabled = false;
+            self.compile_checked = false;
+            self.ensure_compiled();
+        } else {
+            self.compile_disabled = true;
+            self.compiled = None;
+        }
+    }
+
+    /// Is a compiled plan currently armed?
+    pub fn compiled_active(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Deterministic listing of the compiled plan (dispatch tables,
+    /// condition bytecode, pre-bound actions), compiling first if needed.
+    /// `None` when the pool is not licensed or compilation is disabled.
+    pub fn plan_text(&mut self) -> Option<String> {
+        self.ensure_compiled();
+        self.compiled
+            .as_ref()
+            .map(|c| c.plan.dump(&self.inst.detector))
+    }
+
+    /// Dispatch a per-role operation event: by pre-resolved id on a table
+    /// hit, else by constructed name (also the path that reports unknown
+    /// roles).
+    fn dispatch_role_event(
+        &mut self,
+        table: fn(&CompiledPolicy) -> &[Option<EventId>],
+        named: fn(&str) -> String,
+        role: RoleId,
+        params: Params,
+    ) -> Result<ExecReport, EngineError> {
+        self.ensure_compiled();
+        let hit = self
+            .compiled
+            .as_ref()
+            .and_then(|c| CompiledPolicy::role_event(table(c), role));
+        match hit {
+            Some(id) => self.dispatch_ref(EventRef::Id(id), params),
+            None => {
+                let name = self.role_name(role)?;
+                self.dispatch(&named(&name), params)
+            }
+        }
+    }
+
+    /// Dispatch a fixed administrative event by pre-resolved id when the
+    /// plan is armed.
+    fn dispatch_admin_event(
+        &mut self,
+        resolved: fn(&CompiledPolicy) -> Option<EventId>,
+        name: &str,
+        params: Params,
+    ) -> Result<ExecReport, EngineError> {
+        self.ensure_compiled();
+        match self.compiled.as_ref().and_then(resolved) {
+            Some(id) => self.dispatch_ref(EventRef::Id(id), params),
+            None => self.dispatch(name, params),
+        }
     }
 
     fn expect_granted(report: ExecReport) -> Result<(), EngineError> {
@@ -489,9 +656,10 @@ impl Engine {
         session: SessionId,
         role: RoleId,
     ) -> Result<(), EngineError> {
-        let name = self.role_name(role)?;
-        let report = self.dispatch(
-            &events::add_active(&name),
+        let report = self.dispatch_role_event(
+            |c| &c.add_active,
+            events::add_active,
+            role,
             Params::new()
                 .with("user", i64::from(user.0))
                 .with("session", i64::from(session.0))
@@ -515,9 +683,10 @@ impl Engine {
         session: SessionId,
         role: RoleId,
     ) -> Result<(), EngineError> {
-        let name = self.role_name(role)?;
-        let report = self.dispatch(
-            &events::drop_active(&name),
+        let report = self.dispatch_role_event(
+            |c| &c.drop_active,
+            events::drop_active,
+            role,
             Params::new()
                 .with("user", i64::from(user.0))
                 .with("session", i64::from(session.0))
@@ -559,7 +728,8 @@ impl Engine {
         obj: ObjId,
         purpose: i64,
     ) -> Result<bool, EngineError> {
-        let report = self.dispatch(
+        let report = self.dispatch_admin_event(
+            |c| c.check_access,
             events::CHECK_ACCESS,
             Params::new()
                 .with("session", i64::from(session.0))
@@ -575,7 +745,8 @@ impl Engine {
 
     /// `AssignUser` via the administrative rule.
     pub fn assign_user(&mut self, user: UserId, role: RoleId) -> Result<(), EngineError> {
-        let report = self.dispatch(
+        let report = self.dispatch_admin_event(
+            |c| c.assign_user,
             events::ASSIGN_USER,
             Params::new()
                 .with("user", i64::from(user.0))
@@ -586,7 +757,8 @@ impl Engine {
 
     /// `DeassignUser` via the administrative rule.
     pub fn deassign_user(&mut self, user: UserId, role: RoleId) -> Result<(), EngineError> {
-        let report = self.dispatch(
+        let report = self.dispatch_admin_event(
+            |c| c.deassign_user,
             events::DEASSIGN_USER,
             Params::new()
                 .with("user", i64::from(user.0))
@@ -597,9 +769,10 @@ impl Engine {
 
     /// Request enabling a role (post-condition CFDs cascade).
     pub fn enable_role(&mut self, role: RoleId) -> Result<(), EngineError> {
-        let name = self.role_name(role)?;
-        let report = self.dispatch(
-            &events::enable_role(&name),
+        let report = self.dispatch_role_event(
+            |c| &c.enable_role,
+            events::enable_role,
+            role,
             Params::new().with("role", i64::from(role.0)),
         )?;
         Self::expect_granted(report)
@@ -607,9 +780,10 @@ impl Engine {
 
     /// Request disabling a role (disabling-time SoD guarded).
     pub fn disable_role(&mut self, role: RoleId) -> Result<(), EngineError> {
-        let name = self.role_name(role)?;
-        let report = self.dispatch(
-            &events::disable_role(&name),
+        let report = self.dispatch_role_event(
+            |c| &c.disable_role,
+            events::disable_role,
+            role,
             Params::new().with("role", i64::from(role.0)),
         )?;
         Self::expect_granted(report)
@@ -622,7 +796,8 @@ impl Engine {
     pub fn set_context(&mut self, key: &str, value: &str) -> Result<ExecReport, EngineError> {
         self.context.set(key, value);
         self.bump_version();
-        self.dispatch(
+        self.dispatch_admin_event(
+            |c| c.context_changed,
             events::CONTEXT_CHANGED,
             Params::new().with("key", key).with("value", value),
         )
@@ -639,8 +814,18 @@ impl Engine {
     /// untouched. The executor's acyclic fast-path hint follows the new
     /// pool's termination verdict.
     pub fn apply_policy(&mut self, new: &PolicyGraph) -> Result<RegenReport, InstantiateError> {
+        // A rejected regeneration returns here before the plan is touched:
+        // the running pool is unchanged, so the existing compiled plan
+        // (baked closures included) remains valid — invalidation and
+        // rebuild are atomic with the pool swap below.
         let (report, analysis) =
             policy::regenerate_verified(&mut self.inst, new, VerifyGate::DenyOnError)?;
+        self.compiled = if self.compile_disabled {
+            None
+        } else {
+            policy::compile_pool(&self.inst, &analysis).ok()
+        };
+        self.compile_checked = true;
         self.exec.assume_acyclic = analysis.proved_terminating();
         // Independence certificates follow the regenerated pool.
         self.exec.assume_independent = true;
@@ -901,6 +1086,7 @@ mod tests {
         let err = e.apply_policy(&bad).unwrap_err();
         assert!(matches!(err, InstantiateError::Rejected(_)), "{err}");
         assert!(e.proved_acyclic(), "old verdict still in force");
+        assert!(e.compiled_active(), "rejected change keeps the old plan");
         // The engine still enforces the old policy.
         let alice = e.user_id("alice").unwrap();
         let pm = e.role_id("PM").unwrap();
@@ -908,6 +1094,103 @@ mod tests {
         let create = e.system().op_by_name("create").unwrap();
         let po = e.system().obj_by_name("purchase_order").unwrap();
         assert!(e.check_access(s, create, po).unwrap());
+    }
+
+    #[test]
+    fn compiled_plan_armed_and_identical_to_interpreter() {
+        let e = xyz_engine();
+        assert!(e.compiled_active(), "verified pool compiles eagerly");
+        // Ungated construction never compiles.
+        let mut g = PolicyGraph::enterprise_xyz();
+        g.user("alice");
+        g.assign("alice", "PM");
+        let ungated = Engine::from_policy_gated(&g, Ts::ZERO, policy::VerifyGate::Off).unwrap();
+        assert!(!ungated.compiled_active());
+
+        // Same workload on both paths: decisions, counters and the audit
+        // trail must match byte for byte.
+        let run = |mut e: Engine| {
+            let alice = e.user_id("alice").unwrap();
+            let pm = e.role_id("PM").unwrap();
+            let pc = e.role_id("PC").unwrap();
+            let s = e.create_session(alice, &[pm]).unwrap();
+            e.add_active_role(alice, s, pc).unwrap();
+            assert!(matches!(
+                e.add_active_role(alice, s, pc),
+                Err(EngineError::Denied(_))
+            ));
+            let create = e.system().op_by_name("create").unwrap();
+            let po = e.system().obj_by_name("purchase_order").unwrap();
+            assert!(e.check_access(s, create, po).unwrap());
+            e.drop_active_role(alice, s, pc).unwrap();
+            e.advance(Dur::from_secs(3600)).unwrap();
+            e
+        };
+        let compiled = run(xyz_engine());
+        let mut interp = xyz_engine();
+        interp.set_compiled(false);
+        assert!(!interp.compiled_active());
+        let interp = run(interp);
+        assert_eq!(
+            compiled.log().entries(),
+            interp.log().entries(),
+            "audit trails diverge"
+        );
+        assert_eq!(compiled.now(), interp.now());
+    }
+
+    #[test]
+    fn set_compiled_round_trips() {
+        let mut e = xyz_engine();
+        assert!(e.compiled_active());
+        e.set_compiled(false);
+        assert!(!e.compiled_active());
+        e.set_compiled(true);
+        assert!(e.compiled_active(), "license still holds, plan rebuilt");
+    }
+
+    #[test]
+    fn record_effects_routes_to_interpreter() {
+        // Effect recording only exists on the interpreter; with the plan
+        // armed the engine must still accumulate touches.
+        let mut e = xyz_engine();
+        assert!(e.compiled_active());
+        e.record_effects(true);
+        let alice = e.user_id("alice").unwrap();
+        let pm = e.role_id("PM").unwrap();
+        let s = e.create_session(alice, &[pm]).unwrap();
+        let _ = s;
+        assert!(!e.observed_touches().is_empty());
+    }
+
+    #[test]
+    fn plan_text_lists_dispatch_and_bytecode() {
+        let mut e = xyz_engine();
+        let plan = e.plan_text().unwrap();
+        assert!(plan.starts_with("compiled plan:"), "{plan}");
+        assert!(plan.contains("on checkAccess"), "{plan}");
+        assert!(plan.contains("rule CA"), "{plan}");
+        // Disabled -> no plan text; re-enabled -> identical text.
+        e.set_compiled(false);
+        assert_eq!(e.plan_text(), None);
+        e.set_compiled(true);
+        assert_eq!(e.plan_text().unwrap(), plan);
+    }
+
+    #[test]
+    fn successful_policy_change_rebuilds_plan() {
+        let mut e = xyz_engine();
+        let before = e.plan_text().unwrap();
+        assert!(!before.contains("Auditor"));
+        let mut g2 = e.policy().clone();
+        g2.role("Auditor");
+        e.apply_policy(&g2).unwrap();
+        assert!(e.compiled_active(), "regenerated pool recompiles");
+        let after = e.plan_text().unwrap();
+        assert!(
+            after.contains("Auditor"),
+            "plan follows the regenerated pool: {after}"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod compile;
 pub mod consistency;
 pub mod events;
 pub mod generate;
@@ -38,6 +39,7 @@ pub use analyze::{
     analyze, analyze_parts, effect_dot, rule_dependency_dot, AnalysisReport, DiagCode, Diagnostic,
     EffectReport, RuleEffect, Termination,
 };
+pub use compile::{compile_pool, CompileError, CompiledPolicy};
 pub use consistency::{check, is_consistent, Issue, Severity};
 pub use generate::{
     instantiate, instantiate_verified, Binding, GenStats, InstantiateError, Instantiated,

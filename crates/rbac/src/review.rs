@@ -83,6 +83,26 @@ impl System {
         Ok(self.session(s)?.active.clone())
     }
 
+    /// Borrow `u`'s direct assignment set without cloning (hot-path
+    /// form of [`assigned_roles`](Self::assigned_roles)).
+    pub fn assigned_roles_ref(&self, u: UserId) -> Result<&BTreeSet<RoleId>> {
+        Ok(&self.user(u)?.roles)
+    }
+
+    /// Is `u` directly assigned to `r`? Allocation-free form of
+    /// [`assigned_roles`](Self::assigned_roles)` + contains` for the
+    /// enforcement hot path.
+    pub fn is_assigned(&self, u: UserId, r: RoleId) -> Result<bool> {
+        Ok(self.user(u)?.roles.contains(&r))
+    }
+
+    /// Is `r` active in session `s`? Allocation-free form of
+    /// [`session_roles`](Self::session_roles)` + contains` for the
+    /// enforcement hot path.
+    pub fn is_active_in_session(&self, s: SessionId, r: RoleId) -> Result<bool> {
+        Ok(self.session(s)?.active.contains(&r))
+    }
+
     /// The user who owns session `s`.
     pub fn session_user(&self, s: SessionId) -> Result<UserId> {
         Ok(self.session(s)?.user)
@@ -163,8 +183,13 @@ mod tests {
             [p_read, p_approve].into()
         );
 
+        assert!(s.is_assigned(alice, pm).unwrap());
+        assert!(!s.is_assigned(alice, pc).unwrap());
+
         let sess = s.create_session(alice, &[pm]).unwrap();
         assert_eq!(s.session_roles(sess).unwrap(), [pm].into());
+        assert!(s.is_active_in_session(sess, pm).unwrap());
+        assert!(!s.is_active_in_session(sess, pc).unwrap());
         assert_eq!(s.session_user(sess).unwrap(), alice);
         assert_eq!(s.user_sessions(alice).unwrap(), [sess].into());
         assert_eq!(

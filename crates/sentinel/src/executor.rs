@@ -60,7 +60,7 @@ impl ExecReport {
     }
 
     /// Merge a sub-report (cascade accumulation).
-    fn absorb(&mut self, other: ExecReport) {
+    pub(crate) fn absorb(&mut self, other: ExecReport) {
         self.fired += other.fired;
         self.else_taken += other.else_taken;
         self.denials.extend(other.denials);

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod effect;
 pub mod executor;
 pub mod lang;
@@ -34,6 +35,10 @@ pub mod pool;
 pub mod rule;
 pub mod state;
 
+pub use compile::{
+    compile, CAction, CCheck, CRef, CompileError, CompileHost, CompiledPool, CompiledRule, CondOp,
+    DsdSetBaked, NoBake,
+};
 pub use effect::{
     action_footprint, check_footprint, cond_footprint, custom_check_footprint, runtime_target,
     static_target, Access, Footprint, Region, RuleTouch, Target,

@@ -53,6 +53,14 @@ pub trait AuthState {
     fn active_roles_of_user(&self, user: i64) -> usize;
     /// Does some active role of the session hold (op, obj)?
     fn session_has_permission(&self, session: i64, op: i64, obj: i64) -> bool;
+    /// Is the user directly assigned to *any* of `roles`? The compiled
+    /// executor evaluates baked hierarchy closures through this; with
+    /// `roles` = the target role plus its seniors closure it is
+    /// equivalent to [`AuthState::authorized`]. Implementors may
+    /// override it with a cheaper membership test.
+    fn authorized_any(&self, user: i64, roles: &[i64]) -> bool {
+        roles.iter().any(|&r| self.assigned(user, r))
+    }
     /// Does the user's configured active-role cap (if any) permit adding
     /// `role`? Users without a cap always pass.
     fn user_cap_ok(&self, user: i64, role: i64) -> bool {

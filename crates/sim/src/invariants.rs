@@ -8,9 +8,11 @@
 //! catch an engine that silently enforces less than the policy demands.
 
 use crate::world::World;
-use owte_core::{replay, Engine, Journal};
+use owte_core::{apply_op, replay, Engine, Journal, JournalOp};
 use policy::PolicyGraph;
 use sentinel::{Access, Region};
+use snoop::Ts;
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -92,6 +94,14 @@ pub enum Violation {
         /// The region touched but not declared.
         region: Region,
     },
+    /// Replaying the acknowledged prefix through the compiled dispatch
+    /// plan and through the rule interpreter produced different
+    /// decisions, state, or audit records — compilation changed
+    /// semantics on this schedule.
+    CompiledDivergence {
+        /// First difference found.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -139,6 +149,12 @@ impl fmt::Display for Violation {
                 f,
                 "footprint violation: rule `{rule}` performed an undeclared {access} of {region}"
             ),
+            Violation::CompiledDivergence { detail } => {
+                write!(
+                    f,
+                    "compiled dispatch diverges from the interpreter: {detail}"
+                )
+            }
         }
     }
 }
@@ -159,6 +175,11 @@ pub struct Invariants {
     role_caps: Vec<(String, usize)>,
     user_caps: Vec<(String, usize)>,
     stripped_footprints: BTreeSet<String>,
+    /// Acked-ledger hashes whose compiled-vs-interpreted replay already
+    /// passed — the schedule explorer revisits identical prefixes
+    /// constantly, and each dual replay is the expensive part of the
+    /// suite.
+    compiled_checked: RefCell<BTreeSet<u64>>,
 }
 
 impl Invariants {
@@ -187,6 +208,7 @@ impl Invariants {
                 .filter_map(|u| u.max_active_roles.map(|n| (u.name.clone(), n)))
                 .collect(),
             stripped_footprints: BTreeSet::new(),
+            compiled_checked: RefCell::new(BTreeSet::new()),
         }
     }
 
@@ -347,8 +369,55 @@ impl Invariants {
             }
         }
 
+        // --- Compiled dispatch ≡ interpreter on the acked prefix. ---
+        // Every distinct acknowledged ledger is replayed through a
+        // compiled engine and an interpreter-pinned engine and the two
+        // must agree on decisions, state, clock, and the byte-for-byte
+        // audit trail. Together with the durability check above — which
+        // compares the post-restart engine (whose plan was *recompiled*
+        // on recovery) against a compiled replay — this also pins the
+        // crash-restart recompilation to interpreter semantics. Dual
+        // replay is expensive, so each ledger is checked once.
+        let acked = world.acked();
+        let mut fnv: u64 = 0xcbf2_9ce4_8422_2325;
+        for op in acked {
+            for b in format!("{op:?}").bytes() {
+                fnv ^= u64::from(b);
+                fnv = fnv.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        if self.compiled_checked.borrow_mut().insert(fnv) {
+            if let Some(detail) = compiled_divergence(world.graph(), world.start(), acked) {
+                return Some(Violation::CompiledDivergence { detail });
+            }
+        }
+
         None
     }
+}
+
+/// Replay `ops` through a compiled engine and an interpreter-pinned engine
+/// built from the same policy; return the first observable difference
+/// (including the audit trail), if any. Policies that fail to build are
+/// someone else's violation — this check only speaks to compilation.
+fn compiled_divergence(graph: &PolicyGraph, start: Ts, ops: &[JournalOp]) -> Option<String> {
+    let (Ok(mut compiled), Ok(mut interp)) = (
+        Engine::from_policy(graph, start),
+        Engine::from_policy(graph, start),
+    ) else {
+        return None;
+    };
+    interp.set_compiled(false);
+    for (i, op) in ops.iter().enumerate() {
+        let a = apply_op(&mut compiled, op);
+        let b = apply_op(&mut interp, op);
+        if a.is_ok() != b.is_ok() {
+            return Some(format!(
+                "op {i} ({op:?}): compiled {a:?} vs interpreted {b:?}"
+            ));
+        }
+    }
+    state_diff(&compiled, &interp)
 }
 
 /// First observable difference between two engines, if any — the same
@@ -382,4 +451,57 @@ pub fn state_diff(a: &Engine, b: &Engine) -> Option<String> {
         return Some(format!("clocks differ: {} vs {}", a.now(), b.now()));
     }
     None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::Choice;
+    use crate::{tiny_enterprise, tiny_ops};
+    use owte_core::DurableConfig;
+
+    /// The compiled-divergence invariant is clean on the honest stack,
+    /// non-vacuous (the reference replay really arms a plan), and
+    /// memoized per distinct acked ledger.
+    #[test]
+    fn compiled_divergence_clean_and_nonvacuous_on_tiny_enterprise() {
+        let graph = tiny_enterprise();
+        let mut world =
+            World::new(&graph, tiny_ops(), DurableConfig::default()).expect("tiny instantiates");
+        let inv = Invariants::from_reference(&graph);
+        for _ in 0..tiny_ops().len() {
+            world.apply(&Choice::NextOp).expect("script step applies");
+            assert!(inv.check(&world).is_none(), "honest stack must be clean");
+        }
+        assert!(!world.acked().is_empty());
+        let probe = Engine::from_policy(&graph, world.start()).expect("reference builds");
+        assert!(
+            probe.compiled_active(),
+            "tiny enterprise must compile, or the divergence check is vacuous"
+        );
+        assert_eq!(
+            compiled_divergence(&graph, world.start(), world.acked()),
+            None
+        );
+        // Each distinct acked ledger is dual-replayed exactly once.
+        let distinct = inv.compiled_checked.borrow().len();
+        assert!(distinct >= 1, "at least one ledger must have been checked");
+        assert!(inv.check(&world).is_none());
+        assert_eq!(
+            inv.compiled_checked.borrow().len(),
+            distinct,
+            "re-checking an unchanged ledger must hit the memo"
+        );
+    }
+
+    #[test]
+    fn compiled_divergence_display_names_the_first_difference() {
+        let v = Violation::CompiledDivergence {
+            detail: "clocks differ: 1s vs 2s".into(),
+        };
+        assert_eq!(
+            v.to_string(),
+            "compiled dispatch diverges from the interpreter: clocks differ: 1s vs 2s"
+        );
+    }
 }

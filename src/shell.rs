@@ -64,6 +64,9 @@ commands:
                              dead/shadowed rules, coverage, SoD conflicts
                              and effect footprints; --strict fails (for
                              scripted pipelines) on any diagnostic
+  analyze --plan             dump the compiled execution plan (per-event
+                             dispatch tables, condition bytecode, baked
+                             actions); errors if the pool is unlicensed
   dot policy | dot events | dot rules [--effects]
                              Graphviz DOT of the policy graph, the event
                              graph, or the rule-dependency graph
@@ -359,11 +362,20 @@ impl Shell {
                 let e = self.engine()?;
                 Ok(e.effect_graph_dot())
             }
+            ("analyze", ["--plan"]) => {
+                let e = self.engine()?;
+                e.plan_text().ok_or_else(|| {
+                    "no compiled plan: the pool is not licensed for compilation \
+                     (not proved terminating, error diagnostics present, or \
+                     compilation disabled)"
+                        .to_string()
+                })
+            }
             ("analyze", rest) => {
                 let strict = match rest {
                     [] => false,
                     ["--strict"] => true,
-                    _ => return Err("usage: analyze [--strict]".to_string()),
+                    _ => return Err("usage: analyze [--strict|--plan]".to_string()),
                 };
                 let e = self.engine()?;
                 let report = e.analyze();
@@ -601,7 +613,20 @@ mod tests {
     }
 
     #[test]
-    fn dot_rules_effects_renders_interference_graph() {
+    fn analyze_plan_dumps_dispatch_and_bytecode() {
+        let mut sh = shell();
+        let out = sh.exec("analyze --plan").unwrap();
+        assert!(out.starts_with("compiled plan:"), "{out}");
+        assert!(out.contains("on checkAccess"), "{out}");
+        assert!(out.contains("rule CA"), "{out}");
+        assert!(sh.exec("help").unwrap().contains("--plan"));
+        // Unknown flags still fail with the usage line.
+        let usage = sh.exec("analyze --plan --strict").unwrap_err();
+        assert!(usage.contains("usage:"), "{usage}");
+    }
+
+    #[test]
+    fn dot_effects_exports_interference_view() {
         let mut sh = shell();
         let out = sh.exec("dot rules --effects").unwrap();
         assert!(out.starts_with("digraph effects {"), "{out}");

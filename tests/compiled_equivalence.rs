@@ -1,0 +1,290 @@
+//! Property test: the compiled dispatch plan and the rule interpreter make
+//! **identical decisions** on random enterprises and random workload traces
+//! — compilation is a pure performance transformation.
+//!
+//! Two full OWTE engines are built from the same policy; one keeps its
+//! compiled plan, the other pins the interpreter via
+//! [`Engine::set_compiled`]. Both are driven step by step; after every step
+//! the decision must match, and after the whole trace the observable state
+//! (sessions, active role sets, enabled flags) **and the complete audit
+//! log** must be equal — the compiled path is required to write
+//! byte-identical audit records.
+
+use owte_core::{Engine, EngineError};
+use proptest::prelude::*;
+use rbac::{RoleId, SessionId, UserId};
+use snoop::{Dur, Ts};
+use workload::{generate_enterprise, generate_trace, EnterpriseSpec, Step, TraceSpec};
+
+/// Decision outcome, comparable across engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    Granted,
+    Denied,
+    NoSession,
+    Access(bool),
+}
+
+fn outcome(r: Result<(), EngineError>) -> Outcome {
+    match r {
+        Ok(()) => Outcome::Granted,
+        Err(_) => Outcome::Denied,
+    }
+}
+
+struct Harness {
+    compiled: Engine,
+    interp: Engine,
+    /// Most recent open session per user (same in both engines, checked).
+    sessions: Vec<Option<SessionId>>,
+}
+
+impl Harness {
+    fn new(spec: &EnterpriseSpec, seed: u64) -> Harness {
+        let graph = generate_enterprise(spec, seed);
+        let compiled = Engine::from_policy(&graph, Ts::ZERO).unwrap();
+        let mut interp = Engine::from_policy(&graph, Ts::ZERO).unwrap();
+        interp.set_compiled(false);
+        assert!(!interp.compiled_active());
+        Harness {
+            compiled,
+            interp,
+            sessions: vec![None; spec.users],
+        }
+    }
+
+    fn user(&self, idx: usize) -> UserId {
+        self.compiled
+            .user_id(&workload::enterprise::user_name(idx))
+            .unwrap()
+    }
+
+    fn role(&self, idx: usize) -> RoleId {
+        self.compiled
+            .role_id(&workload::enterprise::role_name(idx))
+            .unwrap()
+    }
+
+    /// Run one step on both engines; return both outcomes.
+    fn step(&mut self, step: &Step) -> (Outcome, Outcome) {
+        match step {
+            Step::CreateSession { user } => {
+                let u = self.user(*user);
+                let a = self.compiled.create_session(u, &[]);
+                let b = self.interp.create_session(u, &[]);
+                if let (Ok(sa), Ok(sb)) = (&a, &b) {
+                    assert_eq!(sa, sb, "session id allocation must match");
+                    self.sessions[*user] = Some(*sa);
+                }
+                (Outcome::Access(a.is_ok()), Outcome::Access(b.is_ok()))
+            }
+            Step::DeleteSession { user } => {
+                let u = self.user(*user);
+                match self.sessions[*user].take() {
+                    Some(s) => (
+                        outcome(self.compiled.delete_session(u, s)),
+                        outcome(self.interp.delete_session(u, s)),
+                    ),
+                    None => (Outcome::NoSession, Outcome::NoSession),
+                }
+            }
+            Step::AddActiveRole { user, role } => {
+                let (u, r) = (self.user(*user), self.role(*role));
+                match self.sessions[*user] {
+                    Some(s) => (
+                        outcome(self.compiled.add_active_role(u, s, r)),
+                        outcome(self.interp.add_active_role(u, s, r)),
+                    ),
+                    None => (Outcome::NoSession, Outcome::NoSession),
+                }
+            }
+            Step::DropActiveRole { user, role } => {
+                let (u, r) = (self.user(*user), self.role(*role));
+                match self.sessions[*user] {
+                    Some(s) => (
+                        outcome(self.compiled.drop_active_role(u, s, r)),
+                        outcome(self.interp.drop_active_role(u, s, r)),
+                    ),
+                    None => (Outcome::NoSession, Outcome::NoSession),
+                }
+            }
+            Step::CheckAccess { user, op, obj } => {
+                let (Ok(op), Ok(obj)) = (
+                    self.compiled.system().op_by_name(&format!("op{op}")),
+                    self.compiled.system().obj_by_name(&format!("obj{obj}")),
+                ) else {
+                    return (Outcome::NoSession, Outcome::NoSession);
+                };
+                match self.sessions[*user] {
+                    Some(s) => (
+                        Outcome::Access(self.compiled.check_access(s, op, obj).unwrap()),
+                        Outcome::Access(self.interp.check_access(s, op, obj).unwrap()),
+                    ),
+                    None => (Outcome::NoSession, Outcome::NoSession),
+                }
+            }
+            Step::Advance { secs } => {
+                self.compiled.advance(Dur::from_secs(*secs)).unwrap();
+                self.interp.advance(Dur::from_secs(*secs)).unwrap();
+                (Outcome::Granted, Outcome::Granted)
+            }
+            Step::SetContext { zone } => {
+                let value = workload::enterprise::ZONES[*zone];
+                self.compiled.set_context("zone", value).unwrap();
+                self.interp.set_context("zone", value).unwrap();
+                (Outcome::Granted, Outcome::Granted)
+            }
+        }
+    }
+
+    /// Compare final observable state and the complete audit trail.
+    fn assert_states_equal(&self) {
+        let a = self.compiled.system();
+        let b = self.interp.system();
+        let sa: Vec<_> = a.all_sessions().collect();
+        let sb: Vec<_> = b.all_sessions().collect();
+        assert_eq!(sa, sb, "live session sets differ");
+        for s in sa {
+            assert_eq!(
+                a.session_roles(s).unwrap(),
+                b.session_roles(s).unwrap(),
+                "active role sets differ in session {s}"
+            );
+        }
+        for r in a.all_roles() {
+            assert_eq!(
+                a.is_enabled(r).unwrap(),
+                b.is_enabled(r).unwrap(),
+                "enabled flag differs for role {r}"
+            );
+        }
+        assert_eq!(
+            self.compiled.now(),
+            self.interp.now(),
+            "detector clocks differ"
+        );
+        assert_eq!(
+            self.compiled.log().entries(),
+            self.interp.log().entries(),
+            "audit logs differ"
+        );
+    }
+}
+
+fn run_equivalence(spec: EnterpriseSpec, ent_seed: u64, trace_seed: u64, steps: usize) {
+    let trace_spec = TraceSpec {
+        steps,
+        users: spec.users,
+        roles: spec.roles,
+        objects: spec.permissions,
+        w_context: if spec.context_fraction > 0.0 { 5 } else { 0 },
+        ..TraceSpec::default()
+    };
+    let trace = generate_trace(&trace_spec, trace_seed);
+    let mut h = Harness::new(&spec, ent_seed);
+    for (i, step) in trace.iter().enumerate() {
+        let (a, b) = h.step(step);
+        assert_eq!(
+            a,
+            b,
+            "step {i} ({}) diverged: compiled {a:?} vs interpreted {b:?} \
+             [enterprise seed {ent_seed}, trace seed {trace_seed}]",
+            step.describe()
+        );
+    }
+    h.assert_states_equal();
+}
+
+#[test]
+fn compiled_plan_arms_on_generated_enterprises() {
+    let graph = generate_enterprise(&EnterpriseSpec::flat(10), 1);
+    let e = Engine::from_policy(&graph, Ts::ZERO).unwrap();
+    assert!(
+        e.compiled_active(),
+        "verified generated pools must compile eagerly"
+    );
+}
+
+#[test]
+fn compiled_equivalence_on_flat_core_rbac() {
+    run_equivalence(EnterpriseSpec::flat(10), 1, 1, 400);
+}
+
+#[test]
+fn compiled_equivalence_with_hierarchy_and_sod() {
+    let spec = EnterpriseSpec {
+        roles: 15,
+        users: 20,
+        permissions: 20,
+        hierarchy_density: 0.7,
+        ssd_pairs: 2,
+        dsd_pairs: 2,
+        capped_fraction: 0.0,
+        temporal_fraction: 0.0,
+        duration_fraction: 0.0,
+        ..EnterpriseSpec::default()
+    };
+    run_equivalence(spec, 2, 2, 400);
+}
+
+#[test]
+fn compiled_equivalence_with_caps_and_temporal() {
+    let spec = EnterpriseSpec {
+        roles: 12,
+        users: 15,
+        permissions: 15,
+        capped_fraction: 0.4,
+        temporal_fraction: 0.4,
+        duration_fraction: 0.4,
+        ..EnterpriseSpec::default()
+    };
+    run_equivalence(spec, 3, 3, 400);
+}
+
+#[test]
+fn compiled_equivalence_with_context_constraints() {
+    let spec = EnterpriseSpec {
+        roles: 12,
+        users: 15,
+        permissions: 15,
+        context_fraction: 0.5,
+        ..EnterpriseSpec::default()
+    };
+    run_equivalence(spec, 4, 4, 400);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// The headline property: arbitrary enterprise shape, arbitrary trace —
+    /// identical decisions, identical final state, identical audit trail.
+    #[test]
+    fn compiled_equals_interpreted(
+        ent_seed in 0u64..1000,
+        trace_seed in 0u64..1000,
+        roles in 4usize..20,
+        hierarchy in 0.0f64..1.0,
+        capped in 0.0f64..0.5,
+        temporal in 0.0f64..0.5,
+        duration in 0.0f64..0.5,
+        context in 0.0f64..0.5,
+    ) {
+        let spec = EnterpriseSpec {
+            roles,
+            users: roles + 5,
+            permissions: roles + 5,
+            hierarchy_density: hierarchy,
+            ssd_pairs: roles / 6,
+            dsd_pairs: roles / 6,
+            capped_fraction: capped,
+            temporal_fraction: temporal,
+            duration_fraction: duration,
+            context_fraction: context,
+            ..EnterpriseSpec::default()
+        };
+        run_equivalence(spec, ent_seed, trace_seed, 200);
+    }
+}
