@@ -2,9 +2,9 @@
 //! composition per enterprise size (E2), regeneration scope (E3), the
 //! XYZ / Figure-1 pool breakdown (E1), the bounded model-check sweep
 //! (E11), the independence-certificate fast path (E12), and the
-//! compiled-dispatch gap per-op (E5) and end-to-end (E13) — and emits
-//! each as a machine-readable `BENCH_<id>.json` so CI can track the perf
-//! trajectory across PRs.
+//! compiled-dispatch gap per-op (E5), end-to-end (E13), and replication
+//! failover/shipping cost (E14) — and emits each as a machine-readable
+//! `BENCH_<id>.json` so CI can track the perf trajectory across PRs.
 //!
 //! Run with: `cargo run -p bench --bin report --release`
 //! (`BENCH_JSON_DIR=path` overrides the default `target/bench-report`.)
@@ -469,4 +469,75 @@ fn main() {
         ));
     }
     emit_json("E13", &format!("[{}]\n", e13_rows.join(",")));
+
+    println!("\n== E14: replication — shipped bytes and failover recovery vs trace length ==");
+    println!(
+        "{:>8} {:>8} {:>12} {:>8} {:>14} {:>14}",
+        "steps", "ops", "bytes", "sends", "bytes/op", "failover"
+    );
+    let mut e14_rows = Vec::new();
+    for &steps in &[50usize, 200, 800] {
+        let spec = EnterpriseSpec::sized(20);
+        let graph = generate_enterprise(&spec, 42);
+        let trace = generate_trace(
+            &TraceSpec {
+                steps,
+                users: spec.users,
+                roles: spec.roles,
+                objects: spec.permissions,
+                ..TraceSpec::default()
+            },
+            42,
+        );
+        let ops = sim::op::from_trace(&trace);
+        let config = repl::ReplConfig {
+            jitter: false,
+            ..repl::ReplConfig::default()
+        };
+        let mut c = repl::Cluster::new(&graph, 3, config).expect("cluster boots");
+        let mut sessions: Vec<Option<rbac::SessionId>> = vec![None; spec.users];
+        for op in &ops {
+            c.with_leader(|d| {
+                sim::apply_client_op(d, &mut sessions, op);
+            })
+            .expect("leader up");
+        }
+        c.settle();
+        let shipped = c.transport().stats();
+        let committed = c.commit();
+        // Failover: kill the leader, promote a follower, re-ship until
+        // the survivors converge. Best of three via cloned clusters —
+        // the cluster is a value, so the scenario replays exactly.
+        let failover = (0..3)
+            .map(|_| {
+                let mut f = c.clone();
+                let t0 = Instant::now();
+                f.crash(0).expect("leader dies");
+                f.promote(1).expect("follower promotes");
+                f.settle();
+                let dt = t0.elapsed();
+                assert_eq!(
+                    f.node_engine(1).map(|d| d.op_count()),
+                    f.node_engine(2).map(|d| d.op_count()),
+                    "survivors converge after failover"
+                );
+                dt
+            })
+            .min()
+            .unwrap();
+        let per_op = shipped.bytes_sent as f64 / committed.max(1) as f64;
+        println!(
+            "{steps:>8} {committed:>8} {:>12} {:>8} {per_op:>13.1}B {failover:>14?}",
+            shipped.bytes_sent, shipped.sends
+        );
+        e14_rows.push(format!(
+            "{{\"steps\":{steps},\"ops_committed\":{committed},\
+             \"shipped_bytes\":{},\"sends\":{},\"bytes_per_op\":{per_op:.1},\
+             \"failover_recovery_ms\":{:.3}}}",
+            shipped.bytes_sent,
+            shipped.sends,
+            failover.as_secs_f64() * 1e3
+        ));
+    }
+    emit_json("E14", &format!("[{}]\n", e14_rows.join(",")));
 }

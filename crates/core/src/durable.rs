@@ -411,6 +411,54 @@ impl<S: Storage> DurableEngine<S> {
         r.map(|_| ()).map_err(DurableError::Engine)
     }
 
+    /// Journal-before-apply a record replicated from a leader's log.
+    ///
+    /// This is the follower's write path: the op is journaled to the local
+    /// WAL first, then applied, exactly like a client op — so a promoted
+    /// follower recovers replicated history from its *own* durable log.
+    /// The acknowledgement contract is the same as for client ops: if this
+    /// returns an error before the journal append succeeded, nothing was
+    /// applied and the follower must not acknowledge the record.
+    ///
+    /// A regressing `AdvanceTo` is rejected before it is journaled (it
+    /// would poison the local log), mirroring [`DurableEngine::advance_to`].
+    pub fn apply_replicated(&mut self, op: &JournalOp) -> Result<()> {
+        if let JournalOp::AdvanceTo { to } = op {
+            if *to < self.engine.now() {
+                return Err(DurableError::Engine(EngineError::Unhandled(format!(
+                    "replicated clock regression: now {} -> {}",
+                    self.engine.now(),
+                    to
+                ))));
+            }
+        }
+        self.record(op)?;
+        let r = apply_op(&mut self.engine, op);
+        self.maybe_snapshot();
+        r.map_err(DurableError::Engine)
+    }
+
+    /// Decode the journaled operations with global index `>= from` from
+    /// the local log (the leader's shipping read — see
+    /// [`Wal::records_from`] for the compaction caveat).
+    pub fn ops_from(&self, from: u64) -> Result<Vec<(u64, JournalOp)>> {
+        self.wal
+            .records_from(from)?
+            .into_iter()
+            .map(|(idx, bytes)| {
+                serde_json::from_slice(&bytes)
+                    .map(|op| (idx, op))
+                    .map_err(|e| DurableError::Codec(format!("record {idx}: {e}")))
+            })
+            .collect()
+    }
+
+    /// Read back the raw journal records with global index `>= from` (the
+    /// byte-level shipping read; see [`Wal::records_from`]).
+    pub fn records_from(&self, from: u64) -> Result<Vec<(u64, Vec<u8>)>> {
+        self.wal.records_from(from).map_err(DurableError::Wal)
+    }
+
     /// The wrapped engine (read-only; mutations must go through the
     /// journaling methods or the log would be incomplete).
     pub fn engine(&self) -> &Engine {

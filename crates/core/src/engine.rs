@@ -301,6 +301,21 @@ impl Engine {
         &self.inst.temporal
     }
 
+    /// The earliest instant at which deferred machinery (a pending
+    /// detector timer or a GTRBAC periodic enable/disable boundary) may
+    /// change an authorization decision — the validity horizon a
+    /// [`crate::AuthSnapshot`] captured now would carry. `None` means no
+    /// deferred transition is scheduled. Replica monitors recompute this
+    /// from engine state to cross-check a published snapshot's horizon.
+    pub fn validity_horizon(&self) -> Option<Ts> {
+        let next_timer = self.inst.detector.next_timer_at();
+        let next_temporal = self.inst.temporal.next_transition_after(self.now());
+        match (next_timer, next_temporal) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Run the static rule-pool analyzer over the current instantiation.
     pub fn analyze(&self) -> policy::AnalysisReport {
         policy::analyze(&self.inst)

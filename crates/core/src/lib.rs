@@ -70,7 +70,7 @@ pub use privacy::{ObjectPolicy, PrivacyState, PurposeId};
 pub use shared::SharedEngine;
 pub use snapshot::AuthSnapshot;
 pub use storage::{
-    FaultKind, FaultPlan, FaultyStorage, FileStorage, MemStorage, ScriptedFault, Storage,
-    StorageError,
+    FaultKind, FaultPlan, FaultyStorage, FileStorage, MemStorage, Scripted, ScriptedFault,
+    SplitMix64, Storage, StorageError,
 };
 pub use wal::{Recovered, Wal, WalConfig, WalError, WAL_VERSION};

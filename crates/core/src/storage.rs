@@ -331,13 +331,18 @@ impl Storage for FileStorage {
     }
 }
 
-/// SplitMix64 — a tiny deterministic PRNG so the fault injector needs no
+/// SplitMix64 — a tiny deterministic PRNG so fault injectors need no
 /// external dependency and every failure schedule replays from its seed.
+///
+/// Shared by the storage fault injector here and the simulated transport
+/// in `repl`: one generator, one replay story — a `(seed, plan)` pair
+/// reproduces the exact same fault sequence wherever it is interpreted.
 #[derive(Debug, Clone)]
-struct SplitMix64(u64);
+pub struct SplitMix64(pub u64);
 
 impl SplitMix64 {
-    fn next(&mut self) -> u64 {
+    /// Next raw 64-bit output.
+    pub fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -346,12 +351,12 @@ impl SplitMix64 {
     }
 
     /// Uniform in `[0, 1)`.
-    fn unit(&mut self) -> f64 {
+    pub fn unit(&mut self) -> f64 {
         (self.next() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform in `[0, n)`; 0 when `n == 0`.
-    fn below(&mut self, n: usize) -> usize {
+    pub fn below(&mut self, n: usize) -> usize {
         if n == 0 {
             0
         } else {
@@ -383,15 +388,27 @@ pub enum FaultKind {
     FailedSync,
 }
 
-/// A fault pinned to an exact mutating-operation index (1-based, i.e. the
-/// value [`FaultyStorage::ops`] reports once the op is underway).
+/// A fault pinned to an exact 1-based event index — the shared script
+/// format for every seeded, replayable fault injector in the workspace.
+///
+/// The storage layer instantiates it as [`ScriptedFault`] (`K =
+/// [`FaultKind`]`, indices count mutating storage ops); the simulated
+/// transport in `repl` instantiates it with its own network fault kinds,
+/// indices counting message sends. Keeping the `{at, kind}` shape
+/// identical means one replay convention — "the Nth event misbehaves
+/// like this" — covers disks and networks alike.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ScriptedFault {
-    /// Which mutating operation triggers the fault.
-    pub at_op: u64,
+pub struct Scripted<K> {
+    /// Which event (1-based: the injector's counter value once the event
+    /// is underway) triggers the fault.
+    pub at: u64,
     /// What happens when it does.
-    pub kind: FaultKind,
+    pub kind: K,
 }
+
+/// A storage fault pinned to an exact mutating-operation index (1-based,
+/// i.e. the value [`FaultyStorage::ops`] reports once the op is underway).
+pub type ScriptedFault = Scripted<FaultKind>;
 
 /// What [`FaultyStorage`] is allowed to break, and how often.
 #[derive(Debug, Clone)]
@@ -429,7 +446,7 @@ impl FaultPlan {
     /// A plan with a single scripted fault and nothing probabilistic.
     pub fn scripted_one(at_op: u64, kind: FaultKind) -> FaultPlan {
         FaultPlan {
-            scripted: vec![ScriptedFault { at_op, kind }],
+            scripted: vec![ScriptedFault { at: at_op, kind }],
             ..FaultPlan::default()
         }
     }
@@ -516,7 +533,7 @@ impl<S: Storage> FaultyStorage<S> {
         self.plan
             .scripted
             .iter()
-            .find(|f| f.at_op == self.ops)
+            .find(|f| f.at == self.ops)
             .map(|f| f.kind.clone())
     }
 

@@ -637,6 +637,48 @@ impl<S: Storage> Wal<S> {
         self.next_op
     }
 
+    /// Read back the acknowledged records with global index `>= from`,
+    /// in index order, from storage.
+    ///
+    /// This is the leader's (re-)shipping read in the replication layer: a
+    /// follower acknowledges a prefix, and the leader serves everything
+    /// past it straight from its own durable log. Unacknowledged bytes
+    /// (failed appends awaiting rotation, torn frames) are excluded — the
+    /// scan applies the same supersede rule as [`Wal::open`] and caps at
+    /// the acknowledged record count.
+    ///
+    /// The result starts at `from` only if the log still holds that
+    /// record: compaction may have deleted segments the newest snapshot
+    /// covers, in which case the first returned index is later than
+    /// `from` and the caller must fall back to state transfer.
+    pub fn records_from(&self, from: u64) -> Result<Vec<(u64, Vec<u8>)>> {
+        let names = self.storage.list()?;
+        let mut segs: Vec<(u64, String)> = names
+            .iter()
+            .filter_map(|n| parse_segment_name(n).map(|s| (s, n.clone())))
+            .collect();
+        segs.sort();
+        let mut records: Vec<(u64, Vec<u8>)> = Vec::new();
+        for (seq, name) in &segs {
+            let bytes = self.storage.read(name)?;
+            if bytes.len() < SEG_HEADER_LEN {
+                continue; // freshly created segment, no records yet
+            }
+            let first_op = decode_segment_header(&bytes, *seq)?;
+            if let Some(reach) = records.last().map(|(idx, _)| idx + 1) {
+                if first_op < reach {
+                    // Rotation after a failed append/sync: the overlapped
+                    // records were never acknowledged.
+                    records.retain(|(idx, _)| *idx < first_op);
+                }
+            }
+            let (recs, _torn) = decode_frames(&bytes[SEG_HEADER_LEN..], first_op)?;
+            records.extend(recs);
+        }
+        records.retain(|(idx, _)| *idx >= from && *idx < self.next_op);
+        Ok(records)
+    }
+
     /// Sequence number of the active segment.
     pub fn segment_seq(&self) -> u64 {
         self.seq

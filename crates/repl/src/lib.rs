@@ -1,0 +1,67 @@
+//! WAL-shipping replication with term-fenced failover for the durable
+//! OWTE stack.
+//!
+//! The paper's active authorization rules assume one authorization engine
+//! between every access decision and the protected objects; this crate
+//! makes that engine a replicated service without weakening the paper's
+//! guarantees. The leader runs the ordinary durable engine
+//! (journal-before-apply); the journal records it writes are the
+//! replication stream, shipped as CRC-framed batches ([`msg`]) over a
+//! lossy simulated transport ([`transport`]) to followers that journal
+//! each record to their own WAL before applying it ([`cluster`]).
+//! Followers answer `check_access` lock-free from a published
+//! [`owte_core::AuthSnapshot`], but only inside its temporal validity
+//! horizon — a query past the next GTRBAC boundary or enforcement timer
+//! degrades to the leader instead of being answered from a snapshot that
+//! may already be rewritten. Failover promotes a follower whose own
+//! durable WAL holds the acknowledged prefix, fences the deposed epoch
+//! with a monotonic term, and re-ships from each follower's acknowledged
+//! index.
+//!
+//! Everything is deterministic: the transport's faults are seeded and
+//! scriptable in the same replay format as the storage fault injector,
+//! and the cluster exposes slot-level delivery so the model checker in
+//! `crates/sim` can treat every message delivery, loss, duplication and
+//! crash as an explicit scheduler choice.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod msg;
+pub mod transport;
+
+pub use cluster::{
+    read_term, write_term, Cluster, ReadOutcome, ReplConfig, ReplError, ReplStore, TERM_FILE,
+};
+pub use msg::{frame, unframe, Envelope, FrameError, NodeId, Payload};
+pub use transport::{
+    NetFaultKind, NetFaultPlan, NetStats, ScriptedNetFault, SimTransport, Transport,
+};
+
+use owte_core::Engine;
+
+/// Do two engines agree on every externally observable authorization
+/// fact — session sets, active roles, role enablement, audit log and
+/// clock? This is the equality the replication invariants assert between
+/// a follower and the acked-prefix replay (`sim::state_diff` reports the
+/// first difference verbosely; this is the boolean form for callers that
+/// cannot depend on `sim`).
+pub fn state_matches(a: &Engine, b: &Engine) -> bool {
+    let (sa, sb) = (a.system(), b.system());
+    let (la, lb): (Vec<_>, Vec<_>) = (sa.all_sessions().collect(), sb.all_sessions().collect());
+    if la != lb {
+        return false;
+    }
+    for s in la {
+        match (sa.session_roles(s), sb.session_roles(s)) {
+            (Ok(x), Ok(y)) if x == y => {}
+            _ => return false,
+        }
+    }
+    for r in sa.all_roles().collect::<Vec<_>>() {
+        if sa.is_enabled(r).ok() != sb.is_enabled(r).ok() {
+            return false;
+        }
+    }
+    a.log().entries() == b.log().entries() && a.now() == b.now()
+}

@@ -1,0 +1,343 @@
+//! The transport abstraction and its simulated, fault-injected
+//! implementation.
+//!
+//! [`SimTransport`] mirrors the storage fault injector
+//! ([`owte_core::FaultyStorage`]) exactly: a seeded [`SplitMix64`] drives
+//! probabilistic drop/duplicate/reorder knobs, and a script of
+//! [`Scripted`] faults pins exact misbehaviour to exact 1-based *send*
+//! indices — the same `{at, kind}` replay format the storage layer uses
+//! for operation indices. A `(seed, plan)` pair reproduces the identical
+//! fault sequence on every run.
+
+use crate::msg::{Envelope, NodeId};
+use owte_core::{Scripted, SplitMix64};
+use std::collections::BTreeSet;
+
+/// What a scripted network fault does to the message being sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// The message vanishes.
+    Drop,
+    /// The message is enqueued twice.
+    Duplicate,
+}
+
+/// A network fault pinned to an exact send index (1-based, counting
+/// [`Transport::send`] calls) — the transport instantiation of the shared
+/// [`Scripted`] script format.
+pub type ScriptedNetFault = Scripted<NetFaultKind>;
+
+/// What [`SimTransport`] is allowed to break, and how often.
+#[derive(Debug, Clone)]
+pub struct NetFaultPlan {
+    /// Probability that a sent message is silently dropped.
+    pub p_drop: f64,
+    /// Probability that a sent message is enqueued twice.
+    pub p_duplicate: f64,
+    /// Probability that a sent message is swapped with a random earlier
+    /// in-flight message (reordering).
+    pub p_reorder: f64,
+    /// Deterministic faults at exact send indices, checked before the
+    /// probabilistic knobs. Empty by default.
+    pub scripted: Vec<ScriptedNetFault>,
+}
+
+impl Default for NetFaultPlan {
+    fn default() -> NetFaultPlan {
+        NetFaultPlan {
+            p_drop: 0.0,
+            p_duplicate: 0.0,
+            p_reorder: 0.0,
+            scripted: Vec::new(),
+        }
+    }
+}
+
+impl NetFaultPlan {
+    /// A plan with a single scripted fault and nothing probabilistic.
+    pub fn scripted_one(at_send: u64, kind: NetFaultKind) -> NetFaultPlan {
+        NetFaultPlan {
+            scripted: vec![ScriptedNetFault { at: at_send, kind }],
+            ..NetFaultPlan::default()
+        }
+    }
+}
+
+/// Message delivery between nodes. Implementations may lose, duplicate
+/// and reorder messages arbitrarily; they never invent or mutate bytes
+/// (corruption is the frame checksum's problem, and a corrupt frame is
+/// equivalent to a loss at the receiver).
+pub trait Transport {
+    /// Queue `env` for delivery (subject to the transport's faults).
+    fn send(&mut self, env: Envelope);
+    /// Take the oldest in-flight message addressed to `to`, if any.
+    fn recv(&mut self, to: NodeId) -> Option<Envelope>;
+    /// Number of messages currently in flight.
+    fn in_flight(&self) -> usize;
+}
+
+/// Delivery/loss counters, for experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Total [`Transport::send`] calls observed.
+    pub sends: u64,
+    /// Messages lost (fault knobs or partitions).
+    pub dropped: u64,
+    /// Extra copies enqueued by duplication faults.
+    pub duplicated: u64,
+    /// Payload bytes accepted into the in-flight queue.
+    pub bytes_sent: u64,
+}
+
+/// The in-memory simulated transport: a single in-flight queue with
+/// seeded faults and explicit partitions.
+///
+/// Beyond the [`Transport`] trait, the model checker steers individual
+/// messages by *slot* (index into the in-flight queue): deliver, drop or
+/// duplicate exactly one chosen message, making every network decision a
+/// scheduler choice instead of a probabilistic event.
+#[derive(Debug, Clone)]
+pub struct SimTransport {
+    queue: Vec<Envelope>,
+    rng: SplitMix64,
+    plan: NetFaultPlan,
+    stats: NetStats,
+    /// Unordered node pairs that cannot currently exchange messages.
+    cut: BTreeSet<(usize, usize)>,
+}
+
+impl SimTransport {
+    /// A transport with all faults driven by `seed` and `plan`.
+    pub fn new(seed: u64, plan: NetFaultPlan) -> SimTransport {
+        SimTransport {
+            queue: Vec::new(),
+            rng: SplitMix64(seed),
+            plan,
+            stats: NetStats::default(),
+            cut: BTreeSet::new(),
+        }
+    }
+
+    fn pair(a: NodeId, b: NodeId) -> (usize, usize) {
+        (a.0.min(b.0), a.0.max(b.0))
+    }
+
+    /// Sever the link between `a` and `b` (both directions). Messages
+    /// already in flight are unaffected; new sends are dropped.
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.cut.insert(Self::pair(a, b));
+    }
+
+    /// Restore every severed link.
+    pub fn heal(&mut self) {
+        self.cut.clear();
+    }
+
+    /// Is the link between `a` and `b` currently severed?
+    pub fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.cut.contains(&Self::pair(a, b))
+    }
+
+    /// The in-flight queue, oldest first (model-checker slot addressing).
+    pub fn pending(&self) -> &[Envelope] {
+        &self.queue
+    }
+
+    /// Remove and return the message at `slot` (a scheduler-chosen
+    /// delivery). `None` if the slot is out of range.
+    pub fn take_slot(&mut self, slot: usize) -> Option<Envelope> {
+        if slot < self.queue.len() {
+            Some(self.queue.remove(slot))
+        } else {
+            None
+        }
+    }
+
+    /// Drop the message at `slot` (a scheduler-chosen loss).
+    pub fn drop_slot(&mut self, slot: usize) -> bool {
+        if slot < self.queue.len() {
+            self.queue.remove(slot);
+            self.stats.dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Duplicate the message at `slot` (a scheduler-chosen duplication);
+    /// the copy is appended at the queue tail.
+    pub fn dup_slot(&mut self, slot: usize) -> bool {
+        if slot < self.queue.len() {
+            let copy = self.queue[slot].clone();
+            self.queue.push(copy);
+            self.stats.duplicated += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Delivery/loss counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Borrow the fault plan mutably (installing scripted faults on a
+    /// live transport, mirroring [`owte_core::FaultyStorage::plan_mut`]).
+    pub fn plan_mut(&mut self) -> &mut NetFaultPlan {
+        &mut self.plan
+    }
+
+    /// The scripted fault (if any) pinned to send index `at`.
+    fn scripted_at(&self, at: u64) -> Option<NetFaultKind> {
+        self.plan
+            .scripted
+            .iter()
+            .find(|f| f.at == at)
+            .map(|f| f.kind.clone())
+    }
+}
+
+impl Transport for SimTransport {
+    fn send(&mut self, env: Envelope) {
+        self.stats.sends += 1;
+        if self.partitioned(env.from, env.to) {
+            self.stats.dropped += 1;
+            return;
+        }
+        match self.scripted_at(self.stats.sends) {
+            Some(NetFaultKind::Drop) => {
+                self.stats.dropped += 1;
+                return;
+            }
+            Some(NetFaultKind::Duplicate) => {
+                self.stats.bytes_sent += env.frame.len() as u64;
+                self.stats.duplicated += 1;
+                self.queue.push(env.clone());
+                self.queue.push(env);
+                return;
+            }
+            None => {}
+        }
+        if self.plan.p_drop > 0.0 && self.rng.unit() < self.plan.p_drop {
+            self.stats.dropped += 1;
+            return;
+        }
+        self.stats.bytes_sent += env.frame.len() as u64;
+        if self.plan.p_duplicate > 0.0 && self.rng.unit() < self.plan.p_duplicate {
+            self.stats.duplicated += 1;
+            self.queue.push(env.clone());
+        }
+        self.queue.push(env);
+        if self.plan.p_reorder > 0.0
+            && self.queue.len() >= 2
+            && self.rng.unit() < self.plan.p_reorder
+        {
+            let last = self.queue.len() - 1;
+            let other = self.rng.below(last);
+            self.queue.swap(other, last);
+        }
+    }
+
+    fn recv(&mut self, to: NodeId) -> Option<Envelope> {
+        let slot = self.queue.iter().position(|e| e.to == to)?;
+        Some(self.queue.remove(slot))
+    }
+
+    fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Payload;
+
+    fn env(from: usize, to: usize, term: u64) -> Envelope {
+        Envelope::new(
+            NodeId(from),
+            NodeId(to),
+            &Payload::Ack {
+                term,
+                next_index: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn faultless_transport_is_fifo_per_destination() {
+        let mut t = SimTransport::new(1, NetFaultPlan::default());
+        t.send(env(0, 1, 1));
+        t.send(env(0, 2, 2));
+        t.send(env(0, 1, 3));
+        let first = t.recv(NodeId(1)).unwrap().payload().unwrap();
+        assert!(matches!(first, Payload::Ack { term: 1, .. }));
+        let second = t.recv(NodeId(1)).unwrap().payload().unwrap();
+        assert!(matches!(second, Payload::Ack { term: 3, .. }));
+        assert!(t.recv(NodeId(1)).is_none());
+        assert_eq!(t.in_flight(), 1);
+    }
+
+    #[test]
+    fn scripted_faults_replay_by_send_index() {
+        let plan = NetFaultPlan {
+            scripted: vec![
+                ScriptedNetFault {
+                    at: 1,
+                    kind: NetFaultKind::Drop,
+                },
+                ScriptedNetFault {
+                    at: 3,
+                    kind: NetFaultKind::Duplicate,
+                },
+            ],
+            ..NetFaultPlan::default()
+        };
+        let mut t = SimTransport::new(9, plan);
+        t.send(env(0, 1, 1)); // dropped
+        t.send(env(0, 1, 2)); // normal
+        t.send(env(0, 1, 3)); // duplicated
+        assert_eq!(t.in_flight(), 3);
+        assert_eq!(t.stats().dropped, 1);
+        assert_eq!(t.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn seeded_faults_are_reproducible() {
+        let plan = NetFaultPlan {
+            p_drop: 0.5,
+            p_duplicate: 0.3,
+            p_reorder: 0.3,
+            ..NetFaultPlan::default()
+        };
+        let run = |seed: u64| {
+            let mut t = SimTransport::new(seed, plan.clone());
+            for i in 0..50 {
+                t.send(env(0, 1 + (i % 2), i as u64));
+            }
+            let order: Vec<Vec<u8>> = t.pending().iter().map(|e| e.frame.clone()).collect();
+            (t.stats(), order)
+        };
+        assert_eq!(run(42), run(42), "same seed, same fault sequence");
+        assert_ne!(
+            run(42).0,
+            run(43).0,
+            "different seeds should diverge on a 50-send run"
+        );
+    }
+
+    #[test]
+    fn partitions_drop_new_sends_both_ways() {
+        let mut t = SimTransport::new(1, NetFaultPlan::default());
+        t.partition(NodeId(0), NodeId(1));
+        t.send(env(0, 1, 1));
+        t.send(env(1, 0, 2));
+        t.send(env(0, 2, 3));
+        assert_eq!(t.in_flight(), 1);
+        assert_eq!(t.stats().dropped, 2);
+        t.heal();
+        t.send(env(0, 1, 4));
+        assert_eq!(t.in_flight(), 2);
+    }
+}

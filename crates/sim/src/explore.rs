@@ -1,11 +1,63 @@
 //! Schedule exploration: exhaustive bounded DFS with state pruning, and
 //! a seeded-random walker for larger configurations, plus schedule
 //! replay and greedy shrinking to a minimal counterexample.
+//!
+//! The explorer is generic over the state space it walks: anything
+//! implementing [`SimWorld`] (a clonable state with an enumerable choice
+//! alphabet) can be explored against any [`Checker`]. The single-process
+//! [`World`] walks client ops, timer firings and crash points; the
+//! multi-node [`crate::ClusterWorld`] adds message deliveries, losses,
+//! duplicates, per-node crashes and failovers to the same machinery.
 
 use crate::invariants::{Invariants, Violation};
 use crate::world::{Choice, StepError, World};
 use std::collections::HashMap;
 use std::fmt;
+
+/// A state the explorer can walk: clonable (the DFS forks worlds at every
+/// branch), with a self-describing choice alphabet and a pruning
+/// fingerprint.
+pub trait SimWorld: Clone {
+    /// One scheduler decision in this state space. Position-independent:
+    /// a recorded choice sequence replays deterministically from the
+    /// initial world.
+    type Choice: Clone + PartialEq + fmt::Debug + fmt::Display;
+
+    /// Every choice enabled here under `budget`, in a stable order.
+    /// `reduction` enables the world's partial-order rules; prunes are
+    /// counted into `stats`.
+    fn enabled_choices(
+        &self,
+        budget: &Budget,
+        reduction: bool,
+        stats: &mut Stats,
+    ) -> Vec<Self::Choice>;
+
+    /// Apply one choice, transforming this world into its successor.
+    fn apply_choice(&mut self, choice: &Self::Choice) -> Result<(), StepError<Self::Choice>>;
+
+    /// Human-readable description of what `choice` would do here.
+    fn describe_choice(&self, choice: &Self::Choice) -> String;
+
+    /// An order-independent digest of everything observable about this
+    /// state. Two worlds with equal fingerprints behave identically under
+    /// every future schedule, so the exhaustive explorer prunes revisits.
+    fn fingerprint(&self) -> u64;
+
+    /// Crash/restart cycles taken so far (bounded by the budget).
+    fn crashes(&self) -> usize;
+
+    /// The sequence of applied choices that produced this world from its
+    /// initial state.
+    fn schedule_choices(&self) -> &[Self::Choice];
+}
+
+/// An invariant suite evaluated against worlds of type `W` after every
+/// scheduler step.
+pub trait Checker<W: SimWorld> {
+    /// The first violation observable in `world`, if any.
+    fn check(&self, world: &W) -> Option<Violation>;
+}
 
 /// Exploration limits.
 #[derive(Debug, Clone)]
@@ -43,10 +95,10 @@ pub enum Strategy {
     },
     /// Depth-first enumeration of every interleaving within the budget.
     Exhaustive {
-        /// Enable state-fingerprint pruning and the crash-stutter
-        /// partial-order rule. Turning it off walks the raw schedule
-        /// tree — same verdict, far more states (used to validate the
-        /// reduction itself).
+        /// Enable state-fingerprint pruning and the world's partial-order
+        /// rules (crash-stutter, delivery commutation). Turning it off
+        /// walks the raw schedule tree — same verdict, far more states
+        /// (used to validate the reductions themselves).
         reduction: bool,
     },
 }
@@ -63,6 +115,10 @@ pub struct Stats {
     /// immediately after a restart, which provably re-recovers the same
     /// state).
     pub pruned_stutter: usize,
+    /// Message choices discarded by the delivery-commutation rule
+    /// (deliveries to distinct destinations commute, so only the earliest
+    /// in-flight message per destination is branched on).
+    pub pruned_commute: usize,
     /// Random mode: schedules completed.
     pub schedules: usize,
     /// Whether the sweep covered everything the budget asked for.
@@ -72,9 +128,9 @@ pub struct Stats {
 /// A replayable schedule: the exact choice sequence from the initial
 /// world to the violating state.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Schedule(pub Vec<Choice>);
+pub struct Schedule<C = Choice>(pub Vec<C>);
 
-impl fmt::Display for Schedule {
+impl<C: fmt::Display> fmt::Display for Schedule<C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, c) in self.0.iter().enumerate() {
             writeln!(f, "  {:>3}. {c}", i + 1)?;
@@ -83,16 +139,16 @@ impl fmt::Display for Schedule {
     }
 }
 
-impl Schedule {
+impl<C> Schedule<C> {
     /// Annotated step script: replays the schedule against `initial`
     /// (without invariant checking) and describes each step in terms of
-    /// the client ops and timers it actually resolved to.
-    pub fn script(&self, initial: &World) -> String {
+    /// what it actually resolved to.
+    pub fn script<W: SimWorld<Choice = C>>(&self, initial: &W) -> String {
         let mut w = initial.clone();
         let mut out = String::new();
         for (i, c) in self.0.iter().enumerate() {
-            out.push_str(&format!("  {:>3}. {}\n", i + 1, w.describe(c)));
-            if w.apply(c).is_err() {
+            out.push_str(&format!("  {:>3}. {}\n", i + 1, w.describe_choice(c)));
+            if w.apply_choice(c).is_err() {
                 out.push_str("       (schedule diverged here)\n");
                 break;
             }
@@ -103,7 +159,7 @@ impl Schedule {
 
 /// The result of one exploration run.
 #[derive(Debug, Clone)]
-pub enum Outcome {
+pub enum Outcome<C = Choice> {
     /// No reachable state violated any invariant.
     Clean(Stats),
     /// A violation was found; `schedule` is the shrunk, minimal
@@ -112,7 +168,7 @@ pub enum Outcome {
         /// What failed.
         violation: Violation,
         /// Minimal replayable schedule reaching it.
-        schedule: Schedule,
+        schedule: Schedule<C>,
         /// Counters up to the find.
         stats: Stats,
     },
@@ -121,17 +177,17 @@ pub enum Outcome {
 /// What [`crate::check`] returns: the outcome plus the seeds needed to
 /// rebuild the exact same initial world.
 #[derive(Debug, Clone)]
-pub struct CheckReport {
+pub struct CheckReport<C = Choice> {
     /// Exploration outcome.
-    pub outcome: Outcome,
+    pub outcome: Outcome<C>,
     /// Enterprise seed the world was generated from.
     pub ent_seed: u64,
     /// Trace seed the client script was generated from.
     pub trace_seed: u64,
 }
 
-impl CheckReport {
-    pub(crate) fn new(outcome: Outcome, ent_seed: u64, trace_seed: u64) -> CheckReport {
+impl<C> CheckReport<C> {
+    pub(crate) fn new(outcome: Outcome<C>, ent_seed: u64, trace_seed: u64) -> CheckReport<C> {
         CheckReport {
             outcome,
             ent_seed,
@@ -153,16 +209,17 @@ impl CheckReport {
     }
 }
 
-impl fmt::Display for CheckReport {
+impl<C: fmt::Display> fmt::Display for CheckReport<C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.outcome {
             Outcome::Clean(s) => write!(
                 f,
                 "CLEAN — {} states explored ({} fingerprint-pruned, {} stutter-pruned, \
-                 {} schedules), ent_seed={} trace_seed={}",
+                 {} commute-pruned, {} schedules), ent_seed={} trace_seed={}",
                 s.explored,
                 s.pruned_fingerprint,
                 s.pruned_stutter,
+                s.pruned_commute,
                 s.schedules,
                 self.ent_seed,
                 self.trace_seed
@@ -184,78 +241,28 @@ impl fmt::Display for CheckReport {
     }
 }
 
-/// Every choice enabled in `world` under `budget`, in a stable order.
-/// The `reduction` flag controls the crash-stutter partial-order rule.
-fn enabled_choices(
-    world: &World,
-    budget: &Budget,
-    reduction: bool,
-    stats: &mut Stats,
-) -> Vec<Choice> {
-    if world.is_crashed() {
-        return vec![Choice::Restart];
-    }
-    let mut out = Vec::new();
-    let ops_left = world.cursor() < world.ops().len();
-    if ops_left {
-        out.push(Choice::NextOp);
-    }
-    if world
-        .engine()
-        .and_then(|d| d.engine().next_timer_at())
-        .is_some()
-    {
-        out.push(Choice::FireNextTimer);
-    }
-    if world.crashes() < budget.max_crashes {
-        if ops_left {
-            // One crash point before each storage op of the next client
-            // op, each in a clean and a torn-write variant.
-            let writes = world.probe_next_op_storage_ops();
-            for at in 1..=writes {
-                out.push(Choice::CrashDuringNextOp { at, keep: 0 });
-                out.push(Choice::CrashDuringNextOp { at, keep: 1 });
-            }
-        }
-        // Crashing again immediately after a restart is a stutter:
-        // recovery is deterministic and every byte it recovered from is
-        // still synced, so re-crash + restart reproduces the identical
-        // engine state and acknowledged ledger — it only spends crash
-        // budget (and accretes an empty WAL segment the invariants never
-        // see). Any violation reachable beyond the re-crash is therefore
-        // reachable without it, with crash budget to spare.
-        let stutter = reduction && world.schedule().last() == Some(&Choice::Restart);
-        if stutter {
-            stats.pruned_stutter += 1;
-        } else {
-            out.push(Choice::CrashNow);
-        }
-    }
-    out
-}
-
 /// Explore from `initial` under `strategy` and `budget`, checking
 /// `invariants` after every step. Violations are shrunk to a minimal
 /// schedule before being reported.
-pub fn explore(
-    initial: &World,
-    invariants: &Invariants,
+pub fn explore<W: SimWorld, K: Checker<W>>(
+    initial: &W,
+    invariants: &K,
     strategy: Strategy,
     budget: Budget,
-) -> Outcome {
+) -> Outcome<W::Choice> {
     match strategy {
         Strategy::Exhaustive { reduction } => dfs(initial, invariants, &budget, reduction),
         Strategy::Random { seed } => random(initial, invariants, &budget, seed),
     }
 }
 
-fn violation_outcome(
-    initial: &World,
-    invariants: &Invariants,
+fn violation_outcome<W: SimWorld, K: Checker<W>>(
+    initial: &W,
+    invariants: &K,
     violation: Violation,
-    schedule: Vec<Choice>,
+    schedule: Vec<W::Choice>,
     stats: Stats,
-) -> Outcome {
+) -> Outcome<W::Choice> {
     let schedule = shrink(initial, invariants, &schedule, &violation);
     // Report the violation the *minimal* schedule produces: shrinking
     // preserves the violation kind but may change its details (e.g. fewer
@@ -271,7 +278,12 @@ fn violation_outcome(
     }
 }
 
-fn dfs(initial: &World, invariants: &Invariants, budget: &Budget, reduction: bool) -> Outcome {
+fn dfs<W: SimWorld, K: Checker<W>>(
+    initial: &W,
+    invariants: &K,
+    budget: &Budget,
+    reduction: bool,
+) -> Outcome<W::Choice> {
     let mut stats = Stats {
         complete: true,
         ..Stats::default()
@@ -283,7 +295,7 @@ fn dfs(initial: &World, invariants: &Invariants, budget: &Budget, reduction: boo
     if let Some(v) = invariants.check(initial) {
         return violation_outcome(initial, invariants, v, Vec::new(), stats);
     }
-    let mut stack: Vec<World> = vec![initial.clone()];
+    let mut stack: Vec<W> = vec![initial.clone()];
     if reduction {
         seen.insert(initial.fingerprint(), initial.crashes());
     }
@@ -293,16 +305,16 @@ fn dfs(initial: &World, invariants: &Invariants, budget: &Budget, reduction: boo
             stats.complete = false;
             break;
         }
-        for choice in enabled_choices(&world, budget, reduction, &mut stats) {
+        for choice in world.enabled_choices(budget, reduction, &mut stats) {
             let mut child = world.clone();
-            match child.apply(&choice) {
+            match child.apply_choice(&choice) {
                 Ok(()) => {}
                 Err(StepError::Violation(v)) => {
                     return violation_outcome(
                         initial,
                         invariants,
                         v,
-                        child.schedule().to_vec(),
+                        child.schedule_choices().to_vec(),
                         stats,
                     );
                 }
@@ -311,9 +323,15 @@ fn dfs(initial: &World, invariants: &Invariants, budget: &Budget, reduction: boo
                 }
             }
             if let Some(v) = invariants.check(&child) {
-                return violation_outcome(initial, invariants, v, child.schedule().to_vec(), stats);
+                return violation_outcome(
+                    initial,
+                    invariants,
+                    v,
+                    child.schedule_choices().to_vec(),
+                    stats,
+                );
             }
-            if child.schedule().len() >= budget.max_steps {
+            if child.schedule_choices().len() >= budget.max_steps {
                 continue;
             }
             if reduction {
@@ -335,7 +353,12 @@ fn dfs(initial: &World, invariants: &Invariants, budget: &Budget, reduction: boo
     Outcome::Clean(stats)
 }
 
-fn random(initial: &World, invariants: &Invariants, budget: &Budget, seed: u64) -> Outcome {
+fn random<W: SimWorld, K: Checker<W>>(
+    initial: &W,
+    invariants: &K,
+    budget: &Budget,
+    seed: u64,
+) -> Outcome<W::Choice> {
     let mut stats = Stats {
         complete: true,
         ..Stats::default()
@@ -347,13 +370,13 @@ fn random(initial: &World, invariants: &Invariants, budget: &Budget, seed: u64) 
         let mut rng = SplitMix64(seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9) ^ seed);
         let mut world = initial.clone();
         for _ in 0..budget.max_steps {
-            let choices = enabled_choices(&world, budget, true, &mut stats);
+            let choices = world.enabled_choices(budget, true, &mut stats);
             if choices.is_empty() {
                 break;
             }
             let pick = choices[(rng.next() % choices.len() as u64) as usize].clone();
             stats.explored += 1;
-            let failed = match world.apply(&pick) {
+            let failed = match world.apply_choice(&pick) {
                 Ok(()) => invariants.check(&world),
                 Err(StepError::Violation(v)) => Some(v),
                 Err(StepError::NotEnabled(c)) => {
@@ -361,7 +384,13 @@ fn random(initial: &World, invariants: &Invariants, budget: &Budget, seed: u64) 
                 }
             };
             if let Some(v) = failed {
-                return violation_outcome(initial, invariants, v, world.schedule().to_vec(), stats);
+                return violation_outcome(
+                    initial,
+                    invariants,
+                    v,
+                    world.schedule_choices().to_vec(),
+                    stats,
+                );
             }
         }
         stats.schedules += 1;
@@ -373,17 +402,17 @@ fn random(initial: &World, invariants: &Invariants, budget: &Budget, seed: u64) 
 /// step. Returns the violation and the 0-based index of the violating
 /// step, `None` if the schedule runs clean, or `Err` if a choice is not
 /// enabled when its turn comes (an over-shrunk candidate).
-pub fn run_schedule(
-    initial: &World,
-    invariants: &Invariants,
-    schedule: &[Choice],
+pub fn run_schedule<W: SimWorld, K: Checker<W>>(
+    initial: &W,
+    invariants: &K,
+    schedule: &[W::Choice],
 ) -> Result<Option<(Violation, usize)>, usize> {
     let mut world = initial.clone();
     if let Some(v) = invariants.check(&world) {
         return Ok(Some((v, 0)));
     }
     for (i, choice) in schedule.iter().enumerate() {
-        let failed = match world.apply(choice) {
+        let failed = match world.apply_choice(choice) {
             Ok(()) => invariants.check(&world),
             Err(StepError::Violation(v)) => Some(v),
             Err(StepError::NotEnabled(_)) => return Err(i),
@@ -401,14 +430,14 @@ pub fn run_schedule(
 /// alone: dropping just the crash leaves a restart that is not enabled,
 /// dropping just the restart leaves a dead world) — while the *same
 /// kind* of violation still reproduces.
-fn shrink(
-    initial: &World,
-    invariants: &Invariants,
-    schedule: &[Choice],
+fn shrink<W: SimWorld, K: Checker<W>>(
+    initial: &W,
+    invariants: &K,
+    schedule: &[W::Choice],
     target: &Violation,
-) -> Schedule {
+) -> Schedule<W::Choice> {
     let same_kind = |v: &Violation| std::mem::discriminant(v) == std::mem::discriminant(target);
-    let mut best: Vec<Choice> = match run_schedule(initial, invariants, schedule) {
+    let mut best: Vec<W::Choice> = match run_schedule(initial, invariants, schedule) {
         Ok(Some((v, at))) if same_kind(&v) => schedule[..=at].to_vec(),
         // The recorded schedule already includes exactly the violating
         // steps (explorers stop at the first violation), so this arm is
@@ -446,5 +475,82 @@ impl SplitMix64 {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
+    }
+}
+
+/// The single-process [`World`]'s choice enumeration, including the
+/// crash-point probe and the crash-stutter partial-order rule.
+impl SimWorld for World {
+    type Choice = Choice;
+
+    fn enabled_choices(&self, budget: &Budget, reduction: bool, stats: &mut Stats) -> Vec<Choice> {
+        if self.is_crashed() {
+            return vec![Choice::Restart];
+        }
+        let mut out = Vec::new();
+        let ops_left = self.cursor() < self.ops().len();
+        if ops_left {
+            out.push(Choice::NextOp);
+        }
+        if self
+            .engine()
+            .and_then(|d| d.engine().next_timer_at())
+            .is_some()
+        {
+            out.push(Choice::FireNextTimer);
+        }
+        if self.crashes() < budget.max_crashes {
+            if ops_left {
+                // One crash point before each storage op of the next
+                // client op, each in a clean and a torn-write variant.
+                let writes = self.probe_next_op_storage_ops();
+                for at in 1..=writes {
+                    out.push(Choice::CrashDuringNextOp { at, keep: 0 });
+                    out.push(Choice::CrashDuringNextOp { at, keep: 1 });
+                }
+            }
+            // Crashing again immediately after a restart is a stutter:
+            // recovery is deterministic and every byte it recovered from
+            // is still synced, so re-crash + restart reproduces the
+            // identical engine state and acknowledged ledger — it only
+            // spends crash budget (and accretes an empty WAL segment the
+            // invariants never see). Any violation reachable beyond the
+            // re-crash is therefore reachable without it, with crash
+            // budget to spare.
+            let stutter = reduction && self.schedule().last() == Some(&Choice::Restart);
+            if stutter {
+                stats.pruned_stutter += 1;
+            } else {
+                out.push(Choice::CrashNow);
+            }
+        }
+        out
+    }
+
+    fn apply_choice(&mut self, choice: &Choice) -> Result<(), StepError<Choice>> {
+        self.apply(choice)
+    }
+
+    fn describe_choice(&self, choice: &Choice) -> String {
+        self.describe(choice)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        World::fingerprint(self)
+    }
+
+    fn crashes(&self) -> usize {
+        World::crashes(self)
+    }
+
+    fn schedule_choices(&self) -> &[Choice] {
+        self.schedule()
+    }
+}
+
+/// The single-process invariant suite plugs into the generic explorer.
+impl Checker<World> for Invariants {
+    fn check(&self, world: &World) -> Option<Violation> {
+        Invariants::check(self, world)
     }
 }

@@ -102,6 +102,26 @@ pub enum Violation {
         /// First difference found.
         detail: String,
     },
+    /// A replica's live state is not the sequential replay of the prefix
+    /// of cluster history it has durably journaled — reads at that node
+    /// would answer outside any linearization of the shipped log.
+    FollowerDivergence {
+        /// The diverged node.
+        node: usize,
+        /// First difference found.
+        detail: String,
+    },
+    /// A follower answered a read from its published snapshot at a
+    /// timestamp on or past the validity horizon recomputed from its own
+    /// engine — the read should have degraded to the leader.
+    StaleReadServed {
+        /// The node that served the read.
+        node: usize,
+        /// The query timestamp.
+        at: String,
+        /// The engine-recomputed horizon it violated.
+        horizon: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -153,6 +173,20 @@ impl fmt::Display for Violation {
                 write!(
                     f,
                     "compiled dispatch diverges from the interpreter: {detail}"
+                )
+            }
+            Violation::FollowerDivergence { node, detail } => {
+                write!(
+                    f,
+                    "replication violation: node n{node} diverges from its journaled \
+                     prefix of cluster history: {detail}"
+                )
+            }
+            Violation::StaleReadServed { node, at, horizon } => {
+                write!(
+                    f,
+                    "staleness violation: node n{node} answered a read at {at}, on or \
+                     past its validity horizon {horizon}"
                 )
             }
         }
@@ -229,86 +263,10 @@ impl Invariants {
     pub fn check(&self, world: &World) -> Option<Violation> {
         let d = world.engine()?;
         let e = d.engine();
-        let sys = e.system();
 
-        // --- Static SoD over every user's authorized roles. ---
-        for u in sys.all_users().collect::<Vec<_>>() {
-            let Ok(authorized) = sys.authorized_roles(u) else {
-                continue;
-            };
-            let names: BTreeSet<String> = authorized
-                .iter()
-                .filter_map(|r| sys.role_name(*r).ok().map(str::to_string))
-                .collect();
-            for set in &self.ssd {
-                let held: Vec<String> = set
-                    .roles
-                    .iter()
-                    .filter(|r| names.contains(*r))
-                    .cloned()
-                    .collect();
-                if held.len() >= set.cardinality {
-                    return Some(Violation::Ssd {
-                        set: set.name.clone(),
-                        user: sys.user_name(u).unwrap_or("?").to_string(),
-                        held,
-                    });
-                }
-            }
-        }
-
-        // --- Dynamic SoD over every session's active roles. ---
-        for s in sys.all_sessions().collect::<Vec<_>>() {
-            let Ok(roles) = sys.session_roles(s) else {
-                continue;
-            };
-            let names: BTreeSet<String> = roles
-                .iter()
-                .filter_map(|r| sys.role_name(*r).ok().map(str::to_string))
-                .collect();
-            for set in &self.dsd {
-                let active: Vec<String> = set
-                    .roles
-                    .iter()
-                    .filter(|r| names.contains(*r))
-                    .cloned()
-                    .collect();
-                if active.len() >= set.cardinality {
-                    return Some(Violation::Dsd {
-                        set: set.name.clone(),
-                        session: format!("{s}"),
-                        active,
-                    });
-                }
-            }
-        }
-
-        // --- Activation cardinality (paper Rule 4 and scenario 1). ---
-        for (role, cap) in &self.role_caps {
-            let Ok(r) = sys.role_by_name(role) else {
-                continue;
-            };
-            let active = sys.active_users_of_role(r).unwrap_or(0);
-            if active > *cap {
-                return Some(Violation::RoleCardinality {
-                    role: role.clone(),
-                    cap: *cap,
-                    active,
-                });
-            }
-        }
-        for (user, cap) in &self.user_caps {
-            let Ok(u) = sys.user_by_name(user) else {
-                continue;
-            };
-            let active = sys.active_roles_of_user(u).map(|s| s.len()).unwrap_or(0);
-            if active > *cap {
-                return Some(Violation::UserCardinality {
-                    user: user.clone(),
-                    cap: *cap,
-                    active,
-                });
-            }
+        // --- SSD/DSD and cardinality, on the live engine. ---
+        if let Some(v) = self.check_rbac(e) {
+            return Some(v);
         }
 
         // --- Cascades stay within the analyzer's proved depth. ---
@@ -389,6 +347,97 @@ impl Invariants {
         if self.compiled_checked.borrow_mut().insert(fnv) {
             if let Some(detail) = compiled_divergence(world.graph(), world.start(), acked) {
                 return Some(Violation::CompiledDivergence { detail });
+            }
+        }
+
+        None
+    }
+
+    /// The RBAC state invariants alone — SSD over authorized roles, DSD
+    /// over active roles, and activation cardinality — against one live
+    /// engine. The single-process suite runs this on *the* engine; the
+    /// cluster suite runs it on every up node, because replication must
+    /// not make a constraint violation observable anywhere.
+    pub fn check_rbac(&self, e: &Engine) -> Option<Violation> {
+        let sys = e.system();
+
+        // --- Static SoD over every user's authorized roles. ---
+        for u in sys.all_users().collect::<Vec<_>>() {
+            let Ok(authorized) = sys.authorized_roles(u) else {
+                continue;
+            };
+            let names: BTreeSet<String> = authorized
+                .iter()
+                .filter_map(|r| sys.role_name(*r).ok().map(str::to_string))
+                .collect();
+            for set in &self.ssd {
+                let held: Vec<String> = set
+                    .roles
+                    .iter()
+                    .filter(|r| names.contains(*r))
+                    .cloned()
+                    .collect();
+                if held.len() >= set.cardinality {
+                    return Some(Violation::Ssd {
+                        set: set.name.clone(),
+                        user: sys.user_name(u).unwrap_or("?").to_string(),
+                        held,
+                    });
+                }
+            }
+        }
+
+        // --- Dynamic SoD over every session's active roles. ---
+        for s in sys.all_sessions().collect::<Vec<_>>() {
+            let Ok(roles) = sys.session_roles(s) else {
+                continue;
+            };
+            let names: BTreeSet<String> = roles
+                .iter()
+                .filter_map(|r| sys.role_name(*r).ok().map(str::to_string))
+                .collect();
+            for set in &self.dsd {
+                let active: Vec<String> = set
+                    .roles
+                    .iter()
+                    .filter(|r| names.contains(*r))
+                    .cloned()
+                    .collect();
+                if active.len() >= set.cardinality {
+                    return Some(Violation::Dsd {
+                        set: set.name.clone(),
+                        session: format!("{s}"),
+                        active,
+                    });
+                }
+            }
+        }
+
+        // --- Activation cardinality (paper Rule 4 and scenario 1). ---
+        for (role, cap) in &self.role_caps {
+            let Ok(r) = sys.role_by_name(role) else {
+                continue;
+            };
+            let active = sys.active_users_of_role(r).unwrap_or(0);
+            if active > *cap {
+                return Some(Violation::RoleCardinality {
+                    role: role.clone(),
+                    cap: *cap,
+                    active,
+                });
+            }
+        }
+        for (user, cap) in &self.user_caps {
+            let Ok(u) = sys.user_by_name(user) else {
+                continue;
+            };
+            let active = sys.active_roles_of_user(u).map(|s| s.len()).unwrap_or(0);
+            if active > *cap {
+                return Some(Violation::UserCardinality {
+                    user: user.clone(),
+                    cap: *cap,
+                    active,
+                });
             }
         }
 

@@ -30,16 +30,31 @@
 //! Violations are reported as a minimal replayable schedule: a
 //! [`Schedule`] shrinks to the shortest step script that still fails and
 //! replays deterministically via [`run_schedule`].
+//!
+//! The explorer is generic over worlds ([`SimWorld`]) and invariant
+//! suites ([`Checker`]): the single-process [`World`] above is one
+//! instance, and [`ClusterWorld`] extends the same machinery to a whole
+//! replication group — message deliveries, losses, duplicates, per-node
+//! crashes and failovers join the choice alphabet, and
+//! [`ClusterInvariants`] additionally asserts that no interleaving loses
+//! a cluster-acknowledged operation, diverges a follower from the
+//! acked-prefix replay, or serves a follower read past its staleness
+//! bound.
 
+pub mod cluster;
 pub mod explore;
 pub mod invariants;
 pub mod op;
 pub mod world;
 
-pub use explore::{explore, run_schedule, Budget, CheckReport, Outcome, Schedule, Stats, Strategy};
+pub use cluster::{ClusterInvariants, ClusterWorld, NetChoice, ReadRecord};
+pub use explore::{
+    explore, run_schedule, Budget, CheckReport, Checker, Outcome, Schedule, SimWorld, Stats,
+    Strategy,
+};
 pub use invariants::{Invariants, Violation};
 pub use op::SimOp;
-pub use world::{Choice, World};
+pub use world::{apply_client_op, Choice, SimStore, World};
 
 use owte_core::DurableConfig;
 use policy::{DailyWindow, PolicyGraph};

@@ -58,13 +58,15 @@ impl fmt::Display for Choice {
     }
 }
 
-/// Why a [`World::apply`] call did not produce a successor state.
+/// Why an apply call did not produce a successor state. Generic over the
+/// choice alphabet so every [`crate::explore::SimWorld`] shares it; the
+/// default parameter keeps the single-process `StepError` spelling.
 #[derive(Debug, Clone)]
-pub enum StepError {
+pub enum StepError<C = Choice> {
     /// The choice is not enabled in the current state (e.g. `Restart`
     /// while running) — schedules being shrunk hit this; explorers never
     /// should.
-    NotEnabled(Choice),
+    NotEnabled(C),
     /// The step itself surfaced a violation (recovery failed outright).
     Violation(crate::invariants::Violation),
 }
@@ -276,7 +278,7 @@ impl World {
                 };
                 let base = d.storage().ops();
                 d.storage_mut().plan_mut().scripted.push(ScriptedFault {
-                    at_op: base + at,
+                    at: base + at,
                     kind: FaultKind::Kill { keep: *keep },
                 });
                 if let Some(j) = apply_client_op(d, &mut self.sessions, op) {
@@ -382,51 +384,58 @@ impl World {
                 h.str("running");
                 h.u64(d.storage().inner().state_digest());
                 h.u64(d.op_count());
-                let e = d.engine();
-                h.str(&format!("{}", e.now()));
-                h.u64(e.deepest_cascade() as u64);
-                for t in e.pending_timer_deadlines() {
-                    h.str(&format!("{t}"));
-                }
-                let sys = e.system();
-                for s in sys.all_sessions() {
-                    h.str(&format!("{s}"));
-                    if let Ok(u) = sys.session_user(s) {
-                        h.str(&format!("{u}"));
-                    }
-                    if let Ok(roles) = sys.session_roles(s) {
-                        for r in roles {
-                            h.str(&format!("{r}"));
-                        }
-                    }
-                }
-                for r in sys.all_roles() {
-                    h.str(if sys.is_enabled(r).unwrap_or(false) {
-                        "e"
-                    } else {
-                        "d"
-                    });
-                }
-                for u in sys.all_users() {
-                    if let Ok(assigned) = sys.assigned_roles(u) {
-                        for r in assigned {
-                            h.str(&format!("{r}"));
-                        }
-                    }
-                    h.str(";");
-                }
-                let ctx: std::collections::BTreeMap<_, _> = e.context().values().iter().collect();
-                for (k, v) in ctx {
-                    h.str(k);
-                    h.str(v);
-                }
-                h.u64(e.log().entries().len() as u64);
-                for entry in e.log().entries() {
-                    h.str(&format!("{entry}"));
-                }
+                hash_engine(&mut h, d.engine());
             }
         }
         h.finish()
+    }
+}
+
+/// Fold everything observable about a live engine into `h`: clock,
+/// cascade depth, pending timers, sessions with their users and active
+/// roles, role enablement, assignments, context and the audit log.
+/// Shared by the single-process and cluster fingerprints.
+pub(crate) fn hash_engine(h: &mut Fnv, e: &owte_core::Engine) {
+    h.str(&format!("{}", e.now()));
+    h.u64(e.deepest_cascade() as u64);
+    for t in e.pending_timer_deadlines() {
+        h.str(&format!("{t}"));
+    }
+    let sys = e.system();
+    for s in sys.all_sessions() {
+        h.str(&format!("{s}"));
+        if let Ok(u) = sys.session_user(s) {
+            h.str(&format!("{u}"));
+        }
+        if let Ok(roles) = sys.session_roles(s) {
+            for r in roles {
+                h.str(&format!("{r}"));
+            }
+        }
+    }
+    for r in sys.all_roles() {
+        h.str(if sys.is_enabled(r).unwrap_or(false) {
+            "e"
+        } else {
+            "d"
+        });
+    }
+    for u in sys.all_users() {
+        if let Ok(assigned) = sys.assigned_roles(u) {
+            for r in assigned {
+                h.str(&format!("{r}"));
+            }
+        }
+        h.str(";");
+    }
+    let ctx: std::collections::BTreeMap<_, _> = e.context().values().iter().collect();
+    for (k, v) in ctx {
+        h.str(k);
+        h.str(v);
+    }
+    h.u64(e.log().entries().len() as u64);
+    for entry in e.log().entries() {
+        h.str(&format!("{entry}"));
     }
 }
 
@@ -434,8 +443,9 @@ impl World {
 /// to add to the acknowledged ledger if the engine acknowledged it (the
 /// op counter moved), regardless of the client-visible result. Unknown
 /// names and missing sessions make the op a silent no-op, mirroring the
-/// proptest drivers.
-fn apply_client_op(
+/// proptest drivers. Shared with the cluster world (whose leader runs
+/// the identical storage stack) and the replication integration tests.
+pub fn apply_client_op(
     d: &mut DurableEngine<SimStore>,
     sessions: &mut [Option<SessionId>],
     op: &SimOp,
@@ -528,11 +538,12 @@ fn apply_client_op(
     }
 }
 
-/// FNV-1a, built up from strings and integers.
-struct Fnv(u64);
+/// FNV-1a, built up from strings and integers. Shared by every world's
+/// fingerprint.
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Fnv {
+    pub(crate) fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
@@ -541,20 +552,27 @@ impl Fnv {
         self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         for b in s.as_bytes() {
             self.byte(*b);
         }
         self.byte(0xFF); // separator
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.byte(*b);
+        }
+        self.byte(0xFE); // separator distinct from str's
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.byte(b);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }

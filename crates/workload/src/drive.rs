@@ -1,0 +1,96 @@
+//! Shared trace runner.
+//!
+//! Every suite that pushes a generated [`Step`] trace through an engine
+//! needs the same session bookkeeping: remember the most recent open
+//! session per user, skip steps whose user has no session, forget a
+//! session when it is deleted. That loop used to be copy-pasted across
+//! the replication, durability and equivalence suites; it lives here
+//! once, and each suite supplies a [`Driver`] that owns the actual
+//! engine calls (one engine, a durable engine, or two engines compared
+//! lock-step).
+
+use crate::enterprise::ZONES;
+use crate::trace::Step;
+
+/// Engine adapter for [`drive`].
+///
+/// The runner owns the per-user session table; the driver owns the
+/// engine(s). Methods are only invoked when the step is *actionable*:
+/// session-scoped steps are skipped while the user has no open session,
+/// exactly as the historical per-suite runners did, so a driver never
+/// sees a dangling session handle.
+pub trait Driver {
+    /// Session handle as the driven engine names it.
+    type Session: Copy;
+
+    /// Called once per trace step, before the step is interpreted.
+    /// Useful for stashing replay context (step index + description)
+    /// for panic messages; the default does nothing.
+    fn on_step(&mut self, _index: usize, _step: &Step) {}
+
+    /// `user` opens a session. Return the handle to remember, or `None`
+    /// if the engine refused (the user then stays session-less).
+    fn create_session(&mut self, user: usize) -> Option<Self::Session>;
+
+    /// `user` closes `session`. The runner has already forgotten the
+    /// handle; it is never reused.
+    fn delete_session(&mut self, user: usize, session: Self::Session);
+
+    /// `user` activates role index `role` in `session`.
+    fn add_active_role(&mut self, user: usize, session: Self::Session, role: usize);
+
+    /// `user` deactivates role index `role` in `session`.
+    fn drop_active_role(&mut self, user: usize, session: Self::Session, role: usize);
+
+    /// `session` asks for (operation index, object index).
+    fn check_access(&mut self, session: Self::Session, op: usize, obj: usize);
+
+    /// Advance logical time by `secs` seconds.
+    fn advance(&mut self, secs: u64);
+
+    /// External context event: the `zone` attribute changes.
+    fn set_context(&mut self, zone: &str);
+}
+
+/// Run `trace` against `driver`, tracking the most recent open session
+/// of each of `users` users.
+///
+/// Decisions (grant/deny) are the driver's business — a denied request
+/// is still a delivered request. Only *inapplicable* steps are skipped:
+/// session-scoped steps for users without a session, and deletes of
+/// never-created sessions.
+pub fn drive<D: Driver>(driver: &mut D, trace: &[Step], users: usize) {
+    let mut sessions: Vec<Option<D::Session>> = (0..users).map(|_| None).collect();
+    for (i, step) in trace.iter().enumerate() {
+        driver.on_step(i, step);
+        match step {
+            Step::CreateSession { user } => {
+                if let Some(s) = driver.create_session(*user) {
+                    sessions[*user] = Some(s);
+                }
+            }
+            Step::DeleteSession { user } => {
+                if let Some(s) = sessions[*user].take() {
+                    driver.delete_session(*user, s);
+                }
+            }
+            Step::AddActiveRole { user, role } => {
+                if let Some(s) = sessions[*user] {
+                    driver.add_active_role(*user, s, *role);
+                }
+            }
+            Step::DropActiveRole { user, role } => {
+                if let Some(s) = sessions[*user] {
+                    driver.drop_active_role(*user, s, *role);
+                }
+            }
+            Step::CheckAccess { user, op, obj } => {
+                if let Some(s) = sessions[*user] {
+                    driver.check_access(s, *op, *obj);
+                }
+            }
+            Step::Advance { secs } => driver.advance(*secs),
+            Step::SetContext { zone } => driver.set_context(ZONES[*zone]),
+        }
+    }
+}

@@ -4,24 +4,25 @@
 //!
 //! Two full OWTE engines are built from the same policy; one keeps its
 //! compiled plan, the other pins the interpreter via
-//! [`Engine::set_compiled`]. Both are driven step by step; after every step
-//! the decision must match, and after the whole trace the observable state
-//! (sessions, active role sets, enabled flags) **and the complete audit
-//! log** must be equal — the compiled path is required to write
-//! byte-identical audit records.
+//! [`Engine::set_compiled`]. Both are driven step by step through the
+//! shared [`workload::drive`] runner; after every step the decision must
+//! match, and after the whole trace the observable state (sessions, active
+//! role sets, enabled flags) **and the complete audit log** must be equal —
+//! the compiled path is required to write byte-identical audit records.
 
 use owte_core::{Engine, EngineError};
 use proptest::prelude::*;
 use rbac::{RoleId, SessionId, UserId};
 use snoop::{Dur, Ts};
-use workload::{generate_enterprise, generate_trace, EnterpriseSpec, Step, TraceSpec};
+use workload::{
+    drive, generate_enterprise, generate_trace, Driver, EnterpriseSpec, Step, TraceSpec,
+};
 
 /// Decision outcome, comparable across engines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Outcome {
     Granted,
     Denied,
-    NoSession,
     Access(bool),
 }
 
@@ -35,12 +36,13 @@ fn outcome(r: Result<(), EngineError>) -> Outcome {
 struct Harness {
     compiled: Engine,
     interp: Engine,
-    /// Most recent open session per user (same in both engines, checked).
-    sessions: Vec<Option<SessionId>>,
+    /// Replay context (seeds + current step) prepended to divergence panics.
+    ctx: String,
+    at: String,
 }
 
 impl Harness {
-    fn new(spec: &EnterpriseSpec, seed: u64) -> Harness {
+    fn new(spec: &EnterpriseSpec, seed: u64, ctx: String) -> Harness {
         let graph = generate_enterprise(spec, seed);
         let compiled = Engine::from_policy(&graph, Ts::ZERO).unwrap();
         let mut interp = Engine::from_policy(&graph, Ts::ZERO).unwrap();
@@ -49,7 +51,8 @@ impl Harness {
         Harness {
             compiled,
             interp,
-            sessions: vec![None; spec.users],
+            ctx,
+            at: String::new(),
         }
     }
 
@@ -65,76 +68,12 @@ impl Harness {
             .unwrap()
     }
 
-    /// Run one step on both engines; return both outcomes.
-    fn step(&mut self, step: &Step) -> (Outcome, Outcome) {
-        match step {
-            Step::CreateSession { user } => {
-                let u = self.user(*user);
-                let a = self.compiled.create_session(u, &[]);
-                let b = self.interp.create_session(u, &[]);
-                if let (Ok(sa), Ok(sb)) = (&a, &b) {
-                    assert_eq!(sa, sb, "session id allocation must match");
-                    self.sessions[*user] = Some(*sa);
-                }
-                (Outcome::Access(a.is_ok()), Outcome::Access(b.is_ok()))
-            }
-            Step::DeleteSession { user } => {
-                let u = self.user(*user);
-                match self.sessions[*user].take() {
-                    Some(s) => (
-                        outcome(self.compiled.delete_session(u, s)),
-                        outcome(self.interp.delete_session(u, s)),
-                    ),
-                    None => (Outcome::NoSession, Outcome::NoSession),
-                }
-            }
-            Step::AddActiveRole { user, role } => {
-                let (u, r) = (self.user(*user), self.role(*role));
-                match self.sessions[*user] {
-                    Some(s) => (
-                        outcome(self.compiled.add_active_role(u, s, r)),
-                        outcome(self.interp.add_active_role(u, s, r)),
-                    ),
-                    None => (Outcome::NoSession, Outcome::NoSession),
-                }
-            }
-            Step::DropActiveRole { user, role } => {
-                let (u, r) = (self.user(*user), self.role(*role));
-                match self.sessions[*user] {
-                    Some(s) => (
-                        outcome(self.compiled.drop_active_role(u, s, r)),
-                        outcome(self.interp.drop_active_role(u, s, r)),
-                    ),
-                    None => (Outcome::NoSession, Outcome::NoSession),
-                }
-            }
-            Step::CheckAccess { user, op, obj } => {
-                let (Ok(op), Ok(obj)) = (
-                    self.compiled.system().op_by_name(&format!("op{op}")),
-                    self.compiled.system().obj_by_name(&format!("obj{obj}")),
-                ) else {
-                    return (Outcome::NoSession, Outcome::NoSession);
-                };
-                match self.sessions[*user] {
-                    Some(s) => (
-                        Outcome::Access(self.compiled.check_access(s, op, obj).unwrap()),
-                        Outcome::Access(self.interp.check_access(s, op, obj).unwrap()),
-                    ),
-                    None => (Outcome::NoSession, Outcome::NoSession),
-                }
-            }
-            Step::Advance { secs } => {
-                self.compiled.advance(Dur::from_secs(*secs)).unwrap();
-                self.interp.advance(Dur::from_secs(*secs)).unwrap();
-                (Outcome::Granted, Outcome::Granted)
-            }
-            Step::SetContext { zone } => {
-                let value = workload::enterprise::ZONES[*zone];
-                self.compiled.set_context("zone", value).unwrap();
-                self.interp.set_context("zone", value).unwrap();
-                (Outcome::Granted, Outcome::Granted)
-            }
-        }
+    fn agree(&self, a: Outcome, b: Outcome) {
+        assert_eq!(
+            a, b,
+            "{} diverged: compiled {a:?} vs interpreted {b:?} [{}]",
+            self.at, self.ctx
+        );
     }
 
     /// Compare final observable state and the complete audit trail.
@@ -171,6 +110,68 @@ impl Harness {
     }
 }
 
+impl Driver for Harness {
+    type Session = SessionId;
+
+    fn on_step(&mut self, index: usize, step: &Step) {
+        self.at = format!("step {index} ({})", step.describe());
+    }
+
+    fn create_session(&mut self, user: usize) -> Option<SessionId> {
+        let u = self.user(user);
+        let a = self.compiled.create_session(u, &[]);
+        let b = self.interp.create_session(u, &[]);
+        self.agree(Outcome::Access(a.is_ok()), Outcome::Access(b.is_ok()));
+        if let (Ok(sa), Ok(sb)) = (&a, &b) {
+            assert_eq!(sa, sb, "session id allocation must match");
+        }
+        a.ok()
+    }
+
+    fn delete_session(&mut self, user: usize, session: SessionId) {
+        let u = self.user(user);
+        let a = outcome(self.compiled.delete_session(u, session));
+        let b = outcome(self.interp.delete_session(u, session));
+        self.agree(a, b);
+    }
+
+    fn add_active_role(&mut self, user: usize, session: SessionId, role: usize) {
+        let (u, r) = (self.user(user), self.role(role));
+        let a = outcome(self.compiled.add_active_role(u, session, r));
+        let b = outcome(self.interp.add_active_role(u, session, r));
+        self.agree(a, b);
+    }
+
+    fn drop_active_role(&mut self, user: usize, session: SessionId, role: usize) {
+        let (u, r) = (self.user(user), self.role(role));
+        let a = outcome(self.compiled.drop_active_role(u, session, r));
+        let b = outcome(self.interp.drop_active_role(u, session, r));
+        self.agree(a, b);
+    }
+
+    fn check_access(&mut self, session: SessionId, op: usize, obj: usize) {
+        let (Ok(op), Ok(obj)) = (
+            self.compiled.system().op_by_name(&format!("op{op}")),
+            self.compiled.system().obj_by_name(&format!("obj{obj}")),
+        ) else {
+            return;
+        };
+        let a = Outcome::Access(self.compiled.check_access(session, op, obj).unwrap());
+        let b = Outcome::Access(self.interp.check_access(session, op, obj).unwrap());
+        self.agree(a, b);
+    }
+
+    fn advance(&mut self, secs: u64) {
+        self.compiled.advance(Dur::from_secs(secs)).unwrap();
+        self.interp.advance(Dur::from_secs(secs)).unwrap();
+    }
+
+    fn set_context(&mut self, zone: &str) {
+        self.compiled.set_context("zone", zone).unwrap();
+        self.interp.set_context("zone", zone).unwrap();
+    }
+}
+
 fn run_equivalence(spec: EnterpriseSpec, ent_seed: u64, trace_seed: u64, steps: usize) {
     let trace_spec = TraceSpec {
         steps,
@@ -181,17 +182,9 @@ fn run_equivalence(spec: EnterpriseSpec, ent_seed: u64, trace_seed: u64, steps: 
         ..TraceSpec::default()
     };
     let trace = generate_trace(&trace_spec, trace_seed);
-    let mut h = Harness::new(&spec, ent_seed);
-    for (i, step) in trace.iter().enumerate() {
-        let (a, b) = h.step(step);
-        assert_eq!(
-            a,
-            b,
-            "step {i} ({}) diverged: compiled {a:?} vs interpreted {b:?} \
-             [enterprise seed {ent_seed}, trace seed {trace_seed}]",
-            step.describe()
-        );
-    }
+    let ctx = format!("enterprise seed {ent_seed}, trace seed {trace_seed}");
+    let mut h = Harness::new(&spec, ent_seed, ctx);
+    drive(&mut h, &trace, spec.users);
     h.assert_states_equal();
 }
 

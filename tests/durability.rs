@@ -19,7 +19,7 @@ use owte_core::{
 use proptest::prelude::*;
 use rbac::SessionId;
 use snoop::Ts;
-use workload::{generate_enterprise, generate_trace, EnterpriseSpec, Step, TraceSpec};
+use workload::{generate_enterprise, generate_trace, Driver, EnterpriseSpec, Step, TraceSpec};
 
 /// The repo's canonical state-equality check (same as the replication
 /// suite): sessions, active roles, role enablement, the full audit log,
@@ -96,126 +96,132 @@ fn record_op<S: Storage>(d: &mut DurableEngine<S>, acked: &mut Vec<JournalOp>, o
     }
 }
 
+/// [`Driver`] over a [`DurableEngine`], recording the acknowledged ops.
+struct Durable<'a, S: Storage> {
+    d: &'a mut DurableEngine<S>,
+    acked: &'a mut Vec<JournalOp>,
+}
+
+impl<S: Storage> Driver for Durable<'_, S> {
+    type Session = SessionId;
+
+    fn create_session(&mut self, user: usize) -> Option<SessionId> {
+        let u = self
+            .d
+            .engine()
+            .user_id(&workload::enterprise::user_name(user))
+            .unwrap();
+        let before = self.d.op_count();
+        let res = self.d.create_session(u, &[]);
+        if self.d.op_count() > before {
+            self.acked.push(JournalOp::CreateSession {
+                user: u,
+                initial: vec![],
+            });
+        }
+        res.ok()
+    }
+
+    fn delete_session(&mut self, user: usize, session: SessionId) {
+        let u = self
+            .d
+            .engine()
+            .user_id(&workload::enterprise::user_name(user))
+            .unwrap();
+        record_op(
+            self.d,
+            self.acked,
+            JournalOp::DeleteSession { user: u, session },
+        );
+    }
+
+    fn add_active_role(&mut self, user: usize, session: SessionId, role: usize) {
+        let u = self
+            .d
+            .engine()
+            .user_id(&workload::enterprise::user_name(user))
+            .unwrap();
+        let r = self
+            .d
+            .engine()
+            .role_id(&workload::enterprise::role_name(role))
+            .unwrap();
+        record_op(
+            self.d,
+            self.acked,
+            JournalOp::AddActiveRole {
+                user: u,
+                session,
+                role: r,
+            },
+        );
+    }
+
+    fn drop_active_role(&mut self, user: usize, session: SessionId, role: usize) {
+        let u = self
+            .d
+            .engine()
+            .user_id(&workload::enterprise::user_name(user))
+            .unwrap();
+        let r = self
+            .d
+            .engine()
+            .role_id(&workload::enterprise::role_name(role))
+            .unwrap();
+        record_op(
+            self.d,
+            self.acked,
+            JournalOp::DropActiveRole {
+                user: u,
+                session,
+                role: r,
+            },
+        );
+    }
+
+    fn check_access(&mut self, session: SessionId, op: usize, obj: usize) {
+        let (Ok(op), Ok(obj)) = (
+            self.d.engine().system().op_by_name(&format!("op{op}")),
+            self.d.engine().system().obj_by_name(&format!("obj{obj}")),
+        ) else {
+            return;
+        };
+        record_op(
+            self.d,
+            self.acked,
+            JournalOp::CheckAccess {
+                session,
+                op,
+                obj,
+                purpose: -1,
+            },
+        );
+    }
+
+    fn advance(&mut self, secs: u64) {
+        let to = self.d.engine().now() + snoop::Dur::from_secs(secs);
+        record_op(self.d, self.acked, JournalOp::AdvanceTo { to });
+    }
+
+    fn set_context(&mut self, zone: &str) {
+        record_op(
+            self.d,
+            self.acked,
+            JournalOp::SetContext {
+                key: "zone".to_string(),
+                value: zone.to_string(),
+            },
+        );
+    }
+}
+
 fn drive_durable<S: Storage>(
     d: &mut DurableEngine<S>,
     trace: &[Step],
     users: usize,
     acked: &mut Vec<JournalOp>,
 ) {
-    let mut sessions: Vec<Option<SessionId>> = vec![None; users];
-    for step in trace {
-        match step {
-            Step::CreateSession { user } => {
-                let u = d
-                    .engine()
-                    .user_id(&workload::enterprise::user_name(*user))
-                    .unwrap();
-                let before = d.op_count();
-                let res = d.create_session(u, &[]);
-                if d.op_count() > before {
-                    acked.push(JournalOp::CreateSession {
-                        user: u,
-                        initial: vec![],
-                    });
-                }
-                if let Ok(s) = res {
-                    sessions[*user] = Some(s);
-                }
-            }
-            Step::DeleteSession { user } => {
-                if let Some(s) = sessions[*user].take() {
-                    let u = d
-                        .engine()
-                        .user_id(&workload::enterprise::user_name(*user))
-                        .unwrap();
-                    record_op(
-                        d,
-                        acked,
-                        JournalOp::DeleteSession {
-                            user: u,
-                            session: s,
-                        },
-                    );
-                }
-            }
-            Step::AddActiveRole { user, role } => {
-                if let Some(s) = sessions[*user] {
-                    let u = d
-                        .engine()
-                        .user_id(&workload::enterprise::user_name(*user))
-                        .unwrap();
-                    let r = d
-                        .engine()
-                        .role_id(&workload::enterprise::role_name(*role))
-                        .unwrap();
-                    record_op(
-                        d,
-                        acked,
-                        JournalOp::AddActiveRole {
-                            user: u,
-                            session: s,
-                            role: r,
-                        },
-                    );
-                }
-            }
-            Step::DropActiveRole { user, role } => {
-                if let Some(s) = sessions[*user] {
-                    let u = d
-                        .engine()
-                        .user_id(&workload::enterprise::user_name(*user))
-                        .unwrap();
-                    let r = d
-                        .engine()
-                        .role_id(&workload::enterprise::role_name(*role))
-                        .unwrap();
-                    record_op(
-                        d,
-                        acked,
-                        JournalOp::DropActiveRole {
-                            user: u,
-                            session: s,
-                            role: r,
-                        },
-                    );
-                }
-            }
-            Step::CheckAccess { user, op, obj } => {
-                if let Some(s) = sessions[*user] {
-                    let (Ok(op), Ok(obj)) = (
-                        d.engine().system().op_by_name(&format!("op{op}")),
-                        d.engine().system().obj_by_name(&format!("obj{obj}")),
-                    ) else {
-                        continue;
-                    };
-                    record_op(
-                        d,
-                        acked,
-                        JournalOp::CheckAccess {
-                            session: s,
-                            op,
-                            obj,
-                            purpose: -1,
-                        },
-                    );
-                }
-            }
-            Step::Advance { secs } => {
-                let to = d.engine().now() + snoop::Dur::from_secs(*secs);
-                record_op(d, acked, JournalOp::AdvanceTo { to });
-            }
-            Step::SetContext { zone } => {
-                record_op(
-                    d,
-                    acked,
-                    JournalOp::SetContext {
-                        key: "zone".to_string(),
-                        value: workload::enterprise::ZONES[*zone].to_string(),
-                    },
-                );
-            }
-        }
-    }
+    workload::drive(&mut Durable { d, acked }, trace, users);
 }
 
 fn enterprise(seed: u64) -> (workload::EnterpriseSpec, policy::PolicyGraph) {

@@ -2,22 +2,24 @@
 //! baseline make **identical decisions** on random enterprises and random
 //! workload traces — the paper's flexibility does not change semantics.
 //!
-//! Both engines are driven step by step; after every step the decision
-//! (allow/deny) must match, and after the whole trace the observable state
-//! (per-session active role sets, per-role enabled flags) must be equal.
+//! Both engines are driven step by step via the shared [`workload::drive`]
+//! runner; after every step the decision (allow/deny) must match, and after
+//! the whole trace the observable state (per-session active role sets,
+//! per-role enabled flags) must be equal.
 
 use owte_core::{DirectEngine, Engine, EngineError};
 use proptest::prelude::*;
 use rbac::{RoleId, SessionId, UserId};
 use snoop::{Dur, Ts};
-use workload::{generate_enterprise, generate_trace, EnterpriseSpec, Step, TraceSpec};
+use workload::{
+    drive, generate_enterprise, generate_trace, Driver, EnterpriseSpec, Step, TraceSpec,
+};
 
 /// Decision outcome, comparable across engines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Outcome {
     Granted,
     Denied,
-    NoSession,
     Access(bool),
 }
 
@@ -31,19 +33,21 @@ fn owte_outcome(r: Result<(), EngineError>) -> Outcome {
 struct Harness {
     owte: Engine,
     direct: DirectEngine,
-    /// Most recent open session per user (same in both engines, checked).
-    sessions: Vec<Option<SessionId>>,
+    /// Replay context (seeds + current step) prepended to divergence panics.
+    ctx: String,
+    at: String,
 }
 
 impl Harness {
-    fn new(spec: &EnterpriseSpec, seed: u64) -> Harness {
+    fn new(spec: &EnterpriseSpec, seed: u64, ctx: String) -> Harness {
         let graph = generate_enterprise(spec, seed);
         let owte = Engine::from_policy(&graph, Ts::ZERO).unwrap();
         let direct = DirectEngine::from_policy(&graph, Ts::ZERO).unwrap();
         Harness {
             owte,
             direct,
-            sessions: vec![None; spec.users],
+            ctx,
+            at: String::new(),
         }
     }
 
@@ -59,80 +63,12 @@ impl Harness {
             .unwrap()
     }
 
-    /// Run one step on both engines; return both outcomes.
-    fn step(&mut self, step: &Step) -> (Outcome, Outcome) {
-        match step {
-            Step::CreateSession { user } => {
-                let u = self.user(*user);
-                let a = self.owte.create_session(u, &[]);
-                let b = self.direct.create_session(u, &[]);
-                match (&a, &b) {
-                    (Ok(sa), Ok(sb)) => {
-                        assert_eq!(sa, sb, "session id allocation must match");
-                        self.sessions[*user] = Some(*sa);
-                    }
-                    (Err(_), Err(_)) => {}
-                    _ => {}
-                }
-                (Outcome::Access(a.is_ok()), Outcome::Access(b.is_ok()))
-            }
-            Step::DeleteSession { user } => {
-                let u = self.user(*user);
-                match self.sessions[*user].take() {
-                    Some(s) => (
-                        owte_outcome(self.owte.delete_session(u, s)),
-                        owte_outcome(self.direct.delete_session(u, s).map(|_| ())),
-                    ),
-                    None => (Outcome::NoSession, Outcome::NoSession),
-                }
-            }
-            Step::AddActiveRole { user, role } => {
-                let (u, r) = (self.user(*user), self.role(*role));
-                match self.sessions[*user] {
-                    Some(s) => (
-                        owte_outcome(self.owte.add_active_role(u, s, r)),
-                        owte_outcome(self.direct.add_active_role(u, s, r)),
-                    ),
-                    None => (Outcome::NoSession, Outcome::NoSession),
-                }
-            }
-            Step::DropActiveRole { user, role } => {
-                let (u, r) = (self.user(*user), self.role(*role));
-                match self.sessions[*user] {
-                    Some(s) => (
-                        owte_outcome(self.owte.drop_active_role(u, s, r)),
-                        owte_outcome(self.direct.drop_active_role(u, s, r)),
-                    ),
-                    None => (Outcome::NoSession, Outcome::NoSession),
-                }
-            }
-            Step::CheckAccess { user, op, obj } => {
-                let (Ok(op), Ok(obj)) = (
-                    self.owte.system().op_by_name(&format!("op{op}")),
-                    self.owte.system().obj_by_name(&format!("obj{obj}")),
-                ) else {
-                    return (Outcome::NoSession, Outcome::NoSession);
-                };
-                match self.sessions[*user] {
-                    Some(s) => (
-                        Outcome::Access(self.owte.check_access(s, op, obj).unwrap()),
-                        Outcome::Access(self.direct.check_access(s, op, obj).unwrap()),
-                    ),
-                    None => (Outcome::NoSession, Outcome::NoSession),
-                }
-            }
-            Step::Advance { secs } => {
-                self.owte.advance(Dur::from_secs(*secs)).unwrap();
-                self.direct.advance(Dur::from_secs(*secs)).unwrap();
-                (Outcome::Granted, Outcome::Granted)
-            }
-            Step::SetContext { zone } => {
-                let value = workload::enterprise::ZONES[*zone];
-                self.owte.set_context("zone", value).unwrap();
-                self.direct.set_context("zone", value);
-                (Outcome::Granted, Outcome::Granted)
-            }
-        }
+    fn agree(&self, a: Outcome, b: Outcome) {
+        assert_eq!(
+            a, b,
+            "{} diverged: OWTE {a:?} vs direct {b:?} [{}]",
+            self.at, self.ctx
+        );
     }
 
     /// Compare final observable state.
@@ -159,6 +95,68 @@ impl Harness {
     }
 }
 
+impl Driver for Harness {
+    type Session = SessionId;
+
+    fn on_step(&mut self, index: usize, step: &Step) {
+        self.at = format!("step {index} ({})", step.describe());
+    }
+
+    fn create_session(&mut self, user: usize) -> Option<SessionId> {
+        let u = self.user(user);
+        let a = self.owte.create_session(u, &[]);
+        let b = self.direct.create_session(u, &[]);
+        self.agree(Outcome::Access(a.is_ok()), Outcome::Access(b.is_ok()));
+        if let (Ok(sa), Ok(sb)) = (&a, &b) {
+            assert_eq!(sa, sb, "session id allocation must match");
+        }
+        a.ok()
+    }
+
+    fn delete_session(&mut self, user: usize, session: SessionId) {
+        let u = self.user(user);
+        let a = owte_outcome(self.owte.delete_session(u, session));
+        let b = owte_outcome(self.direct.delete_session(u, session).map(|_| ()));
+        self.agree(a, b);
+    }
+
+    fn add_active_role(&mut self, user: usize, session: SessionId, role: usize) {
+        let (u, r) = (self.user(user), self.role(role));
+        let a = owte_outcome(self.owte.add_active_role(u, session, r));
+        let b = owte_outcome(self.direct.add_active_role(u, session, r));
+        self.agree(a, b);
+    }
+
+    fn drop_active_role(&mut self, user: usize, session: SessionId, role: usize) {
+        let (u, r) = (self.user(user), self.role(role));
+        let a = owte_outcome(self.owte.drop_active_role(u, session, r));
+        let b = owte_outcome(self.direct.drop_active_role(u, session, r));
+        self.agree(a, b);
+    }
+
+    fn check_access(&mut self, session: SessionId, op: usize, obj: usize) {
+        let (Ok(op), Ok(obj)) = (
+            self.owte.system().op_by_name(&format!("op{op}")),
+            self.owte.system().obj_by_name(&format!("obj{obj}")),
+        ) else {
+            return;
+        };
+        let a = Outcome::Access(self.owte.check_access(session, op, obj).unwrap());
+        let b = Outcome::Access(self.direct.check_access(session, op, obj).unwrap());
+        self.agree(a, b);
+    }
+
+    fn advance(&mut self, secs: u64) {
+        self.owte.advance(Dur::from_secs(secs)).unwrap();
+        self.direct.advance(Dur::from_secs(secs)).unwrap();
+    }
+
+    fn set_context(&mut self, zone: &str) {
+        self.owte.set_context("zone", zone).unwrap();
+        self.direct.set_context("zone", zone);
+    }
+}
+
 fn run_equivalence(spec: EnterpriseSpec, ent_seed: u64, trace_seed: u64, steps: usize) {
     let trace_spec = TraceSpec {
         steps,
@@ -169,17 +167,9 @@ fn run_equivalence(spec: EnterpriseSpec, ent_seed: u64, trace_seed: u64, steps: 
         ..TraceSpec::default()
     };
     let trace = generate_trace(&trace_spec, trace_seed);
-    let mut h = Harness::new(&spec, ent_seed);
-    for (i, step) in trace.iter().enumerate() {
-        let (a, b) = h.step(step);
-        assert_eq!(
-            a,
-            b,
-            "step {i} ({}) diverged: OWTE {a:?} vs direct {b:?} \
-             [enterprise seed {ent_seed}, trace seed {trace_seed}]",
-            step.describe()
-        );
-    }
+    let ctx = format!("enterprise seed {ent_seed}, trace seed {trace_seed}");
+    let mut h = Harness::new(&spec, ent_seed, ctx);
+    drive(&mut h, &trace, spec.users);
     h.assert_states_equal();
 }
 

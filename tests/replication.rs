@@ -7,71 +7,73 @@ use owte_core::{replay, Engine, RecordingEngine};
 use proptest::prelude::*;
 use rbac::SessionId;
 use snoop::Ts;
-use workload::{generate_enterprise, generate_trace, EnterpriseSpec, Step, TraceSpec};
+use workload::{drive, generate_enterprise, generate_trace, Driver, EnterpriseSpec, TraceSpec};
 
-fn drive(primary: &mut RecordingEngine, trace: &[Step], users: usize) {
-    let mut sessions: Vec<Option<SessionId>> = vec![None; users];
-    for step in trace {
-        match step {
-            Step::CreateSession { user } => {
-                let u = primary
-                    .user_id(&workload::enterprise::user_name(*user))
-                    .unwrap();
-                if let Ok(s) = primary.create_session(u, &[]) {
-                    sessions[*user] = Some(s);
-                }
-            }
-            Step::DeleteSession { user } => {
-                if let Some(s) = sessions[*user].take() {
-                    let u = primary
-                        .user_id(&workload::enterprise::user_name(*user))
-                        .unwrap();
-                    let _ = primary.delete_session(u, s);
-                }
-            }
-            Step::AddActiveRole { user, role } => {
-                if let Some(s) = sessions[*user] {
-                    let u = primary
-                        .user_id(&workload::enterprise::user_name(*user))
-                        .unwrap();
-                    let r = primary
-                        .role_id(&workload::enterprise::role_name(*role))
-                        .unwrap();
-                    let _ = primary.add_active_role(u, s, r);
-                }
-            }
-            Step::DropActiveRole { user, role } => {
-                if let Some(s) = sessions[*user] {
-                    let u = primary
-                        .user_id(&workload::enterprise::user_name(*user))
-                        .unwrap();
-                    let r = primary
-                        .role_id(&workload::enterprise::role_name(*role))
-                        .unwrap();
-                    let _ = primary.drop_active_role(u, s, r);
-                }
-            }
-            Step::CheckAccess { user, op, obj } => {
-                if let Some(s) = sessions[*user] {
-                    let (Ok(op), Ok(obj)) = (
-                        primary.engine().system().op_by_name(&format!("op{op}")),
-                        primary.engine().system().obj_by_name(&format!("obj{obj}")),
-                    ) else {
-                        continue;
-                    };
-                    let _ = primary.check_access(s, op, obj);
-                }
-            }
-            Step::Advance { secs } => {
-                let to = primary.engine().now() + snoop::Dur::from_secs(*secs);
-                primary.advance_to(to).unwrap();
-            }
-            Step::SetContext { zone } => {
-                primary
-                    .set_context("zone", workload::enterprise::ZONES[*zone])
-                    .unwrap();
-            }
-        }
+/// [`Driver`] over a [`RecordingEngine`]: every call lands on the primary,
+/// which journals it; decisions are irrelevant here (denied requests are
+/// journaled too).
+struct Primary<'a>(&'a mut RecordingEngine);
+
+impl Driver for Primary<'_> {
+    type Session = SessionId;
+
+    fn create_session(&mut self, user: usize) -> Option<SessionId> {
+        let u = self
+            .0
+            .user_id(&workload::enterprise::user_name(user))
+            .unwrap();
+        self.0.create_session(u, &[]).ok()
+    }
+
+    fn delete_session(&mut self, user: usize, session: SessionId) {
+        let u = self
+            .0
+            .user_id(&workload::enterprise::user_name(user))
+            .unwrap();
+        let _ = self.0.delete_session(u, session);
+    }
+
+    fn add_active_role(&mut self, user: usize, session: SessionId, role: usize) {
+        let u = self
+            .0
+            .user_id(&workload::enterprise::user_name(user))
+            .unwrap();
+        let r = self
+            .0
+            .role_id(&workload::enterprise::role_name(role))
+            .unwrap();
+        let _ = self.0.add_active_role(u, session, r);
+    }
+
+    fn drop_active_role(&mut self, user: usize, session: SessionId, role: usize) {
+        let u = self
+            .0
+            .user_id(&workload::enterprise::user_name(user))
+            .unwrap();
+        let r = self
+            .0
+            .role_id(&workload::enterprise::role_name(role))
+            .unwrap();
+        let _ = self.0.drop_active_role(u, session, r);
+    }
+
+    fn check_access(&mut self, session: SessionId, op: usize, obj: usize) {
+        let (Ok(op), Ok(obj)) = (
+            self.0.engine().system().op_by_name(&format!("op{op}")),
+            self.0.engine().system().obj_by_name(&format!("obj{obj}")),
+        ) else {
+            return;
+        };
+        let _ = self.0.check_access(session, op, obj);
+    }
+
+    fn advance(&mut self, secs: u64) {
+        let to = self.0.engine().now() + snoop::Dur::from_secs(secs);
+        self.0.advance_to(to).unwrap();
+    }
+
+    fn set_context(&mut self, zone: &str) {
+        self.0.set_context("zone", zone).unwrap();
     }
 }
 
@@ -137,7 +139,7 @@ fn check_replica_equals_primary(ent_seed: u64, trace_seed: u64) {
         trace_seed,
     );
     let mut primary = RecordingEngine::from_policy(&graph, Ts::ZERO).unwrap();
-    drive(&mut primary, &trace, spec.users);
+    drive(&mut Primary(&mut primary), &trace, spec.users);
     let replica =
         replay(primary.journal()).unwrap_or_else(|e| panic!("{ctx}: journal replays: {e}"));
     assert_state_equal(primary.engine(), &replica, &ctx);
@@ -169,7 +171,7 @@ proptest! {
             seed,
         );
         let mut primary = RecordingEngine::from_policy(&graph, Ts::ZERO).unwrap();
-        drive(&mut primary, &trace, spec.users);
+        drive(&mut Primary(&mut primary), &trace, spec.users);
         let wire = serde_json::to_vec(primary.journal()).unwrap();
         let journal: owte_core::Journal = serde_json::from_slice(&wire).unwrap();
         let replica = replay(&journal).unwrap_or_else(|e| panic!("{ctx}: replays: {e}"));
