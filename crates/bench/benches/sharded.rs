@@ -1,0 +1,48 @@
+//! E15 — sharded mutation throughput: one thread per shard, users
+//! partitioned by the hash ring, every step a journaled mutation.
+//!
+//! Expected shape: a single shard serializes every write through one
+//! engine (and one WAL); N shards run N independent engines whose only
+//! shared state is the coordinator's per-role counters, touched only by
+//! constrained ops. Aggregate throughput therefore scales with shard
+//! count — the acceptance bar is ≥3× the single-shard baseline at 8
+//! shards.
+
+use bench::sharded::{drive_partitions, e15_fixture, partition};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shard::ShardedEngine;
+use snoop::Ts;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn bench_sharded(c: &mut Criterion) {
+    let fx = e15_fixture(4_000, 42);
+    let mut group = c.benchmark_group("sharded_mutations");
+    group.sample_size(10);
+    for &shards in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("mutations", shards),
+            &shards,
+            |b, &shards| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        // Fresh engines per run: session churn must not
+                        // accumulate across timed intervals.
+                        let front =
+                            ShardedEngine::new(&fx.graph, shards, Ts::ZERO).expect("shardable");
+                        let parts = partition(&front, &fx.trace, fx.users);
+                        let t0 = Instant::now();
+                        black_box(drive_partitions(&front, &parts, fx.users, fx.roles));
+                        total += t0.elapsed();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

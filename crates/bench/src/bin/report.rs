@@ -2,8 +2,9 @@
 //! composition per enterprise size (E2), regeneration scope (E3), the
 //! XYZ / Figure-1 pool breakdown (E1), the bounded model-check sweep
 //! (E11), the independence-certificate fast path (E12), and the
-//! compiled-dispatch gap per-op (E5), end-to-end (E13), and replication
-//! failover/shipping cost (E14) — and emits each as a machine-readable
+//! compiled-dispatch gap per-op (E5), end-to-end (E13), replication
+//! failover/shipping cost (E14), and sharded mutation scaling (E15) —
+//! and emits each as a machine-readable
 //! `BENCH_<id>.json` so CI can track the perf trajectory across PRs.
 //!
 //! Run with: `cargo run -p bench --bin report --release`
@@ -540,4 +541,46 @@ fn main() {
         ));
     }
     emit_json("E14", &format!("[{}]\n", e14_rows.join(",")));
+
+    println!("\n== E15: sharding — mutation throughput vs shard count ==");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>10}",
+        "shards", "ops", "wall", "kops/s", "speedup"
+    );
+    let fx = bench::sharded::e15_fixture(20_000, 42);
+    let mut e15_rows = Vec::new();
+    let mut base_tput = None;
+    let mut baseline_ops = None;
+    for &shards in &[1usize, 2, 4, 8] {
+        // Best of three, fresh engines per run (session churn must not
+        // accumulate across runs).
+        let (ops, wall) = (0..3)
+            .map(|_| {
+                let front = shard::ShardedEngine::new(&fx.graph, shards, Ts::ZERO)
+                    .expect("generated policy shards");
+                let parts = bench::sharded::partition(&front, &fx.trace, fx.users);
+                let t0 = Instant::now();
+                let ops = bench::sharded::drive_partitions(&front, &parts, fx.users, fx.roles);
+                (ops, t0.elapsed())
+            })
+            .min_by_key(|&(_, d)| d)
+            .unwrap();
+        // The skip rule depends only on each user's own step sequence,
+        // so every shard count must drive the identical workload.
+        let baseline = *baseline_ops.get_or_insert(ops);
+        assert_eq!(ops, baseline, "shard counts drove different workloads");
+        let tput = ops as f64 / wall.as_secs_f64();
+        let base = *base_tput.get_or_insert(tput);
+        let speedup = tput / base;
+        println!(
+            "{shards:>8} {ops:>8} {wall:>12?} {:>12.1} {speedup:>9.2}x",
+            tput / 1e3
+        );
+        e15_rows.push(format!(
+            "{{\"shards\":{shards},\"ops\":{ops},\"wall_ms\":{:.3},\
+             \"ops_per_sec\":{tput:.0},\"speedup\":{speedup:.3}}}",
+            wall.as_secs_f64() * 1e3
+        ));
+    }
+    emit_json("E15", &format!("[{}]\n", e15_rows.join(",")));
 }

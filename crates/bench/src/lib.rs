@@ -3,6 +3,8 @@
 
 #![warn(missing_docs)]
 
+pub mod sharded;
+
 use owte_core::{DirectEngine, Engine};
 use policy::PolicyGraph;
 use rbac::SessionId;

@@ -1,0 +1,174 @@
+//! E15 harness — mutation throughput against the sharded engine front.
+//!
+//! The workload is a standard generated trace with the *global* steps
+//! (time advances, context flips) weighted out, so every step belongs to
+//! exactly one user and therefore to exactly one shard. [`partition`]
+//! splits the trace by home shard, preserving each user's op order, and
+//! [`drive_partitions`] replays the partitions on one thread per shard —
+//! the deployment shape the shard layer exists for. The caller times the
+//! drive; ops-driven is deterministic for a given trace, so identical
+//! work is compared across shard counts.
+
+use policy::PolicyGraph;
+use shard::{ShardSession, ShardedEngine};
+use workload::{enterprise, generate_enterprise, generate_trace, EnterpriseSpec, Step, TraceSpec};
+
+/// The generated workload the sharding experiment replays: one
+/// enterprise and one mutation-only trace over its users.
+pub struct ShardFixture {
+    /// The enterprise policy (shardable by construction: generated
+    /// policies carry no opaque or cross-user-write rules).
+    pub graph: PolicyGraph,
+    /// User count (trace user indices are `0..users`).
+    pub users: usize,
+    /// Role count (trace role indices are `0..roles`).
+    pub roles: usize,
+    /// The trace; contains no `Advance` or `SetContext` steps.
+    pub trace: Vec<Step>,
+}
+
+/// Build the E15 fixture: a mid-size enterprise with enough users to
+/// spread over eight shards, a few capped roles so the coordinated
+/// reserve/commit path stays hot, and a session-churn trace with access
+/// checks and global steps weighted to zero — every step is a mutation.
+pub fn e15_fixture(steps: usize, seed: u64) -> ShardFixture {
+    let spec = EnterpriseSpec {
+        roles: 32,
+        users: 256,
+        permissions: 64,
+        capped_fraction: 0.125,
+        ..EnterpriseSpec::sized(32)
+    };
+    let graph = generate_enterprise(&spec, seed);
+    let trace = generate_trace(
+        &TraceSpec {
+            steps,
+            users: spec.users,
+            roles: spec.roles,
+            objects: spec.permissions,
+            w_session: 25,
+            w_activate: 40,
+            w_drop: 20,
+            w_access: 0,
+            w_advance: 0,
+            w_context: 0,
+            ..TraceSpec::default()
+        },
+        seed,
+    );
+    ShardFixture {
+        graph,
+        users: spec.users,
+        roles: spec.roles,
+        trace,
+    }
+}
+
+/// Split `trace` into one sub-trace per shard by each step's user's home
+/// shard, preserving per-user order. Panics on global steps (`Advance`,
+/// `SetContext`) — the E15 spec generates none, and they have no single
+/// home shard.
+pub fn partition(front: &ShardedEngine, trace: &[Step], users: usize) -> Vec<Vec<Step>> {
+    let home: Vec<usize> = (0..users)
+        .map(|u| {
+            let id = front
+                .user_id(&enterprise::user_name(u))
+                .expect("trace user exists in the enterprise");
+            front.shard_of(id)
+        })
+        .collect();
+    let mut parts: Vec<Vec<Step>> = vec![Vec::new(); front.shard_count()];
+    for step in trace {
+        let user = match step {
+            Step::CreateSession { user }
+            | Step::DeleteSession { user }
+            | Step::AddActiveRole { user, .. }
+            | Step::DropActiveRole { user, .. }
+            | Step::CheckAccess { user, .. } => *user,
+            Step::Advance { .. } | Step::SetContext { .. } => {
+                panic!("global step in a shard-partitioned trace: {step:?}")
+            }
+        };
+        parts[home[user]].push(step.clone());
+    }
+    parts
+}
+
+/// Replay `parts` against `front`, one thread per shard, and return the
+/// number of steps actually driven (a step with no live session is
+/// skipped, exactly as in the single-engine replay loops — the count
+/// depends only on the trace, never on the shard count). The caller
+/// wraps this in its own timer.
+pub fn drive_partitions(
+    front: &ShardedEngine,
+    parts: &[Vec<Step>],
+    users: usize,
+    roles: usize,
+) -> u64 {
+    let user_ids: Vec<rbac::UserId> = (0..users)
+        .map(|u| front.user_id(&enterprise::user_name(u)).expect("bound"))
+        .collect();
+    let role_ids: Vec<rbac::RoleId> = (0..roles)
+        .map(|r| front.role_id(&enterprise::role_name(r)).expect("bound"))
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|part| {
+                let (user_ids, role_ids) = (&user_ids, &role_ids);
+                scope.spawn(move || {
+                    let mut sessions: Vec<Option<ShardSession>> = vec![None; users];
+                    let mut driven = 0u64;
+                    for step in part {
+                        match step {
+                            Step::CreateSession { user } => {
+                                if let Ok(s) = front.create_session(user_ids[*user], &[]) {
+                                    sessions[*user] = Some(s);
+                                }
+                                driven += 1;
+                            }
+                            Step::DeleteSession { user } => {
+                                if let Some(s) = sessions[*user].take() {
+                                    let _ = front.delete_session(user_ids[*user], s);
+                                    driven += 1;
+                                }
+                            }
+                            Step::AddActiveRole { user, role } => {
+                                if let Some(s) = sessions[*user] {
+                                    let _ =
+                                        front.add_active_role(user_ids[*user], s, role_ids[*role]);
+                                    driven += 1;
+                                }
+                            }
+                            Step::DropActiveRole { user, role } => {
+                                if let Some(s) = sessions[*user] {
+                                    let _ =
+                                        front.drop_active_role(user_ids[*user], s, role_ids[*role]);
+                                    driven += 1;
+                                }
+                            }
+                            Step::CheckAccess { user, op, obj } => {
+                                if let Some(s) = sessions[*user] {
+                                    if let Some((op, obj)) =
+                                        front.perm_ids(&format!("op{op}"), &format!("obj{obj}"))
+                                    {
+                                        let _ = front.check_access(s, op, obj);
+                                        driven += 1;
+                                    }
+                                }
+                            }
+                            Step::Advance { .. } | Step::SetContext { .. } => {
+                                unreachable!("partition() rejects global steps")
+                            }
+                        }
+                    }
+                    driven
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread"))
+            .sum()
+    })
+}

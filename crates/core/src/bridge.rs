@@ -41,6 +41,10 @@ pub struct BridgeView<'a> {
     pub context: &'a ContextState,
     /// Timestamps of recent denials (active-security windows).
     pub denials: &'a VecDeque<Ts>,
+    /// Per-role activation counts injected from outside this engine
+    /// ([`crate::Engine::set_external_active`]): cross-user reads add
+    /// these so a shard sees the global count. Empty when unsharded.
+    pub external: &'a std::collections::BTreeMap<RoleId, usize>,
 }
 
 impl BridgeView<'_> {
@@ -113,15 +117,20 @@ impl AuthState for BridgeView<'_> {
 
     fn role_active_anywhere(&self, r: i64) -> bool {
         role(r).is_some_and(|r| {
-            self.sys
-                .all_sessions()
-                .any(|s| self.sys.session_roles(s).is_ok_and(|rs| rs.contains(&r)))
+            self.external.get(&r).copied().unwrap_or(0) > 0
+                || self
+                    .sys
+                    .all_sessions()
+                    .any(|s| self.sys.session_roles(s).is_ok_and(|rs| rs.contains(&r)))
         })
     }
 
     fn active_users_of_role(&self, r: i64) -> usize {
         role(r)
-            .and_then(|r| self.sys.active_users_of_role(r).ok())
+            .map(|r| {
+                self.sys.active_users_of_role(r).unwrap_or(0)
+                    + self.external.get(&r).copied().unwrap_or(0)
+            })
             .unwrap_or(0)
     }
 
@@ -299,6 +308,7 @@ mod tests {
             privacy: Box::leak(Box::default()),
             context: Box::leak(Box::default()),
             denials: &EMPTY_DENIALS,
+            external: Box::leak(Box::default()),
         }
     }
 
@@ -352,6 +362,7 @@ mod tests {
             privacy: Box::leak(Box::default()),
             context: Box::leak(Box::default()),
             denials: &denials,
+            external: Box::leak(Box::default()),
         };
         // At t=60 with a 20s window: denials at 50 and 55 count.
         let occ = occ_at(Ts::from_secs(60));
@@ -359,6 +370,28 @@ mod tests {
         assert!(!v.custom_check("denials_at_least", &[3, 20], &occ));
         assert!(v.custom_check("denials_at_least", &[3, 60], &occ));
         assert!(!v.custom_check("no_such_check", &[], &occ));
+    }
+
+    #[test]
+    fn external_counts_bias_cross_user_reads() {
+        let mut sys = System::new();
+        let u = sys.add_user("bob").unwrap();
+        let r = sys.add_role("clerk").unwrap();
+        sys.assign_user(u, r).unwrap();
+        static EMPTY_DENIALS: VecDeque<Ts> = VecDeque::new();
+        let external: std::collections::BTreeMap<RoleId, usize> = [(r, 2)].into();
+        let v = BridgeView {
+            sys: &mut sys,
+            temporal: Box::leak(Box::default()),
+            constraints: Box::leak(Box::default()),
+            privacy: Box::leak(Box::default()),
+            context: Box::leak(Box::default()),
+            denials: &EMPTY_DENIALS,
+            external: &external,
+        };
+        // No local session, but two remote users are active in the role.
+        assert_eq!(v.active_users_of_role(i64::from(r.0)), 2);
+        assert!(v.role_active_anywhere(i64::from(r.0)));
     }
 
     #[test]

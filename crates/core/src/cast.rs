@@ -1,0 +1,38 @@
+//! Checked width conversions for log positions and counters.
+//!
+//! WAL offsets, commit indexes and history lengths travel as `u64`; they
+//! index in-memory `Vec`s as `usize`. On 64-bit targets the bare `as`
+//! cast is lossless, but on a 32-bit target it silently truncates — a
+//! commit index past `u32::MAX` would wrap and slice the wrong prefix of
+//! a replica's history. Every such conversion in the replication and
+//! sharding layers goes through [`checked_index`], which fails loudly
+//! instead of corrupting silently.
+
+/// Convert a `u64` log position or count to `usize`, panicking (with the
+/// offending value in the message) if this platform's `usize` cannot
+/// represent it. Positions past `usize::MAX` mean the in-memory mirror of
+/// the log could never have been built on this target in the first place,
+/// so continuing with a wrapped index would corrupt state — failing is
+/// the only sound option.
+#[inline]
+pub fn checked_index(v: u64) -> usize {
+    usize::try_from(v)
+        .unwrap_or_else(|_| panic!("log position {v} exceeds this platform's usize range"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_in_range_values() {
+        assert_eq!(checked_index(0), 0);
+        assert_eq!(checked_index(123_456), 123_456);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn covers_the_full_range_on_64_bit() {
+        assert_eq!(checked_index(u64::MAX), usize::MAX);
+    }
+}

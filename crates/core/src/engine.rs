@@ -17,7 +17,7 @@ use rbac::{ObjId, OpId, RoleId, SessionId, UserId};
 use sentinel::{AuditLog, ExecReport, Executor, RuleTouch, Runtime};
 use serde::{Deserialize, Serialize};
 use snoop::{DetectorError, Dur, EventId, Params, Ts};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// Why an engine operation failed.
@@ -33,6 +33,10 @@ pub enum EngineError {
     Detector(DetectorError),
     /// No rule handled the request, or a rule was malformed.
     Unhandled(String),
+    /// The shared engine was poisoned by a panic mid-write and fails
+    /// closed: state may be torn, so mutations and locked reads are
+    /// refused until the process restarts (snapshot reads keep serving).
+    Poisoned,
 }
 
 impl fmt::Display for EngineError {
@@ -42,6 +46,9 @@ impl fmt::Display for EngineError {
             EngineError::UnknownName(n) => write!(f, "unknown name {n:?}"),
             EngineError::Detector(e) => write!(f, "detector: {e}"),
             EngineError::Unhandled(m) => write!(f, "unhandled: {m}"),
+            EngineError::Poisoned => {
+                write!(f, "engine poisoned by a panicking writer; failing closed")
+            }
         }
     }
 }
@@ -106,6 +113,13 @@ pub struct Engine {
     /// engine stays on the interpreter regardless of the license.
     #[serde(skip)]
     compile_disabled: bool,
+    /// Per-role count of users active in that role **outside** this
+    /// engine, injected by a sharding front so cross-user reads
+    /// (cardinality caps, `RoleActiveAnywhere`) see the global picture.
+    /// Volatile front-state: not journaled; a recovered shard gets a
+    /// fresh push from its coordinator.
+    #[serde(skip)]
+    external_active: BTreeMap<RoleId, usize>,
 }
 
 /// An event to dispatch: pre-resolved (compiled fast path) or by name.
@@ -189,6 +203,7 @@ impl Engine {
             compiled,
             compile_checked: true,
             compile_disabled: false,
+            external_active: BTreeMap::new(),
         })
     }
 
@@ -270,6 +285,38 @@ impl Engine {
     /// analyzer's proved bound.
     pub fn deepest_cascade(&self) -> usize {
         self.deepest_cascade
+    }
+
+    /// Inject the per-role counts of users active **outside** this engine
+    /// (see the field docs). Cross-user rule reads — cardinality caps,
+    /// `RoleActiveAnywhere` — add these to the local counts, so a shard
+    /// makes the same decision (and writes the same audit entries) a
+    /// single global engine would. A changed map bumps the write epoch:
+    /// published snapshots may answer differently once remote activations
+    /// move.
+    pub fn set_external_active(&mut self, map: BTreeMap<RoleId, usize>) {
+        if self.external_active != map {
+            self.external_active = map;
+            self.bump_version();
+        }
+    }
+
+    /// The externally-injected per-role activation counts (empty outside a
+    /// sharded deployment).
+    pub fn external_active(&self) -> &BTreeMap<RoleId, usize> {
+        &self.external_active
+    }
+
+    /// Record a denial that happened on a **different** shard so
+    /// `denials_at_least` windows (active-security rules) see the global
+    /// denial stream. History-only: no `accessDenied` event is raised here
+    /// — the home shard already ran that cascade.
+    pub fn note_external_denial(&mut self, at: Ts) {
+        self.denials.push_back(at);
+        while self.denials.len() > self.denial_history {
+            self.denials.pop_front();
+        }
+        self.bump_version();
     }
 
     /// Capture an immutable read-path snapshot of the current
@@ -423,6 +470,7 @@ impl Engine {
                 privacy: &self.privacy,
                 context: &self.context,
                 denials: &self.denials,
+                external: &self.external_active,
             };
             let mut rt = Runtime {
                 detector: &mut self.inst.detector,
@@ -471,6 +519,7 @@ impl Engine {
                 privacy: &self.privacy,
                 context: &self.context,
                 denials: &self.denials,
+                external: &self.external_active,
             };
             let mut rt = Runtime {
                 detector: &mut self.inst.detector,

@@ -48,6 +48,7 @@
 
 pub mod baseline;
 pub mod bridge;
+pub mod cast;
 pub mod context;
 pub mod durable;
 pub mod engine;
@@ -60,6 +61,7 @@ pub mod wal;
 
 pub use baseline::DirectEngine;
 pub use bridge::BridgeView;
+pub use cast::checked_index;
 pub use context::ContextState;
 pub use durable::{DurableConfig, DurableEngine, DurableError, RecoveryStats};
 pub use engine::{Engine, EngineError};

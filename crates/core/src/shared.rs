@@ -36,6 +36,21 @@
 //! compound operations on the `&mut Engine` the closure receives, not on
 //! the handle. [`SharedEngine::try_with`] returns `None` instead of
 //! panicking on same-thread re-entry.
+//!
+//! # Poisoning
+//!
+//! A panic inside a `with`/`try_with` closure (or any locked operation)
+//! can leave the engine holding a torn half-transaction. The parking_lot
+//! mutex does not poison, so the handle tracks this itself: the panicking
+//! release marks the handle poisoned, after which every locked path fails
+//! closed — the `Result`-returning methods yield
+//! [`EngineError::Poisoned`], `try_with` returns `None`, and the
+//! infallible conveniences panic with a clear message instead of touching
+//! torn state. The version mirror is left at the last pre-panic epoch, so
+//! the published snapshot (captured from consistent state) keeps
+//! answering fast-path grant reads: a wedged writer does not take reads
+//! down with it. Recovery is process restart (or rebuilding the
+//! `SharedEngine` from durable state); there is no in-place un-poison.
 
 use crate::engine::{Engine, EngineError};
 use crate::snapshot::AuthSnapshot;
@@ -43,7 +58,7 @@ use parking_lot::{Mutex, RwLock};
 use rbac::{ObjId, OpId, RoleId, SessionId, UserId};
 use sentinel::ExecReport;
 use snoop::{Dur, Ts};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A unique, never-zero id for the current thread (0 = "no owner").
@@ -73,6 +88,13 @@ struct Shared {
     fast_hits: AtomicU64,
     /// Reads that took the locked path.
     slow_hits: AtomicU64,
+    /// Set when a writer panicked mid-closure: the engine state may be
+    /// torn, so every locked path fails closed with
+    /// [`EngineError::Poisoned`] from then on. The version mirror is
+    /// deliberately **not** advanced by the panicking release, so the
+    /// last published (pre-panic, consistent) snapshot keeps serving
+    /// fast-path reads.
+    poisoned: AtomicBool,
 }
 
 /// A clonable, `Send + Sync` handle to a shared [`Engine`] with a
@@ -92,9 +114,19 @@ struct EngineGuard<'a> {
 
 impl Drop for EngineGuard<'_> {
     fn drop(&mut self) {
-        self.shared
-            .version
-            .store(self.guard.state_version(), Ordering::Release);
+        if std::thread::panicking() {
+            // The closure panicked mid-write: the engine may hold a torn
+            // half-transaction. parking_lot releases the mutex without
+            // std's PoisonError, so mark the poison explicitly and skip
+            // the version-mirror update — the pre-panic snapshot stays
+            // "current" and keeps answering fast-path reads while every
+            // locked path fails closed (`EngineError::Poisoned`).
+            self.shared.poisoned.store(true, Ordering::Release);
+        } else {
+            self.shared
+                .version
+                .store(self.guard.state_version(), Ordering::Release);
+        }
         self.shared.lock_owner.store(0, Ordering::Release);
     }
 }
@@ -125,13 +157,18 @@ impl SharedEngine {
                 lock_owner: AtomicU64::new(0),
                 fast_hits: AtomicU64::new(0),
                 slow_hits: AtomicU64::new(0),
+                poisoned: AtomicBool::new(false),
             }),
         }
     }
 
     /// Acquire the engine mutex, panicking on same-thread re-entry (which
-    /// would otherwise deadlock forever).
-    fn lock(&self) -> EngineGuard<'_> {
+    /// would otherwise deadlock forever) and failing closed with
+    /// [`EngineError::Poisoned`] once a writer has panicked mid-closure.
+    fn lock(&self) -> Result<EngineGuard<'_>, EngineError> {
+        if self.is_poisoned() {
+            return Err(EngineError::Poisoned);
+        }
         let me = thread_token();
         assert!(
             self.inner.lock_owner.load(Ordering::Acquire) != me,
@@ -141,11 +178,36 @@ impl SharedEngine {
              for compound operations"
         );
         let guard = self.inner.engine.lock();
+        // Re-check: the writer we queued behind may be the one that
+        // panicked, setting the poison while we waited.
+        if self.is_poisoned() {
+            return Err(EngineError::Poisoned);
+        }
         self.inner.lock_owner.store(me, Ordering::Release);
-        EngineGuard {
+        Ok(EngineGuard {
             guard,
             shared: &self.inner,
-        }
+        })
+    }
+
+    /// [`SharedEngine::lock`] for the infallible conveniences: panics with
+    /// a clear message on a poisoned engine instead of returning an error.
+    fn lock_or_panic(&self) -> EngineGuard<'_> {
+        self.lock().unwrap_or_else(|_| {
+            panic!(
+                "SharedEngine is poisoned: a previous writer panicked mid-closure, \
+                 so the engine fails closed (snapshot reads keep serving); use the \
+                 Result-returning methods to observe EngineError::Poisoned"
+            )
+        })
+    }
+
+    /// Has a writer panicked inside the lock? Once set, every locked
+    /// operation returns [`EngineError::Poisoned`] (or panics, for the
+    /// infallible conveniences); fast-path snapshot reads keep serving
+    /// the last consistent pre-panic state.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.poisoned.load(Ordering::Acquire)
     }
 
     /// The published snapshot, if it is current for the latest write epoch.
@@ -195,7 +257,7 @@ impl SharedEngine {
     /// deadlock: the mutex is not re-entrant. Use the provided
     /// `&mut Engine` instead of the handle inside the closure.
     pub fn with<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
-        let mut guard = self.lock();
+        let mut guard = self.lock_or_panic();
         let r = f(&mut guard);
         self.republish_if_stale(&guard);
         r
@@ -205,17 +267,20 @@ impl SharedEngine {
     /// blocking indefinitely behind a stuck compound operation. Returns
     /// `None` (without running `f`) if the lock was not acquired in time —
     /// including immediately on same-thread re-entry, which could never
-    /// succeed.
+    /// succeed, and on a poisoned engine, whose lock must not be used.
     pub fn try_with<R>(
         &self,
         timeout: std::time::Duration,
         f: impl FnOnce(&mut Engine) -> R,
     ) -> Option<R> {
         let me = thread_token();
-        if self.inner.lock_owner.load(Ordering::Acquire) == me {
+        if self.is_poisoned() || self.inner.lock_owner.load(Ordering::Acquire) == me {
             return None;
         }
         let guard = self.inner.engine.try_lock_for(timeout)?;
+        if self.is_poisoned() {
+            return None;
+        }
         self.inner.lock_owner.store(me, Ordering::Release);
         let mut guard = EngineGuard {
             guard,
@@ -228,12 +293,12 @@ impl SharedEngine {
 
     /// See [`Engine::user_id`].
     pub fn user_id(&self, name: &str) -> Result<UserId, EngineError> {
-        self.lock().user_id(name)
+        self.lock()?.user_id(name)
     }
 
     /// See [`Engine::role_id`].
     pub fn role_id(&self, name: &str) -> Result<RoleId, EngineError> {
-        self.lock().role_id(name)
+        self.lock()?.role_id(name)
     }
 
     /// See [`Engine::create_session`].
@@ -242,7 +307,7 @@ impl SharedEngine {
         user: UserId,
         initial: &[RoleId],
     ) -> Result<SessionId, EngineError> {
-        let mut e = self.lock();
+        let mut e = self.lock()?;
         let r = e.create_session(user, initial);
         self.republish_if_stale(&e);
         r
@@ -250,7 +315,7 @@ impl SharedEngine {
 
     /// See [`Engine::delete_session`].
     pub fn delete_session(&self, user: UserId, session: SessionId) -> Result<(), EngineError> {
-        let mut e = self.lock();
+        let mut e = self.lock()?;
         let r = e.delete_session(user, session);
         self.republish_if_stale(&e);
         r
@@ -263,7 +328,7 @@ impl SharedEngine {
         session: SessionId,
         role: RoleId,
     ) -> Result<(), EngineError> {
-        let mut e = self.lock();
+        let mut e = self.lock()?;
         let r = e.add_active_role(user, session, role);
         self.republish_if_stale(&e);
         r
@@ -276,7 +341,7 @@ impl SharedEngine {
         session: SessionId,
         role: RoleId,
     ) -> Result<(), EngineError> {
-        let mut e = self.lock();
+        let mut e = self.lock()?;
         let r = e.drop_active_role(user, session, role);
         self.republish_if_stale(&e);
         r
@@ -299,7 +364,7 @@ impl SharedEngine {
             }
         }
         self.inner.slow_hits.fetch_add(1, Ordering::Relaxed);
-        let mut e = self.lock();
+        let mut e = self.lock()?;
         self.republish_if_stale(&e);
         e.check_access(session, op, obj)
     }
@@ -322,7 +387,7 @@ impl SharedEngine {
             }
         }
         self.inner.slow_hits.fetch_add(1, Ordering::Relaxed);
-        let mut e = self.lock();
+        let mut e = self.lock()?;
         self.republish_if_stale(&e);
         e.check_access_for_purpose(session, op, obj, purpose)
     }
@@ -347,7 +412,7 @@ impl SharedEngine {
             }
         }
         self.inner.slow_hits.fetch_add(1, Ordering::Relaxed);
-        let mut e = self.lock();
+        let mut e = self.lock()?;
         if t > e.now() {
             e.advance_to(t)?;
         }
@@ -357,7 +422,7 @@ impl SharedEngine {
 
     /// See [`Engine::set_context`].
     pub fn set_context(&self, key: &str, value: &str) -> Result<ExecReport, EngineError> {
-        let mut e = self.lock();
+        let mut e = self.lock()?;
         let r = e.set_context(key, value);
         self.republish_if_stale(&e);
         r
@@ -365,7 +430,7 @@ impl SharedEngine {
 
     /// See [`Engine::advance`].
     pub fn advance(&self, d: Dur) -> Result<ExecReport, EngineError> {
-        let mut e = self.lock();
+        let mut e = self.lock()?;
         let r = e.advance(d);
         self.republish_if_stale(&e);
         r
@@ -373,17 +438,17 @@ impl SharedEngine {
 
     /// Current logical time.
     pub fn now(&self) -> Ts {
-        self.lock().now()
+        self.lock_or_panic().now()
     }
 
     /// Snapshot of the alert list.
     pub fn alerts(&self) -> Vec<String> {
-        self.lock().alerts()
+        self.lock_or_panic().alerts()
     }
 
     /// Total denials in the audit log.
     pub fn denial_count(&self) -> usize {
-        self.lock().log().denial_count()
+        self.lock_or_panic().log().denial_count()
     }
 }
 
@@ -547,6 +612,77 @@ mod tests {
         assert!(res.is_none(), "lock is held; try_with must give up");
         tx.send(()).unwrap();
         holder.join().unwrap();
+    }
+
+    #[test]
+    fn panicking_writer_poisons_instead_of_wedging() {
+        let engine = xyz();
+        let alice = engine.user_id("alice").unwrap();
+        let pm = engine.role_id("PM").unwrap();
+        let s = engine.create_session(alice, &[pm]).unwrap();
+        let (create, po) = engine.with(|e| {
+            (
+                e.system().op_by_name("create").unwrap(),
+                e.system().obj_by_name("purchase_order").unwrap(),
+            )
+        });
+        // Prime the fast path with a published grant.
+        assert!(engine.check_access(s, create, po).unwrap());
+        assert!(!engine.is_poisoned());
+
+        // A writer panics mid-closure on another thread.
+        let poisoner = engine.clone();
+        let joined = thread::spawn(move || {
+            poisoner.with(|_| panic!("writer bug"));
+        })
+        .join();
+        assert!(joined.is_err(), "closure panic propagates to its thread");
+        assert!(engine.is_poisoned());
+
+        // Writes fail closed with the typed error — no deadlock, no panic.
+        assert!(matches!(
+            engine.create_session(alice, &[pm]),
+            Err(EngineError::Poisoned)
+        ));
+        assert!(matches!(
+            engine.add_active_role(alice, s, pm),
+            Err(EngineError::Poisoned)
+        ));
+        assert!(matches!(
+            engine.advance(Dur::from_secs(1)),
+            Err(EngineError::Poisoned)
+        ));
+        assert!(matches!(
+            engine.user_id("alice"),
+            Err(EngineError::Poisoned)
+        ));
+
+        // try_with refuses without running the closure.
+        let ran = engine.try_with(std::time::Duration::from_millis(10), |_| {
+            unreachable!("closure must not run on a poisoned engine")
+        });
+        assert!(ran.is_none());
+
+        // Snapshot reads keep serving the last consistent pre-panic state.
+        let (fast0, _) = engine.read_stats();
+        assert!(engine.check_access(s, create, po).unwrap());
+        let (fast1, _) = engine.read_stats();
+        assert_eq!(fast1, fast0 + 1, "grant came from the snapshot, lock-free");
+
+        // Anything that would need the lock fails closed too.
+        assert!(matches!(
+            engine.check_access_for_purpose(s, create, po, "no-such-purpose"),
+            Err(EngineError::Poisoned)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "SharedEngine is poisoned")]
+    fn infallible_conveniences_panic_once_poisoned() {
+        let engine = shared();
+        let poisoner = engine.clone();
+        let _ = thread::spawn(move || poisoner.with(|_| panic!("writer bug"))).join();
+        let _ = engine.now();
     }
 
     #[test]

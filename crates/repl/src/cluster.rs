@@ -40,8 +40,8 @@
 use crate::msg::{Envelope, NodeId, Payload};
 use crate::transport::{NetFaultPlan, SimTransport, Transport};
 use owte_core::{
-    AuthSnapshot, DurableConfig, DurableEngine, DurableError, FaultPlan, FaultyStorage, JournalOp,
-    MemStorage, RecoveryStats, SplitMix64, Storage,
+    checked_index, AuthSnapshot, DurableConfig, DurableEngine, DurableError, FaultPlan,
+    FaultyStorage, JournalOp, MemStorage, RecoveryStats, SplitMix64, Storage,
 };
 use policy::PolicyGraph;
 use rbac::{ObjId, OpId, SessionId};
@@ -323,7 +323,7 @@ impl Cluster {
 
     /// The cluster-acknowledged prefix of [`Cluster::history`].
     pub fn acked_ops(&self) -> &[JournalOp] {
-        let n = (self.commit as usize).min(self.history.len());
+        let n = checked_index(self.commit).min(self.history.len());
         &self.history[..n]
     }
 
@@ -430,7 +430,7 @@ impl Cluster {
         let appended = d.ops_from(before).map_err(ReplError::Durable)?;
         let after = d.op_count();
         for (idx, op) in appended {
-            let i = idx as usize;
+            let i = checked_index(idx);
             debug_assert_eq!(i, self.history.len(), "history tracks the leader log");
             if i == self.history.len() {
                 self.history.push(op);
@@ -796,7 +796,7 @@ impl Cluster {
         }
         self.term += 1;
         let new_len = self.node_op_count(n).expect("liveness checked");
-        self.history.truncate(new_len as usize);
+        self.history.truncate(checked_index(new_len));
         self.leader = Some(n);
         let term = self.term;
         for node in &mut self.nodes {
@@ -928,7 +928,7 @@ mod tests {
 
     fn replay_state(c: &Cluster, upto: u64) -> Engine {
         let mut e = Engine::from_policy(&policy(), Ts::ZERO).unwrap();
-        for op in &c.history()[..upto as usize] {
+        for op in &c.history()[..checked_index(upto)] {
             let _ = apply_op(&mut e, op);
         }
         e

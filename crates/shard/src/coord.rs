@@ -1,0 +1,510 @@
+//! The cross-shard constraint coordinator.
+//!
+//! The coordinator owns exactly two pieces of state, both derived, both
+//! reconstructible from the shards: per-role activation counters (as
+//! per-shard membership sets, so releases are idempotent) and the
+//! in-flight *reservations* of the two-phase reserve/commit protocol.
+//! Everything else — sessions, assignments, audit, rules — lives on the
+//! shards; ops whose effective footprint is single-user never come here.
+//!
+//! ## The reserve/commit protocol
+//!
+//! Activating a capped role is the one op that can violate a global
+//! invariant through purely shard-local reasoning, so it is two-phase:
+//!
+//! 1. **Reserve.** The home shard asks for a slot. The coordinator
+//!    checks `committed + pending < cap` and either *grants* (recording
+//!    a pending reservation with a deadline) or *refuses*. Both answers
+//!    carry an **epoch** — a monotone counter that totally orders every
+//!    constrained decision — and a frozen **external view**: for each
+//!    tracked role, how many distinct users are active in it outside
+//!    the home shard (committed elsewhere plus every other pending
+//!    reservation).
+//! 2. **Apply.** The shard injects the external view into its engine
+//!    ([`owte_core::Engine::set_external_active`]) and dispatches the op
+//!    through the normal rule pool. A granted op passes the cap rule
+//!    (its own slot is excluded from the view); a refused op is *denied
+//!    by the engine itself* — the frozen view makes the cap condition
+//!    false, so the denial takes the ordinary audited path.
+//! 3. **Commit / abort.** The shard reports back whether the activation
+//!    actually landed (the engine may deny for unrelated per-user
+//!    reasons — DSD, user caps, temporal windows). Commit moves the
+//!    reservation into the membership sets; abort just drops it.
+//!
+//! Cap safety is an invariant of this state machine: a reservation is
+//! only granted under `committed + pending < cap`, converting pending to
+//! committed preserves the sum, and releases only shrink it. No
+//! interleaving of grants on different shards can overshoot, because
+//! every grant holds a distinct slot from the moment it is promised.
+//!
+//! ## Orphans, probes and fencing
+//!
+//! A shard that crashes (or a front writer that panics) between reserve
+//! and commit would leak its slot forever. Reservations therefore carry
+//! a deadline (virtual time, supplied by the caller — nothing in this
+//! crate reads a wall clock). An expired reservation is not silently
+//! released: the coordinator first **probes** the shard, because the op
+//! may have applied and only the commit message been lost — silently
+//! releasing an applied op's slot would re-admit over the cap. Only a
+//! "not applied" probe answer (the shard kills the parked op when it
+//! answers) or a crash-fence releases the slot.
+//!
+//! After a coordinator crash the restarted instance (term bumped) knows
+//! nothing: it **fences** every shard, refusing new reservations from a
+//! shard until that shard acks the fence — killing its parked ops and
+//! reporting its ground-truth membership. Late messages from the old
+//! term are discarded by term tags on both sides.
+
+use crate::plan::ShardPlan;
+use rbac::{RoleId, UserId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Token naming one constrained op end-to-end (reserve → commit).
+pub type OpToken = u64;
+
+/// One in-flight reservation: a promised cap slot not yet applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reservation {
+    /// Home shard of the reserving user.
+    pub shard: usize,
+    /// The reserving user.
+    pub user: UserId,
+    /// The capped role being activated.
+    pub role: RoleId,
+    /// Virtual-time deadline after which the coordinator probes.
+    pub deadline: u64,
+    /// The epoch stamped on the grant.
+    pub epoch: u64,
+    /// A probe is outstanding; don't probe again.
+    pub probed: bool,
+}
+
+/// The coordinator's answer to a reserve request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReserveOutcome {
+    /// Slot promised. Apply with `external` injected, then commit/abort.
+    Granted {
+        /// Epoch totally ordering this constrained op.
+        epoch: u64,
+        /// Frozen external activation counts for the home shard.
+        external: BTreeMap<RoleId, usize>,
+    },
+    /// Cap exhausted. The frozen `external` view guarantees the engine
+    /// denies the op through the ordinary rule path.
+    Refused {
+        /// Epoch totally ordering this constrained decision.
+        epoch: u64,
+        /// Frozen external activation counts for the home shard.
+        external: BTreeMap<RoleId, usize>,
+    },
+    /// The coordinator restarted and this shard has not yet acked the
+    /// fence; the request must wait (the async fabric parks it).
+    Deferred,
+}
+
+/// Durable coordinator identity surviving crashes: what a restarted
+/// instance must *not* reset, lest old-term messages be accepted or
+/// epochs reused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordSeed {
+    /// Last term. The restart bumps it.
+    pub term: u64,
+    /// High-water epoch.
+    pub epoch: u64,
+    /// High-water op token.
+    pub next_op: u64,
+}
+
+/// The coordinator state machine. Purely in-memory and single-threaded;
+/// the concurrent front wraps it in a mutex, the sim fabric steps it
+/// deterministically.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    shards: usize,
+    caps: BTreeMap<RoleId, usize>,
+    term: u64,
+    epoch: u64,
+    next_op: OpToken,
+    /// Per-shard committed membership of every tracked role.
+    members: Vec<BTreeMap<RoleId, BTreeSet<UserId>>>,
+    pending: BTreeMap<OpToken, Reservation>,
+    /// Shards that have acked the current term's fence.
+    fenced: Vec<bool>,
+    /// Reservation lifetime in virtual time units.
+    timeout: u64,
+}
+
+impl Coordinator {
+    /// A fresh coordinator for `shards` shards (all considered fenced —
+    /// a newborn group has no history to reconcile).
+    pub fn new(shards: usize, plan: &ShardPlan, timeout: u64) -> Coordinator {
+        Coordinator {
+            shards,
+            caps: plan.caps.clone(),
+            term: 1,
+            epoch: 0,
+            next_op: 0,
+            members: vec![BTreeMap::new(); shards],
+            pending: BTreeMap::new(),
+            fenced: vec![true; shards],
+            timeout,
+        }
+    }
+
+    /// Restart after a crash: pending reservations are gone (that is the
+    /// crash), identity comes from `seed` with the term bumped, and every
+    /// shard is unfenced until it acks.
+    pub fn restart(shards: usize, plan: &ShardPlan, timeout: u64, seed: CoordSeed) -> Coordinator {
+        Coordinator {
+            shards,
+            caps: plan.caps.clone(),
+            term: seed.term + 1,
+            epoch: seed.epoch,
+            next_op: seed.next_op,
+            members: vec![BTreeMap::new(); shards],
+            pending: BTreeMap::new(),
+            fenced: vec![false; shards],
+            timeout,
+        }
+    }
+
+    /// The identity to persist before letting this instance serve.
+    pub fn seed(&self) -> CoordSeed {
+        CoordSeed {
+            term: self.term,
+            epoch: self.epoch,
+            next_op: self.next_op,
+        }
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// High-water epoch (last constrained decision).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Mint the next op token.
+    pub fn token(&mut self) -> OpToken {
+        let t = self.next_op;
+        self.next_op += 1;
+        t
+    }
+
+    /// Has `shard` acked the current term's fence?
+    pub fn is_fenced_in(&self, shard: usize) -> bool {
+        self.fenced[shard]
+    }
+
+    /// All shards acked — safe to consider the view complete.
+    pub fn all_fenced(&self) -> bool {
+        self.fenced.iter().all(|f| *f)
+    }
+
+    /// Outstanding reservations (for invariant checks and fingerprints).
+    pub fn pending(&self) -> &BTreeMap<OpToken, Reservation> {
+        &self.pending
+    }
+
+    /// Committed membership of `role` on `shard` as this coordinator
+    /// believes it (for quiescent-coherence checks).
+    pub fn members_of(&self, shard: usize, role: RoleId) -> Option<&BTreeSet<UserId>> {
+        self.members[shard].get(&role)
+    }
+
+    /// Every per-shard committed-membership column, in shard order (for
+    /// state fingerprinting by the model checker).
+    pub fn columns(&self) -> &[BTreeMap<RoleId, BTreeSet<UserId>>] {
+        &self.members
+    }
+
+    /// The frozen external view for `shard`, excluding the `exclude`d
+    /// ops' own reservations (one token for a plain activation, several
+    /// for a multi-role session create): per tracked role, committed
+    /// members on *other* shards plus every other pending reservation
+    /// anywhere. Same-shard pendings count because they are not yet
+    /// visible in the shard's local state; between their grant and their
+    /// apply this double-counts nothing (they are in neither place) and
+    /// after their apply it briefly counts them twice — an
+    /// over-approximation that can only deny, never over-admit.
+    pub fn external_for(&self, shard: usize, exclude: &[OpToken]) -> BTreeMap<RoleId, usize> {
+        let mut out: BTreeMap<RoleId, usize> = BTreeMap::new();
+        for (s, col) in self.members.iter().enumerate() {
+            if s == shard {
+                continue;
+            }
+            for (r, users) in col {
+                if !users.is_empty() {
+                    *out.entry(*r).or_insert(0) += users.len();
+                }
+            }
+        }
+        for (op, res) in &self.pending {
+            if exclude.contains(op) {
+                continue;
+            }
+            // A pending op whose user is already a committed member of
+            // the role adds no *distinct* user.
+            if !self.members[res.shard]
+                .get(&res.role)
+                .is_some_and(|m| m.contains(&res.user))
+            {
+                *out.entry(res.role).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Distinct users the coordinator believes hold `role` active,
+    /// committed only.
+    fn committed_total(&self, role: RoleId) -> usize {
+        let mut users: BTreeSet<UserId> = BTreeSet::new();
+        for col in &self.members {
+            if let Some(m) = col.get(&role) {
+                users.extend(m.iter().copied());
+            }
+        }
+        users.len()
+    }
+
+    /// Handle a reserve request for op `op`: `user` on `shard` wants to
+    /// activate capped `role` at virtual time `now`.
+    pub fn reserve(
+        &mut self,
+        shard: usize,
+        op: OpToken,
+        user: UserId,
+        role: RoleId,
+        now: u64,
+    ) -> ReserveOutcome {
+        if !self.fenced[shard] {
+            return ReserveOutcome::Deferred;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let already = self
+            .members
+            .iter()
+            .any(|col| col.get(&role).is_some_and(|m| m.contains(&user)));
+        let pending_new = self
+            .pending
+            .values()
+            .filter(|r| {
+                r.role == role
+                    && !self.members[r.shard]
+                        .get(&role)
+                        .is_some_and(|m| m.contains(&r.user))
+            })
+            .count();
+        let cap = self.caps.get(&role).copied().unwrap_or(usize::MAX);
+        if !already && self.committed_total(role) + pending_new >= cap {
+            return ReserveOutcome::Refused {
+                epoch,
+                external: self.external_for(shard, &[op]),
+            };
+        }
+        self.pending.insert(
+            op,
+            Reservation {
+                shard,
+                user,
+                role,
+                deadline: now.saturating_add(self.timeout),
+                epoch,
+                probed: false,
+            },
+        );
+        ReserveOutcome::Granted {
+            epoch,
+            external: self.external_for(shard, &[op]),
+        }
+    }
+
+    /// The shard applied op `op`; `activated` says whether the user
+    /// newly became active in the reserved role (the engine may have
+    /// denied for per-user reasons, or the user was already active in it
+    /// through another session).
+    pub fn commit(&mut self, op: OpToken, activated: bool) {
+        if let Some(res) = self.pending.remove(&op) {
+            if activated {
+                self.members[res.shard]
+                    .entry(res.role)
+                    .or_default()
+                    .insert(res.user);
+            }
+        }
+    }
+
+    /// The op did not and will never apply; free the slot.
+    pub fn abort(&mut self, op: OpToken) {
+        self.pending.remove(&op);
+    }
+
+    /// Asynchronous membership sync from unconstrained ops: `user` on
+    /// `shard` became (`active` = true) or stopped being active in
+    /// tracked `role`. Idempotent; releases may lag safely (a stale
+    /// positive count can only cause a conservative refusal).
+    pub fn sync_member(&mut self, shard: usize, user: UserId, role: RoleId, active: bool) {
+        let col = self.members[shard].entry(role).or_default();
+        if active {
+            col.insert(user);
+        } else {
+            col.remove(&user);
+        }
+    }
+
+    /// Wholesale replacement of `shard`'s membership column (global-op
+    /// resync, fence ack).
+    pub fn sync_shard(&mut self, shard: usize, members: BTreeMap<RoleId, BTreeSet<UserId>>) {
+        self.members[shard] = members;
+    }
+
+    /// Reservations past their deadline and not yet probed; marks them
+    /// probed and returns `(op, shard)` pairs to send probes to.
+    pub fn expired(&mut self, now: u64) -> Vec<(OpToken, usize)> {
+        let mut out = Vec::new();
+        for (op, res) in self.pending.iter_mut() {
+            if now >= res.deadline && !res.probed {
+                res.probed = true;
+                out.push((*op, res.shard));
+            }
+        }
+        out
+    }
+
+    /// Earliest outstanding deadline, if any (lets a virtual-time driver
+    /// advance straight to the next interesting instant).
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.pending
+            .values()
+            .filter(|r| !r.probed)
+            .map(|r| r.deadline)
+            .min()
+    }
+
+    /// A probe answer arrived: the shard either confirms the op applied
+    /// (and whether it activated) or disclaims it (having killed the
+    /// parked op so it can never apply later).
+    pub fn resolve_probe(&mut self, op: OpToken, applied: bool, activated: bool) {
+        if applied {
+            self.commit(op, activated);
+        } else {
+            self.abort(op);
+        }
+    }
+
+    /// A fence ack from `shard` for `term`: accept its ground-truth
+    /// membership and open it for reservations. Stale-term acks are
+    /// ignored.
+    pub fn fence_ack(
+        &mut self,
+        shard: usize,
+        term: u64,
+        members: BTreeMap<RoleId, BTreeSet<UserId>>,
+    ) {
+        if term == self.term {
+            self.members[shard] = members;
+            self.fenced[shard] = true;
+        }
+    }
+
+    /// Number of shards this coordinator serves.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(cap: usize) -> ShardPlan {
+        ShardPlan {
+            caps: [(RoleId(0), cap)].into_iter().collect(),
+            membership: [RoleId(0)].into_iter().collect(),
+            cross_user_rules: vec!["cap".into()],
+            mirror_denials: false,
+        }
+    }
+
+    fn granted(o: &ReserveOutcome) -> bool {
+        matches!(o, ReserveOutcome::Granted { .. })
+    }
+
+    #[test]
+    fn racing_reservations_cannot_overshoot_the_cap() {
+        let mut c = Coordinator::new(2, &plan(1), 10);
+        let (a, b) = (c.token(), c.token());
+        let first = c.reserve(0, a, UserId(0), RoleId(0), 0);
+        let second = c.reserve(1, b, UserId(1), RoleId(0), 0);
+        assert!(granted(&first));
+        assert!(
+            matches!(second, ReserveOutcome::Refused { ref external, .. }
+                if external.get(&RoleId(0)) == Some(&1)),
+            "the pending slot must already count against the second shard"
+        );
+        c.commit(a, true);
+        // The slot stays held after commit; a retry still refuses.
+        let c2 = c.token();
+        assert!(!granted(&c.reserve(1, c2, UserId(1), RoleId(0), 0)));
+    }
+
+    #[test]
+    fn abort_and_release_free_the_slot() {
+        let mut c = Coordinator::new(2, &plan(1), 10);
+        let a = c.token();
+        assert!(granted(&c.reserve(0, a, UserId(0), RoleId(0), 0)));
+        c.abort(a);
+        let b = c.token();
+        assert!(granted(&c.reserve(1, b, UserId(1), RoleId(0), 0)));
+        c.commit(b, true);
+        c.sync_member(1, UserId(1), RoleId(0), false);
+        let d = c.token();
+        assert!(granted(&c.reserve(0, d, UserId(0), RoleId(0), 0)));
+    }
+
+    #[test]
+    fn expiry_probes_once_and_resolution_is_final() {
+        let mut c = Coordinator::new(1, &plan(2), 5);
+        let a = c.token();
+        assert!(granted(&c.reserve(0, a, UserId(0), RoleId(0), 0)));
+        assert_eq!(c.expired(4), vec![]);
+        assert_eq!(c.expired(5), vec![(a, 0)]);
+        assert_eq!(
+            c.expired(6),
+            vec![],
+            "probed reservations are not re-probed"
+        );
+        // The shard says the op actually applied: the slot converts, not
+        // releases.
+        c.resolve_probe(a, true, true);
+        assert!(c.members_of(0, RoleId(0)).is_some_and(|m| m.len() == 1));
+    }
+
+    #[test]
+    fn restart_fences_and_reconciles() {
+        let mut c = Coordinator::new(2, &plan(1), 10);
+        let a = c.token();
+        assert!(granted(&c.reserve(0, a, UserId(0), RoleId(0), 0)));
+        let seed = c.seed();
+        let mut c = Coordinator::restart(2, &plan(1), 10, seed);
+        assert_eq!(c.term(), seed.term + 1);
+        let b = c.token();
+        assert!(
+            matches!(
+                c.reserve(1, b, UserId(1), RoleId(0), 0),
+                ReserveOutcome::Deferred
+            ),
+            "unfenced shards must wait"
+        );
+        c.fence_ack(1, c.term(), BTreeMap::new());
+        c.fence_ack(0, c.term() - 1, BTreeMap::new());
+        assert!(c.is_fenced_in(1));
+        assert!(!c.is_fenced_in(0), "stale-term acks are discarded");
+        let d = c.token();
+        assert!(granted(&c.reserve(1, d, UserId(1), RoleId(0), 0)));
+    }
+}

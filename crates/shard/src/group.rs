@@ -1,0 +1,1014 @@
+//! A deterministic, message-passing shard group.
+//!
+//! [`ShardGroup`] is the sharded engine with its concurrency made
+//! *explicit*: every cross-component interaction — reserve requests,
+//! grants, commits, membership syncs, probes, fences — is an
+//! [`Envelope`] in an in-flight queue, and nothing happens until a
+//! driver (the model checker in `sim::shard`, or a directed test)
+//! chooses which message to deliver next. Client ops come from a fixed
+//! script; time is virtual and only advances when the driver ticks it.
+//! The group is `Clone`, so an explorer can branch the whole world at
+//! every choice point.
+//!
+//! The protocol logic itself lives in [`crate::coord::Coordinator`] and
+//! is byte-for-byte the one the concurrent [`crate::front::ShardedEngine`]
+//! runs under its mutex — the model checks the deployed protocol, not a
+//! sketch of it.
+//!
+//! ## Failure model
+//!
+//! * **Coordinator crash** loses the pending reservation table and every
+//!   in-flight message to or from the coordinator (its channels die with
+//!   it). Durable identity — term, epoch and token high-waters — survives
+//!   via [`crate::coord::CoordSeed`].
+//! * **Restart** bumps the term and fences every shard: no reservation
+//!   is taken from a shard until it acks the fence, killing its parked
+//!   ops and reporting ground-truth membership.
+//! * **Reservation timeout** (virtual time) triggers a probe, never a
+//!   silent release: the shard either disclaims the op (killing it so it
+//!   cannot apply later) or confirms it applied, and only then does the
+//!   slot release or convert.
+//!
+//! The `ack_on_reserve` flag is a deliberately seeded protocol bug —
+//! acknowledge the client when the reservation is *granted* rather than
+//! when the op *applies* — that the model checker must find and shrink;
+//! see `tests/shard_model_check.rs`.
+
+use crate::coord::{CoordSeed, Coordinator, OpToken, ReserveOutcome};
+use crate::plan::{membership_of, ShardPlan, Unshardable};
+use crate::ring::Ring;
+use owte_core::{DurableConfig, DurableEngine, Engine, MemStorage};
+use policy::PolicyGraph;
+use rbac::{RoleId, SessionId, UserId};
+use snoop::Ts;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One scripted client operation (entities pre-resolved to ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientOp {
+    /// `user` opens a session (no initial roles).
+    CreateSession(UserId),
+    /// `user` closes their current session.
+    DeleteSession(UserId),
+    /// `user` activates `role` in their current session.
+    AddRole(UserId, RoleId),
+    /// `user` deactivates `role`.
+    DropRole(UserId, RoleId),
+}
+
+impl fmt::Display for ClientOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientOp::CreateSession(u) => write!(f, "{u} opens a session"),
+            ClientOp::DeleteSession(u) => write!(f, "{u} closes their session"),
+            ClientOp::AddRole(u, r) => write!(f, "{u} activates {r}"),
+            ClientOp::DropRole(u, r) => write!(f, "{u} deactivates {r}"),
+        }
+    }
+}
+
+/// A protocol message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Shard → coordinator: request a slot for a constrained activation.
+    Reserve {
+        /// Op token.
+        op: OpToken,
+        /// Requesting (home) shard.
+        shard: usize,
+        /// The activating user.
+        user: UserId,
+        /// The role being activated.
+        role: RoleId,
+    },
+    /// Coordinator → shard: slot promised; apply under `external`.
+    Grant {
+        /// Op token.
+        op: OpToken,
+        /// Coordinator term at grant time (stale terms are discarded).
+        term: u64,
+        /// Epoch totally ordering this constrained op.
+        epoch: u64,
+        /// Frozen external activation counts.
+        external: BTreeMap<RoleId, usize>,
+    },
+    /// Coordinator → shard: cap exhausted; apply under `external` so the
+    /// engine denies through the ordinary audited path.
+    Refuse {
+        /// Op token.
+        op: OpToken,
+        /// Coordinator term at refuse time.
+        term: u64,
+        /// Epoch totally ordering this constrained decision.
+        epoch: u64,
+        /// Frozen external activation counts.
+        external: BTreeMap<RoleId, usize>,
+    },
+    /// Shard → coordinator: the granted op applied; `activated` says
+    /// whether the user newly became active in the reserved role.
+    Commit {
+        /// Op token.
+        op: OpToken,
+        /// Did the activation land?
+        activated: bool,
+    },
+    /// Shard → coordinator: asynchronous membership sync from an
+    /// unconstrained op (activation of a tracked-but-uncapped role, a
+    /// drop, a session delete).
+    Release {
+        /// Originating shard.
+        shard: usize,
+        /// The user whose membership changed.
+        user: UserId,
+        /// The tracked role.
+        role: RoleId,
+        /// True = became active, false = stopped.
+        active: bool,
+    },
+    /// Coordinator → shard: is expired op `op` applied or dead?
+    Probe {
+        /// Op token.
+        op: OpToken,
+        /// Coordinator term.
+        term: u64,
+    },
+    /// Shard → coordinator: probe answer. A `false` answer is a promise
+    /// — the shard killed the parked op, so it can never apply later.
+    ProbeReply {
+        /// Op token.
+        op: OpToken,
+        /// Did the op reach the engine?
+        applied: bool,
+        /// Did it newly activate the reserved role?
+        activated: bool,
+    },
+    /// Coordinator → shard: new term; kill parked ops, report truth.
+    Fence {
+        /// The new term.
+        term: u64,
+    },
+    /// Shard → coordinator: fence acknowledged with ground-truth
+    /// membership.
+    FenceAck {
+        /// Acking shard.
+        shard: usize,
+        /// The fenced term.
+        term: u64,
+        /// Ground-truth tracked membership on this shard.
+        members: BTreeMap<RoleId, BTreeSet<UserId>>,
+    },
+}
+
+/// Where an envelope is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// A shard node.
+    Shard(usize),
+    /// The coordinator.
+    Coord,
+}
+
+/// A message plus its destination, sitting in the in-flight queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Destination.
+    pub to: Dest,
+    /// Payload.
+    pub msg: Msg,
+}
+
+impl Envelope {
+    /// Short human-readable form for schedule scripts.
+    pub fn describe(&self) -> String {
+        let to = match self.to {
+            Dest::Shard(s) => format!("shard{s}"),
+            Dest::Coord => "coord".to_string(),
+        };
+        let what = match &self.msg {
+            Msg::Reserve { op, user, role, .. } => format!("reserve#{op} {user}+{role}"),
+            Msg::Grant { op, .. } => format!("grant#{op}"),
+            Msg::Refuse { op, .. } => format!("refuse#{op}"),
+            Msg::Commit { op, activated } => format!("commit#{op} activated={activated}"),
+            Msg::Release {
+                user, role, active, ..
+            } => format!("sync {user}{}{role}", if *active { "+" } else { "-" }),
+            Msg::Probe { op, .. } => format!("probe#{op}"),
+            Msg::ProbeReply { op, applied, .. } => format!("probe-reply#{op} applied={applied}"),
+            Msg::Fence { term } => format!("fence t{term}"),
+            Msg::FenceAck { shard, .. } => format!("fence-ack from shard{shard}"),
+        };
+        format!("{what} -> {to}")
+    }
+
+    /// The op token this envelope concerns, if any.
+    fn op(&self) -> Option<OpToken> {
+        match &self.msg {
+            Msg::Reserve { op, .. }
+            | Msg::Grant { op, .. }
+            | Msg::Refuse { op, .. }
+            | Msg::Commit { op, .. }
+            | Msg::Probe { op, .. }
+            | Msg::ProbeReply { op, .. } => Some(*op),
+            Msg::Release { .. } | Msg::Fence { .. } | Msg::FenceAck { .. } => None,
+        }
+    }
+
+    /// Was this message originated by the coordinator? Such messages die
+    /// with it on a crash (its channels are part of the instance).
+    fn coordinator_originated(&self) -> bool {
+        matches!(
+            self.msg,
+            Msg::Grant { .. } | Msg::Refuse { .. } | Msg::Probe { .. } | Msg::Fence { .. }
+        )
+    }
+}
+
+/// How a delivered client op resolved at its shard's engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpResolution {
+    /// The engine accepted it; `activated` = the constrained role newly
+    /// became active (always true's analogue for unconstrained ops is
+    /// irrelevant and set false).
+    Applied {
+        /// Constrained role newly activated.
+        activated: bool,
+    },
+    /// The engine denied it (cap, DSD, per-user limits, …).
+    Denied,
+}
+
+/// The client-visible ledger entry for one submitted op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// What the op was.
+    pub desc: String,
+    /// Has the client been told the op is done? (Where in the lifecycle
+    /// this flips is exactly what `ack_on_reserve` corrupts.)
+    pub acked: bool,
+    /// The engine-side resolution, once the op reached an engine.
+    pub resolution: Option<OpResolution>,
+}
+
+/// A constrained op parked at its home shard awaiting the coordinator's
+/// answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Parked {
+    user: UserId,
+    role: RoleId,
+}
+
+#[derive(Clone)]
+struct ShardNode {
+    eng: DurableEngine<MemStorage>,
+    /// Latest coordinator term this shard has been fenced into.
+    term: u64,
+    parked: BTreeMap<OpToken, Parked>,
+    /// Ops this shard has promised can never apply (killed by a fence or
+    /// a disclaiming probe answer).
+    dead: BTreeSet<OpToken>,
+}
+
+/// The deterministic shard group. See the module docs.
+#[derive(Clone)]
+pub struct ShardGroup {
+    plan: ShardPlan,
+    ring: Ring,
+    shards: Vec<ShardNode>,
+    coord: Option<Coordinator>,
+    /// Durable coordinator identity (persisted at every serve point).
+    seed: CoordSeed,
+    queue: Vec<Envelope>,
+    script: Vec<ClientOp>,
+    cursor: usize,
+    sessions: BTreeMap<UserId, SessionId>,
+    records: BTreeMap<OpToken, OpRecord>,
+    next_token: OpToken,
+    now: u64,
+    timeout: u64,
+    ack_on_reserve: bool,
+    crashes: usize,
+}
+
+impl ShardGroup {
+    /// Build a group of `shards` engines over `graph`, scripted with
+    /// `ops`. `timeout` is the reservation lifetime in virtual time
+    /// units. `ack_on_reserve` seeds the early-ack protocol bug.
+    pub fn new(
+        graph: &PolicyGraph,
+        shards: usize,
+        ops: Vec<ClientOp>,
+        timeout: u64,
+        ack_on_reserve: bool,
+    ) -> Result<ShardGroup, Unshardable> {
+        let nodes: Vec<ShardNode> = (0..shards)
+            .map(|_| ShardNode {
+                eng: DurableEngine::create(
+                    MemStorage::new(),
+                    graph,
+                    Ts::ZERO,
+                    DurableConfig::default(),
+                )
+                .expect("fresh in-memory engine"),
+                term: 1,
+                parked: BTreeMap::new(),
+                dead: BTreeSet::new(),
+            })
+            .collect();
+        let engine = nodes[0].eng.engine();
+        let plan = ShardPlan::from_policy(graph, engine, &engine.analyze())?;
+        let coord = Coordinator::new(shards, &plan, timeout);
+        let seed = coord.seed();
+        Ok(ShardGroup {
+            plan,
+            ring: Ring::new(shards),
+            shards: nodes,
+            coord: Some(coord),
+            seed,
+            queue: Vec::new(),
+            script: ops,
+            cursor: 0,
+            sessions: BTreeMap::new(),
+            records: BTreeMap::new(),
+            next_token: 0,
+            now: 0,
+            timeout,
+            ack_on_reserve,
+            crashes: 0,
+        })
+    }
+
+    /// Resolve a user name on the shared vocabulary (identical on every
+    /// shard, since all engines instantiate the same graph).
+    pub fn user_id(&self, name: &str) -> Option<UserId> {
+        self.shards[0].eng.engine().user_id(name).ok()
+    }
+
+    /// Resolve a role name.
+    pub fn role_id(&self, name: &str) -> Option<RoleId> {
+        self.shards[0].eng.engine().role_id(name).ok()
+    }
+
+    /// The shard owning `user` under the hash ring.
+    pub fn shard_of(&self, user: UserId) -> usize {
+        self.ring.shard_of(user)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The engine of `shard` (for invariant checks and fingerprints).
+    pub fn engine(&self, shard: usize) -> &Engine {
+        self.shards[shard].eng.engine()
+    }
+
+    /// The sharding plan in force.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The live coordinator, if not crashed.
+    pub fn coordinator(&self) -> Option<&Coordinator> {
+        self.coord.as_ref()
+    }
+
+    /// Durable coordinator identity as last persisted.
+    pub fn coord_seed(&self) -> CoordSeed {
+        self.seed
+    }
+
+    /// Virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Coordinator crash/restart cycles taken.
+    pub fn crashes(&self) -> usize {
+        self.crashes
+    }
+
+    /// Scripted ops not yet submitted.
+    pub fn ops_remaining(&self) -> usize {
+        self.script.len() - self.cursor
+    }
+
+    /// The next scripted op, if any.
+    pub fn next_op(&self) -> Option<&ClientOp> {
+        self.script.get(self.cursor)
+    }
+
+    /// The in-flight message queue (slot-addressed).
+    pub fn queue(&self) -> &[Envelope] {
+        &self.queue
+    }
+
+    /// The client ledger.
+    pub fn records(&self) -> &BTreeMap<OpToken, OpRecord> {
+        &self.records
+    }
+
+    /// Per-shard parked-op tokens (for fingerprints).
+    pub fn parked(&self, shard: usize) -> impl Iterator<Item = OpToken> + '_ {
+        self.shards[shard].parked.keys().copied()
+    }
+
+    /// Per-shard dead-op tokens (for fingerprints).
+    pub fn dead(&self, shard: usize) -> impl Iterator<Item = OpToken> + '_ {
+        self.shards[shard].dead.iter().copied()
+    }
+
+    /// The fence term of `shard`.
+    pub fn shard_term(&self, shard: usize) -> u64 {
+        self.shards[shard].term
+    }
+
+    /// Distinct users active in `role` across the whole group — ground
+    /// truth, straight from the engines.
+    pub fn global_active(&self, role: RoleId) -> usize {
+        let tracked: BTreeSet<RoleId> = [role].into_iter().collect();
+        let mut users: BTreeSet<UserId> = BTreeSet::new();
+        for node in &self.shards {
+            if let Some(m) = membership_of(node.eng.engine(), &tracked).remove(&role) {
+                users.extend(m);
+            }
+        }
+        users.len()
+    }
+
+    /// Nothing left to schedule except (possibly) unsubmitted client ops:
+    /// empty queue, no pending reservations, coordinator up and fully
+    /// fenced.
+    pub fn quiescent(&self) -> bool {
+        self.queue.is_empty()
+            && self
+                .coord
+                .as_ref()
+                .is_some_and(|c| c.pending().is_empty() && c.all_fenced())
+    }
+
+    /// Structural "no acked op lost" check: an op the client was told is
+    /// done, that never reached an engine, and that no in-flight message,
+    /// pending reservation or parked state can ever resolve. Returns the
+    /// first such token.
+    pub fn lost_acked_op(&self) -> Option<OpToken> {
+        self.records.iter().find_map(|(op, rec)| {
+            let reachable = self.queue.iter().any(|e| e.op() == Some(*op))
+                || self
+                    .coord
+                    .as_ref()
+                    .is_some_and(|c| c.pending().contains_key(op));
+            (rec.acked && rec.resolution.is_none() && !reachable).then_some(*op)
+        })
+    }
+
+    /// When quiescent, the coordinator's membership view must equal the
+    /// engines' ground truth. Returns the first discrepancy.
+    pub fn coordinator_coherent(&self) -> Option<String> {
+        if !self.quiescent() {
+            return None;
+        }
+        let coord = self.coord.as_ref()?;
+        for (s, node) in self.shards.iter().enumerate() {
+            let truth = membership_of(node.eng.engine(), &self.plan.membership);
+            for role in &self.plan.membership {
+                let believed = coord.members_of(s, *role).cloned().unwrap_or_default();
+                let actual = truth.get(role).cloned().unwrap_or_default();
+                if believed != actual {
+                    return Some(format!(
+                        "shard {s} {role}: coordinator believes {believed:?}, engines say {actual:?}"
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduler steps
+    // ------------------------------------------------------------------
+
+    /// Submit the next scripted client op: route it to its home shard,
+    /// applying it immediately when unconstrained, parking it behind a
+    /// reserve request when it consults cross-user state.
+    pub fn submit_next(&mut self) {
+        let Some(op) = self.script.get(self.cursor).copied() else {
+            return;
+        };
+        self.cursor += 1;
+        let token = self.next_token;
+        self.next_token += 1;
+        let desc = op.to_string();
+        match op {
+            ClientOp::AddRole(user, role) if self.plan.constrained(role) => {
+                let shard = self.ring.shard_of(user);
+                self.records.insert(
+                    token,
+                    OpRecord {
+                        desc,
+                        acked: false,
+                        resolution: None,
+                    },
+                );
+                self.shards[shard]
+                    .parked
+                    .insert(token, Parked { user, role });
+                self.queue.push(Envelope {
+                    to: Dest::Coord,
+                    msg: Msg::Reserve {
+                        op: token,
+                        shard,
+                        user,
+                        role,
+                    },
+                });
+            }
+            _ => {
+                let user = match op {
+                    ClientOp::CreateSession(u)
+                    | ClientOp::DeleteSession(u)
+                    | ClientOp::AddRole(u, _)
+                    | ClientOp::DropRole(u, _) => u,
+                };
+                let shard = self.ring.shard_of(user);
+                let resolution = self.apply_client_op(shard, op, None);
+                self.records.insert(
+                    token,
+                    OpRecord {
+                        desc,
+                        acked: true,
+                        resolution: Some(resolution),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Deliver the envelope in `slot`. Returns false if the slot is
+    /// invalid or the destination cannot take it (crashed coordinator).
+    pub fn deliver(&mut self, slot: usize) -> bool {
+        if slot >= self.queue.len() || !self.deliverable(slot) {
+            return false;
+        }
+        let env = self.queue.remove(slot);
+        match env.to {
+            Dest::Coord => self.deliver_to_coord(env.msg),
+            Dest::Shard(s) => self.deliver_to_shard(s, env.msg),
+        }
+        true
+    }
+
+    /// Can `slot` be delivered right now? (Messages to a crashed
+    /// coordinator wait for the restart.)
+    pub fn deliverable(&self, slot: usize) -> bool {
+        match self.queue[slot].to {
+            Dest::Coord => self.coord.is_some(),
+            Dest::Shard(_) => true,
+        }
+    }
+
+    /// Crash the coordinator: the pending table and every in-flight
+    /// message to or from it are lost; durable identity survives.
+    pub fn crash_coordinator(&mut self) -> bool {
+        let Some(coord) = self.coord.take() else {
+            return false;
+        };
+        self.seed = coord.seed();
+        self.queue
+            .retain(|e| e.to != Dest::Coord && !e.coordinator_originated());
+        self.crashes += 1;
+        true
+    }
+
+    /// Restart the coordinator under a bumped term and fence every
+    /// shard.
+    pub fn restart_coordinator(&mut self) -> bool {
+        if self.coord.is_some() {
+            return false;
+        }
+        let coord = Coordinator::restart(self.shards.len(), &self.plan, self.timeout, self.seed);
+        self.seed = coord.seed();
+        let term = coord.term();
+        for s in 0..self.shards.len() {
+            self.queue.push(Envelope {
+                to: Dest::Shard(s),
+                msg: Msg::Fence { term },
+            });
+        }
+        self.coord = Some(coord);
+        true
+    }
+
+    /// The next virtual instant at which a reservation expires, if any.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.coord.as_ref().and_then(|c| c.next_deadline())
+    }
+
+    /// Advance virtual time to the next reservation deadline and emit
+    /// probes for everything that expired. Returns false when there is
+    /// nothing to expire.
+    pub fn tick(&mut self) -> bool {
+        let Some(deadline) = self.next_deadline() else {
+            return false;
+        };
+        self.now = self.now.max(deadline);
+        let Some(coord) = self.coord.as_mut() else {
+            return false;
+        };
+        let term = coord.term();
+        for (op, shard) in coord.expired(self.now) {
+            self.queue.push(Envelope {
+                to: Dest::Shard(shard),
+                msg: Msg::Probe { op, term },
+            });
+        }
+        true
+    }
+
+    /// Deliver messages oldest-first until the queue drains (skipping
+    /// coordinator-bound messages while it is down). Deterministic; for
+    /// directed tests that want a settled state, not for exploration.
+    pub fn settle(&mut self) {
+        loop {
+            let Some(slot) = (0..self.queue.len()).find(|s| self.deliverable(*s)) else {
+                return;
+            };
+            self.deliver(slot);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message handlers
+    // ------------------------------------------------------------------
+
+    fn deliver_to_coord(&mut self, msg: Msg) {
+        let Some(coord) = self.coord.as_mut() else {
+            return;
+        };
+        match msg {
+            Msg::Reserve {
+                op,
+                shard,
+                user,
+                role,
+            } => {
+                match coord.reserve(shard, op, user, role, self.now) {
+                    ReserveOutcome::Granted { epoch, external } => {
+                        let term = coord.term();
+                        if self.ack_on_reserve {
+                            // The seeded bug: tell the client "done" the
+                            // moment the slot is promised.
+                            if let Some(rec) = self.records.get_mut(&op) {
+                                rec.acked = true;
+                            }
+                        }
+                        self.queue.push(Envelope {
+                            to: Dest::Shard(shard),
+                            msg: Msg::Grant {
+                                op,
+                                term,
+                                epoch,
+                                external,
+                            },
+                        });
+                    }
+                    ReserveOutcome::Refused { epoch, external } => {
+                        let term = coord.term();
+                        self.queue.push(Envelope {
+                            to: Dest::Shard(shard),
+                            msg: Msg::Refuse {
+                                op,
+                                term,
+                                epoch,
+                                external,
+                            },
+                        });
+                    }
+                    // The shard is fenced out; its parked op will be
+                    // killed by the fence already in flight to it.
+                    ReserveOutcome::Deferred => {}
+                }
+                self.seed = coord.seed();
+            }
+            Msg::Commit { op, activated } => coord.commit(op, activated),
+            Msg::Release {
+                shard,
+                user,
+                role,
+                active,
+            } => coord.sync_member(shard, user, role, active),
+            Msg::ProbeReply {
+                op,
+                applied,
+                activated,
+            } => coord.resolve_probe(op, applied, activated),
+            Msg::FenceAck {
+                shard,
+                term,
+                members,
+            } => coord.fence_ack(shard, term, members),
+            Msg::Grant { .. } | Msg::Refuse { .. } | Msg::Probe { .. } | Msg::Fence { .. } => {
+                unreachable!("coordinator-originated message addressed to the coordinator")
+            }
+        }
+    }
+
+    fn deliver_to_shard(&mut self, shard: usize, msg: Msg) {
+        match msg {
+            Msg::Grant {
+                op, term, external, ..
+            } => {
+                if term != self.shards[shard].term || self.shards[shard].dead.contains(&op) {
+                    return;
+                }
+                let Some(parked) = self.shards[shard].parked.remove(&op) else {
+                    return;
+                };
+                let resolution = self.apply_client_op(
+                    shard,
+                    ClientOp::AddRole(parked.user, parked.role),
+                    Some(external),
+                );
+                let activated = matches!(resolution, OpResolution::Applied { activated: true });
+                if let Some(rec) = self.records.get_mut(&op) {
+                    rec.acked = true;
+                    rec.resolution = Some(resolution);
+                }
+                self.queue.push(Envelope {
+                    to: Dest::Coord,
+                    msg: Msg::Commit { op, activated },
+                });
+            }
+            Msg::Refuse {
+                op, term, external, ..
+            } => {
+                if term != self.shards[shard].term || self.shards[shard].dead.contains(&op) {
+                    return;
+                }
+                let Some(parked) = self.shards[shard].parked.remove(&op) else {
+                    return;
+                };
+                // Apply under the frozen view: the engine's own cap rule
+                // turns this into an ordinary audited denial.
+                let resolution = self.apply_client_op(
+                    shard,
+                    ClientOp::AddRole(parked.user, parked.role),
+                    Some(external),
+                );
+                debug_assert!(
+                    !matches!(resolution, OpResolution::Applied { activated: true }),
+                    "a refused op must be denied by the frozen external view"
+                );
+                if let Some(rec) = self.records.get_mut(&op) {
+                    rec.acked = true;
+                    rec.resolution = Some(resolution);
+                }
+            }
+            Msg::Probe { op, .. } => {
+                let node = &mut self.shards[shard];
+                let reply = if node.parked.remove(&op).is_some() {
+                    // Kill it: answering "not applied" is a promise.
+                    node.dead.insert(op);
+                    Msg::ProbeReply {
+                        op,
+                        applied: false,
+                        activated: false,
+                    }
+                } else {
+                    match self.records.get(&op).and_then(|r| r.resolution) {
+                        Some(OpResolution::Applied { activated }) => Msg::ProbeReply {
+                            op,
+                            applied: true,
+                            activated,
+                        },
+                        Some(OpResolution::Denied) => Msg::ProbeReply {
+                            op,
+                            applied: true,
+                            activated: false,
+                        },
+                        None => Msg::ProbeReply {
+                            op,
+                            applied: false,
+                            activated: false,
+                        },
+                    }
+                };
+                self.queue.push(Envelope {
+                    to: Dest::Coord,
+                    msg: reply,
+                });
+            }
+            Msg::Fence { term } => {
+                let node = &mut self.shards[shard];
+                if term <= node.term {
+                    return;
+                }
+                node.term = term;
+                let killed: Vec<OpToken> = node.parked.keys().copied().collect();
+                node.dead.extend(killed);
+                node.parked.clear();
+                let members = membership_of(node.eng.engine(), &self.plan.membership);
+                self.queue.push(Envelope {
+                    to: Dest::Coord,
+                    msg: Msg::FenceAck {
+                        shard,
+                        term,
+                        members,
+                    },
+                });
+            }
+            Msg::Reserve { .. }
+            | Msg::Commit { .. }
+            | Msg::Release { .. }
+            | Msg::ProbeReply { .. }
+            | Msg::FenceAck { .. } => {
+                unreachable!("shard-originated message addressed to a shard")
+            }
+        }
+    }
+
+    /// Run a client op against `shard`'s engine, injecting `external`
+    /// first when the op is constrained, and emit membership syncs for
+    /// every tracked-role change except the constrained role itself
+    /// (whose change travels in the `Commit`).
+    fn apply_client_op(
+        &mut self,
+        shard: usize,
+        op: ClientOp,
+        external: Option<BTreeMap<RoleId, usize>>,
+    ) -> OpResolution {
+        let constrained_role = match op {
+            ClientOp::AddRole(_, r) if external.is_some() => Some(r),
+            _ => None,
+        };
+        let user = match op {
+            ClientOp::CreateSession(u)
+            | ClientOp::DeleteSession(u)
+            | ClientOp::AddRole(u, _)
+            | ClientOp::DropRole(u, _) => u,
+        };
+        let had_external = external.is_some();
+        let node = &mut self.shards[shard];
+        if let Some(map) = external {
+            node.eng.engine_mut().set_external_active(map);
+        }
+        let before = Self::tracked_roles(node.eng.engine(), &self.plan, user);
+        let ok = match op {
+            ClientOp::CreateSession(u) => match node.eng.create_session(u, &[]) {
+                Ok(sid) => {
+                    self.sessions.insert(u, sid);
+                    true
+                }
+                Err(_) => false,
+            },
+            ClientOp::DeleteSession(u) => match self.sessions.get(&u) {
+                Some(&sid) => {
+                    let ok = node.eng.delete_session(u, sid).is_ok();
+                    if ok {
+                        self.sessions.remove(&u);
+                    }
+                    ok
+                }
+                None => false,
+            },
+            ClientOp::AddRole(u, r) => match self.sessions.get(&u) {
+                Some(&sid) => node.eng.add_active_role(u, sid, r).is_ok(),
+                None => false,
+            },
+            ClientOp::DropRole(u, r) => match self.sessions.get(&u) {
+                Some(&sid) => node.eng.drop_active_role(u, sid, r).is_ok(),
+                None => false,
+            },
+        };
+        let after = Self::tracked_roles(self.shards[shard].eng.engine(), &self.plan, user);
+        // The frozen view was for this one op only; a lingering bias
+        // would distort later unconstrained reads on this shard.
+        if had_external {
+            self.shards[shard]
+                .eng
+                .engine_mut()
+                .set_external_active(BTreeMap::new());
+        }
+        let mut activated = false;
+        for gained in after.difference(&before) {
+            if Some(*gained) == constrained_role {
+                activated = true;
+            } else {
+                self.queue.push(Envelope {
+                    to: Dest::Coord,
+                    msg: Msg::Release {
+                        shard,
+                        user,
+                        role: *gained,
+                        active: true,
+                    },
+                });
+            }
+        }
+        for lost in before.difference(&after) {
+            self.queue.push(Envelope {
+                to: Dest::Coord,
+                msg: Msg::Release {
+                    shard,
+                    user,
+                    role: *lost,
+                    active: false,
+                },
+            });
+        }
+        if ok {
+            OpResolution::Applied { activated }
+        } else {
+            OpResolution::Denied
+        }
+    }
+
+    fn tracked_roles(engine: &Engine, plan: &ShardPlan, user: UserId) -> BTreeSet<RoleId> {
+        engine
+            .system()
+            .active_roles_of_user(user)
+            .map(|active| plan.tracked(&active))
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capped_graph() -> PolicyGraph {
+        let mut g = PolicyGraph::new("group");
+        g.role("Auditor").max_active_users = Some(1);
+        g.role("Clerk");
+        for (u, s) in [("u_a", 0), ("u_b", 1)] {
+            // Names chosen so the two users land on different shards of a
+            // 2-ring is *not* guaranteed; tests look placement up.
+            let _ = s;
+            g.user(u);
+            g.assign(u, "Auditor");
+            g.assign(u, "Clerk");
+        }
+        g
+    }
+
+    /// Two users racing for a cap-1 role through the full message
+    /// protocol: exactly one activation commits, regardless of which
+    /// reserve reaches the coordinator first.
+    #[test]
+    fn racing_capped_activations_commit_exactly_once() {
+        let g = capped_graph();
+        let group0 = ShardGroup::new(&g, 2, vec![], 10, false).unwrap();
+        let a = group0.user_id("u_a").unwrap();
+        let b = group0.user_id("u_b").unwrap();
+        let auditor = group0.role_id("Auditor").unwrap();
+        let script = vec![
+            ClientOp::CreateSession(a),
+            ClientOp::CreateSession(b),
+            ClientOp::AddRole(a, auditor),
+            ClientOp::AddRole(b, auditor),
+        ];
+        let mut group = ShardGroup::new(&g, 2, script, 10, false).unwrap();
+        for _ in 0..4 {
+            group.submit_next();
+        }
+        group.settle();
+        assert!(group.quiescent());
+        assert_eq!(group.global_active(auditor), 1, "cap 1 must hold");
+        assert_eq!(group.coordinator_coherent(), None);
+        let outcomes: Vec<_> = group
+            .records()
+            .values()
+            .filter(|r| r.desc.contains("activates"))
+            .map(|r| r.resolution)
+            .collect();
+        assert!(outcomes.contains(&Some(OpResolution::Applied { activated: true })));
+        assert!(outcomes.contains(&Some(OpResolution::Denied)));
+    }
+
+    /// A reservation orphaned by a coordinator-bound commit loss resolves
+    /// through the probe path without double-counting the slot.
+    #[test]
+    fn fence_after_crash_reconciles_membership() {
+        let g = capped_graph();
+        let probe = ShardGroup::new(&g, 2, vec![], 10, false).unwrap();
+        let a = probe.user_id("u_a").unwrap();
+        let auditor = probe.role_id("Auditor").unwrap();
+        let script = vec![ClientOp::CreateSession(a), ClientOp::AddRole(a, auditor)];
+        let mut group = ShardGroup::new(&g, 2, script, 10, false).unwrap();
+        group.submit_next();
+        group.submit_next();
+        group.settle();
+        assert_eq!(group.global_active(auditor), 1);
+        assert!(group.crash_coordinator());
+        assert!(group.restart_coordinator());
+        group.settle();
+        assert!(group.quiescent());
+        assert_eq!(
+            group.coordinator_coherent(),
+            None,
+            "fence acks must rebuild the membership view from ground truth"
+        );
+        assert_eq!(group.lost_acked_op(), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! # shard — horizontal write scaling for the OWTE engine
+//!
+//! One engine means one write lock: every activation, every session and
+//! every audit append serializes behind it. This crate partitions the
+//! engine by *user* — RBAC's own structure makes that the right axis,
+//! since sessions belong to exactly one user and almost every rule the
+//! policy compiler generates reads and writes only that user's state.
+//!
+//! * [`ring`] — consistent-hash placement of users onto shards;
+//! * [`plan`] — the static sharding plan: which roles need cross-shard
+//!   tracking, derived from the policy graph and *licensed* by the
+//!   effect analyzer's `cross_user_footprints()` (an op whose effective
+//!   footprint is single-user commutes freely across shards and never
+//!   touches the coordinator);
+//! * [`coord`] — the constraint coordinator: per-role activation
+//!   counters and SoD membership sets, plus the two-phase
+//!   reserve/commit protocol with probe-before-release orphan recovery
+//!   and crash fencing;
+//! * [`group`] — the deterministic message-passing shard group the
+//!   model checker explores (protocol messages, coordinator crashes and
+//!   reservation timeouts are all explicit scheduler choices);
+//! * [`front`] — [`front::ShardedEngine`], the concurrent deployable
+//!   front: one durable engine (own WAL, snapshots, compiled dispatch
+//!   plan) per shard behind its own lock, preserving per-user decision
+//!   and audit semantics exactly.
+
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod front;
+pub mod group;
+pub mod plan;
+pub mod ring;
+
+pub use coord::{CoordSeed, Coordinator, OpToken, ReserveOutcome};
+pub use front::{OpStamp, ShardError, ShardSession, ShardedEngine};
+pub use group::{ClientOp, Dest, Envelope, Msg, OpRecord, OpResolution, ShardGroup};
+pub use plan::{membership_of, ShardPlan, Unshardable};
+pub use ring::{mix64, Ring};

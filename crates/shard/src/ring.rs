@@ -1,0 +1,116 @@
+//! Consistent-hash placement of users onto shards.
+//!
+//! Users (and therefore their sessions, which RBAC ties to exactly one
+//! user) are placed by hashing the user id onto a ring of virtual nodes.
+//! Virtual nodes smooth the distribution — with `VNODES` points per
+//! shard the heaviest shard carries only a few percent more users than
+//! the mean — and keep placement *stable*: growing from N to N+1 shards
+//! moves only the keys that land in the new shard's arcs, which matters
+//! for operational resharding even though this crate only ever builds a
+//! fixed-size group.
+//!
+//! The mix function is a local Fibonacci/xor finalizer (SplitMix64's
+//! output stage); no external hash crate, no process-global seeding, so
+//! placement is deterministic across runs and platforms — a property the
+//! equivalence suite and the model checker both lean on.
+
+use rbac::UserId;
+
+/// Virtual nodes per shard on the ring.
+const VNODES: usize = 64;
+
+/// Finalizing 64-bit mixer (the SplitMix64 output permutation). Full
+/// avalanche: every input bit flips each output bit with probability
+/// ~1/2, which is what lets dense, sequential user ids spread uniformly
+/// over the ring.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A fixed ring of `shards × VNODES` points; lookup is a binary search
+/// over the sorted point list.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, shard)` sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl Ring {
+    /// Build the ring for `shards` shards (`shards ≥ 1`).
+    pub fn new(shards: usize) -> Ring {
+        assert!(shards >= 1, "a shard group needs at least one shard");
+        let mut points = Vec::with_capacity(shards * VNODES);
+        for shard in 0..shards {
+            for v in 0..VNODES {
+                // Distinct stream per (shard, vnode); the odd multiplier
+                // keeps streams from colliding for small indices.
+                let key = (shard as u64) << 32 | v as u64;
+                points.push((mix64(key.wrapping_mul(0x2545_f491_4f6c_dd1d)), shard));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        Ring { points, shards }
+    }
+
+    /// Number of shards in the group.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `user`: the first ring point at or after the
+    /// user's hash, wrapping at the top.
+    pub fn shard_of(&self, user: UserId) -> usize {
+        let h = mix64(user.0 as u64);
+        let i = match self.points.binary_search_by(|p| p.0.cmp(&h)) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        self.points[i % self.points.len()].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = Ring::new(1);
+        for u in 0..1000 {
+            assert_eq!(ring.shard_of(UserId(u)), 0);
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let a = Ring::new(8);
+        let b = Ring::new(8);
+        for u in 0..10_000 {
+            let s = a.shard_of(UserId(u));
+            assert_eq!(s, b.shard_of(UserId(u)));
+            assert!(s < 8);
+        }
+    }
+
+    #[test]
+    fn vnodes_balance_the_load() {
+        let ring = Ring::new(8);
+        let mut counts = [0usize; 8];
+        for u in 0..80_000 {
+            counts[ring.shard_of(UserId(u))] += 1;
+        }
+        let mean = 80_000 / 8;
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                c > mean / 2 && c < mean * 2,
+                "shard {shard} got {c} of 80000 users (mean {mean})"
+            );
+        }
+    }
+}

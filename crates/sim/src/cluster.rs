@@ -31,7 +31,7 @@ use crate::explore::{Budget, Checker, SimWorld, Stats};
 use crate::invariants::{state_diff, Invariants, Violation};
 use crate::op::SimOp;
 use crate::world::{apply_client_op, hash_engine, Fnv, StepError};
-use owte_core::{replay, Journal};
+use owte_core::{checked_index, replay, Journal};
 use policy::PolicyGraph;
 use rbac::SessionId;
 use repl::{Cluster, Payload, ReadOutcome, ReplConfig, Transport};
@@ -529,7 +529,7 @@ impl Checker<ClusterWorld> for ClusterInvariants {
             let len = c.node_op_count(li).unwrap_or(0);
             if len < c.commit() {
                 return Some(Violation::AckedOpsLost {
-                    acked: c.commit() as usize,
+                    acked: checked_index(c.commit()),
                     recovered: len,
                 });
             }
@@ -544,7 +544,7 @@ impl Checker<ClusterWorld> for ClusterInvariants {
             if let Some(v) = self.rbac.check_rbac(e) {
                 return Some(v);
             }
-            let k = d.op_count() as usize;
+            let k = checked_index(d.op_count());
             if k > c.history().len() {
                 return Some(Violation::FollowerDivergence {
                     node: n,

@@ -122,6 +122,24 @@ pub enum Violation {
         /// The engine-recomputed horizon it violated.
         horizon: String,
     },
+    /// A sharded client operation was acknowledged to the client but can
+    /// no longer resolve: its home shard holds no parked copy, no
+    /// in-flight message carries it, and the coordinator has no pending
+    /// reservation for it — the ack was handed out for work the group
+    /// then lost.
+    ShardAckLost {
+        /// The lost op's token.
+        op: u64,
+        /// What the op was.
+        desc: String,
+    },
+    /// At quiescence the coordinator's committed membership view differs
+    /// from the ground truth in the shard engines — future cap and SoD
+    /// decisions would be made against counts that are simply wrong.
+    CoordinatorDrift {
+        /// First difference found.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -160,6 +178,13 @@ impl fmt::Display for Violation {
             ),
             Violation::StateDivergence { detail } => {
                 write!(f, "recovered state diverges from prefix replay: {detail}")
+            }
+            Violation::ShardAckLost { op, desc } => write!(
+                f,
+                "shard durability violation: op #{op} ({desc}) was acknowledged but can never resolve"
+            ),
+            Violation::CoordinatorDrift { detail } => {
+                write!(f, "coordinator membership drifted from shard ground truth: {detail}")
             }
             Violation::FootprintViolated {
                 rule,

@@ -45,8 +45,10 @@ pub mod cluster;
 pub mod explore;
 pub mod invariants;
 pub mod op;
+pub mod shard;
 pub mod world;
 
+pub use crate::shard::{ShardChoice, ShardInvariants, ShardWorld};
 pub use cluster::{ClusterInvariants, ClusterWorld, NetChoice, ReadRecord};
 pub use explore::{
     explore, run_schedule, Budget, CheckReport, Checker, Outcome, Schedule, SimWorld, Stats,

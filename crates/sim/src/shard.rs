@@ -1,0 +1,430 @@
+//! Model checking the sharded engine's cross-shard constraint protocol.
+//!
+//! [`ShardWorld`] wraps a [`shard::ShardGroup`] — N engines, one
+//! constraint coordinator, and an explicit in-flight message queue — and
+//! exposes every source of nondeterminism as a scheduler choice:
+//! *which* client op runs next, *which* protocol message is delivered,
+//! *when* the coordinator crashes or restarts, and *when* virtual time
+//! reaches a reservation deadline (the probe/orphan-recovery path).
+//! Retransmission and timeout behaviour therefore comes only from the
+//! explorer's deterministic schedule and the group's virtual clock —
+//! never from wall time or an unseeded RNG — so every outcome replays
+//! bit-for-bit from its schedule.
+//!
+//! [`ShardInvariants`] asserts, after every step:
+//!
+//! * no interleaving drives a capped role's *global* (cross-shard)
+//!   activation count past its cardinality;
+//! * every shard engine individually satisfies the single-process RBAC
+//!   invariants (SSD/DSD/per-user caps — user-local properties, so
+//!   per-shard checks are complete for them);
+//! * no acknowledged client op is ever lost: once acked, either an
+//!   engine resolution exists or something in flight can still produce
+//!   one (the seeded `ack_on_reserve` bug falls to exactly this);
+//! * at quiescence the coordinator's committed membership view equals
+//!   the ground truth in the shard engines.
+//!
+//! The partial-order rule: two coordinator-bound messages commute when
+//! they touch disjoint membership cells (`Release`/`Commit`/
+//! `ProbeReply`/`FenceAck` with distinct `(shard, role, user)`
+//! footprints); later messages that commute with *everything* still
+//! queued ahead of them are deferred rather than branched on. `Reserve`
+//! reads global counts and is never pruned, and shard-bound deliveries
+//! are never reordered against each other (engine application order is
+//! observable in the audit log). Like the cluster world's rule, this is
+//! sound for the state invariants checked here.
+
+use crate::explore::{Budget, SimWorld, Stats};
+use crate::invariants::{Invariants, Violation};
+use crate::world::{hash_engine, Fnv, StepError};
+use ::shard::{ClientOp, Dest, Msg, ShardGroup, Unshardable};
+use policy::PolicyGraph;
+use rbac::{RoleId, UserId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One scheduler decision over a [`ShardGroup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardChoice {
+    /// Submit the next scripted client op at its home shard.
+    ClientOp,
+    /// Deliver the in-flight message at `slot` to its destination.
+    Deliver {
+        /// Queue slot (0 = oldest).
+        slot: usize,
+    },
+    /// The coordinator process dies. Its pending reservation table and
+    /// every message to or from it die too.
+    CoordCrash,
+    /// A new coordinator incarnation starts from the durable seed and
+    /// fences every shard into its term.
+    CoordRestart,
+    /// Advance virtual time to the next reservation deadline; the
+    /// coordinator probes the orphaned reservation's home shard.
+    Tick,
+}
+
+impl fmt::Display for ShardChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardChoice::ClientOp => write!(f, "client-op"),
+            ShardChoice::Deliver { slot } => write!(f, "deliver[{slot}]"),
+            ShardChoice::CoordCrash => write!(f, "coord-crash"),
+            ShardChoice::CoordRestart => write!(f, "coord-restart"),
+            ShardChoice::Tick => write!(f, "tick"),
+        }
+    }
+}
+
+/// A state cell a coordinator-bound message writes — the footprint the
+/// commute rule compares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Cell {
+    /// One `(shard, role, user)` membership bit.
+    Member(usize, RoleId, UserId),
+    /// A whole shard's membership column (a fence ack replaces it).
+    Column(usize),
+}
+
+impl Cell {
+    fn shard(&self) -> usize {
+        match self {
+            Cell::Member(s, _, _) => *s,
+            Cell::Column(s) => *s,
+        }
+    }
+
+    fn conflicts(&self, other: &Cell) -> bool {
+        if self.shard() != other.shard() {
+            return false;
+        }
+        match (self, other) {
+            (Cell::Member(_, r1, u1), Cell::Member(_, r2, u2)) => r1 == r2 && u1 == u2,
+            // A column rewrite conflicts with anything on its shard.
+            _ => true,
+        }
+    }
+}
+
+/// A shard group as one explorable state: the group (engines, queue,
+/// coordinator, script cursor, virtual clock) plus the schedule so far.
+#[derive(Clone)]
+pub struct ShardWorld {
+    group: ShardGroup,
+    schedule: Vec<ShardChoice>,
+}
+
+impl ShardWorld {
+    /// Boot a `shards`-way group over `graph`, scripted with `ops`.
+    /// `timeout` is the reservation lifetime in virtual time units;
+    /// `ack_on_reserve` seeds the early-ack protocol bug.
+    pub fn new(
+        graph: &PolicyGraph,
+        shards: usize,
+        ops: Vec<ClientOp>,
+        timeout: u64,
+        ack_on_reserve: bool,
+    ) -> Result<ShardWorld, Unshardable> {
+        Ok(ShardWorld {
+            group: ShardGroup::new(graph, shards, ops, timeout, ack_on_reserve)?,
+            schedule: Vec::new(),
+        })
+    }
+
+    /// The shard group under exploration.
+    pub fn group(&self) -> &ShardGroup {
+        &self.group
+    }
+
+    /// The shard group, mutable (tests stage extra script through this).
+    pub fn group_mut(&mut self) -> &mut ShardGroup {
+        &mut self.group
+    }
+
+    /// The write footprint of a coordinator-bound message, or `None` if
+    /// it reads global state (`Reserve`) and must never be reordered.
+    fn cells(&self, msg: &Msg) -> Option<Vec<Cell>> {
+        match msg {
+            Msg::Release {
+                shard, user, role, ..
+            } => Some(vec![Cell::Member(*shard, *role, *user)]),
+            Msg::Commit { op, .. } | Msg::ProbeReply { op, .. } => {
+                let coord = self.group.coordinator()?;
+                match coord.pending().get(op) {
+                    Some(r) => Some(vec![Cell::Member(r.shard, r.role, r.user)]),
+                    // No reservation: the delivery is a no-op and
+                    // commutes with everything.
+                    None => Some(Vec::new()),
+                }
+            }
+            Msg::FenceAck { shard, .. } => Some(vec![Cell::Column(*shard)]),
+            Msg::Reserve { .. }
+            | Msg::Grant { .. }
+            | Msg::Refuse { .. }
+            | Msg::Probe { .. }
+            | Msg::Fence { .. } => None,
+        }
+    }
+
+    fn not_enabled(choice: &ShardChoice) -> StepError<ShardChoice> {
+        StepError::NotEnabled(choice.clone())
+    }
+}
+
+impl SimWorld for ShardWorld {
+    type Choice = ShardChoice;
+
+    fn enabled_choices(
+        &self,
+        budget: &Budget,
+        reduction: bool,
+        stats: &mut Stats,
+    ) -> Vec<ShardChoice> {
+        let g = &self.group;
+        let mut out = Vec::new();
+        if g.ops_remaining() > 0 {
+            out.push(ShardChoice::ClientOp);
+        }
+        // Deliveries. Shard-bound messages always branch (engine
+        // application order is observable). A coordinator-bound message
+        // is deferred when it commutes with every coordinator-bound
+        // message still ahead of it in the queue.
+        let mut ahead: Vec<Vec<Cell>> = Vec::new();
+        let mut opaque_ahead = false;
+        for (slot, env) in g.queue().iter().enumerate() {
+            if !g.deliverable(slot) {
+                continue;
+            }
+            if env.to == Dest::Coord && reduction {
+                let footprint = self.cells(&env.msg);
+                let commutes = match &footprint {
+                    Some(cells) if !ahead.is_empty() && !opaque_ahead => ahead
+                        .iter()
+                        .all(|prev| !prev.iter().any(|p| cells.iter().any(|c| c.conflicts(p)))),
+                    _ => false,
+                };
+                match footprint {
+                    Some(cells) => ahead.push(cells),
+                    None => opaque_ahead = true,
+                }
+                if commutes {
+                    stats.pruned_commute += 1;
+                    continue;
+                }
+            }
+            out.push(ShardChoice::Deliver { slot });
+        }
+        if g.coordinator().is_some() && g.crashes() < budget.max_crashes {
+            out.push(ShardChoice::CoordCrash);
+        }
+        if g.coordinator().is_none() {
+            out.push(ShardChoice::CoordRestart);
+        }
+        if g.next_deadline().is_some() {
+            out.push(ShardChoice::Tick);
+        }
+        out
+    }
+
+    fn apply_choice(&mut self, choice: &ShardChoice) -> Result<(), StepError<ShardChoice>> {
+        let ok = match choice {
+            ShardChoice::ClientOp => {
+                if self.group.ops_remaining() == 0 {
+                    return Err(Self::not_enabled(choice));
+                }
+                self.group.submit_next();
+                true
+            }
+            ShardChoice::Deliver { slot } => self.group.deliver(*slot),
+            ShardChoice::CoordCrash => self.group.crash_coordinator(),
+            ShardChoice::CoordRestart => self.group.restart_coordinator(),
+            ShardChoice::Tick => self.group.tick(),
+        };
+        if !ok {
+            return Err(Self::not_enabled(choice));
+        }
+        self.schedule.push(choice.clone());
+        Ok(())
+    }
+
+    fn describe_choice(&self, choice: &ShardChoice) -> String {
+        match choice {
+            ShardChoice::ClientOp => match self.group.next_op() {
+                Some(op) => format!(
+                    "client op on shard{}: {op}",
+                    match op {
+                        ClientOp::CreateSession(u)
+                        | ClientOp::DeleteSession(u)
+                        | ClientOp::AddRole(u, _)
+                        | ClientOp::DropRole(u, _) => self.group.shard_of(*u),
+                    }
+                ),
+                None => "client op: <none>".to_string(),
+            },
+            ShardChoice::Deliver { slot } => match self.group.queue().get(*slot) {
+                Some(env) => format!("deliver msg[{slot}]: {}", env.describe()),
+                None => format!("deliver msg[{slot}]: <empty slot>"),
+            },
+            ShardChoice::CoordCrash => {
+                "coordinator crashes; reservations and its in-flight messages die".to_string()
+            }
+            ShardChoice::CoordRestart => {
+                "coordinator restarts from the durable seed and fences every shard".to_string()
+            }
+            ShardChoice::Tick => {
+                "advance virtual time to the next reservation deadline and probe".to_string()
+            }
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let g = &self.group;
+        let mut h = Fnv::new();
+        h.u64(g.ops_remaining() as u64);
+        h.u64(g.now());
+        h.u64(g.crashes() as u64);
+        let seed = g.coord_seed();
+        h.u64(seed.term);
+        h.u64(seed.epoch);
+        h.u64(seed.next_op);
+        match g.coordinator() {
+            Some(c) => {
+                h.str("up");
+                h.u64(c.term());
+                h.u64(c.epoch());
+                for s in 0..c.shards() {
+                    h.u64(u64::from(c.is_fenced_in(s)));
+                }
+                for (op, r) in c.pending() {
+                    h.u64(*op);
+                    h.u64(r.shard as u64);
+                    h.u64(u64::from(r.user.0));
+                    h.u64(u64::from(r.role.0));
+                    h.u64(r.deadline);
+                    h.u64(r.epoch);
+                    h.u64(u64::from(r.probed));
+                }
+                for col in c.columns() {
+                    for (role, users) in col {
+                        h.u64(u64::from(role.0));
+                        for u in users {
+                            h.u64(u64::from(u.0));
+                        }
+                        h.str(";");
+                    }
+                    h.str("|");
+                }
+            }
+            None => h.str("down"),
+        }
+        for s in 0..g.shard_count() {
+            h.u64(g.shard_term(s));
+            hash_engine(&mut h, g.engine(s));
+            for t in g.parked(s) {
+                h.u64(t);
+            }
+            h.str(";");
+            for t in g.dead(s) {
+                h.u64(t);
+            }
+            h.str(";");
+        }
+        for (op, r) in g.records() {
+            h.u64(*op);
+            h.str(&r.desc);
+            h.u64(u64::from(r.acked));
+            h.str(&format!("{:?}", r.resolution));
+        }
+        // The in-flight queue is hashed in order: delivery may pick any
+        // slot, so order never changes *reachability*, but
+        // distinguishing enqueue orders only costs merges — it cannot
+        // make two genuinely different states collide.
+        for env in g.queue() {
+            h.str(&format!("{env:?}"));
+        }
+        h.finish()
+    }
+
+    fn crashes(&self) -> usize {
+        self.group.crashes()
+    }
+
+    fn schedule_choices(&self) -> &[ShardChoice] {
+        &self.schedule
+    }
+}
+
+/// The sharding invariant suite: global cardinality, per-shard RBAC,
+/// ack durability, and coordinator coherence.
+#[derive(Debug, Clone)]
+pub struct ShardInvariants {
+    rbac: Invariants,
+    /// `(role name, cap)` for every capped role in the reference graph.
+    caps: Vec<(String, usize)>,
+}
+
+impl ShardInvariants {
+    /// Derive the suite from the policy the group *should* enforce.
+    pub fn from_reference(graph: &PolicyGraph) -> ShardInvariants {
+        let caps = graph
+            .roles
+            .iter()
+            .filter_map(|r| r.max_active_users.map(|cap| (r.name.clone(), cap)))
+            .collect();
+        ShardInvariants {
+            rbac: Invariants::from_reference(graph),
+            caps,
+        }
+    }
+}
+
+impl crate::explore::Checker<ShardWorld> for ShardInvariants {
+    fn check(&self, world: &ShardWorld) -> Option<Violation> {
+        let g = world.group();
+
+        // --- Global role cardinality, across every shard. ---
+        // Each engine only sees its own users plus a frozen external
+        // count; this recomputes the true cluster-wide total.
+        let mut ids: BTreeMap<&str, RoleId> = BTreeMap::new();
+        for (name, cap) in &self.caps {
+            let Some(role) = g.role_id(name) else {
+                continue;
+            };
+            ids.insert(name.as_str(), role);
+            let active = g.global_active(role);
+            if active > *cap {
+                return Some(Violation::RoleCardinality {
+                    role: name.clone(),
+                    cap: *cap,
+                    active,
+                });
+            }
+        }
+
+        // --- Per-shard RBAC invariants. ---
+        // SSD/DSD and per-user caps are user-local and every user lives
+        // on exactly one shard, so per-shard checks are complete.
+        for s in 0..g.shard_count() {
+            if let Some(v) = self.rbac.check_rbac(g.engine(s)) {
+                return Some(v);
+            }
+        }
+
+        // --- No acknowledged op is ever lost. ---
+        if let Some(op) = g.lost_acked_op() {
+            let desc = g
+                .records()
+                .get(&op)
+                .map(|r| r.desc.clone())
+                .unwrap_or_default();
+            return Some(Violation::ShardAckLost { op, desc });
+        }
+
+        // --- Coordinator coherence at quiescence. ---
+        if let Some(detail) = g.coordinator_coherent() {
+            return Some(Violation::CoordinatorDrift { detail });
+        }
+
+        None
+    }
+}
